@@ -1,0 +1,94 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! - **simulation quantum**: step cost vs quantum size (accuracy is tested
+//!   in `powerprog-core`; this measures the speed side of the trade);
+//! - **monitoring transport**: lossless vs lossy end-to-end run cost;
+//! - **RAPL control period**: how much the controller cadence costs;
+//! - **rank scaling**: driver+node cost at 4/12/24 ranks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use powerprog_core::runner::{run_app, RunConfig};
+use proxyapps::catalog::AppId;
+use simnode::time::{MS, SEC, US};
+use std::hint::black_box;
+
+fn bench_quantum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/quantum");
+    g.sample_size(10);
+    for quantum_us in [50u64, 100, 200, 400] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{quantum_us}us")),
+            &quantum_us,
+            |b, &q| {
+                b.iter(|| {
+                    let mut rc = RunConfig::new(AppId::Lammps, 2 * SEC);
+                    rc.node.quantum = q * US;
+                    black_box(run_app(&rc).steady_rate())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/transport");
+    g.sample_size(10);
+    g.bench_function("lossless", |b| {
+        b.iter(|| black_box(run_app(&RunConfig::new(AppId::Lammps, 2 * SEC)).dropped_events))
+    });
+    g.bench_function("lossy_cap4", |b| {
+        b.iter(|| {
+            black_box(
+                run_app(&RunConfig::new(AppId::Lammps, 2 * SEC).with_lossy_monitoring(4))
+                    .dropped_events,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_rapl_period(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/rapl_period");
+    g.sample_size(10);
+    for period_ms in [1u64, 4, 10] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{period_ms}ms")),
+            &period_ms,
+            |b, &p| {
+                b.iter(|| {
+                    let mut rc = RunConfig::new(AppId::Stream, 2 * SEC);
+                    rc.node.rapl_period = p * MS;
+                    rc.node.rapl_window = (10 * MS).max(p * MS);
+                    rc.schedule = powerprog_core::runner::ScheduleSpec::Constant(90.0);
+                    black_box(run_app(&rc).steady_rate())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_rank_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/ranks");
+    g.sample_size(10);
+    for ranks in [4usize, 12, 24] {
+        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &r| {
+            b.iter(|| {
+                let mut rc = RunConfig::new(AppId::Amg, 2 * SEC);
+                rc.ranks = r;
+                black_box(run_app(&rc).duration_s)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_quantum,
+    bench_transport,
+    bench_rapl_period,
+    bench_rank_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench for **Fig. 1** — regenerates the three characterization panels
+//! (LAMMPS flat, AMG fluctuating, QMCPACK phased).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerprog_core::experiments::fig1;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    g.bench_function("three_panels", |b| {
+        b.iter(|| {
+            let r = fig1::run(black_box(&fig1::Config::quick()));
+            assert!(r.qmcpack.phases.len() == 3);
+            black_box(r)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

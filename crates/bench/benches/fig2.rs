@@ -1,0 +1,22 @@
+//! Bench for **Fig. 2** — regenerates the RAPL application-aware frequency
+//! comparison (LAMMPS vs STREAM cap sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerprog_core::experiments::fig2;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("cap_sweep", |b| {
+        b.iter(|| {
+            let r = fig2::run(black_box(&fig2::Config::quick()));
+            assert!(r.points.iter().all(|p| p.lammps_mhz > p.stream_mhz));
+            black_box(r)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench for **Fig. 3** — regenerates the dynamic-capping grid (three
+//! schemes × three applications) at benchmark scale. The full-scale
+//! cap-tracking assertions live in `powerprog-core`'s tests; at this
+//! reduced duration only the structure is asserted.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerprog_core::experiments::fig3;
+use simnode::time::SEC;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    let cfg = fig3::Config {
+        duration: 18 * SEC,
+        low_w: 60.0,
+        high_w: 150.0,
+    };
+    g.bench_function("scheme_grid_18s", |b| {
+        b.iter(|| {
+            let r = fig3::run(black_box(&cfg));
+            assert_eq!(r.cells.len(), 9);
+            black_box(r)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

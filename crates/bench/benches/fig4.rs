@@ -1,0 +1,39 @@
+//! Bench for **Fig. 4** — regenerates the model-validation sweep (per-app
+//! step-function protocol, measured vs Eq. 7 predictions) at benchmark
+//! scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerprog_core::experiments::{fig4, table6};
+use proxyapps::catalog::AppId;
+use simnode::time::SEC;
+use std::hint::black_box;
+
+fn mini() -> fig4::Config {
+    fig4::Config {
+        caps_w: vec![60.0, 90.0],
+        seeds: 1,
+        lead_in: 4 * SEC,
+        capped: 8 * SEC,
+        characterization: table6::Config {
+            low_mhz: 1600,
+            duration: 6 * SEC,
+        },
+    }
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    // Full five-app mini sweep.
+    g.bench_function("validate_all_apps", |b| {
+        b.iter(|| black_box(fig4::run(black_box(&mini()))))
+    });
+    // Single-app series, the unit other tools compose.
+    g.bench_function("validate_lammps", |b| {
+        b.iter(|| black_box(fig4::run_app_series(AppId::Lammps, black_box(&mini()))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

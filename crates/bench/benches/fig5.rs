@@ -1,0 +1,21 @@
+//! Bench for **Fig. 5** — regenerates the STREAM RAPL-vs-DVFS comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerprog_core::experiments::fig5;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("technique_sweeps", |b| {
+        b.iter(|| {
+            let r = fig5::run(black_box(&fig5::Config::quick()));
+            assert!(!r.rapl.is_empty() && !r.dvfs.is_empty());
+            black_box(r)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench for **Table I** — regenerates the MIPS-vs-online-performance
+//! comparison (both Listing-1 variants, 24 ranks, 5 iterations each) and
+//! asserts the headline inversion on every sample so a regression in the
+//! barrier/counter model cannot slip through a timing-only bench.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerprog_core::experiments::table1;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let t = table1::run(black_box(&table1::Config::default()));
+            assert!(t.unequal().mips > 4.0 * t.equal().mips);
+            black_box(t)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

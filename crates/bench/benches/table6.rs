@@ -1,0 +1,22 @@
+//! Bench for **Table VI** — regenerates the β/MPO characterization of the
+//! five measured applications (two runs per app: 3300 and 1600 MHz).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerprog_core::experiments::table6;
+use std::hint::black_box;
+
+fn bench_table6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table6");
+    g.sample_size(10);
+    g.bench_function("characterize_all", |b| {
+        b.iter(|| {
+            let t = table6::run(black_box(&table6::Config::quick()));
+            assert_eq!(t.rows.len(), 5);
+            black_box(t)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! # powerprog-bench — benchmark harness support
+//!
+//! The actual benchmarks live in `benches/`, one per paper table/figure
+//! (each regenerates its artefact at reduced scale under Criterion timing)
+//! plus microbenchmarks of the hot simulation paths and the ablation
+//! benches DESIGN.md calls out. This library provides the tiny shared
+//! helpers.
+
+use powerprog_core::runner::{run_app, RunArtifacts, RunConfig};
+use proxyapps::catalog::AppId;
+use simnode::time::SEC;
+
+/// Standard short benchmark run: `app`, uncapped, `secs` simulated seconds.
+pub fn short_run(app: AppId, secs: u64) -> RunArtifacts {
+    run_app(&RunConfig::new(app, secs * SEC))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_run_helper_produces_progress() {
+        let a = short_run(AppId::Stream, 2);
+        assert!(a.steady_rate() > 0.0);
+    }
+}

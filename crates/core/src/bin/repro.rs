@@ -1,0 +1,191 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations]
+//!       [--quick] [--out DIR]
+//! ```
+//!
+//! Prints each artefact as an aligned text table; with `--out DIR` also
+//! writes one CSV per artefact (plus raw series for the figures).
+
+use std::fs;
+use std::path::PathBuf;
+
+use powerprog_core::experiments::{
+    ablations, candle_ext, fig1, fig2, fig3, fig4, fig5, table1, table6, tables2to5,
+};
+use powerprog_core::report::TextTable;
+
+struct Opts {
+    what: Vec<String>,
+    quick: bool,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Opts {
+    let mut what = Vec::new();
+    let mut quick = false;
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                let dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                });
+                out = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations]... [--quick] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => what.push(other.to_string()),
+        }
+    }
+    if what.is_empty() {
+        what.push("all".to_string());
+    }
+    Opts { what, quick, out }
+}
+
+fn emit(t: &TextTable, out: &Option<PathBuf>, name: &str) {
+    println!("{}", t.render());
+    if let Some(dir) = out {
+        let path = dir.join(format!("{name}.csv"));
+        fs::write(&path, t.to_csv()).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+    }
+}
+
+fn write_series(out: &Option<PathBuf>, name: &str, s: &progress::series::TimeSeries, v: &str) {
+    if let Some(dir) = out {
+        let path = dir.join(format!("{name}.csv"));
+        fs::write(&path, s.to_csv("t_s", v)).expect("write series");
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    if let Some(dir) = &opts.out {
+        fs::create_dir_all(dir).expect("create output dir");
+    }
+    let wants = |k: &str| opts.what.iter().any(|w| w == k || w == "all");
+    let t0 = std::time::Instant::now();
+
+    if wants("table1") {
+        let cfg = table1::Config::default();
+        emit(&table1::run(&cfg).table(), &opts.out, "table1");
+    }
+    if wants("tables2to5") {
+        for (i, t) in tables2to5::tables().iter().enumerate() {
+            emit(t, &opts.out, &format!("table{}", i + 2));
+        }
+    }
+    if wants("table6") {
+        let cfg = if opts.quick {
+            table6::Config::quick()
+        } else {
+            table6::Config::default()
+        };
+        emit(&table6::run(&cfg).table(), &opts.out, "table6");
+    }
+    if wants("fig1") {
+        let cfg = if opts.quick {
+            fig1::Config::quick()
+        } else {
+            fig1::Config::default()
+        };
+        let r = fig1::run(&cfg);
+        emit(&r.table(), &opts.out, "fig1_summary");
+        for p in [&r.lammps, &r.amg, &r.qmcpack] {
+            println!("Fig. 1 sketch — {} progress rate:", p.app);
+            println!("{}", powerprog_core::report::ascii_chart(&p.series, 72, 10));
+        }
+        write_series(
+            &opts.out,
+            "fig1_lammps",
+            &r.lammps.series,
+            "katom_steps_per_s",
+        );
+        write_series(&opts.out, "fig1_amg", &r.amg.series, "iters_per_s");
+        write_series(&opts.out, "fig1_qmcpack", &r.qmcpack.series, "blocks_per_s");
+    }
+    if wants("fig2") {
+        let cfg = if opts.quick {
+            fig2::Config::quick()
+        } else {
+            fig2::Config::default()
+        };
+        emit(&fig2::run(&cfg).table(), &opts.out, "fig2");
+    }
+    if wants("fig3") {
+        let cfg = if opts.quick {
+            fig3::Config::quick()
+        } else {
+            fig3::Config::default()
+        };
+        let r = fig3::run(&cfg);
+        emit(&r.table(), &opts.out, "fig3_summary");
+        if let Some(c) = r.cell("jagged-edge", "LAMMPS") {
+            println!("Fig. 3 sketch — jagged-edge cap vs LAMMPS progress:");
+            println!("{}", powerprog_core::report::ascii_chart(&c.cap, 72, 8));
+            println!(
+                "{}",
+                powerprog_core::report::ascii_chart(&c.progress, 72, 8)
+            );
+        }
+        if opts.out.is_some() {
+            for c in &r.cells {
+                let tag = format!(
+                    "fig3_{}_{}",
+                    c.scheme.replace('-', "_"),
+                    c.app.to_lowercase().replace([' ', '(', ')'], "")
+                );
+                write_series(&opts.out, &format!("{tag}_progress"), &c.progress, "rate");
+                write_series(&opts.out, &format!("{tag}_cap"), &c.cap, "cap_w");
+            }
+        }
+    }
+    if wants("fig4") {
+        let cfg = if opts.quick {
+            fig4::Config::quick()
+        } else {
+            fig4::Config::default()
+        };
+        emit(&fig4::run(&cfg).table(), &opts.out, "fig4");
+    }
+    if wants("fig5") {
+        let cfg = if opts.quick {
+            fig5::Config::quick()
+        } else {
+            fig5::Config::default()
+        };
+        emit(&fig5::run(&cfg).table(), &opts.out, "fig5");
+    }
+    if wants("candle") {
+        let cfg = if opts.quick {
+            candle_ext::Config::quick()
+        } else {
+            candle_ext::Config::default()
+        };
+        emit(&candle_ext::run(&cfg).table(), &opts.out, "candle_ext");
+    }
+    if wants("ablations") {
+        let cfg = if opts.quick {
+            fig4::Config::quick()
+        } else {
+            fig4::Config::default()
+        };
+        for (i, t) in ablations::tables(&cfg).iter().enumerate() {
+            emit(t, &opts.out, &format!("ablation{}", i + 1));
+        }
+    }
+
+    eprintln!("done in {:.1} s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,390 @@
+//! Ablations and model extensions beyond the paper's evaluation.
+//!
+//! DESIGN.md commits to four: α sensitivity/fitting (the paper fixes
+//! α = 2 and observes the real exponent drifting 1–4), a DDCM-aware model
+//! correction (the mechanism behind the paper's stringent-cap
+//! underestimation), the lossy-vs-lossless monitoring transport, and the
+//! simulation-quantum sensitivity check (a pure methodology ablation).
+
+use powermodel::predict::ProgressModel;
+use proxyapps::catalog::AppId;
+use simnode::config::NodeConfig;
+use simnode::ddcm::DutyCycle;
+use simnode::time::{Nanos, SEC};
+
+use crate::experiments::fig4;
+use crate::report::{f, TextTable};
+use crate::runner::{run_app, RunConfig};
+
+// ---------------------------------------------------------------------
+// 1. α sensitivity and fitting
+// ---------------------------------------------------------------------
+
+/// Result of the α ablation for one application.
+#[derive(Debug, Clone)]
+pub struct AlphaAblation {
+    /// Application name.
+    pub app: &'static str,
+    /// MAPE of the paper's fixed α = 2 model, percent.
+    pub mape_fixed: f64,
+    /// Sum of squared errors of the fixed α = 2 model (the fit objective).
+    pub sse_fixed: f64,
+    /// Fitted α.
+    pub alpha_fit: f64,
+    /// MAPE with the fitted α, percent.
+    pub mape_fitted: f64,
+    /// Sum of squared errors with the fitted α.
+    pub sse_fitted: f64,
+}
+
+/// Fit α on measured Fig. 4 points for one application and compare the
+/// error against the paper's fixed α = 2.
+pub fn alpha_ablation(app: AppId, cfg: &fig4::Config) -> AlphaAblation {
+    let series = fig4::run_app_series(app, cfg);
+    let data: Vec<(f64, f64)> = series
+        .points
+        .iter()
+        .filter(|p| p.measured_delta > 0.02 * p.r_max)
+        .map(|p| (p.corecap_w, p.measured_delta))
+        .collect();
+    assert!(
+        data.len() >= 2,
+        "{}: need at least two informative caps",
+        series.app
+    );
+    let (alpha_fit, sse_fitted) = powermodel::fit::fit_alpha(&series.model, &data);
+    let fitted = ProgressModel {
+        alpha: alpha_fit,
+        ..series.model
+    };
+    let (mut pred_fixed, mut pred_fit, mut meas) = (vec![], vec![], vec![]);
+    let mut sse_fixed = 0.0;
+    for &(cap, m) in &data {
+        let pf = series.model.predict_delta_at_corecap(cap);
+        sse_fixed += (pf - m) * (pf - m);
+        pred_fixed.push(pf);
+        pred_fit.push(fitted.predict_delta_at_corecap(cap));
+        meas.push(m);
+    }
+    AlphaAblation {
+        app: series.app,
+        mape_fixed: powermodel::error::mean_absolute_pct_error(&pred_fixed, &meas),
+        sse_fixed,
+        alpha_fit,
+        mape_fitted: powermodel::error::mean_absolute_pct_error(&pred_fit, &meas),
+        sse_fitted,
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. DDCM-aware model correction
+// ---------------------------------------------------------------------
+
+/// A model correction that knows RAPL falls back to duty cycling below
+/// the DVFS floor: given a core budget, emulate RAPL's (P-state, duty)
+/// choice against the node's core power curve, and predict the rate from
+/// the resulting *effective* frequency via Eq. (1) extended below f_min.
+/// This is the paper's §VI.3 suggestion — "dissociating application
+/// characteristics from the exact control knob being used".
+pub fn predict_delta_ddcm_aware(
+    model: &ProgressModel,
+    node: &NodeConfig,
+    active_cores: f64,
+    p_cap: f64,
+) -> f64 {
+    let corecap = model.corecap(p_cap);
+    let fmax = node.fmax_mhz() as f64;
+    let est = |f_mhz: f64, duty: DutyCycle| -> f64 {
+        (node.core_power.dynamic(f_mhz, duty, 1.0) + node.core_power.static_power(f_mhz))
+            * active_cores
+    };
+    // RAPL's choice: highest P-state that fits, else duty-cycle at fmin.
+    let mut f_eff = node.ladder.fmin_mhz() as f64;
+    let mut fits = false;
+    for p in node.ladder.iter().rev() {
+        let fm = node.ladder.mhz(p) as f64;
+        if est(fm, DutyCycle::FULL) <= corecap {
+            f_eff = fm;
+            fits = true;
+            break;
+        }
+    }
+    if !fits {
+        let fmin = node.ladder.fmin_mhz() as f64;
+        let duty = DutyCycle::all()
+            .rev()
+            .find(|&d| est(fmin, d) <= corecap)
+            .unwrap_or(DutyCycle::MIN);
+        f_eff = fmin * duty.fraction();
+    }
+    // Eq. (1)/(3) on the effective frequency.
+    let rate = model.r_max / (model.beta * (fmax / f_eff - 1.0) + 1.0);
+    model.r_max - rate
+}
+
+/// Result of the DDCM-aware correction ablation.
+#[derive(Debug, Clone)]
+pub struct DdcmAblation {
+    /// Application name.
+    pub app: &'static str,
+    /// Stringent-cap MAPE of the base (α = 2) model, percent.
+    pub mape_base: f64,
+    /// Stringent-cap MAPE of the DDCM-aware correction, percent.
+    pub mape_corrected: f64,
+}
+
+/// Compare the base model against the DDCM-aware correction on stringent
+/// caps for a compute-bound application. The sweep is pinned to the DDCM
+/// region (caps low enough that even `f_min` exceeds the core budget,
+/// ~25–35 W on the default node) regardless of the Fig. 4 cap list.
+pub fn ddcm_ablation(cfg: &fig4::Config) -> DdcmAblation {
+    let node = NodeConfig::default();
+    let mut cfg = cfg.clone();
+    cfg.caps_w = vec![25.0, 30.0, 35.0];
+    let series = fig4::run_app_series(AppId::Lammps, &cfg);
+    let stringent: Vec<&fig4::Point> = series
+        .points
+        .iter()
+        .filter(|p| p.measured_delta > 0.0)
+        .collect();
+    assert!(!stringent.is_empty(), "need stringent caps in the sweep");
+    let (mut base, mut corr, mut meas) = (vec![], vec![], vec![]);
+    for p in stringent {
+        base.push(series.model.predict_delta(p.cap_w));
+        corr.push(predict_delta_ddcm_aware(
+            &series.model,
+            &node,
+            node.cores as f64,
+            p.cap_w,
+        ));
+        meas.push(p.measured_delta);
+    }
+    DdcmAblation {
+        app: series.app,
+        mape_base: powermodel::error::mean_absolute_pct_error(&base, &meas),
+        mape_corrected: powermodel::error::mean_absolute_pct_error(&corr, &meas),
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Lossy vs lossless monitoring transport
+// ---------------------------------------------------------------------
+
+/// Result of the monitoring-transport ablation.
+#[derive(Debug, Clone)]
+pub struct TransportAblation {
+    /// Zero-valued windows with the lossless transport.
+    pub zeros_lossless: usize,
+    /// Zero-valued windows with the lossy transport.
+    pub zeros_lossy: usize,
+    /// Events dropped by the lossy transport.
+    pub dropped: u64,
+    /// Relative error of the lossy monitor's total observed work against
+    /// the application-side truth.
+    pub work_undercount: f64,
+}
+
+/// Run LAMMPS — a *bursty* reporter (~27 reports/s against a 1 Hz
+/// collection poll) — through both transports. A small subscriber queue
+/// silently discards most of the burst, exactly the class of framework
+/// flaw the paper blames for OpenMC's zero readings.
+pub fn transport_ablation(duration: Nanos) -> TransportAblation {
+    let lossless = run_app(&RunConfig::new(AppId::Lammps, duration));
+    let lossy = run_app(&RunConfig::new(AppId::Lammps, duration).with_lossy_monitoring(4));
+    let truth = lossy.channel_stats[0].sum;
+    let seen: f64 = lossy.progress[0].v.iter().sum();
+    TransportAblation {
+        zeros_lossless: lossless.progress[0].zero_count(),
+        zeros_lossy: lossy.progress[0].zero_count(),
+        dropped: lossy.dropped_events,
+        work_undercount: if truth > 0.0 { 1.0 - seen / truth } else { 0.0 },
+    }
+}
+
+// ---------------------------------------------------------------------
+// 4. Thermal headroom (opt-in thermal model)
+// ---------------------------------------------------------------------
+
+/// Result of the thermal-headroom ablation.
+#[derive(Debug, Clone)]
+pub struct ThermalAblation {
+    /// Settled junction temperature uncapped, °C.
+    pub temp_uncapped_c: f64,
+    /// Settled junction temperature under the cap, °C.
+    pub temp_capped_c: f64,
+    /// Cap applied, W.
+    pub cap_w: f64,
+}
+
+/// Run LAMMPS with the opt-in thermal model, uncapped and capped, and
+/// report the settled junction temperatures — the "thermal headroom" the
+/// paper's related work (Bhalachandra et al.) credits power capping with
+/// creating.
+pub fn thermal_ablation(cap_w: f64, duration: Nanos) -> ThermalAblation {
+    let run_temp = |cap: Option<f64>| {
+        let mut rc = RunConfig::new(AppId::Lammps, duration);
+        rc.node.thermal = Some(simnode::thermal::ThermalConfig::default());
+        if let Some(w) = cap {
+            rc.schedule = crate::runner::ScheduleSpec::Constant(w);
+        }
+        // The telemetry doesn't carry temperature; run the node directly
+        // via the artifacts' energy: recompute the steady temperature from
+        // settled power through the same RC model.
+        let a = run_app(&rc);
+        simnode::thermal::ThermalConfig::default().steady_state_c(a.settled_power())
+    };
+    ThermalAblation {
+        temp_uncapped_c: run_temp(None),
+        temp_capped_c: run_temp(Some(cap_w)),
+        cap_w,
+    }
+}
+
+// ---------------------------------------------------------------------
+// 5. Simulation-quantum sensitivity
+// ---------------------------------------------------------------------
+
+/// Steady LAMMPS rate at a given simulation quantum.
+pub fn rate_at_quantum(quantum: Nanos) -> f64 {
+    let mut rc = RunConfig::new(AppId::Lammps, 6 * SEC);
+    rc.node.quantum = quantum;
+    run_app(&rc).steady_rate()
+}
+
+/// Render all ablations as tables (used by the `repro` binary).
+pub fn tables(cfg: &fig4::Config) -> Vec<TextTable> {
+    let mut out = Vec::new();
+
+    let mut t = TextTable::new(
+        "Ablation: alpha fixed at 2 vs fitted (per-app MAPE of dP)",
+        &[
+            "Application",
+            "MAPE a=2 (%)",
+            "alpha fitted",
+            "MAPE fitted (%)",
+        ],
+    );
+    for app in [AppId::QmcpackDmc, AppId::Lammps, AppId::Amg] {
+        let a = alpha_ablation(app, cfg);
+        t.row(vec![
+            a.app.to_string(),
+            f(a.mape_fixed, 1),
+            f(a.alpha_fit, 2),
+            f(a.mape_fitted, 1),
+        ]);
+    }
+    out.push(t);
+
+    let d = ddcm_ablation(cfg);
+    let mut t = TextTable::new(
+        "Ablation: DDCM-aware correction on stringent caps",
+        &["Application", "MAPE base (%)", "MAPE DDCM-aware (%)"],
+    );
+    t.row(vec![
+        d.app.to_string(),
+        f(d.mape_base, 1),
+        f(d.mape_corrected, 1),
+    ]);
+    out.push(t);
+
+    let th = thermal_ablation(90.0, 12 * SEC);
+    let mut t = TextTable::new(
+        "Ablation: thermal headroom from capping (LAMMPS, RC junction model)",
+        &["cap (W)", "T uncapped (C)", "T capped (C)", "headroom (C)"],
+    );
+    t.row(vec![
+        f(th.cap_w, 0),
+        f(th.temp_uncapped_c, 1),
+        f(th.temp_capped_c, 1),
+        f(th.temp_uncapped_c - th.temp_capped_c, 1),
+    ]);
+    out.push(t);
+
+    let tr = transport_ablation(30 * SEC);
+    let mut t = TextTable::new(
+        "Ablation: monitoring transport (LAMMPS burst reporter, 30 s)",
+        &[
+            "zeros lossless",
+            "zeros lossy",
+            "dropped",
+            "work undercount",
+        ],
+    );
+    t.row(vec![
+        tr.zeros_lossless.to_string(),
+        tr.zeros_lossy.to_string(),
+        tr.dropped.to_string(),
+        f(tr.work_undercount, 3),
+    ]);
+    out.push(t);
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnode::time::US;
+
+    #[test]
+    fn fitted_alpha_does_not_lose_to_fixed_alpha() {
+        // The fit minimizes SSE (its objective); MAPE is descriptive and
+        // can disagree on noisy data, so the guarantee is on SSE.
+        let a = alpha_ablation(AppId::QmcpackDmc, &fig4::Config::quick());
+        assert!(
+            a.sse_fitted <= a.sse_fixed + 1e-12,
+            "fit SSE ({:.4}) must be at least as good as fixed ({:.4})",
+            a.sse_fitted,
+            a.sse_fixed
+        );
+        assert!((0.5..4.5).contains(&a.alpha_fit));
+    }
+
+    #[test]
+    fn ddcm_aware_correction_helps_at_stringent_caps() {
+        let d = ddcm_ablation(&fig4::Config::quick());
+        assert!(
+            d.mape_corrected < d.mape_base,
+            "DDCM-aware MAPE {:.1}% should beat base {:.1}%",
+            d.mape_corrected,
+            d.mape_base
+        );
+    }
+
+    #[test]
+    fn lossy_transport_silently_undercounts_bursty_reporters() {
+        let t = transport_ablation(20 * SEC);
+        assert!(t.dropped > 0, "small queue must drop under 27 reports/s");
+        assert!(
+            t.work_undercount > 0.5,
+            "monitor should see a small fraction of the work, lost {:.2}",
+            t.work_undercount
+        );
+        assert!(
+            t.zeros_lossy >= t.zeros_lossless,
+            "lossy transport cannot have fewer zero windows"
+        );
+    }
+
+    #[test]
+    fn capping_creates_thermal_headroom_end_to_end() {
+        let th = thermal_ablation(90.0, 8 * SEC);
+        assert!(
+            th.temp_uncapped_c - th.temp_capped_c > 10.0,
+            "90 W cap should cool the package by >10 C: {:.1} vs {:.1}",
+            th.temp_uncapped_c,
+            th.temp_capped_c
+        );
+    }
+
+    #[test]
+    fn results_are_insensitive_to_the_simulation_quantum() {
+        let fine = rate_at_quantum(50 * US);
+        let coarse = rate_at_quantum(200 * US);
+        let rel = (fine - coarse).abs() / fine;
+        assert!(
+            rel < 0.02,
+            "quantum sensitivity {rel:.3} too high ({fine:.1} vs {coarse:.1})"
+        );
+    }
+}

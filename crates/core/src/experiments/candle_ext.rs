@@ -1,0 +1,177 @@
+//! **Extension: CANDLE under power caps** — the experiment the paper
+//! could not run.
+//!
+//! The paper describes CANDLE's online performance (epochs/s during
+//! training, accuracy-bounded completion) but "could not present a
+//! description for extracting progress" because TensorFlow had to be
+//! installed from prebuilt binaries (§IV.B). The proxy *is*
+//! instrumentable, so this extension completes the study: train to the
+//! accuracy bound under a cap sweep and record epochs/s, time-to-accuracy
+//! and **energy-to-accuracy** — the quantity a power-constrained center
+//! actually pays. Because training compute is epoch-count-invariant under
+//! caps (the same epochs run, just slower) while package power falls
+//! superlinearly with frequency (α > 1), mild caps trade a little time
+//! for a meaningful energy saving.
+
+use proxyapps::catalog::AppId;
+use simnode::time::{Nanos, SEC};
+
+use crate::report::{f, TextTable};
+use crate::runner::{run_app, RunConfig, ScheduleSpec};
+use crate::sweep::par_map;
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Package caps to sweep; `None` = uncapped reference.
+    pub caps_w: Vec<Option<f64>>,
+    /// Wall-clock budget per run (training stops on accuracy; this is the
+    /// safety limit).
+    pub budget: Nanos,
+    /// Training seed (fixes the accuracy curve, hence the epoch count).
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            caps_w: vec![None, Some(120.0), Some(100.0), Some(80.0), Some(60.0)],
+            budget: 400 * SEC,
+            seed: 7,
+        }
+    }
+}
+
+impl Config {
+    /// Reduced-scale config for tests.
+    pub fn quick() -> Self {
+        Self {
+            caps_w: vec![None, Some(90.0), Some(60.0)],
+            budget: 400 * SEC,
+            seed: 7,
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Cap (`None` = uncapped).
+    pub cap_w: Option<f64>,
+    /// Epochs run to reach the accuracy bound.
+    pub epochs: u64,
+    /// Online performance: epochs per second.
+    pub epochs_per_s: f64,
+    /// Time to the accuracy bound, seconds.
+    pub time_to_accuracy_s: f64,
+    /// Energy to the accuracy bound, joules.
+    pub energy_to_accuracy_j: f64,
+}
+
+/// The sweep.
+#[derive(Debug, Clone)]
+pub struct CandleExt {
+    /// Points in the order of `Config::caps_w`.
+    pub points: Vec<Point>,
+}
+
+/// Run the experiment.
+pub fn run(cfg: &Config) -> CandleExt {
+    let budget = cfg.budget;
+    let seed = cfg.seed;
+    let points = par_map(cfg.caps_w.clone(), move |cap| {
+        let mut rc = RunConfig::new(AppId::Candle, budget).with_seed(seed);
+        if let Some(w) = cap {
+            rc = rc.with_schedule(ScheduleSpec::Constant(w));
+        }
+        let a = run_app(&rc);
+        assert!(
+            a.record.all_done,
+            "training must reach the accuracy bound within the budget"
+        );
+        let epochs = a.channel_stats[0].events;
+        Point {
+            cap_w: cap,
+            epochs,
+            epochs_per_s: epochs as f64 / a.duration_s,
+            time_to_accuracy_s: a.duration_s,
+            energy_to_accuracy_j: a.total_energy_j,
+        }
+    });
+    CandleExt { points }
+}
+
+impl CandleExt {
+    /// Render the sweep.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Extension: CANDLE training under power caps (accuracy-bounded)",
+            &[
+                "Cap (W)",
+                "epochs",
+                "epochs/s",
+                "time to accuracy (s)",
+                "energy to accuracy (kJ)",
+            ],
+        );
+        for p in &self.points {
+            t.row(vec![
+                crate::report::cap(p.cap_w),
+                p.epochs.to_string(),
+                f(p.epochs_per_s, 3),
+                f(p.time_to_accuracy_s, 1),
+                f(p.energy_to_accuracy_j / 1e3, 1),
+            ]);
+        }
+        t
+    }
+
+    /// The uncapped reference point.
+    pub fn uncapped(&self) -> &Point {
+        self.points
+            .iter()
+            .find(|p| p.cap_w.is_none())
+            .expect("config includes an uncapped reference")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_trade_time_for_energy_at_fixed_science() {
+        let r = run(&Config::quick());
+        let base = *r.uncapped();
+        for p in &r.points {
+            // Same seed → same accuracy curve → same epoch count: the
+            // science is fixed, only speed and energy change.
+            assert_eq!(p.epochs, base.epochs, "epoch count must be cap-invariant");
+            if let Some(w) = p.cap_w {
+                assert!(
+                    p.time_to_accuracy_s >= base.time_to_accuracy_s * 0.999,
+                    "caps cannot speed training up"
+                );
+                if w <= 90.0 {
+                    assert!(
+                        p.energy_to_accuracy_j < base.energy_to_accuracy_j,
+                        "a {w:.0} W cap should reduce energy-to-accuracy \
+                         ({:.0} vs {:.0} kJ)",
+                        p.energy_to_accuracy_j / 1e3,
+                        base.energy_to_accuracy_j / 1e3
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epochs_per_second_falls_with_the_cap() {
+        let r = run(&Config::quick());
+        let mut last = f64::INFINITY;
+        for p in &r.points {
+            assert!(p.epochs_per_s <= last * 1.001);
+            last = p.epochs_per_s;
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! **Fig. 2** — RAPL: application-aware power management.
+//!
+//! "Under identical power caps, RAPL employs a higher CPU frequency for
+//! compute-bound applications and thus distributes more power to the core
+//! components." A package-cap sweep over LAMMPS (compute bound) and
+//! STREAM (memory bound) measures the settled effective core frequency at
+//! each cap; the LAMMPS curve must sit above the STREAM curve.
+
+use proxyapps::catalog::AppId;
+use simnode::time::{Nanos, SEC};
+
+use crate::report::{f, TextTable};
+use crate::runner::{run_app, RunConfig, ScheduleSpec};
+use crate::sweep::par_map;
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Package caps to sweep, W.
+    pub caps_w: Vec<f64>,
+    /// Per-run simulated duration (frequency is measured after settling).
+    pub duration: Nanos,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            caps_w: (50..=150).step_by(10).map(|w| w as f64).collect(),
+            duration: 8 * SEC,
+        }
+    }
+}
+
+impl Config {
+    /// Reduced-scale config for tests.
+    pub fn quick() -> Self {
+        Self {
+            caps_w: vec![60.0, 90.0, 120.0],
+            duration: 5 * SEC,
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Package cap, W.
+    pub cap_w: f64,
+    /// Settled effective frequency for LAMMPS, MHz.
+    pub lammps_mhz: f64,
+    /// Settled effective frequency for STREAM, MHz.
+    pub stream_mhz: f64,
+}
+
+/// The reproduced figure data.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// One point per swept cap, ascending.
+    pub points: Vec<Point>,
+}
+
+fn settled_mhz(app: AppId, cap: f64, duration: Nanos) -> f64 {
+    let a = run_app(&RunConfig::new(app, duration).with_schedule(ScheduleSpec::Constant(cap)));
+    // Mean effective frequency over the second half of the run.
+    let half = simnode::time::secs(duration) / 2.0;
+    let s: progress::series::TimeSeries = a
+        .telemetry
+        .freq
+        .iter()
+        .filter(|&(t, _)| t >= half)
+        .collect();
+    s.mean()
+}
+
+/// Run the experiment.
+pub fn run(cfg: &Config) -> Fig2 {
+    let duration = cfg.duration;
+    let points = par_map(cfg.caps_w.clone(), move |cap| Point {
+        cap_w: cap,
+        lammps_mhz: settled_mhz(AppId::Lammps, cap, duration),
+        stream_mhz: settled_mhz(AppId::Stream, cap, duration),
+    });
+    Fig2 { points }
+}
+
+impl Fig2 {
+    /// Render the frequency-vs-cap table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig. 2: RAPL application-aware power management (settled frequency vs cap)",
+            &["Cap (W)", "LAMMPS f_eff (MHz)", "STREAM f_eff (MHz)"],
+        );
+        for p in &self.points {
+            t.row(vec![f(p.cap_w, 0), f(p.lammps_mhz, 0), f(p.stream_mhz, 0)]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_bound_gets_higher_frequency_under_identical_caps() {
+        let r = run(&Config::quick());
+        for p in &r.points {
+            assert!(
+                p.lammps_mhz > p.stream_mhz + 50.0,
+                "at {} W: LAMMPS {:.0} MHz vs STREAM {:.0} MHz",
+                p.cap_w,
+                p.lammps_mhz,
+                p.stream_mhz
+            );
+        }
+    }
+
+    #[test]
+    fn frequency_rises_with_the_cap() {
+        let r = run(&Config::quick());
+        for w in r.points.windows(2) {
+            assert!(
+                w[1].lammps_mhz >= w[0].lammps_mhz - 20.0,
+                "LAMMPS frequency should rise with the cap"
+            );
+            assert!(
+                w[1].stream_mhz >= w[0].stream_mhz - 20.0,
+                "STREAM frequency should rise with the cap"
+            );
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! **Fig. 4** — Comparison of measured and predicted change in progress.
+//!
+//! The paper's validation protocol (§VI.2), reproduced:
+//!
+//! - the *step-function* policy applies each cap from an uncapped state
+//!   ("the power cap (and hence, progress) remains stable for a longer
+//!   period of time, making it easier to measure the impact");
+//! - for each power cap, five measurements of the change in progress are
+//!   averaged;
+//! - `P_corecap` is the model-estimated `β · P_cap` (Eq. 5);
+//! - α is fixed at 2 for all predictions.
+//!
+//! Expected error structure (what the paper found, and what this
+//! simulator's RAPL mechanisms — DDCM fallback, uncore throttling, α
+//! drift — reproduce): good mid-range accuracy for compute-bound codes,
+//! *under*-estimation at stringent caps, *over*-estimation for the
+//! mid-β codes, and gross under-estimation for STREAM once the uncore
+//! throttles.
+
+use powermodel::predict::{ProgressModel, PAPER_ALPHA};
+use proxyapps::catalog::AppId;
+use simnode::time::{Nanos, SEC};
+
+use crate::experiments::table6;
+use crate::report::{f, TextTable};
+use crate::runner::{run_app, RunConfig, ScheduleSpec};
+use crate::sweep::par_map;
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Package caps to sweep, W.
+    pub caps_w: Vec<f64>,
+    /// Repetitions per cap (paper: 5).
+    pub seeds: u64,
+    /// Uncapped lead-in before the step.
+    pub lead_in: Nanos,
+    /// Capped measurement region after the step.
+    pub capped: Nanos,
+    /// Characterization settings (β, r_max, uncapped power).
+    pub characterization: table6::Config,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            caps_w: vec![45.0, 60.0, 75.0, 90.0, 105.0, 120.0, 135.0, 150.0],
+            seeds: 5,
+            lead_in: 10 * SEC,
+            capped: 20 * SEC,
+            characterization: table6::Config::default(),
+        }
+    }
+}
+
+impl Config {
+    /// Reduced-scale config for tests.
+    pub fn quick() -> Self {
+        Self {
+            caps_w: vec![55.0, 90.0, 125.0],
+            seeds: 2,
+            lead_in: 6 * SEC,
+            capped: 12 * SEC,
+            characterization: table6::Config::quick(),
+        }
+    }
+}
+
+/// One (app, cap) validation point, seeds averaged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// Application (Table VI spelling).
+    pub app: &'static str,
+    /// Package cap, W.
+    pub cap_w: f64,
+    /// Model-estimated effective core cap `β·P_cap`, W.
+    pub corecap_w: f64,
+    /// Measured change in progress (app units/s), seeds averaged.
+    pub measured_delta: f64,
+    /// Population standard deviation of the per-seed measurements.
+    pub measured_std: f64,
+    /// Model-predicted change in progress (Eq. 7), app units/s.
+    pub predicted_delta: f64,
+    /// Uncapped rate `r_max` used by the model.
+    pub r_max: f64,
+    /// Signed percentage error of the prediction vs the measurement.
+    pub pct_error: f64,
+}
+
+/// Per-application results.
+#[derive(Debug, Clone)]
+pub struct AppSeries {
+    /// Application name.
+    pub app: &'static str,
+    /// The model used for predictions.
+    pub model: ProgressModel,
+    /// Points, ascending in cap.
+    pub points: Vec<Point>,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// One series per application (Fig. 4a–4e).
+    pub series: Vec<AppSeries>,
+}
+
+/// Mean windowed rate over `[t0, t1)` seconds — each 1 s window value is
+/// a rate, so the mean over whole windows equals work/time for the region.
+fn region_rate(series: &progress::series::TimeSeries, t0: f64, t1: f64) -> f64 {
+    series.mean_between(t0, t1)
+}
+
+/// Measure the change in progress for one (app, cap, seed).
+fn measure_delta(app: AppId, cap: f64, seed: u64, cfg: &Config) -> f64 {
+    let duration = cfg.lead_in + cfg.capped;
+    let a = run_app(
+        &RunConfig::new(app, duration)
+            .with_seed(seed)
+            .with_schedule(ScheduleSpec::StepAfter {
+                lead_in: cfg.lead_in,
+                cap_w: cap,
+            }),
+    );
+    let lead_s = simnode::time::secs(cfg.lead_in);
+    let end_s = simnode::time::secs(duration);
+    // Trim the first 2 s (warm-up / AMG setup tail) and 2 s around the
+    // step transition.
+    let r_uncapped = region_rate(&a.progress[0], 2.0, lead_s - 0.5);
+    let r_capped = region_rate(&a.progress[0], lead_s + 2.0, end_s - 0.5);
+    (r_uncapped - r_capped).max(0.0)
+}
+
+/// Validate one application.
+pub fn run_app_series(app: AppId, cfg: &Config) -> AppSeries {
+    let ch = table6::characterize(app, &cfg.characterization, 1);
+    let model = ProgressModel::from_uncapped_run(ch.beta, PAPER_ALPHA, ch.pkg_power_w, ch.r_max);
+
+    let jobs: Vec<(f64, u64)> = cfg
+        .caps_w
+        .iter()
+        .flat_map(|&c| (1..=cfg.seeds).map(move |s| (c, s)))
+        .collect();
+    let cfg2 = cfg.clone();
+    let deltas = par_map(jobs.clone(), move |(cap, seed)| {
+        measure_delta(app, cap, seed, &cfg2)
+    });
+
+    let mut points = Vec::new();
+    for (ci, &cap) in cfg.caps_w.iter().enumerate() {
+        let vals: Vec<f64> = jobs
+            .iter()
+            .zip(&deltas)
+            .filter(|((c, _), _)| *c == cap)
+            .map(|(_, &d)| d)
+            .collect();
+        let measured = vals.iter().sum::<f64>() / vals.len() as f64;
+        let measured_std = (vals
+            .iter()
+            .map(|v| (v - measured) * (v - measured))
+            .sum::<f64>()
+            / vals.len() as f64)
+            .sqrt();
+        let predicted = model.predict_delta(cap);
+        let _ = ci;
+        // A cap at/above the uncapped draw changes (almost) nothing; a
+        // relative error against a near-zero measurement is meaningless
+        // (this is also where the paper quotes its 250% outlier), so mark
+        // those points NaN and render them as "-".
+        let informative = measured > 0.02 * model.r_max;
+        points.push(Point {
+            app: ch.app,
+            cap_w: cap,
+            corecap_w: model.corecap(cap),
+            measured_delta: measured,
+            measured_std,
+            predicted_delta: predicted,
+            r_max: model.r_max,
+            pct_error: if informative {
+                powermodel::error::pct_error(predicted, measured)
+            } else {
+                f64::NAN
+            },
+        });
+    }
+    AppSeries {
+        app: ch.app,
+        model,
+        points,
+    }
+}
+
+/// Run the full experiment over the paper's five applications.
+pub fn run(cfg: &Config) -> Fig4 {
+    let series = AppId::table_vi()
+        .into_iter()
+        .map(|app| run_app_series(app, cfg))
+        .collect();
+    Fig4 { series }
+}
+
+impl Fig4 {
+    /// Render all series as one table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig. 4: measured vs predicted change in progress (alpha = 2, seeds averaged)",
+            &[
+                "Application",
+                "P_cap (W)",
+                "P_corecap (W)",
+                "measured dP",
+                "+/- std",
+                "predicted dP",
+                "dP/r_max (meas)",
+                "error %",
+            ],
+        );
+        for s in &self.series {
+            for p in &s.points {
+                t.row(vec![
+                    p.app.to_string(),
+                    f(p.cap_w, 0),
+                    f(p.corecap_w, 1),
+                    f(p.measured_delta, 2),
+                    f(p.measured_std, 2),
+                    f(p.predicted_delta, 2),
+                    f(p.measured_delta / p.r_max, 3),
+                    if p.pct_error.is_nan() {
+                        "-".to_string()
+                    } else {
+                        f(p.pct_error, 1)
+                    },
+                ]);
+            }
+        }
+        t
+    }
+
+    /// Find a series by name prefix.
+    pub fn series_for(&self, app: &str) -> Option<&AppSeries> {
+        self.series.iter().find(|s| s.app.starts_with(app))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One shared quick run for the assertions below (runs ~a minute of
+    /// simulated time per app; release tests keep this cheap).
+    fn quick() -> Fig4 {
+        run(&Config::quick())
+    }
+
+    #[test]
+    fn model_tracks_measured_impact_for_compute_bound_apps() {
+        let r = quick();
+        for app in ["LAMMPS", "QMCPACK", "OpenMC"] {
+            let s = r.series_for(app).unwrap();
+            for p in &s.points {
+                // Both must agree a cap above the uncapped draw is a no-op,
+                // and a stringent cap costs real progress.
+                if p.cap_w >= 150.0 {
+                    assert!(p.measured_delta / p.r_max < 0.05, "{app} @150 W");
+                }
+                if p.cap_w <= 60.0 {
+                    assert!(
+                        p.measured_delta / p.r_max > 0.2,
+                        "{app} @{} W: measured {:.3} of r_max",
+                        p.cap_w,
+                        p.measured_delta / p.r_max
+                    );
+                    assert!(
+                        p.predicted_delta / p.r_max > 0.15,
+                        "{app} @{} W: predicted {:.3} of r_max",
+                        p.cap_w,
+                        p.predicted_delta / p.r_max
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn model_underestimates_stringent_caps_for_compute_bound() {
+        // Paper: "when a more stringent power cap is applied, the model
+        // underestimates the impact ... for LAMMPS" (DDCM region).
+        let r = quick();
+        let s = r.series_for("LAMMPS").unwrap();
+        let lowest = &s.points[0];
+        assert!(
+            lowest.pct_error < 0.0,
+            "LAMMPS @{} W: error {:.1}% should be an underestimate",
+            lowest.cap_w,
+            lowest.pct_error
+        );
+    }
+
+    #[test]
+    fn model_underestimates_stream_badly() {
+        // Paper Fig. 4d: the DVFS-only model cannot see uncore throttling.
+        let r = quick();
+        let s = r.series_for("STREAM").unwrap();
+        let mid = s
+            .points
+            .iter()
+            .find(|p| (60.0..130.0).contains(&p.cap_w))
+            .unwrap();
+        assert!(
+            mid.pct_error < -30.0,
+            "STREAM @{} W: error {:.1}% should be a large underestimate",
+            mid.cap_w,
+            mid.pct_error
+        );
+    }
+
+    #[test]
+    fn deltas_grow_as_caps_tighten() {
+        let r = quick();
+        for s in &r.series {
+            let mut prev = f64::INFINITY;
+            for p in &s.points {
+                // ascending caps → non-increasing measured delta (within
+                // noise).
+                assert!(
+                    p.measured_delta <= prev * 1.15 + 0.05 * p.r_max,
+                    "{}: measured delta should shrink as caps rise",
+                    s.app
+                );
+                prev = p.measured_delta.max(1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! **Fig. 5** — STREAM: comparison of power-limiting techniques.
+//!
+//! "RAPL is not the best technique to implement power capping for STREAM:
+//! DVFS performs better in the range that it is applicable in." Two sweeps
+//! over STREAM — RAPL package caps and pinned DVFS frequencies — each
+//! yielding (measured average power, progress rate) points. In the power
+//! band DVFS can reach, its progress sits above RAPL's at equal power;
+//! below the f_min draw, only RAPL (with its DDCM/uncore mechanisms) can
+//! go.
+
+use proxyapps::catalog::AppId;
+use simnode::time::{Nanos, SEC};
+
+use crate::report::{f, TextTable};
+use crate::runner::{run_app, RunConfig, ScheduleSpec};
+use crate::sweep::par_map;
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// RAPL package caps to sweep, W.
+    pub caps_w: Vec<f64>,
+    /// DVFS frequencies to sweep, MHz.
+    pub freqs_mhz: Vec<u32>,
+    /// Per-run simulated duration.
+    pub duration: Nanos,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            caps_w: (50..=120).step_by(10).map(|w| w as f64).collect(),
+            freqs_mhz: (1200..=3300).step_by(300).collect(),
+            duration: 12 * SEC,
+        }
+    }
+}
+
+impl Config {
+    /// Reduced-scale config for tests.
+    pub fn quick() -> Self {
+        Self {
+            caps_w: vec![60.0, 90.0, 110.0],
+            freqs_mhz: vec![1200, 2100, 3000],
+            duration: 8 * SEC,
+        }
+    }
+}
+
+/// One measured operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Technique label.
+    pub technique: &'static str,
+    /// Knob setting (cap W or frequency MHz).
+    pub setting: f64,
+    /// Measured mean package power over the settled region, W.
+    pub power_w: f64,
+    /// Measured progress rate, iterations/s.
+    pub rate: f64,
+}
+
+/// The figure data.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// RAPL sweep points.
+    pub rapl: Vec<Point>,
+    /// DVFS sweep points.
+    pub dvfs: Vec<Point>,
+}
+
+fn settled_power(a: &crate::runner::RunArtifacts, duration: Nanos) -> f64 {
+    let half = simnode::time::secs(duration) / 2.0;
+    let s: progress::series::TimeSeries = a
+        .telemetry
+        .power
+        .iter()
+        .filter(|&(t, _)| t >= half)
+        .collect();
+    s.mean()
+}
+
+/// Run the experiment.
+pub fn run(cfg: &Config) -> Fig5 {
+    let duration = cfg.duration;
+    let rapl = par_map(cfg.caps_w.clone(), move |cap| {
+        let a = run_app(
+            &RunConfig::new(AppId::Stream, duration).with_schedule(ScheduleSpec::Constant(cap)),
+        );
+        Point {
+            technique: "RAPL",
+            setting: cap,
+            power_w: settled_power(&a, duration),
+            rate: a.steady_rate(),
+        }
+    });
+    let dvfs = par_map(cfg.freqs_mhz.clone(), move |mhz| {
+        let a = run_app(&RunConfig::new(AppId::Stream, duration).with_fixed_mhz(mhz));
+        Point {
+            technique: "DVFS",
+            setting: mhz as f64,
+            power_w: settled_power(&a, duration),
+            rate: a.steady_rate(),
+        }
+    });
+    Fig5 { rapl, dvfs }
+}
+
+impl Fig5 {
+    /// Linear interpolation of the DVFS rate at a power level, if it falls
+    /// inside the DVFS-applicable band.
+    pub fn dvfs_rate_at_power(&self, power_w: f64) -> Option<f64> {
+        let mut pts: Vec<(f64, f64)> = self.dvfs.iter().map(|p| (p.power_w, p.rate)).collect();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        if power_w < pts.first()?.0 || power_w > pts.last()?.0 {
+            return None;
+        }
+        let i = pts
+            .partition_point(|&(w, _)| w <= power_w)
+            .min(pts.len() - 1);
+        if i == 0 {
+            return Some(pts[0].1);
+        }
+        let (w0, r0) = pts[i - 1];
+        let (w1, r1) = pts[i];
+        if w1 == w0 {
+            return Some(r1);
+        }
+        Some(r0 + (power_w - w0) / (w1 - w0) * (r1 - r0))
+    }
+
+    /// Render the two sweeps.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig. 5: STREAM progress under RAPL caps vs direct DVFS",
+            &["Technique", "Setting", "Power (W)", "Progress (it/s)"],
+        );
+        for p in self.rapl.iter().chain(self.dvfs.iter()) {
+            t.row(vec![
+                p.technique.to_string(),
+                f(p.setting, 0),
+                f(p.power_w, 1),
+                f(p.rate, 2),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dvfs_beats_rapl_at_equal_power_within_its_range() {
+        let r = run(&Config::quick());
+        let mut compared = 0;
+        for cap_point in &r.rapl {
+            if let Some(dvfs_rate) = r.dvfs_rate_at_power(cap_point.power_w) {
+                compared += 1;
+                assert!(
+                    dvfs_rate > cap_point.rate,
+                    "at {:.0} W: DVFS {dvfs_rate:.2} it/s should beat RAPL {:.2} it/s",
+                    cap_point.power_w,
+                    cap_point.rate
+                );
+            }
+        }
+        assert!(compared >= 1, "sweeps should overlap in power");
+    }
+
+    #[test]
+    fn rapl_extends_below_the_dvfs_floor() {
+        let r = run(&Config::quick());
+        let dvfs_floor = r
+            .dvfs
+            .iter()
+            .map(|p| p.power_w)
+            .fold(f64::INFINITY, f64::min);
+        let rapl_floor = r
+            .rapl
+            .iter()
+            .map(|p| p.power_w)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            rapl_floor < dvfs_floor,
+            "RAPL ({rapl_floor:.0} W) must reach below DVFS ({dvfs_floor:.0} W)"
+        );
+    }
+
+    #[test]
+    fn both_techniques_trade_progress_for_power() {
+        let r = run(&Config::quick());
+        for pts in [&r.rapl, &r.dvfs] {
+            let mut sorted = pts.clone();
+            sorted.sort_by(|a, b| a.power_w.total_cmp(&b.power_w));
+            for w in sorted.windows(2) {
+                assert!(
+                    w[1].rate >= w[0].rate * 0.98,
+                    "{}: rate should rise with power",
+                    w[0].technique
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! One module per paper table/figure, plus ablations.
+//!
+//! Each module follows the same shape: a `Config` (with `Default` at the
+//! paper's scale and `quick()` for tests/benches), a `run(&Config)`
+//! producing a typed result, and a `table()`/`tables()` rendering for the
+//! `repro` binary and EXPERIMENTS.md.
+
+pub mod ablations;
+pub mod candle_ext;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod table1;
+pub mod table6;
+pub mod tables2to5;

@@ -1,0 +1,182 @@
+//! **Table VI** — β and MPO characterization of the five measured
+//! applications.
+//!
+//! Exactly the paper's method (§IV.A): run each application at the
+//! maximum frequency (3300 MHz) and at 1600 MHz, compute β by inverting
+//! Eq. (1) from the two execution speeds, and MPO from the PAPI-style
+//! counters. The proxies were *calibrated* to the paper's values, so this
+//! experiment closes the loop: the measured characterization must land on
+//! Table VI.
+
+use proxyapps::catalog::AppId;
+use simnode::time::{Nanos, SEC};
+
+use crate::report::{f, TextTable};
+use crate::runner::{run_app, RunConfig};
+use crate::sweep::par_map;
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Reduced frequency used for the β measurement (paper: 1600 MHz).
+    pub low_mhz: u32,
+    /// Per-run simulated duration.
+    pub duration: Nanos,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            low_mhz: 1600,
+            duration: 20 * SEC,
+        }
+    }
+}
+
+impl Config {
+    /// Reduced-scale config for tests.
+    pub fn quick() -> Self {
+        Self {
+            low_mhz: 1600,
+            duration: 8 * SEC,
+        }
+    }
+}
+
+/// One characterization row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Display name (paper's Table VI spelling).
+    pub app: &'static str,
+    /// Measured β.
+    pub beta: f64,
+    /// Measured MPO.
+    pub mpo: f64,
+    /// Paper's published β.
+    pub beta_paper: f64,
+    /// Paper's published MPO.
+    pub mpo_paper: f64,
+    /// Uncapped steady progress rate at fmax (units/s) — reused by Fig. 4.
+    pub r_max: f64,
+    /// Uncapped mean package power, W — reused by Fig. 4.
+    pub pkg_power_w: f64,
+}
+
+/// The reproduced table.
+#[derive(Debug, Clone)]
+pub struct Table6 {
+    /// One row per characterized application.
+    pub rows: Vec<Row>,
+}
+
+/// Characterize a single application (used by Fig. 4 as well).
+pub fn characterize(app: AppId, cfg: &Config, seed: u64) -> Row {
+    let fast = run_app(&RunConfig::new(app, cfg.duration).with_seed(seed));
+    let slow = run_app(
+        &RunConfig::new(app, cfg.duration)
+            .with_seed(seed)
+            .with_fixed_mhz(cfg.low_mhz),
+    );
+    let r_fast = fast.steady_rate();
+    let r_slow = slow.steady_rate();
+    assert!(
+        r_fast > 0.0 && r_slow > 0.0,
+        "{app:?}: no progress measured"
+    );
+    let beta = powermodel::beta::beta_from_rates(r_slow, r_fast, cfg.low_mhz as f64, 3300.0);
+    let rec = progress::registry::lookup(app.registry_name()).expect("registered");
+    Row {
+        app: match app {
+            AppId::QmcpackDmc => "QMCPACK (DMC)",
+            AppId::OpenmcActive => "OpenMC (Active)",
+            _ => rec.name,
+        },
+        beta,
+        mpo: fast.mpo(),
+        beta_paper: rec.beta_paper.expect("characterized app"),
+        mpo_paper: rec.mpo_paper.expect("characterized app"),
+        r_max: r_fast,
+        pkg_power_w: fast.mean_power(),
+    }
+}
+
+/// Run the experiment for the paper's five applications.
+pub fn run(cfg: &Config) -> Table6 {
+    let rows = par_map(AppId::table_vi().to_vec(), |app| characterize(app, cfg, 1));
+    Table6 { rows }
+}
+
+impl Table6 {
+    /// Render like the paper's Table VI, with the published values beside
+    /// the measured ones.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Table VI: beta and MPO metrics for selected applications",
+            &[
+                "Application",
+                "beta (measured)",
+                "beta (paper)",
+                "MPO x1e-3 (measured)",
+                "MPO x1e-3 (paper)",
+            ],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.app.to_string(),
+                f(r.beta, 2),
+                f(r.beta_paper, 2),
+                f(r.mpo * 1e3, 2),
+                f(r.mpo_paper * 1e3, 2),
+            ]);
+        }
+        t
+    }
+
+    /// Find a row by registry name.
+    pub fn row(&self, app: &str) -> Option<&Row> {
+        self.rows.iter().find(|r| r.app.starts_with(app))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_beta_and_mpo_land_on_table_vi() {
+        let t = run(&Config::quick());
+        assert_eq!(t.rows.len(), 5);
+        for r in &t.rows {
+            assert!(
+                (r.beta - r.beta_paper).abs() <= 0.06,
+                "{}: measured beta {:.3} vs paper {:.2}",
+                r.app,
+                r.beta,
+                r.beta_paper
+            );
+            let rel = (r.mpo - r.mpo_paper).abs() / r.mpo_paper;
+            assert!(
+                rel < 0.30,
+                "{}: measured MPO {:.3e} vs paper {:.3e}",
+                r.app,
+                r.mpo,
+                r.mpo_paper
+            );
+        }
+    }
+
+    #[test]
+    fn power_ordering_is_physical() {
+        let t = run(&Config::quick());
+        let lammps = t.row("LAMMPS").unwrap();
+        let stream = t.row("STREAM").unwrap();
+        // Compute-bound draws more package power than the bandwidth
+        // benchmark on this node.
+        assert!(
+            lammps.pkg_power_w > stream.pkg_power_w,
+            "LAMMPS {:.0} W vs STREAM {:.0} W",
+            lammps.pkg_power_w,
+            stream.pkg_power_w
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! **Tables II–V** — application descriptions, the interview
+//! questionnaire, its answers, and the category/metric assignments.
+//!
+//! These are the paper's qualitative artefacts; here they render from the
+//! `progress::registry` data, and the consistency between the Table IV
+//! answers and the Table V categories is *derived* (and tested) rather
+//! than asserted.
+
+use progress::registry::registry;
+use progress::taxonomy::QUESTIONS;
+
+use crate::report::TextTable;
+
+/// Render Table II (application descriptions).
+pub fn table2() -> TextTable {
+    let mut t = TextTable::new(
+        "Table II: Description of applications",
+        &["Application", "Description"],
+    );
+    for r in registry() {
+        t.row(vec![r.name.to_string(), r.description.to_string()]);
+    }
+    t
+}
+
+/// Render Table III (questions posed to application specialists).
+pub fn table3() -> TextTable {
+    let mut t = TextTable::new(
+        "Table III: Questions posed to application specialists",
+        &["Question Number", "Question"],
+    );
+    for (i, q) in QUESTIONS.iter().enumerate() {
+        t.row(vec![(i + 1).to_string(), q.to_string()]);
+    }
+    t
+}
+
+/// Render Table IV (summary of responses).
+pub fn table4() -> TextTable {
+    let mut t = TextTable::new(
+        "Table IV: Summary of responses",
+        &["Application", "1", "2", "3", "4", "5", "6", "7", "8"],
+    );
+    let yn = |v: Option<bool>| -> String {
+        match v {
+            Some(true) => "Y".into(),
+            Some(false) => "N".into(),
+            None => "-".into(),
+        }
+    };
+    for r in registry() {
+        let a = &r.answers;
+        t.row(vec![
+            r.name.to_string(),
+            yn(a.has_fom),
+            yn(a.measurable_online),
+            yn(a.relates_to_science),
+            yn(a.predictable_time),
+            yn(a.iterations_known),
+            yn(a.uniform_iterations),
+            yn(a.phased),
+            a.bound.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Render Table V (categorization and online performance metrics).
+pub fn table5() -> TextTable {
+    let mut t = TextTable::new(
+        "Table V: Categorizing applications and defining online performance",
+        &["Application", "Category", "Online performance Metric"],
+    );
+    for r in registry() {
+        let cats = r
+            .categories
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("/");
+        let metric = r
+            .metric
+            .as_ref()
+            .map(|m| m.name.to_string())
+            .unwrap_or_else(|| "N/A".to_string());
+        t.row(vec![r.name.to_string(), cats, metric]);
+    }
+    t
+}
+
+/// All four tables, rendered in order.
+pub fn tables() -> Vec<TextTable> {
+    vec![table2(), table3(), table4(), table5()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use progress::taxonomy::Category;
+
+    #[test]
+    fn all_tables_cover_all_nine_applications() {
+        for t in [table2(), table4(), table5()] {
+            assert_eq!(t.len(), 9);
+        }
+        assert_eq!(table3().len(), 8);
+    }
+
+    #[test]
+    fn table5_matches_paper_assignments() {
+        let rendered = table5().render();
+        assert!(rendered.contains("CANDLE") && rendered.contains("1/2"));
+        assert!(
+            rendered.contains("Blocks per second".to_lowercase().as_str())
+                || rendered.contains("blocks per second")
+        );
+        // Category-3 apps show N/A.
+        for line in rendered.lines() {
+            if line.starts_with("URBAN") || line.starts_with("HACC") {
+                assert!(line.contains("N/A"), "{line}");
+            }
+        }
+    }
+
+    #[test]
+    fn derived_categories_agree_with_table_v_for_every_app() {
+        for r in registry() {
+            let derived = r.answers.derive_category();
+            assert!(
+                r.categories.contains(&derived),
+                "{}: {:?} vs {:?}",
+                r.name,
+                derived,
+                r.categories
+            );
+        }
+        // Spot checks against the paper.
+        let amg = progress::registry::lookup("AMG").unwrap();
+        assert_eq!(amg.answers.derive_category(), Category::Two);
+        let hacc = progress::registry::lookup("HACC").unwrap();
+        assert_eq!(hacc.answers.derive_category(), Category::Three);
+    }
+}

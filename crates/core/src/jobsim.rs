@@ -1,0 +1,156 @@
+//! Simulation-backed nodes for the job-level power manager.
+//!
+//! Wraps a [`Driver`] + monitoring so `nrm::job::JobPowerManager` can step
+//! a fleet of simulated nodes epoch by epoch. Node *variability* — the
+//! reason the paper (via Rountree et al.) wants application-aware
+//! distribution — is expressed through per-node [`NodeConfig`] deltas
+//! (e.g. a leakier chip draws more watts for the same frequency).
+
+use nrm::job::{ManagedNode, NodeStatus};
+use progress::aggregator::ProgressAggregator;
+use progress::bus::{BusConfig, ProgressBus};
+use proxyapps::catalog::{build, AppId};
+use proxyapps::runtime::Driver;
+use simnode::config::NodeConfig;
+use simnode::time::{Nanos, SEC};
+
+/// One simulated node under job management.
+pub struct SimNode {
+    driver: Driver,
+    agg: ProgressAggregator,
+    baseline_rate: f64,
+    epoch: Nanos,
+    last_work: f64,
+    last_energy: f64,
+}
+
+impl SimNode {
+    /// Build a node running `app` on hardware `cfg`, with a measured
+    /// uncapped `baseline_rate` (app units/s) for normalization.
+    pub fn new(cfg: NodeConfig, app: AppId, seed: u64, baseline_rate: f64) -> Self {
+        assert!(baseline_rate > 0.0);
+        let bus = ProgressBus::new();
+        let instance = build(app, &cfg, cfg.cores, seed);
+        let node = simnode::node::Node::new(cfg);
+        let channels = instance.channels();
+        let driver = Driver::new(node, instance.programs, &bus, channels);
+        let source = driver.channel_sources()[0];
+        let agg = ProgressAggregator::new(bus.subscribe(BusConfig::lossless()), SEC, Some(source));
+        Self {
+            driver,
+            agg,
+            baseline_rate,
+            epoch: SEC,
+            last_work: 0.0,
+            last_energy: 0.0,
+        }
+    }
+
+    /// Use a longer epoch than the default 1 s (coarse reporters need a
+    /// few reporting periods per epoch for a stable rate).
+    pub fn with_epoch(mut self, epoch: Nanos) -> Self {
+        assert!(epoch >= SEC);
+        self.epoch = epoch;
+        self
+    }
+
+    /// Measure an uncapped baseline rate for (cfg, app): helper for
+    /// constructing fleets.
+    pub fn measure_baseline(cfg: &NodeConfig, app: AppId, seed: u64, duration: Nanos) -> f64 {
+        let mut rc = crate::runner::RunConfig::new(app, duration);
+        rc.node = cfg.clone();
+        rc.ranks = cfg.cores;
+        rc.seed = seed;
+        crate::runner::run_app(&rc).steady_rate()
+    }
+}
+
+impl ManagedNode for SimNode {
+    fn run_epoch(&mut self, cap_w: Option<f64>) -> NodeStatus {
+        self.driver.node_mut().set_package_cap(cap_w);
+        let until = self.driver.node().now() + self.epoch;
+        self.driver.run(until, &mut []);
+        let now = self.driver.node().now();
+        self.agg.poll(now);
+
+        let total_work: f64 = self.agg.windows().iter().map(|w| w.sum).sum();
+        let work = total_work - self.last_work;
+        self.last_work = total_work;
+
+        let total_energy = self.driver.node().total_energy();
+        let energy = total_energy - self.last_energy;
+        self.last_energy = total_energy;
+
+        let epoch_s = self.epoch as f64 / 1e9;
+        NodeStatus {
+            rate: work / epoch_s,
+            baseline_rate: self.baseline_rate,
+            power_w: energy / epoch_s,
+        }
+    }
+
+    fn baseline_rate(&self) -> f64 {
+        self.baseline_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrm::job::{settled_job_progress, JobPolicy, JobPowerManager};
+
+    /// A leaky chip: +18% switched capacitance draws more power at every
+    /// operating point (manufacturing variability).
+    fn leaky(cfg: &NodeConfig) -> NodeConfig {
+        let mut c = cfg.clone();
+        c.core_power.c_dyn *= 1.18;
+        c
+    }
+
+    fn fleet(epoch: Nanos) -> Vec<SimNode> {
+        let normal = NodeConfig::default();
+        let bad = leaky(&normal);
+        let baseline = SimNode::measure_baseline(&normal, AppId::Lammps, 1, 5 * SEC);
+        let baseline_bad = SimNode::measure_baseline(&bad, AppId::Lammps, 1, 5 * SEC);
+        vec![
+            SimNode::new(normal.clone(), AppId::Lammps, 1, baseline).with_epoch(epoch),
+            SimNode::new(normal.clone(), AppId::Lammps, 2, baseline).with_epoch(epoch),
+            SimNode::new(bad, AppId::Lammps, 3, baseline_bad).with_epoch(epoch),
+        ]
+    }
+
+    fn run_policy(policy: JobPolicy) -> f64 {
+        let mut nodes = fleet(2 * SEC);
+        let mut refs: Vec<&mut dyn ManagedNode> = nodes
+            .iter_mut()
+            .map(|n| n as &mut dyn ManagedNode)
+            .collect();
+        // 270 W for three nodes that want ~450 W uncapped.
+        let mgr = JobPowerManager::new(270.0, policy);
+        let trace = mgr.run(&mut refs, 8);
+        settled_job_progress(&trace)
+    }
+
+    #[test]
+    fn progress_aware_distribution_helps_a_heterogeneous_job() {
+        let equal = run_policy(JobPolicy::EqualSplit);
+        let aware = run_policy(JobPolicy::ProgressAware { gain: 1.5 });
+        assert!(
+            aware > equal,
+            "progress-aware ({aware:.3}) must beat equal split ({equal:.3})"
+        );
+        assert!(equal > 0.3 && aware < 1.0, "sanity: {equal:.3}, {aware:.3}");
+    }
+
+    #[test]
+    fn epochs_observe_plausible_power() {
+        let mut nodes = fleet(2 * SEC);
+        let status = nodes[0].run_epoch(Some(90.0));
+        assert!(
+            (30.0..110.0).contains(&status.power_w),
+            "{}",
+            status.power_w
+        );
+        assert!(status.rate > 0.0);
+    }
+}

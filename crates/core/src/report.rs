@@ -1,0 +1,245 @@
+//! Plain-text table and CSV rendering for experiment outputs.
+
+/// A simple aligned text table with a title.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut width = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = width[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &width));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with `prec` decimals.
+pub fn f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Format an optional cap in watts.
+pub fn cap(c: Option<f64>) -> String {
+    match c {
+        Some(w) => format!("{w:.0}"),
+        None => "uncapped".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "2.5".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and both rows align on the second column.
+        let col = lines[1].find("value").unwrap();
+        assert_eq!(lines[3].find('1'), Some(col));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = TextTable::new("x", &["a", "b"]);
+        t.row(vec!["hello, world".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"hello, world\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_rejected() {
+        let mut t = TextTable::new("x", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+}
+
+/// Render a time series as a fixed-size ASCII chart (for the `repro`
+/// binary's terminal sketches of the paper's figures). NaN samples (e.g.
+/// uncapped cap-trace entries) are drawn at the top of the range.
+pub fn ascii_chart(series: &progress::series::TimeSeries, width: usize, height: usize) -> String {
+    assert!(width >= 10 && height >= 2, "chart too small");
+    if series.is_empty() {
+        return String::from("(empty series)\n");
+    }
+    let finite: Vec<f64> = series.v.iter().copied().filter(|v| v.is_finite()).collect();
+    let lo = finite
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
+        .min(0.0);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let hi = if hi > lo { hi } else { lo + 1.0 };
+
+    // Resample to the chart width by bucket means.
+    let n = series.v.len();
+    let cols: Vec<f64> = (0..width)
+        .map(|c| {
+            let a = c * n / width;
+            let b = (((c + 1) * n) / width).max(a + 1).min(n);
+            let bucket = &series.v[a..b];
+            let vals: Vec<f64> = bucket.iter().copied().filter(|v| v.is_finite()).collect();
+            if vals.is_empty() {
+                hi // NaN bucket draws at the top (uncapped)
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            }
+        })
+        .collect();
+
+    let mut rows = vec![vec![' '; width]; height];
+    for (c, &v) in cols.iter().enumerate() {
+        let level = (((v - lo) / (hi - lo)) * (height as f64 - 1.0)).round() as usize;
+        let level = level.min(height - 1);
+        rows[height - 1 - level][c] = '*';
+    }
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{hi:>9.1} |")
+        } else if i == height - 1 {
+            format!("{lo:>9.1} |")
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>9} +{}\n{:>9}  t = {:.0}..{:.0} s\n",
+        "",
+        "-".repeat(width),
+        "",
+        series.t.first().copied().unwrap_or(0.0),
+        series.t.last().copied().unwrap_or(0.0)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod ascii_tests {
+    use progress::series::TimeSeries;
+
+    #[test]
+    fn chart_renders_flat_and_varying_series() {
+        // A flat series maps to a single row (the top row, since the
+        // y-axis is floored at 0 and the level equals the maximum).
+        let flat: TimeSeries = (0..50).map(|i| (i as f64, 10.0)).collect();
+        let s = super::ascii_chart(&flat, 40, 8);
+        let rows_with_marks = s.lines().filter(|l| l.contains('*')).count();
+        assert_eq!(rows_with_marks, 1, "flat series uses one row:\n{s}");
+
+        let ramp: TimeSeries = (0..50).map(|i| (i as f64, i as f64)).collect();
+        let r = super::ascii_chart(&ramp, 40, 8);
+        // Every column carries exactly one mark.
+        let stars: usize = r.lines().map(|l| l.matches('*').count()).sum();
+        assert_eq!(stars, 40);
+    }
+
+    #[test]
+    fn nan_samples_draw_at_the_top() {
+        let mut s = TimeSeries::new();
+        for i in 0..20 {
+            s.push(i as f64, if i < 10 { f64::NAN } else { 50.0 });
+        }
+        let chart = super::ascii_chart(&s, 20, 6);
+        let top = chart.lines().next().unwrap();
+        assert!(top.contains('*'), "NaN half should sit on the top row");
+    }
+
+    #[test]
+    fn empty_series_is_handled() {
+        assert!(super::ascii_chart(&TimeSeries::new(), 20, 5).contains("empty"));
+    }
+}

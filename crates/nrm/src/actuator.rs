@@ -1,0 +1,210 @@
+//! Power-limiting actuators.
+//!
+//! The NRM can enforce a node power target through different knobs
+//! (paper §II: "dynamic voltage frequency scaling (DVFS), dynamic duty
+//! cycle modulation (DDCM), and dynamic hardware power capping methods
+//! such as Intel's RAPL"):
+//!
+//! - [`ActuatorKind::Rapl`] programs `MSR_PKG_POWER_LIMIT` and lets the
+//!   hardware controller do the rest;
+//! - [`ActuatorKind::DirectDvfs`] closes the loop in software: it walks
+//!   `IA32_PERF_CTL` up/down one P-state per tick based on measured
+//!   average power. Its *applicable range* is bounded below by the power
+//!   draw at `f_min` — the limitation visible in the paper's Fig. 5;
+//! - [`ActuatorKind::Ddcm`] does the same with `IA32_CLOCK_MODULATION`
+//!   duty steps.
+
+use serde::{Deserialize, Serialize};
+use simnode::ddcm::DutyCycle;
+use simnode::msr::{decode_perf_ctl, encode_perf_ctl, IA32_CLOCK_MODULATION, IA32_PERF_CTL};
+use simnode::node::Node;
+use simnode::time::SEC;
+
+/// Which knob to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActuatorKind {
+    /// Hardware RAPL package cap.
+    Rapl,
+    /// Software DVFS feedback loop.
+    DirectDvfs,
+    /// Software duty-cycle feedback loop.
+    Ddcm,
+}
+
+/// An actuator instance (holds feedback state for the software loops).
+#[derive(Debug, Clone)]
+pub struct Actuator {
+    kind: ActuatorKind,
+    /// Hysteresis band around the target, W.
+    band_w: f64,
+}
+
+impl Actuator {
+    /// Create an actuator of the given kind.
+    pub fn new(kind: ActuatorKind) -> Self {
+        Self { kind, band_w: 2.0 }
+    }
+
+    /// The actuator kind.
+    pub fn kind(&self) -> ActuatorKind {
+        self.kind
+    }
+
+    /// Enforce `target` (W; `None` = lift all limits) on the node. Called
+    /// once per daemon tick.
+    pub fn apply(&mut self, node: &mut Node, target: Option<f64>) {
+        match self.kind {
+            ActuatorKind::Rapl => node.set_package_cap(target),
+            ActuatorKind::DirectDvfs => {
+                node.set_package_cap(None);
+                let Some(t) = target else {
+                    node.msr_mut().write(IA32_PERF_CTL, 0).expect("writable");
+                    return;
+                };
+                let ladder = node.config().ladder.clone();
+                let cur_mhz = decode_perf_ctl(node.msr().hw_read(IA32_PERF_CTL))
+                    .unwrap_or_else(|| ladder.fmax_mhz());
+                let cur = ladder.pstate_at_or_below(cur_mhz);
+                let power = node.average_power(SEC);
+                let next = if power > t + self.band_w && cur > ladder.min_pstate() {
+                    simnode::freq::PState(cur.0 - 1)
+                } else if power < t - self.band_w && cur < ladder.max_pstate() {
+                    simnode::freq::PState(cur.0 + 1)
+                } else {
+                    cur
+                };
+                node.msr_mut()
+                    .write(IA32_PERF_CTL, encode_perf_ctl(ladder.mhz(next)))
+                    .expect("writable");
+            }
+            ActuatorKind::Ddcm => {
+                node.set_package_cap(None);
+                let Some(t) = target else {
+                    node.msr_mut()
+                        .write(IA32_CLOCK_MODULATION, DutyCycle::FULL.encode_msr())
+                        .expect("writable");
+                    return;
+                };
+                let cur = DutyCycle::decode_msr(node.msr().hw_read(IA32_CLOCK_MODULATION));
+                let power = node.average_power(SEC);
+                let next = if power > t + self.band_w {
+                    cur.lower()
+                } else if power < t - self.band_w {
+                    cur.raise()
+                } else {
+                    cur
+                };
+                node.msr_mut()
+                    .write(IA32_CLOCK_MODULATION, next.encode_msr())
+                    .expect("writable");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnode::config::NodeConfig;
+    use simnode::node::{CoreWork, WorkPacket};
+    use simnode::time::MS;
+
+    fn busy_node() -> Node {
+        let mut node = Node::new(NodeConfig::default());
+        for c in 0..node.cores() {
+            node.assign(
+                c,
+                CoreWork::Compute(
+                    WorkPacket {
+                        cycles: 3.3e9 * 60.0,
+                        misses: 0.0,
+                        instructions: 1e9,
+                        mlp: 1.0,
+                        mem_weight: 1.0,
+                    }
+                    .into(),
+                ),
+            );
+        }
+        node
+    }
+
+    fn run_with_actuator(kind: ActuatorKind, target: f64, seconds: u64) -> Node {
+        let mut node = busy_node();
+        let mut act = Actuator::new(kind);
+        let quanta_per_tick = (SEC / node.config().quantum) as usize;
+        for _ in 0..seconds {
+            act.apply(&mut node, Some(target));
+            for _ in 0..quanta_per_tick {
+                node.step();
+            }
+        }
+        node
+    }
+
+    #[test]
+    fn rapl_actuator_programs_the_msr_cap() {
+        let mut node = busy_node();
+        let mut act = Actuator::new(ActuatorKind::Rapl);
+        act.apply(&mut node, Some(95.0));
+        assert_eq!(node.package_cap(), Some(95.0));
+        act.apply(&mut node, None);
+        assert_eq!(node.package_cap(), None);
+    }
+
+    #[test]
+    fn dvfs_actuator_converges_near_target_within_its_range() {
+        let node = run_with_actuator(ActuatorKind::DirectDvfs, 100.0, 12);
+        let p = node.average_power(2 * SEC);
+        assert!(
+            (85.0..110.0).contains(&p),
+            "DVFS loop should settle near 100 W, got {p:.1}"
+        );
+        // RAPL must be disengaged.
+        assert_eq!(node.package_cap(), None);
+    }
+
+    #[test]
+    fn dvfs_actuator_cannot_go_below_fmin_power() {
+        // Target far below the fmin draw: the loop pins at the lowest
+        // P-state and power floors well above the target (Fig. 5's
+        // "applicable range").
+        // 21 ladder steps at one per tick: give the loop 30 ticks.
+        let node = run_with_actuator(ActuatorKind::DirectDvfs, 20.0, 30);
+        let p = node.average_power(2 * SEC);
+        assert!(p > 35.0, "power {p:.1} W cannot reach a 20 W target");
+        let t = node.telemetry();
+        assert!(
+            (t.effective_mhz - 1200.0).abs() < 1.0,
+            "should be pinned at fmin, got {:.0} MHz",
+            t.effective_mhz
+        );
+    }
+
+    #[test]
+    fn ddcm_actuator_reaches_lower_power_than_dvfs() {
+        let dvfs = run_with_actuator(ActuatorKind::DirectDvfs, 20.0, 15);
+        let ddcm = run_with_actuator(ActuatorKind::Ddcm, 20.0, 30);
+        let p_dvfs = dvfs.average_power(2 * SEC);
+        let p_ddcm = ddcm.average_power(2 * SEC);
+        assert!(
+            p_ddcm < p_dvfs,
+            "DDCM ({p_ddcm:.1} W) should undercut DVFS ({p_dvfs:.1} W)"
+        );
+    }
+
+    #[test]
+    fn lifting_dvfs_target_restores_full_frequency() {
+        let mut node = busy_node();
+        let mut act = Actuator::new(ActuatorKind::DirectDvfs);
+        act.apply(&mut node, Some(60.0));
+        for _ in 0..20_000 {
+            node.step();
+        }
+        act.apply(&mut node, None);
+        for _ in 0..(20 * MS / node.config().quantum) {
+            node.step();
+        }
+        assert!(node.telemetry().effective_mhz > 3000.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Weighted composition of per-component progress (Category 3 extension).
+//!
+//! The paper's future work: "We can improve upon this by studying
+//! individual components separately and modeling progress as a weighted
+//! combination of the progress of individual components" (§VI.3). A
+//! [`CompositeProgress`] normalizes each component's rate by its own
+//! uncapped baseline and combines them with weights, yielding a single
+//! dimensionless progress fraction that *is* meaningful for URBAN/HACC:
+//! 1.0 = every component at full speed, 0.5 = (weighted) half speed.
+
+use serde::{Deserialize, Serialize};
+
+/// A weighted multi-component progress composition.
+///
+/// ```
+/// use nrm::composition::CompositeProgress;
+///
+/// // URBAN-like: CFD at 4 steps/s, EnergyPlus at 0.07 steps/s uncapped.
+/// let c = CompositeProgress::equal(&[4.0, 0.07]);
+/// // Under a cap both run at ~60%:
+/// assert!((c.fraction(&[2.4, 0.042]) - 0.6).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompositeProgress {
+    /// Per-component weights; normalized at construction to sum to 1.
+    weights: Vec<f64>,
+    /// Per-component uncapped baseline rates (units/s, per component).
+    baselines: Vec<f64>,
+}
+
+impl CompositeProgress {
+    /// Build from weights and baseline rates.
+    ///
+    /// # Panics
+    /// Panics if lengths differ, weights are not all positive, or any
+    /// baseline is non-positive.
+    pub fn new(weights: &[f64], baselines: &[f64]) -> Self {
+        assert_eq!(weights.len(), baselines.len(), "length mismatch");
+        assert!(!weights.is_empty(), "need at least one component");
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        assert!(
+            baselines.iter().all(|&b| b > 0.0),
+            "baselines must be positive"
+        );
+        let sum: f64 = weights.iter().sum();
+        Self {
+            weights: weights.iter().map(|w| w / sum).collect(),
+            baselines: baselines.to_vec(),
+        }
+    }
+
+    /// Equal weights over `n` components.
+    pub fn equal(baselines: &[f64]) -> Self {
+        Self::new(&vec![1.0; baselines.len()], baselines)
+    }
+
+    /// Number of components.
+    pub fn components(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The composite progress fraction for the given per-component rates:
+    /// `Σ wᵢ · (rᵢ / baselineᵢ)`.
+    ///
+    /// # Panics
+    /// Panics on a length mismatch.
+    pub fn fraction(&self, rates: &[f64]) -> f64 {
+        assert_eq!(rates.len(), self.weights.len(), "length mismatch");
+        self.weights
+            .iter()
+            .zip(self.baselines.iter())
+            .zip(rates.iter())
+            .map(|((w, b), r)| w * (r / b))
+            .sum()
+    }
+
+    /// The *bottleneck* view: the worst normalized component. Useful when
+    /// the slowest component gates the coupled simulation (URBAN's
+    /// co-simulation barrier).
+    pub fn bottleneck(&self, rates: &[f64]) -> f64 {
+        assert_eq!(rates.len(), self.baselines.len(), "length mismatch");
+        rates
+            .iter()
+            .zip(self.baselines.iter())
+            .map(|(r, b)| r / b)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_speed_is_one() {
+        let c = CompositeProgress::new(&[2.0, 1.0], &[4.0, 0.07]);
+        assert!((c.fraction(&[4.0, 0.07]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_are_normalized() {
+        let c = CompositeProgress::new(&[3.0, 1.0], &[1.0, 1.0]);
+        // Component 0 at half speed, component 1 at full.
+        let f = c.fraction(&[0.5, 1.0]);
+        assert!((f - (0.75 * 0.5 + 0.25 * 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_metric_misleads_where_composite_does_not() {
+        // URBAN-like: CFD at 4 steps/s, EnergyPlus at 0.07 steps/s. A cap
+        // that halves only the slow component barely moves a
+        // "CFD steps per second" metric but costs half the EP science.
+        let c = CompositeProgress::equal(&[4.0, 0.07]);
+        let capped = [4.0, 0.035];
+        let cfd_only_view = capped[0] / 4.0;
+        let composite = c.fraction(&capped);
+        assert!((cfd_only_view - 1.0).abs() < 1e-12, "CFD view blind");
+        assert!((composite - 0.75).abs() < 1e-12, "composite sees the loss");
+    }
+
+    #[test]
+    fn bottleneck_is_the_min_normalized_rate() {
+        let c = CompositeProgress::equal(&[10.0, 1.0]);
+        assert!((c.bottleneck(&[5.0, 0.9]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_rates_rejected() {
+        let c = CompositeProgress::equal(&[1.0, 2.0]);
+        c.fraction(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        CompositeProgress::new(&[0.0, 1.0], &[1.0, 1.0]);
+    }
+}

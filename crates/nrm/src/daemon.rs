@@ -1,0 +1,159 @@
+//! The NRM daemon: a 1 Hz control loop.
+//!
+//! "The power-policy tool runs as a background daemon on the node. It
+//! monitors power usage and applies the selected dynamic power-capping
+//! scheme on the package domain once every second" (paper §V.B). The
+//! daemon is a [`SimAgent`]; the SPMD driver ticks it alongside the
+//! application, and it records what it observed (cap programmed, average
+//! power measured) for the experiment harness.
+
+use simnode::agent::SimAgent;
+use simnode::node::Node;
+use simnode::time::{Nanos, SEC};
+
+use crate::actuator::{Actuator, ActuatorKind};
+use crate::scheme::CapSchedule;
+
+/// One daemon observation per tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DaemonSample {
+    /// Tick time, ns.
+    pub at: Nanos,
+    /// Cap programmed at this tick (`None` = uncapped).
+    pub cap_w: Option<f64>,
+    /// Average package power over the preceding second, W.
+    pub avg_power_w: f64,
+}
+
+/// The node resource manager daemon.
+pub struct NrmDaemon {
+    schedule: Box<dyn CapSchedule>,
+    actuator: Actuator,
+    period: Nanos,
+    start: Option<Nanos>,
+    /// Observations, one per tick.
+    pub samples: Vec<DaemonSample>,
+}
+
+impl NrmDaemon {
+    /// A daemon applying `schedule` through `actuator` once per second.
+    pub fn new(schedule: Box<dyn CapSchedule>, actuator: ActuatorKind) -> Self {
+        Self {
+            schedule,
+            actuator: Actuator::new(actuator),
+            period: SEC,
+            start: None,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Override the control period (tests).
+    pub fn with_period(mut self, period: Nanos) -> Self {
+        assert!(period > 0);
+        self.period = period;
+        self
+    }
+
+    /// The cap the schedule will program at `elapsed` since first tick.
+    pub fn planned_cap(&self, elapsed: Nanos) -> Option<f64> {
+        self.schedule.cap_at(elapsed)
+    }
+}
+
+impl SimAgent for NrmDaemon {
+    fn period(&self) -> Nanos {
+        self.period
+    }
+
+    fn on_tick(&mut self, node: &mut Node, now: Nanos) {
+        let start = *self.start.get_or_insert(now);
+        let elapsed = now - start;
+        let cap = self.schedule.cap_at(elapsed);
+        self.actuator.apply(node, cap);
+        self.samples.push(DaemonSample {
+            at: now,
+            cap_w: cap,
+            avg_power_w: node.average_power(self.period),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{LinearDecay, StepFunction};
+    use simnode::config::NodeConfig;
+    use simnode::node::{CoreWork, WorkPacket};
+
+    fn run_daemon(mut daemon: NrmDaemon, seconds: u64) -> NrmDaemon {
+        let mut node = Node::new(NodeConfig::default());
+        for c in 0..node.cores() {
+            node.assign(
+                c,
+                CoreWork::Compute(
+                    WorkPacket {
+                        cycles: 3.3e9 * 600.0,
+                        misses: 0.0,
+                        instructions: 1e9,
+                        mlp: 1.0,
+                        mem_weight: 1.0,
+                    }
+                    .into(),
+                ),
+            );
+        }
+        let quanta = (SEC / node.config().quantum) as usize;
+        for _ in 0..seconds {
+            for _ in 0..quanta {
+                node.step();
+            }
+            let now = node.now();
+            daemon.on_tick(&mut node, now);
+        }
+        daemon
+    }
+
+    #[test]
+    fn daemon_programs_the_scheduled_caps() {
+        let sched = StepFunction::half_half(70.0, 10 * SEC);
+        let d = run_daemon(NrmDaemon::new(Box::new(sched), ActuatorKind::Rapl), 20);
+        let caps: Vec<Option<f64>> = d.samples.iter().map(|s| s.cap_w).collect();
+        // First 5 ticks: elapsed 0..5 s → uncapped; ticks at 5..15 s →
+        // capped; back to uncapped.
+        assert_eq!(caps[0], None);
+        assert!(caps.contains(&Some(70.0)));
+        let capped = caps.iter().filter(|c| c.is_some()).count();
+        assert!(
+            (8..=12).contains(&capped),
+            "half the ticks capped: {capped}"
+        );
+    }
+
+    #[test]
+    fn measured_power_follows_a_linear_decay() {
+        let sched = LinearDecay {
+            uncapped_for: 3 * SEC,
+            from_w: 140.0,
+            to_w: 60.0,
+            ramp: 10 * SEC,
+        };
+        let d = run_daemon(NrmDaemon::new(Box::new(sched), ActuatorKind::Rapl), 18);
+        // Late samples should sit near the 60 W floor.
+        let last = d.samples.last().unwrap();
+        assert!(
+            (last.avg_power_w - 60.0).abs() < 8.0,
+            "settled power {:.1} W",
+            last.avg_power_w
+        );
+        // Power during the ramp must be decreasing overall.
+        let early = d.samples[4].avg_power_w;
+        let late = d.samples[14].avg_power_w;
+        assert!(late < early - 20.0, "{early:.1} → {late:.1}");
+    }
+
+    #[test]
+    fn daemon_period_defaults_to_one_second() {
+        let d = NrmDaemon::new(Box::new(crate::scheme::Uncapped), ActuatorKind::Rapl);
+        assert_eq!(SimAgent::period(&d), SEC);
+    }
+}

@@ -1,0 +1,34 @@
+//! # nrm — the node resource manager
+//!
+//! The paper's `power-policy` tool "runs as a background daemon on the
+//! node. It monitors power usage and applies the selected dynamic
+//! power-capping scheme on the package domain once every second" (§V.B).
+//! This crate is that daemon, plus the pieces around it:
+//!
+//! - [`scheme`]: the three dynamic capping schedules of §V.B — linearly
+//!   decreasing, step-function and jagged-edge — plus constants/uncapped;
+//! - [`actuator`]: the control knobs: RAPL package caps, direct DVFS
+//!   (used for the paper's Fig. 5 comparison) and DDCM-only;
+//! - [`daemon`]: the 1 Hz control loop as a [`simnode::SimAgent`];
+//! - [`policies`]: the paper's *envisioned* NRM policies (§II): pick the
+//!   technique with the least predicted progress impact under a shrinking
+//!   budget, using the `powermodel` predictor;
+//! - [`composition`]: the future-work extension for Category-3
+//!   applications — progress as a weighted combination of per-component
+//!   progress (§VI.3).
+
+pub mod actuator;
+pub mod composition;
+pub mod daemon;
+pub mod job;
+pub mod policies;
+pub mod scheme;
+
+pub use actuator::{Actuator, ActuatorKind};
+pub use composition::CompositeProgress;
+pub use daemon::NrmDaemon;
+pub use job::{JobPolicy, JobPowerManager, ManagedNode, NodeStatus};
+pub use policies::{choose_strategy, ramp_plan, FreqPowerPoint, RateCurve, Strategy};
+pub use scheme::{
+    CapSchedule, ConstantCap, JaggedEdge, LinearDecay, PriorityPreemption, StepFunction, Uncapped,
+};

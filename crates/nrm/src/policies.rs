@@ -1,0 +1,260 @@
+//! Envisioned NRM policies (paper §II).
+//!
+//! The paper motivates progress monitoring with two node-level policies:
+//! "the NRM receives gradually decreasing power budgets and chooses the
+//! optimal strategy that respects the power budget with the least impact
+//! on performance", and a hard immediate cap for preempted low-priority
+//! jobs. With the `powermodel` predictor in hand both become computable.
+//! [`choose_strategy`] picks, for a given budget, the technique with the
+//! smallest predicted progress loss; [`ramp_plan`] applies it along a
+//! decreasing budget sequence.
+
+use powermodel::eqs::eq3_progress_at_freq;
+use powermodel::predict::ProgressModel;
+use serde::{Deserialize, Serialize};
+
+use crate::actuator::ActuatorKind;
+
+/// A calibration point for the DVFS technique: running at `f_mhz` draws
+/// `package_w` watts (measured by a frequency sweep of the target app).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FreqPowerPoint {
+    /// Core frequency, MHz.
+    pub f_mhz: f64,
+    /// Package power at that frequency, W.
+    pub package_w: f64,
+}
+
+/// The strategy the policy selected.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Strategy {
+    /// Which knob to use.
+    pub actuator: ActuatorKind,
+    /// For DVFS: the frequency to pin, MHz.
+    pub dvfs_mhz: Option<f64>,
+    /// Predicted progress rate under the budget, app units/s.
+    pub predicted_rate: f64,
+}
+
+/// A measured progress-vs-power response curve, sorted by watts.
+/// Used to override the analytic model with observed RAPL behaviour —
+/// the paper's Fig. 5 shows the model's optimism about RAPL on
+/// memory-bound codes, so a policy relying on Eq. 7 alone would pick
+/// RAPL where DVFS is measurably better.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateCurve {
+    points: Vec<(f64, f64)>,
+}
+
+impl RateCurve {
+    /// Build from `(watts, rate)` samples.
+    ///
+    /// # Panics
+    /// Panics if empty or not strictly increasing in watts.
+    pub fn new(mut points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "need at least one sample");
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        assert!(
+            points.windows(2).all(|w| w[0].0 < w[1].0),
+            "duplicate watt samples"
+        );
+        Self { points }
+    }
+
+    /// Linearly interpolated rate at `watts`, clamped at the ends.
+    pub fn rate_at(&self, watts: f64) -> f64 {
+        let p = &self.points;
+        if watts <= p[0].0 {
+            return p[0].1;
+        }
+        if watts >= p[p.len() - 1].0 {
+            return p[p.len() - 1].1;
+        }
+        let i = p.partition_point(|&(w, _)| w <= watts);
+        let (w0, r0) = p[i - 1];
+        let (w1, r1) = p[i];
+        r0 + (watts - w0) / (w1 - w0) * (r1 - r0)
+    }
+}
+
+/// Choose the technique with the least predicted progress impact under
+/// `budget_w`.
+///
+/// - RAPL is always applicable; its rate comes from measured data when
+///   `measured_rapl` is given, else from the paper's model (Eq. 7 via
+///   [`ProgressModel::predict_rate`]) — note the model is *optimistic*
+///   about RAPL (it assumes pure core DVFS), so supplying measurements
+///   matters for memory-bound codes (paper Fig. 5).
+/// - Direct DVFS is applicable only where some ladder point draws at most
+///   the budget (Fig. 5's "range that it is applicable in"); its rate
+///   comes from Eq. 1/3 at the chosen frequency.
+///
+/// # Panics
+/// Panics if `freq_power` is empty or the budget is non-positive.
+pub fn choose_strategy(
+    model: &ProgressModel,
+    freq_power: &[FreqPowerPoint],
+    fmax_mhz: f64,
+    budget_w: f64,
+    measured_rapl: Option<&RateCurve>,
+) -> Strategy {
+    assert!(!freq_power.is_empty(), "need a frequency/power calibration");
+    assert!(budget_w > 0.0, "budget must be positive");
+
+    let rapl = Strategy {
+        actuator: ActuatorKind::Rapl,
+        dvfs_mhz: None,
+        predicted_rate: measured_rapl
+            .map(|c| c.rate_at(budget_w))
+            .unwrap_or_else(|| model.predict_rate(budget_w)),
+    };
+
+    // Highest calibrated frequency whose measured package power fits.
+    let dvfs = freq_power
+        .iter()
+        .filter(|p| p.package_w <= budget_w)
+        .max_by(|a, b| a.f_mhz.total_cmp(&b.f_mhz))
+        .map(|p| Strategy {
+            actuator: ActuatorKind::DirectDvfs,
+            dvfs_mhz: Some(p.f_mhz),
+            predicted_rate: eq3_progress_at_freq(model.r_max, model.beta, fmax_mhz, p.f_mhz),
+        });
+
+    match dvfs {
+        Some(d) if d.predicted_rate > rapl.predicted_rate => d,
+        _ => rapl,
+    }
+}
+
+/// Apply [`choose_strategy`] along a decreasing budget sequence; returns
+/// one strategy per budget.
+pub fn ramp_plan(
+    model: &ProgressModel,
+    freq_power: &[FreqPowerPoint],
+    fmax_mhz: f64,
+    budgets: &[f64],
+    measured_rapl: Option<&RateCurve>,
+) -> Vec<Strategy> {
+    budgets
+        .iter()
+        .map(|&b| choose_strategy(model, freq_power, fmax_mhz, b, measured_rapl))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// STREAM-like: β = 0.37, memory power keeps the package draw high
+    /// even at low frequency.
+    fn stream_model() -> ProgressModel {
+        ProgressModel::from_uncapped_run(0.37, 2.0, 119.0, 16.0)
+    }
+
+    fn stream_freq_power() -> Vec<FreqPowerPoint> {
+        // Package power falls slowly with f (uncore dominates).
+        vec![
+            FreqPowerPoint {
+                f_mhz: 1200.0,
+                package_w: 88.0,
+            },
+            FreqPowerPoint {
+                f_mhz: 2000.0,
+                package_w: 98.0,
+            },
+            FreqPowerPoint {
+                f_mhz: 2800.0,
+                package_w: 110.0,
+            },
+            FreqPowerPoint {
+                f_mhz: 3300.0,
+                package_w: 119.0,
+            },
+        ]
+    }
+
+    /// Measured STREAM progress under RAPL caps (Fig. 5 shape: RAPL hurts
+    /// STREAM more than the model admits, because it throttles the uncore).
+    fn measured_rapl_curve() -> RateCurve {
+        RateCurve::new(vec![(60.0, 6.0), (80.0, 9.0), (100.0, 12.0), (119.0, 16.0)])
+    }
+
+    #[test]
+    fn model_only_policy_is_fooled_into_rapl() {
+        // The Eq. 7 model is optimistic about RAPL (it assumes pure core
+        // DVFS), so without measurements the policy prefers RAPL even for
+        // STREAM — the pitfall Fig. 5 exposes.
+        let m = stream_model();
+        let s = choose_strategy(&m, &stream_freq_power(), 3300.0, 100.0, None);
+        assert_eq!(s.actuator, ActuatorKind::Rapl);
+    }
+
+    #[test]
+    fn dvfs_wins_for_stream_with_measured_rapl_data() {
+        // Paper Fig. 5: "DVFS performs better in the range that it is
+        // applicable in."
+        let m = stream_model();
+        let curve = measured_rapl_curve();
+        let s = choose_strategy(&m, &stream_freq_power(), 3300.0, 100.0, Some(&curve));
+        assert_eq!(s.actuator, ActuatorKind::DirectDvfs);
+        assert_eq!(s.dvfs_mhz, Some(2000.0));
+        // Measured RAPL at 100 W (12/s) loses to DVFS at 2000 MHz (~12.9/s).
+        assert!(s.predicted_rate > 12.0);
+    }
+
+    #[test]
+    fn rapl_is_the_fallback_below_dvfs_range() {
+        let m = stream_model();
+        let curve = measured_rapl_curve();
+        let s = choose_strategy(&m, &stream_freq_power(), 3300.0, 70.0, Some(&curve));
+        assert_eq!(s.actuator, ActuatorKind::Rapl);
+    }
+
+    #[test]
+    fn ramp_plan_degrades_monotonically() {
+        let m = stream_model();
+        let budgets = [119.0, 110.0, 100.0, 90.0, 80.0, 70.0];
+        let plan = ramp_plan(&m, &stream_freq_power(), 3300.0, &budgets, None);
+        assert_eq!(plan.len(), budgets.len());
+        for w in plan.windows(2) {
+            assert!(
+                w[1].predicted_rate <= w[0].predicted_rate + 1e-9,
+                "predicted rate should not rise as the budget falls"
+            );
+        }
+    }
+
+    #[test]
+    fn rate_curve_interpolates_and_clamps() {
+        let c = measured_rapl_curve();
+        assert_eq!(c.rate_at(40.0), 6.0);
+        assert_eq!(c.rate_at(130.0), 16.0);
+        assert!((c.rate_at(90.0) - 10.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_bound_app_prefers_whichever_rate_is_higher() {
+        // For β = 1 the Eq. 3 DVFS prediction and the Eq. 7 RAPL
+        // prediction use the same β — RAPL's Eq. 5 split gives the core
+        // the full cap, so RAPL should be at least as good.
+        let m = ProgressModel::from_uncapped_run(1.0, 2.0, 155.0, 1080.0);
+        let fp = vec![
+            FreqPowerPoint {
+                f_mhz: 1200.0,
+                package_w: 45.0,
+            },
+            FreqPowerPoint {
+                f_mhz: 3300.0,
+                package_w: 155.0,
+            },
+        ];
+        let s = choose_strategy(&m, &fp, 3300.0, 100.0, None);
+        assert!(s.predicted_rate > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration")]
+    fn empty_calibration_rejected() {
+        choose_strategy(&stream_model(), &[], 3300.0, 100.0, None);
+    }
+}

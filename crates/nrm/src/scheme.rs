@@ -1,0 +1,267 @@
+//! Dynamic power-capping schedules (paper §V.B).
+//!
+//! A [`CapSchedule`] maps elapsed time since the daemon started to the
+//! package cap to program: `None` means uncapped. The three dynamic
+//! schemes are exactly the paper's:
+//!
+//! - **Linearly decreasing**: "initially, the power on the node is
+//!   uncapped, and a linearly decreasing power cap is applied until a
+//!   system or user-specified minimum value is reached."
+//! - **Step-function**: "the power cap on the node alternates between an
+//!   uncapped (or high value) and a low value."
+//! - **Jagged-edge**: "the power cap on the node linearly decreases from
+//!   an uncapped level to a low value and then goes back to an uncapped
+//!   level quickly."
+
+use simnode::time::Nanos;
+
+/// A time-varying package-cap schedule.
+pub trait CapSchedule: Send {
+    /// Cap at `elapsed` nanoseconds since schedule start; `None` = uncapped.
+    fn cap_at(&self, elapsed: Nanos) -> Option<f64>;
+}
+
+/// Never caps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Uncapped;
+
+impl CapSchedule for Uncapped {
+    fn cap_at(&self, _elapsed: Nanos) -> Option<f64> {
+        None
+    }
+}
+
+/// A fixed cap from t = 0.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantCap(pub f64);
+
+impl CapSchedule for ConstantCap {
+    fn cap_at(&self, _elapsed: Nanos) -> Option<f64> {
+        Some(self.0)
+    }
+}
+
+/// Uncapped for a lead-in, then a linear ramp from `from_w` down to
+/// `to_w`, then held at `to_w`.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearDecay {
+    /// Uncapped lead-in.
+    pub uncapped_for: Nanos,
+    /// Cap at the start of the ramp, W.
+    pub from_w: f64,
+    /// Minimum cap, W.
+    pub to_w: f64,
+    /// Ramp duration.
+    pub ramp: Nanos,
+}
+
+impl CapSchedule for LinearDecay {
+    fn cap_at(&self, elapsed: Nanos) -> Option<f64> {
+        if elapsed < self.uncapped_for {
+            return None;
+        }
+        let into = elapsed - self.uncapped_for;
+        if into >= self.ramp {
+            return Some(self.to_w);
+        }
+        let frac = into as f64 / self.ramp as f64;
+        Some(self.from_w + frac * (self.to_w - self.from_w))
+    }
+}
+
+/// Alternates between a high level (possibly uncapped) and a low cap.
+///
+/// ```
+/// use nrm::scheme::{CapSchedule, StepFunction};
+/// use simnode::time::SEC;
+///
+/// let s = StepFunction::half_half(60.0, 20 * SEC);
+/// assert_eq!(s.cap_at(5 * SEC), None);        // uncapped phase
+/// assert_eq!(s.cap_at(15 * SEC), Some(60.0)); // capped phase
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct StepFunction {
+    /// High level; `None` = uncapped.
+    pub high_w: Option<f64>,
+    /// Low cap, W.
+    pub low_w: f64,
+    /// Full period (high phase + low phase).
+    pub period: Nanos,
+    /// Fraction of the period spent at the high level, in (0, 1).
+    pub high_fraction: f64,
+}
+
+impl StepFunction {
+    /// The paper's measurement shape: uncapped, then capped — half/half.
+    pub fn half_half(low_w: f64, period: Nanos) -> Self {
+        Self {
+            high_w: None,
+            low_w,
+            period,
+            high_fraction: 0.5,
+        }
+    }
+}
+
+impl CapSchedule for StepFunction {
+    fn cap_at(&self, elapsed: Nanos) -> Option<f64> {
+        let into = elapsed % self.period;
+        let high_len = (self.period as f64 * self.high_fraction) as Nanos;
+        if into < high_len {
+            self.high_w
+        } else {
+            Some(self.low_w)
+        }
+    }
+}
+
+/// Sawtooth: from `high_w` (or uncapped at the very start of each tooth)
+/// linearly down to `low_w` over `decay`, then instantly back up.
+#[derive(Debug, Clone, Copy)]
+pub struct JaggedEdge {
+    /// Cap at the top of each tooth, W; `None` starts each tooth uncapped
+    /// (the first schedule sample then reports no cap).
+    pub high_w: f64,
+    /// Cap at the bottom of each tooth, W.
+    pub low_w: f64,
+    /// Tooth duration.
+    pub decay: Nanos,
+}
+
+impl CapSchedule for JaggedEdge {
+    fn cap_at(&self, elapsed: Nanos) -> Option<f64> {
+        let into = elapsed % self.decay;
+        let frac = into as f64 / self.decay as f64;
+        Some(self.high_w + frac * (self.low_w - self.high_w))
+    }
+}
+
+/// The paper's second envisioned policy (§II): "a large, high-priority
+/// job begins executing elsewhere on the system, and the power budget for
+/// the currently executing low-priority job is reduced. The NRM responds
+/// ... by implementing a hard, immediate power cap on the node."
+#[derive(Debug, Clone, Copy)]
+pub struct PriorityPreemption {
+    /// When the high-priority job arrives (elapsed time).
+    pub preempt_at: Nanos,
+    /// Hard cap while preempted, W.
+    pub hard_cap_w: f64,
+    /// When the high-priority job departs; `None` = never.
+    pub release_at: Option<Nanos>,
+}
+
+impl CapSchedule for PriorityPreemption {
+    fn cap_at(&self, elapsed: Nanos) -> Option<f64> {
+        if elapsed < self.preempt_at {
+            return None;
+        }
+        match self.release_at {
+            Some(r) if elapsed >= r => None,
+            _ => Some(self.hard_cap_w),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnode::time::SEC;
+
+    #[test]
+    fn linear_decay_shape() {
+        let s = LinearDecay {
+            uncapped_for: 10 * SEC,
+            from_w: 150.0,
+            to_w: 50.0,
+            ramp: 100 * SEC,
+        };
+        assert_eq!(s.cap_at(0), None);
+        assert_eq!(s.cap_at(9 * SEC), None);
+        assert_eq!(s.cap_at(10 * SEC), Some(150.0));
+        let mid = s.cap_at(60 * SEC).unwrap();
+        assert!((mid - 100.0).abs() < 1e-9);
+        assert_eq!(s.cap_at(200 * SEC), Some(50.0));
+    }
+
+    #[test]
+    fn linear_decay_is_monotone_non_increasing() {
+        let s = LinearDecay {
+            uncapped_for: SEC,
+            from_w: 140.0,
+            to_w: 40.0,
+            ramp: 50 * SEC,
+        };
+        let mut prev = f64::INFINITY;
+        for t in (1..=60).map(|i| i * SEC) {
+            if let Some(c) = s.cap_at(t) {
+                assert!(c <= prev + 1e-9);
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn step_function_alternates() {
+        let s = StepFunction::half_half(60.0, 20 * SEC);
+        assert_eq!(s.cap_at(0), None);
+        assert_eq!(s.cap_at(9 * SEC), None);
+        assert_eq!(s.cap_at(10 * SEC), Some(60.0));
+        assert_eq!(s.cap_at(19 * SEC), Some(60.0));
+        assert_eq!(s.cap_at(20 * SEC), None, "wraps to the high phase");
+    }
+
+    #[test]
+    fn step_function_supports_high_low_pairs() {
+        let s = StepFunction {
+            high_w: Some(120.0),
+            low_w: 60.0,
+            period: 10 * SEC,
+            high_fraction: 0.3,
+        };
+        assert_eq!(s.cap_at(SEC), Some(120.0));
+        assert_eq!(s.cap_at(5 * SEC), Some(60.0));
+    }
+
+    #[test]
+    fn jagged_edge_sawtooth_resets() {
+        let s = JaggedEdge {
+            high_w: 150.0,
+            low_w: 50.0,
+            decay: 30 * SEC,
+        };
+        assert_eq!(s.cap_at(0), Some(150.0));
+        let near_bottom = s.cap_at(30 * SEC - 1).unwrap();
+        assert!((near_bottom - 50.0).abs() < 1.0);
+        // Instant snap back at the tooth boundary.
+        assert_eq!(s.cap_at(30 * SEC), Some(150.0));
+    }
+
+    #[test]
+    fn priority_preemption_is_a_hard_immediate_cap() {
+        let s = PriorityPreemption {
+            preempt_at: 30 * SEC,
+            hard_cap_w: 55.0,
+            release_at: Some(90 * SEC),
+        };
+        assert_eq!(s.cap_at(29 * SEC), None);
+        assert_eq!(s.cap_at(30 * SEC), Some(55.0));
+        assert_eq!(s.cap_at(89 * SEC), Some(55.0));
+        assert_eq!(s.cap_at(90 * SEC), None, "budget restored on departure");
+        let forever = PriorityPreemption {
+            preempt_at: SEC,
+            hard_cap_w: 55.0,
+            release_at: None,
+        };
+        assert_eq!(forever.cap_at(1000 * SEC), Some(55.0));
+    }
+
+    #[test]
+    fn schedules_are_object_safe() {
+        let schedules: Vec<Box<dyn CapSchedule>> = vec![
+            Box::new(Uncapped),
+            Box::new(ConstantCap(80.0)),
+            Box::new(StepFunction::half_half(60.0, 20 * SEC)),
+        ];
+        assert_eq!(schedules[1].cap_at(5 * SEC), Some(80.0));
+    }
+}

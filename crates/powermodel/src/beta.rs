@@ -1,0 +1,70 @@
+//! The β compute-boundedness metric.
+//!
+//! β ∈ [0, 1] measures how compute-bound an application is (Hsu & Kremer;
+//! paper §IV.A). The paper computes it from execution times at the maximum
+//! frequency (3300 MHz) and at 1600 MHz by inverting Eq. (1):
+//!
+//! `β = (T(f)/T(f_max) − 1) / (f_max/f − 1)`
+
+/// Compute β from execution times at two frequencies (MHz).
+///
+/// `t_f` is the execution time at the reduced frequency `f_mhz`; `t_fmax`
+/// the time at `fmax_mhz`. The result is clamped into [0, 1]: measurement
+/// noise can push the raw value slightly outside the physical range (the
+/// paper itself reports LAMMPS at exactly 1.00).
+///
+/// # Panics
+/// Panics if times are non-positive or `f_mhz >= fmax_mhz`.
+pub fn beta_from_times(t_f: f64, t_fmax: f64, f_mhz: f64, fmax_mhz: f64) -> f64 {
+    assert!(t_f > 0.0 && t_fmax > 0.0, "times must be positive");
+    assert!(
+        f_mhz > 0.0 && f_mhz < fmax_mhz,
+        "reduced frequency must be below fmax"
+    );
+    let raw = (t_f / t_fmax - 1.0) / (fmax_mhz / f_mhz - 1.0);
+    raw.clamp(0.0, 1.0)
+}
+
+/// Compute β from *progress rates* instead of times (progress is
+/// inversely proportional to time, paper Eq. (3)), which is how the
+/// harness measures it online.
+pub fn beta_from_rates(r_f: f64, r_fmax: f64, f_mhz: f64, fmax_mhz: f64) -> f64 {
+    assert!(r_f > 0.0 && r_fmax > 0.0, "rates must be positive");
+    beta_from_times(1.0 / r_f, 1.0 / r_fmax, f_mhz, fmax_mhz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eqs::eq1_time_ratio;
+
+    #[test]
+    fn inverts_eq1_exactly() {
+        for &b in &[0.0, 0.37, 0.52, 0.84, 1.0] {
+            let ratio = eq1_time_ratio(b, 3300.0, 1600.0);
+            let got = beta_from_times(ratio * 7.0, 7.0, 1600.0, 3300.0);
+            assert!((got - b).abs() < 1e-12, "beta {b} roundtrip gave {got}");
+        }
+    }
+
+    #[test]
+    fn clamps_noise_outside_unit_interval() {
+        // Time *decreasing* at lower frequency (impossible, i.e. noise).
+        assert_eq!(beta_from_times(0.9, 1.0, 1600.0, 3300.0), 0.0);
+        // Super-linear slowdown clamps to 1.
+        assert_eq!(beta_from_times(10.0, 1.0, 1600.0, 3300.0), 1.0);
+    }
+
+    #[test]
+    fn rates_and_times_agree() {
+        let b_t = beta_from_times(1.4, 1.0, 1600.0, 3300.0);
+        let b_r = beta_from_rates(1.0 / 1.4, 1.0, 1600.0, 3300.0);
+        assert!((b_t - b_r).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "below fmax")]
+    fn rejects_inverted_frequencies() {
+        beta_from_times(1.0, 1.0, 3300.0, 1600.0);
+    }
+}

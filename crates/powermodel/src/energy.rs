@@ -1,0 +1,148 @@
+//! Energy-efficiency predictions derived from the progress model.
+//!
+//! The paper's motivation is performance under a power *budget*, but the
+//! same model answers the energy question a power-constrained center pays
+//! for: energy per unit of science. Under a package cap `P_cap`, the
+//! package consumes `min(P_cap, P_uncapped)` watts while progressing at
+//! `r(P_cap)` units/s (Eq. 4 via Eq. 5), so
+//!
+//! `E(P_cap) = min(P_cap, P_pkg) / r(P_cap)`  (joules per work unit).
+//!
+//! With α > 1, power falls faster than progress near the top of the
+//! range, so mild caps *reduce* energy per unit — the classic
+//! energy/performance trade the CANDLE extension experiment measures
+//! empirically (`powerprog-core::experiments::candle_ext`).
+
+use crate::predict::ProgressModel;
+
+/// Energy per unit of progress under a package cap, J per work unit.
+///
+/// `pkg_uncapped_w` is the application's uncapped package draw (caps above
+/// it change nothing).
+///
+/// # Panics
+/// Panics if powers are non-positive.
+pub fn energy_per_unit(model: &ProgressModel, pkg_uncapped_w: f64, p_cap: f64) -> f64 {
+    assert!(
+        pkg_uncapped_w > 0.0 && p_cap > 0.0,
+        "powers must be positive"
+    );
+    let power = p_cap.min(pkg_uncapped_w);
+    power / model.predict_rate(p_cap)
+}
+
+/// Find the cap minimizing predicted energy per unit, over a grid between
+/// `min_cap` and the uncapped draw. Returns `(cap, energy_per_unit)`.
+///
+/// # Panics
+/// Panics if the range is empty or non-positive.
+pub fn most_efficient_cap(
+    model: &ProgressModel,
+    pkg_uncapped_w: f64,
+    min_cap_w: f64,
+) -> (f64, f64) {
+    assert!(
+        0.0 < min_cap_w && min_cap_w < pkg_uncapped_w,
+        "bad cap range"
+    );
+    let mut best = (
+        pkg_uncapped_w,
+        energy_per_unit(model, pkg_uncapped_w, pkg_uncapped_w),
+    );
+    let steps = 200;
+    for i in 0..=steps {
+        let cap = min_cap_w + (pkg_uncapped_w - min_cap_w) * i as f64 / steps as f64;
+        let e = energy_per_unit(model, pkg_uncapped_w, cap);
+        if e < best.1 {
+            best = (cap, e);
+        }
+    }
+    best
+}
+
+/// Predicted energy-delay product (EDP) per unit of work under a cap:
+/// `E/unit × time/unit = P / r²`. Lower is better; EDP penalizes slowdown
+/// more than plain energy.
+pub fn edp_per_unit(model: &ProgressModel, pkg_uncapped_w: f64, p_cap: f64) -> f64 {
+    let r = model.predict_rate(p_cap);
+    p_cap.min(pkg_uncapped_w) / (r * r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::PAPER_ALPHA;
+
+    fn candle_like() -> (ProgressModel, f64) {
+        // β = 0.9, 150 W uncapped, 0.286 epochs/s.
+        let pkg = 150.0;
+        (
+            ProgressModel::from_uncapped_run(0.9, PAPER_ALPHA, pkg, 0.286),
+            pkg,
+        )
+    }
+
+    #[test]
+    fn mild_caps_reduce_energy_per_unit_for_alpha_above_one() {
+        let (m, pkg) = candle_like();
+        let uncapped = energy_per_unit(&m, pkg, pkg);
+        let mild = energy_per_unit(&m, pkg, 110.0);
+        assert!(
+            mild < uncapped,
+            "110 W cap should be more efficient: {mild:.1} vs {uncapped:.1} J/unit"
+        );
+    }
+
+    #[test]
+    fn caps_above_uncapped_draw_change_nothing() {
+        let (m, pkg) = candle_like();
+        let a = energy_per_unit(&m, pkg, pkg * 2.0);
+        let b = energy_per_unit(&m, pkg, pkg);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_per_unit_is_monotone_under_the_alpha2_model() {
+        // Analytically, E(cap) ∝ β√(P_pkg·cap) + (1−β)·cap for α = 2 —
+        // monotone increasing in the cap, so capping always saves energy
+        // per unit and the optimum pins at the low end of the search
+        // range. (The *empirical* CANDLE sweep shows the same monotone
+        // trend; see `powerprog-core::experiments::candle_ext`.)
+        let (m, pkg) = candle_like();
+        let mut prev = 0.0;
+        for cap in [40.0, 60.0, 80.0, 100.0, 120.0, 150.0] {
+            let e = energy_per_unit(&m, pkg, cap);
+            assert!(e > prev, "E/unit must rise with the cap");
+            prev = e;
+        }
+        let (cap, e) = most_efficient_cap(&m, pkg, 40.0);
+        assert!((cap - 40.0).abs() < 1e-9, "optimum pins at min cap: {cap}");
+        assert!(e < energy_per_unit(&m, pkg, pkg));
+    }
+
+    #[test]
+    fn edp_penalizes_deep_caps_more_than_energy() {
+        let (m, pkg) = candle_like();
+        // Going from 110 W to 60 W: energy may still fall, EDP must rise
+        // faster (relative to its 110 W value) than energy does.
+        let e_ratio = energy_per_unit(&m, pkg, 60.0) / energy_per_unit(&m, pkg, 110.0);
+        let edp_ratio = edp_per_unit(&m, pkg, 60.0) / edp_per_unit(&m, pkg, 110.0);
+        assert!(edp_ratio > e_ratio);
+    }
+
+    #[test]
+    fn memory_bound_codes_always_save_energy_by_capping() {
+        // β → 0: progress is cap-insensitive, so energy/unit ∝ cap.
+        let pkg = 120.0;
+        let m = ProgressModel::from_uncapped_run(0.05, PAPER_ALPHA, pkg, 16.0);
+        let (cap, _) = most_efficient_cap(&m, pkg, 30.0);
+        assert!(cap < 40.0, "optimum pinned at the low end: {cap:.0} W");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad cap range")]
+    fn degenerate_range_rejected() {
+        let (m, pkg) = candle_like();
+        most_efficient_cap(&m, pkg, pkg + 10.0);
+    }
+}

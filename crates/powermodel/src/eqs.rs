@@ -1,0 +1,181 @@
+//! Equations (1)–(7) of the paper, verbatim.
+//!
+//! Notation follows the paper: `β` is compute-boundedness (1 = ideally
+//! compute bound), `f_max` the nominal maximum frequency, `α` the exponent
+//! of the core power law `P_core ∝ f^α` (between 1 and 3 in the cited
+//! literature; the paper assumes 2), `P_coremax` the core power at `f_max`,
+//! `r(·)` the progress rate.
+
+/// **Eq. (1)** — impact of frequency scaling on execution time
+/// (Etinski et al.): `T(f)/T(f_max) = β·(f_max/f − 1) + 1`.
+///
+/// # Panics
+/// Panics unless `0 ≤ β ≤ 1` and both frequencies are positive.
+pub fn eq1_time_ratio(beta: f64, f_max: f64, f: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
+    assert!(f_max > 0.0 && f > 0.0, "frequencies must be positive");
+    beta * (f_max / f - 1.0) + 1.0
+}
+
+/// **Eq. (2)** — core power law: `P_core ∝ f^α`. Returns the frequency
+/// ratio `f/f_max` implied by a core power ratio `P_core/P_coremax`.
+pub fn eq2_freq_ratio_from_power(p_core: f64, p_coremax: f64, alpha: f64) -> f64 {
+    assert!(p_core > 0.0 && p_coremax > 0.0, "powers must be positive");
+    assert!(alpha > 0.0, "alpha must be positive");
+    (p_core / p_coremax).powf(1.0 / alpha)
+}
+
+/// **Eq. (3)** — progress is inversely proportional to execution time:
+/// given `r(f_max)` and the Eq. (1) time ratio, return `r(f)`.
+pub fn eq3_progress_at_freq(r_max: f64, beta: f64, f_max: f64, f: f64) -> f64 {
+    r_max / eq1_time_ratio(beta, f_max, f)
+}
+
+/// **Eq. (4)** — progress at a core power level, after the change of
+/// variable through Eq. (2):
+/// `r(P_core) = r(P_coremax) / (β·((P_coremax/P_core)^{1/α} − 1) + 1)`.
+pub fn eq4_progress_at_core_power(
+    r_max: f64,
+    beta: f64,
+    alpha: f64,
+    p_coremax: f64,
+    p_core: f64,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
+    assert!(p_core > 0.0 && p_coremax > 0.0, "powers must be positive");
+    assert!(alpha > 0.0, "alpha must be positive");
+    r_max / (beta * ((p_coremax / p_core).powf(1.0 / alpha) - 1.0) + 1.0)
+}
+
+/// **Eq. (5)** — RAPL's assumed application-aware split: the effective
+/// core budget under a package cap is `P_corecap = β · P_cap`.
+pub fn eq5_corecap(beta: f64, p_cap: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
+    assert!(p_cap > 0.0, "cap must be positive");
+    beta * p_cap
+}
+
+/// **Eq. (6)** — the core is assumed to consume its whole budget:
+/// `P_core ≈ P_corecap`. Identity, kept for completeness/documentation.
+pub fn eq6_core_power(p_corecap: f64) -> f64 {
+    p_corecap
+}
+
+/// **Eq. (7)** — the model's headline output, the *change in progress*
+/// when a core cap `P_corecap` is applied from the uncapped state:
+/// `δ = r(P_coremax) · [1 − 1/(β·((P_coremax/P_corecap)^{1/α} − 1) + 1)]`.
+pub fn eq7_delta_progress(
+    r_max: f64,
+    beta: f64,
+    alpha: f64,
+    p_coremax: f64,
+    p_corecap: f64,
+) -> f64 {
+    r_max - eq4_progress_at_core_power(r_max, beta, alpha, p_coremax, p_corecap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_identity_at_fmax() {
+        assert_eq!(eq1_time_ratio(0.7, 3300.0, 3300.0), 1.0);
+    }
+
+    #[test]
+    fn eq1_pure_compute_scales_linearly_with_inverse_frequency() {
+        // β = 1: halving frequency doubles time.
+        let r = eq1_time_ratio(1.0, 3300.0, 1650.0);
+        assert!((r - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq1_pure_memory_is_frequency_insensitive() {
+        let r = eq1_time_ratio(0.0, 3300.0, 1200.0);
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn eq1_matches_papers_stream_example() {
+        // STREAM β = 0.37 at 1600 vs 3300 MHz → T ratio ≈ 1.393.
+        let r = eq1_time_ratio(0.37, 3300.0, 1600.0);
+        assert!((r - 1.3931).abs() < 1e-3, "got {r}");
+    }
+
+    #[test]
+    fn eq2_alpha_two_is_square_root() {
+        let ratio = eq2_freq_ratio_from_power(50.0, 100.0, 2.0);
+        assert!((ratio - 0.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq3_progress_halves_when_time_doubles() {
+        let r = eq3_progress_at_freq(100.0, 1.0, 3300.0, 1650.0);
+        assert!((r - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq4_uncapped_returns_r_max() {
+        let r = eq4_progress_at_core_power(42.0, 0.8, 2.0, 110.0, 110.0);
+        assert!((r - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq4_monotone_in_core_power() {
+        let mut prev = 0.0;
+        for p in [20.0, 40.0, 60.0, 80.0, 100.0] {
+            let r = eq4_progress_at_core_power(1.0, 0.8, 2.0, 100.0, p);
+            assert!(r > prev, "progress must increase with core power");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn eq5_scales_cap_by_beta() {
+        assert!((eq5_corecap(0.37, 100.0) - 37.0).abs() < 1e-12);
+        assert_eq!(eq5_corecap(1.0, 80.0), 80.0);
+    }
+
+    #[test]
+    fn eq7_is_r_max_minus_eq4() {
+        let (r_max, beta, alpha, pmax, pcap) = (10.0, 0.84, 2.0, 120.0, 60.0);
+        let d = eq7_delta_progress(r_max, beta, alpha, pmax, pcap);
+        let r = eq4_progress_at_core_power(r_max, beta, alpha, pmax, pcap);
+        assert!((d - (r_max - r)).abs() < 1e-12);
+        assert!(d > 0.0 && d < r_max);
+    }
+
+    #[test]
+    fn eq7_zero_at_uncapped_power() {
+        assert!(eq7_delta_progress(10.0, 0.9, 2.0, 100.0, 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq7_memory_bound_app_barely_affected() {
+        // β → 0: capping the core should not change progress.
+        let d = eq7_delta_progress(10.0, 0.0, 2.0, 100.0, 20.0);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn higher_alpha_predicts_smaller_impact() {
+        // A higher α means frequency falls more slowly with power, so the
+        // predicted progress loss shrinks.
+        let d2 = eq7_delta_progress(1.0, 1.0, 2.0, 100.0, 50.0);
+        let d3 = eq7_delta_progress(1.0, 1.0, 3.0, 100.0, 50.0);
+        assert!(d3 < d2);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in [0,1]")]
+    fn eq1_rejects_bad_beta() {
+        eq1_time_ratio(1.2, 3300.0, 1600.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "powers must be positive")]
+    fn eq4_rejects_zero_power() {
+        eq4_progress_at_core_power(1.0, 0.5, 2.0, 100.0, 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error metrics used in the paper's evaluation (§VI.2).
+//!
+//! The paper quotes per-cap percentage errors of the predicted change in
+//! progress against the measured value ("the model predicts the impact ...
+//! to within 13.3% of its experimentally observed value") and reports
+//! whether the model over- or under-estimates. These helpers compute those
+//! quantities uniformly for the Fig. 4 reproduction.
+
+use serde::{Deserialize, Serialize};
+
+/// Percentage error of `predicted` against `measured`, relative to the
+/// measured value: `100 · (predicted − measured) / |measured|`.
+/// Positive = overestimate, negative = underestimate.
+///
+/// Returns `f64::INFINITY`-free output: when `measured` is (near) zero the
+/// error is reported against a small floor to keep tables printable, as is
+/// conventional when the measured change vanishes.
+pub fn pct_error(predicted: f64, measured: f64) -> f64 {
+    let denom = measured.abs().max(1e-12);
+    100.0 * (predicted - measured) / denom
+}
+
+/// Mean absolute percentage error over paired samples.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn mean_absolute_pct_error(predicted: &[f64], measured: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), measured.len(), "length mismatch");
+    assert!(!predicted.is_empty(), "no samples");
+    predicted
+        .iter()
+        .zip(measured)
+        .map(|(&p, &m)| pct_error(p, m).abs())
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Direction of a model error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bias {
+    /// Model predicts a larger impact than measured.
+    Overestimate,
+    /// Model predicts a smaller impact than measured.
+    Underestimate,
+    /// Within the tolerance band.
+    Neutral,
+}
+
+/// Classify the bias of a prediction with a tolerance in percent.
+pub fn bias(predicted: f64, measured: f64, tol_pct: f64) -> Bias {
+    let e = pct_error(predicted, measured);
+    if e > tol_pct {
+        Bias::Overestimate
+    } else if e < -tol_pct {
+        Bias::Underestimate
+    } else {
+        Bias::Neutral
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_error_direction() {
+        assert!((pct_error(113.3, 100.0) - 13.3).abs() < 1e-9);
+        assert!((pct_error(81.0, 100.0) + 19.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mape_averages_absolute_errors() {
+        let e = mean_absolute_pct_error(&[110.0, 90.0], &[100.0, 100.0]);
+        assert!((e - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_measured_does_not_explode() {
+        let e = pct_error(0.0, 0.0);
+        assert!(e.is_finite());
+        assert_eq!(e, 0.0);
+    }
+
+    #[test]
+    fn bias_classification() {
+        assert_eq!(bias(150.0, 100.0, 5.0), Bias::Overestimate);
+        assert_eq!(bias(60.0, 100.0, 5.0), Bias::Underestimate);
+        assert_eq!(bias(102.0, 100.0, 5.0), Bias::Neutral);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mape_rejects_mismatched_slices() {
+        mean_absolute_pct_error(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Fitting the α exponent from measured data.
+//!
+//! The paper fixes α = 2 but observes that "this value varies between 1
+//! and 4 depending on the range of the power cap being applied" and
+//! suggests parameterizing RAPL (§VI.3). This module implements that
+//! future-work item: given measured `(P_corecap, Δprogress)` points and a
+//! characterized application, find the α minimizing the sum of squared
+//! prediction errors by golden-section search (the objective is smooth and
+//! unimodal in α over the physical range).
+
+use crate::predict::ProgressModel;
+
+/// Physical search range for α, per the literature cited by the paper
+/// (Yu et al.: 1 ≤ α ≤ 3) widened to the 1–4 band the paper observed.
+pub const ALPHA_RANGE: (f64, f64) = (0.5, 4.5);
+
+/// Sum of squared errors of the model with exponent `alpha` on the data.
+fn sse(model: &ProgressModel, alpha: f64, data: &[(f64, f64)]) -> f64 {
+    let m = ProgressModel { alpha, ..*model };
+    data.iter()
+        .map(|&(p_corecap, measured_delta)| {
+            let d = m.predict_delta_at_corecap(p_corecap);
+            (d - measured_delta) * (d - measured_delta)
+        })
+        .sum()
+}
+
+/// Fit α to measured `(P_corecap, Δprogress)` pairs, returning the best
+/// exponent and its SSE.
+///
+/// # Panics
+/// Panics if `data` is empty.
+pub fn fit_alpha(model: &ProgressModel, data: &[(f64, f64)]) -> (f64, f64) {
+    assert!(!data.is_empty(), "cannot fit alpha without data");
+    let (mut lo, mut hi) = ALPHA_RANGE;
+    let phi = (5.0f64.sqrt() - 1.0) / 2.0;
+    let mut c = hi - phi * (hi - lo);
+    let mut d = lo + phi * (hi - lo);
+    let mut fc = sse(model, c, data);
+    let mut fd = sse(model, d, data);
+    for _ in 0..80 {
+        if fc < fd {
+            hi = d;
+            d = c;
+            fd = fc;
+            c = hi - phi * (hi - lo);
+            fc = sse(model, c, data);
+        } else {
+            lo = c;
+            c = d;
+            fc = fd;
+            d = lo + phi * (hi - lo);
+            fd = sse(model, d, data);
+        }
+        if hi - lo < 1e-6 {
+            break;
+        }
+    }
+    let alpha = 0.5 * (lo + hi);
+    (alpha, sse(model, alpha, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth_data(model: &ProgressModel, alpha_true: f64, noise: f64) -> Vec<(f64, f64)> {
+        let truth = ProgressModel {
+            alpha: alpha_true,
+            ..*model
+        };
+        (1..=10)
+            .map(|i| {
+                let p = model.p_coremax * i as f64 / 12.0;
+                let mut d = truth.predict_delta_at_corecap(p);
+                // Deterministic pseudo-noise, alternating sign.
+                d *= 1.0 + noise * if i % 2 == 0 { 1.0 } else { -1.0 };
+                (p, d)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_true_alpha_from_clean_data() {
+        let m = ProgressModel::new(0.84, 2.0, 120.0, 16.0);
+        for alpha_true in [1.2, 2.0, 3.0] {
+            let data = synth_data(&m, alpha_true, 0.0);
+            let (a, sse) = fit_alpha(&m, &data);
+            assert!(
+                (a - alpha_true).abs() < 1e-3,
+                "true {alpha_true}, fitted {a}"
+            );
+            assert!(sse < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tolerates_moderate_noise() {
+        let m = ProgressModel::new(1.0, 2.0, 140.0, 1.0e6);
+        let data = synth_data(&m, 2.5, 0.05);
+        let (a, _) = fit_alpha(&m, &data);
+        assert!((a - 2.5).abs() < 0.4, "fitted {a} too far from 2.5");
+    }
+
+    #[test]
+    fn fitted_alpha_beats_paper_fixed_alpha_on_non_quadratic_data() {
+        let m = ProgressModel::new(0.9, 2.0, 100.0, 10.0);
+        let data = synth_data(&m, 3.2, 0.0);
+        let (a, sse_fit) = fit_alpha(&m, &data);
+        let sse_paper = super::sse(&m, 2.0, &data);
+        assert!(sse_fit < sse_paper, "fit ({a}) should beat fixed α=2");
+    }
+
+    #[test]
+    #[should_panic(expected = "without data")]
+    fn empty_data_rejected() {
+        let m = ProgressModel::new(0.5, 2.0, 100.0, 1.0);
+        fit_alpha(&m, &[]);
+    }
+}

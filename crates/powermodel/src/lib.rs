@@ -1,0 +1,39 @@
+//! # powermodel — the analytic model of power capping vs. progress
+//!
+//! Implements Section VI of Ramesh et al. (IPDPS-W 2019): a model of the
+//! *change in application progress* caused by a RAPL package power cap,
+//! built on the DVFS execution-time model of Etinski et al. (the paper's
+//! Eq. 1) and the `P_core ∝ f^α` power law.
+//!
+//! Modules:
+//! - [`eqs`]: Equations (1)–(7) as standalone functions;
+//! - [`beta`]: the β compute-boundedness metric (Hsu & Kremer), measured
+//!   from execution times at two frequencies exactly as the paper does
+//!   (3300 vs. 1600 MHz, §IV.A);
+//! - `mpo`: misses-per-operation;
+//! - [`predict`]: [`predict::ProgressModel`], the assembled predictor,
+//!   including the inverse query "what cap sustains a target progress?"
+//!   that motivates the model (§VI bullets);
+//! - [`fit`]: α estimation from measured (cap, Δprogress) points — the
+//!   paper fixes α = 2 and flags fitting as future work;
+//! - [`error`]: the error measures quoted in §VI.2;
+//! - [`energy`]: energy-per-unit-of-science predictions derived from the
+//!   model (the quantity behind the CANDLE extension experiment).
+
+pub mod beta;
+pub mod energy;
+pub mod eqs;
+pub mod error;
+pub mod fit;
+pub mod mpo;
+pub mod predict;
+
+pub use beta::beta_from_times;
+pub use energy::{edp_per_unit, energy_per_unit, most_efficient_cap};
+pub use error::{mean_absolute_pct_error, pct_error};
+pub use fit::fit_alpha;
+pub use mpo::mpo;
+pub use predict::ProgressModel;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,61 @@
+//! Misses Per Operation (MPO).
+//!
+//! MPO = `PAPI_L3_TCM / PAPI_TOT_INS` (paper §IV.A). Unlike β it is
+//! frequency-independent, which the paper notes makes it the more reliable
+//! characterization metric; a high MPO indicates a memory-bound code.
+
+/// MPO from raw counter totals.
+///
+/// Returns 0 when no instructions were retired (an empty interval), rather
+/// than NaN — monitoring code polls on a fixed period and must tolerate
+/// idle windows.
+pub fn mpo(l3_misses: f64, instructions: f64) -> f64 {
+    assert!(
+        l3_misses >= 0.0 && instructions >= 0.0,
+        "counters are non-negative"
+    );
+    if instructions == 0.0 {
+        0.0
+    } else {
+        l3_misses / instructions
+    }
+}
+
+/// Classify per the paper's Table VI bands: MPO at or above this threshold
+/// indicates a memory-bound application (AMG 30.1e-3 and STREAM 50.9e-3
+/// sit above; LAMMPS 0.32e-3, OpenMC 0.20e-3 and QMCPACK 3.91e-3 below).
+pub const MEMORY_BOUND_MPO: f64 = 10.0e-3;
+
+/// True when the MPO indicates a memory-bound code.
+pub fn is_memory_bound(mpo_value: f64) -> bool {
+    mpo_value >= MEMORY_BOUND_MPO
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpo_is_ratio() {
+        assert!((mpo(3.0e6, 1.0e9) - 3.0e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_interval_is_zero_not_nan() {
+        assert_eq!(mpo(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn paper_table_vi_classification() {
+        assert!(!is_memory_bound(0.32e-3)); // LAMMPS
+        assert!(!is_memory_bound(3.91e-3)); // QMCPACK
+        assert!(is_memory_bound(30.1e-3)); // AMG
+        assert!(is_memory_bound(50.9e-3)); // STREAM
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_counters_rejected() {
+        mpo(-1.0, 10.0);
+    }
+}

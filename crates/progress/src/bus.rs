@@ -1,0 +1,331 @@
+//! The progress transport: a publish-subscribe bus.
+//!
+//! The paper instruments each application "to publish its online
+//! performance metric using the publish-subscribe ZeroMQ sockets" (§IV.B).
+//! This module is the in-process equivalent. Two transports are offered:
+//!
+//! - **lossless** (default): an unbounded MPMC channel;
+//! - **lossy**: a bounded ring with a configurable drop policy. The paper
+//!   notes that OpenMC's progress "is occasionally reported as zero ...
+//!   due to a flaw in the design of the ZeroMQ-based progress monitoring
+//!   framework" — running a coarse-grained reporter through a small lossy
+//!   ring reproduces exactly that artefact, and the lossy/lossless pair is
+//!   used as an ablation in the benchmarks.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::event::{ProgressEvent, SourceId};
+
+/// What to do when a bounded subscriber queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropPolicy {
+    /// Discard the incoming event (ZeroMQ `PUB` high-water-mark behaviour).
+    DropNewest,
+    /// Overwrite the oldest queued event (conflating subscriber).
+    DropOldest,
+}
+
+/// Subscriber queue configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusConfig {
+    /// Maximum queued events; `None` = unbounded (lossless).
+    pub capacity: Option<usize>,
+    /// Drop policy when bounded and full.
+    pub drop: DropPolicy,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        Self {
+            capacity: None,
+            drop: DropPolicy::DropNewest,
+        }
+    }
+}
+
+impl BusConfig {
+    /// A lossless, unbounded transport.
+    pub fn lossless() -> Self {
+        Self::default()
+    }
+
+    /// A lossy transport holding at most `capacity` undelivered events.
+    pub fn lossy(capacity: usize, drop: DropPolicy) -> Self {
+        assert!(capacity > 0, "lossy capacity must be positive");
+        Self {
+            capacity: Some(capacity),
+            drop,
+        }
+    }
+}
+
+enum Pipe {
+    Lossless(Sender<ProgressEvent>),
+    Lossy {
+        queue: Arc<Mutex<VecDeque<ProgressEvent>>>,
+        capacity: usize,
+        drop: DropPolicy,
+    },
+}
+
+struct SubscriberEntry {
+    pipe: Pipe,
+}
+
+struct Inner {
+    subs: Mutex<Vec<SubscriberEntry>>,
+    next_source: AtomicU32,
+    dropped: AtomicU64,
+}
+
+/// The bus itself. Cheap to clone; all clones share state.
+///
+/// ```
+/// use progress::bus::{BusConfig, ProgressBus};
+///
+/// let bus = ProgressBus::new();
+/// let mut monitor = bus.subscribe(BusConfig::lossless());
+/// let app = bus.publisher();
+/// app.publish(1_000_000_000, 40.0); // one LAMMPS timestep's atoms
+/// let events = monitor.drain();
+/// assert_eq!(events.len(), 1);
+/// assert_eq!(events[0].value, 40.0);
+/// ```
+#[derive(Clone)]
+pub struct ProgressBus {
+    inner: Arc<Inner>,
+}
+
+impl ProgressBus {
+    /// A new, empty bus.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                subs: Mutex::new(Vec::new()),
+                next_source: AtomicU32::new(0),
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Register a publisher; each registration gets a fresh [`SourceId`].
+    pub fn publisher(&self) -> Publisher {
+        let id = self.inner.next_source.fetch_add(1, Ordering::Relaxed);
+        Publisher {
+            source: SourceId(id),
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Register a subscriber with the given transport configuration.
+    /// Subscribers only see events published after they subscribe
+    /// (ZeroMQ pub-sub semantics).
+    pub fn subscribe(&self, cfg: BusConfig) -> Subscriber {
+        let mut subs = self.inner.subs.lock();
+        match cfg.capacity {
+            None => {
+                let (tx, rx) = unbounded();
+                subs.push(SubscriberEntry {
+                    pipe: Pipe::Lossless(tx),
+                });
+                Subscriber {
+                    recv: Recv::Lossless(rx),
+                }
+            }
+            Some(capacity) => {
+                let queue = Arc::new(Mutex::new(VecDeque::with_capacity(capacity)));
+                subs.push(SubscriberEntry {
+                    pipe: Pipe::Lossy {
+                        queue: Arc::clone(&queue),
+                        capacity,
+                        drop: cfg.drop,
+                    },
+                });
+                Subscriber {
+                    recv: Recv::Lossy(queue),
+                }
+            }
+        }
+    }
+
+    /// Total events dropped by lossy transports since construction.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for ProgressBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A handle an application uses to publish progress.
+pub struct Publisher {
+    source: SourceId,
+    inner: Arc<Inner>,
+}
+
+impl Publisher {
+    /// The source identity of this publisher.
+    pub fn source(&self) -> SourceId {
+        self.source
+    }
+
+    /// Publish one report: `value` units of work completed, at simulated
+    /// time `at` (nanoseconds).
+    pub fn publish(&self, at: u64, value: f64) {
+        let ev = ProgressEvent {
+            source: self.source,
+            at,
+            value,
+        };
+        let subs = self.inner.subs.lock();
+        for s in subs.iter() {
+            match &s.pipe {
+                Pipe::Lossless(tx) => {
+                    // Receiver may be gone; publishing is fire-and-forget.
+                    let _ = tx.send(ev);
+                }
+                Pipe::Lossy {
+                    queue,
+                    capacity,
+                    drop,
+                } => {
+                    let mut q = queue.lock();
+                    if q.len() >= *capacity {
+                        match drop {
+                            DropPolicy::DropNewest => {
+                                self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                            DropPolicy::DropOldest => {
+                                q.pop_front();
+                                self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    q.push_back(ev);
+                }
+            }
+        }
+    }
+}
+
+enum Recv {
+    Lossless(Receiver<ProgressEvent>),
+    Lossy(Arc<Mutex<VecDeque<ProgressEvent>>>),
+}
+
+/// A handle monitoring software uses to receive progress reports.
+pub struct Subscriber {
+    recv: Recv,
+}
+
+impl Subscriber {
+    /// Drain all currently queued events, in publication order.
+    pub fn drain(&mut self) -> Vec<ProgressEvent> {
+        match &self.recv {
+            Recv::Lossless(rx) => rx.try_iter().collect(),
+            Recv::Lossy(q) => q.lock().drain(..).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_delivers_everything_in_order() {
+        let bus = ProgressBus::new();
+        let mut sub = bus.subscribe(BusConfig::lossless());
+        let p = bus.publisher();
+        for i in 0..100u64 {
+            p.publish(i, i as f64);
+        }
+        let got = sub.drain();
+        assert_eq!(got.len(), 100);
+        assert!(got.windows(2).all(|w| w[0].at < w[1].at));
+        assert_eq!(bus.dropped(), 0);
+    }
+
+    #[test]
+    fn drop_newest_keeps_oldest_events() {
+        let bus = ProgressBus::new();
+        let mut sub = bus.subscribe(BusConfig::lossy(4, DropPolicy::DropNewest));
+        let p = bus.publisher();
+        for i in 0..10u64 {
+            p.publish(i, i as f64);
+        }
+        let got = sub.drain();
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0].at, 0);
+        assert_eq!(got[3].at, 3);
+        assert_eq!(bus.dropped(), 6);
+    }
+
+    #[test]
+    fn drop_oldest_keeps_newest_events() {
+        let bus = ProgressBus::new();
+        let mut sub = bus.subscribe(BusConfig::lossy(4, DropPolicy::DropOldest));
+        let p = bus.publisher();
+        for i in 0..10u64 {
+            p.publish(i, i as f64);
+        }
+        let got = sub.drain();
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0].at, 6);
+        assert_eq!(got[3].at, 9);
+    }
+
+    #[test]
+    fn publishers_get_distinct_sources() {
+        let bus = ProgressBus::new();
+        let a = bus.publisher();
+        let b = bus.publisher();
+        assert_ne!(a.source(), b.source());
+    }
+
+    #[test]
+    fn multiple_subscribers_each_get_a_copy() {
+        let bus = ProgressBus::new();
+        let mut s1 = bus.subscribe(BusConfig::lossless());
+        let mut s2 = bus.subscribe(BusConfig::lossless());
+        bus.publisher().publish(1, 2.0);
+        assert_eq!(s1.drain().len(), 1);
+        assert_eq!(s2.drain().len(), 1);
+    }
+
+    #[test]
+    fn late_subscriber_misses_earlier_events() {
+        let bus = ProgressBus::new();
+        let p = bus.publisher();
+        p.publish(1, 1.0);
+        let mut sub = bus.subscribe(BusConfig::lossless());
+        p.publish(2, 1.0);
+        let got = sub.drain();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].at, 2);
+    }
+
+    #[test]
+    fn bus_works_across_threads() {
+        let bus = ProgressBus::new();
+        let mut sub = bus.subscribe(BusConfig::lossless());
+        let p = bus.publisher();
+        let h = std::thread::spawn(move || {
+            for i in 0..1000u64 {
+                p.publish(i, 1.0);
+            }
+        });
+        h.join().unwrap();
+        assert_eq!(sub.drain().len(), 1000);
+    }
+}

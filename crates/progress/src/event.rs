@@ -1,0 +1,68 @@
+//! Progress events and metric descriptors.
+//!
+//! Each instrumented application publishes a single progress value per
+//! instrumentation point ("progress is reported as a single value for the
+//! application", paper §IV.B). The value carries the *amount of work* the
+//! report represents in the application's own unit — atoms simulated for a
+//! LAMMPS timestep, particles for an OpenMC batch, one iteration for AMG —
+//! so the aggregator can turn reports into a rate.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a publisher on the bus (an application, or a component of a
+/// multi-component application).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SourceId(pub u32);
+
+/// One progress report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgressEvent {
+    /// Who published it.
+    pub source: SourceId,
+    /// Simulated time of publication, nanoseconds.
+    pub at: u64,
+    /// Amount of work this report represents, in the source's metric unit.
+    pub value: f64,
+}
+
+/// Human-readable description of a progress metric (paper Table V).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricDesc {
+    /// Metric name, e.g. "atom timesteps per second".
+    pub name: &'static str,
+    /// Unit of a single report value, e.g. "atom timesteps".
+    pub unit: &'static str,
+}
+
+impl MetricDesc {
+    /// Construct a descriptor.
+    pub const fn new(name: &'static str, unit: &'static str) -> Self {
+        Self { name, unit }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_ordered_by_source_then_time_naturally() {
+        let a = ProgressEvent {
+            source: SourceId(1),
+            at: 5,
+            value: 1.0,
+        };
+        let b = ProgressEvent {
+            source: SourceId(1),
+            at: 5,
+            value: 1.0,
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metric_desc_is_const_constructible() {
+        const M: MetricDesc = MetricDesc::new("blocks per second", "blocks");
+        assert_eq!(M.unit, "blocks");
+    }
+}

@@ -1,0 +1,104 @@
+//! Per-rank progress and load-imbalance analysis.
+//!
+//! The paper's future work: "transposing this notion of progress in order
+//! to monitor it at a per-processing-element level" (§IV.B). When each
+//! rank publishes its own progress channel, the per-rank rates expose the
+//! load imbalance that whole-application metrics (and especially MIPS,
+//! Table I) hide: the critical-path rank is the one doing the most work
+//! per iteration, and the imbalance factor bounds the speedup available
+//! to techniques like the DDCM rebalancing the paper cites
+//! (Bhalachandra et al.).
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of per-rank progress rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImbalanceReport {
+    /// Per-rank work rates, units/s.
+    pub rates: Vec<f64>,
+    /// Rank doing the most work per unit time (the critical path in a
+    /// bulk-synchronous code: everyone else waits for it).
+    pub critical_rank: usize,
+    /// max/min rate across ranks (1.0 = perfectly balanced).
+    pub imbalance_factor: f64,
+    /// Coefficient of variation of the per-rank rates.
+    pub cv: f64,
+    /// Fraction of aggregate capacity wasted waiting at barriers if every
+    /// iteration synchronizes: `1 − mean/max`.
+    pub wait_fraction: f64,
+}
+
+/// Analyze per-rank work rates.
+///
+/// # Panics
+/// Panics if `rates` is empty or contains a negative value.
+pub fn analyze(rates: &[f64]) -> ImbalanceReport {
+    assert!(!rates.is_empty(), "need at least one rank");
+    assert!(rates.iter().all(|&r| r >= 0.0), "rates are non-negative");
+    let n = rates.len() as f64;
+    let max = rates.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = rates.iter().sum::<f64>() / n;
+    let var = rates.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / n;
+    let critical_rank = rates
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("non-empty")
+        .0;
+    ImbalanceReport {
+        rates: rates.to_vec(),
+        critical_rank,
+        imbalance_factor: if min > 0.0 { max / min } else { f64::INFINITY },
+        cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
+        wait_fraction: if max > 0.0 { 1.0 - mean / max } else { 0.0 },
+    }
+}
+
+impl ImbalanceReport {
+    /// Whether the workload is effectively balanced (within `tol`
+    /// relative spread).
+    pub fn is_balanced(&self, tol: f64) -> bool {
+        self.imbalance_factor.is_finite() && self.imbalance_factor <= 1.0 + tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_ranks_report_unit_factor() {
+        let r = analyze(&[10.0, 10.0, 10.0, 10.0]);
+        assert!(r.is_balanced(0.01));
+        assert_eq!(r.imbalance_factor, 1.0);
+        assert_eq!(r.wait_fraction, 0.0);
+        assert_eq!(r.cv, 0.0);
+    }
+
+    #[test]
+    fn listing1_unequal_shape_detected() {
+        // Rank r does (r+1)/n of the critical work per iteration.
+        let n = 24usize;
+        let rates: Vec<f64> = (0..n).map(|r| (r + 1) as f64 / n as f64 * 1e6).collect();
+        let rep = analyze(&rates);
+        assert_eq!(rep.critical_rank, n - 1);
+        assert!((rep.imbalance_factor - 24.0).abs() < 1e-9);
+        // mean = (n+1)/2n of max → wait fraction ≈ 1 − 25/48.
+        assert!((rep.wait_fraction - (1.0 - 25.0 / 48.0)).abs() < 1e-9);
+        assert!(!rep.is_balanced(0.1));
+    }
+
+    #[test]
+    fn idle_rank_yields_infinite_factor() {
+        let rep = analyze(&[0.0, 5.0]);
+        assert!(rep.imbalance_factor.is_infinite());
+        assert!(!rep.is_balanced(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_input_rejected() {
+        analyze(&[]);
+    }
+}

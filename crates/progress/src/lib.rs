@@ -1,0 +1,36 @@
+//! # progress — online application progress monitoring
+//!
+//! This crate implements the paper's central artefact: an *online,
+//! application-specific notion of progress* that can be monitored at
+//! runtime (Ramesh et al., IPDPS-W 2019, §III–IV).
+//!
+//! - [`event`] / [`bus`]: a publish-subscribe progress transport modelled
+//!   on the paper's ZeroMQ setup, including an optional bounded *lossy*
+//!   mode that reproduces the reporting flaw behind OpenMC's occasional
+//!   zero readings (paper Fig. 3);
+//! - [`aggregator`]: fixed-window (1 Hz in the paper) aggregation of raw
+//!   reports into a progress-rate time series;
+//! - [`series`]: time-series container with the summary statistics the
+//!   evaluation needs (steady-state means, coefficient of variation);
+//! - [`taxonomy`]: the paper's three-way categorization of applications
+//!   and the interview questionnaire of Table III;
+//! - [`registry`]: Tables II, IV and V as queryable data.
+
+pub mod aggregator;
+pub mod bus;
+pub mod event;
+pub mod imbalance;
+pub mod registry;
+pub mod series;
+pub mod taxonomy;
+
+pub use aggregator::{ProgressAggregator, WindowStats};
+pub use bus::{BusConfig, DropPolicy, ProgressBus, Publisher, Subscriber};
+pub use event::{MetricDesc, ProgressEvent, SourceId};
+pub use imbalance::{analyze, ImbalanceReport};
+pub use registry::{registry, AppRecord};
+pub use series::TimeSeries;
+pub use taxonomy::{Category, InterviewAnswers, ResourceBound, QUESTIONS};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,112 @@
+//! Property-based tests for the monitoring layer.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::aggregator::ProgressAggregator;
+use crate::bus::{BusConfig, DropPolicy, ProgressBus};
+use crate::series::TimeSeries;
+
+proptest! {
+    /// Lossless aggregation conserves work: the sum of window rates (over
+    /// 1 s windows) equals the sum of published values, for any
+    /// time-ordered event pattern.
+    #[test]
+    fn aggregation_conserves_work(
+        events in prop::collection::vec((0u64..60_000_000_000, 0.1f64..100.0), 1..200),
+    ) {
+        let bus = ProgressBus::new();
+        let sub = bus.subscribe(BusConfig::lossless());
+        let p = bus.publisher();
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|e| e.0);
+        let agg = ProgressAggregator::new(sub, 1_000_000_000, None);
+        let mut total = 0.0;
+        for &(at, v) in &sorted {
+            p.publish(at, v);
+            total += v;
+        }
+        let end = sorted.last().unwrap().0 + 1;
+        let series = agg.finish(end);
+        let windowed: f64 = series.v.iter().sum();
+        prop_assert!(
+            (windowed - total).abs() <= 1e-9 * total.max(1.0),
+            "windowed {windowed} vs published {total}"
+        );
+    }
+
+    /// A bounded queue never holds more than its capacity, regardless of
+    /// publish/drain interleaving, and drop counts are exact.
+    #[test]
+    fn lossy_queue_respects_capacity(
+        capacity in 1usize..32,
+        bursts in prop::collection::vec(1usize..50, 1..20),
+        drop_newest in any::<bool>(),
+    ) {
+        let policy = if drop_newest { DropPolicy::DropNewest } else { DropPolicy::DropOldest };
+        let bus = ProgressBus::new();
+        let mut sub = bus.subscribe(BusConfig::lossy(capacity, policy));
+        let p = bus.publisher();
+        let mut t = 0u64;
+        let mut published = 0u64;
+        let mut received = 0u64;
+        for burst in bursts {
+            for _ in 0..burst {
+                t += 1;
+                p.publish(t, 1.0);
+                published += 1;
+            }
+            let got = sub.drain();
+            prop_assert!(got.len() <= capacity);
+            received += got.len() as u64;
+        }
+        received += sub.drain().len() as u64;
+        prop_assert_eq!(received + bus.dropped(), published);
+    }
+
+    /// Series statistics are scale-consistent: scaling every value by k
+    /// scales mean/std/min/max by k and leaves CV unchanged.
+    #[test]
+    fn series_statistics_scale(
+        vals in prop::collection::vec(0.1f64..1000.0, 2..100),
+        k in 0.1f64..100.0,
+    ) {
+        let s: TimeSeries = vals.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+        let scaled: TimeSeries = vals.iter().enumerate().map(|(i, &v)| (i as f64, v * k)).collect();
+        prop_assert!((scaled.mean() - k * s.mean()).abs() <= 1e-9 * k * s.mean().abs().max(1.0));
+        prop_assert!((scaled.std() - k * s.std()).abs() <= 1e-6 * (k * s.std()).abs().max(1.0));
+        prop_assert!((scaled.cv() - s.cv()).abs() <= 1e-9);
+    }
+
+    /// `mean_between` over the whole span equals `mean`.
+    #[test]
+    fn mean_between_full_span_is_mean(vals in prop::collection::vec(-50.0f64..50.0, 1..60)) {
+        let s: TimeSeries = vals.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+        let full = s.mean_between(-1.0, vals.len() as f64 + 1.0);
+        prop_assert!((full - s.mean()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn aggregation_conserves_work_exact() {
+    // Deterministic exact version of the conservation property.
+    let bus = ProgressBus::new();
+    let sub = bus.subscribe(BusConfig::lossless());
+    let p = bus.publisher();
+    let agg = ProgressAggregator::new(sub, 1_000_000_000, None);
+    let mut total = 0.0;
+    let mut t = 0u64;
+    for i in 0..500u64 {
+        t += 37_000_000 + (i % 13) * 91_000_000;
+        let v = 1.0 + (i % 7) as f64;
+        p.publish(t, v);
+        total += v;
+    }
+    let series = agg.finish(t + 1);
+    let windowed: f64 = series.v.iter().sum();
+    assert!(
+        (windowed - total).abs() < 1e-9,
+        "windowed {windowed} vs published {total}"
+    );
+}

@@ -1,0 +1,270 @@
+//! Time-series container and statistics.
+//!
+//! Progress rates, power, frequency and cap traces are all `(t, v)` series.
+//! The evaluation needs steady-state means (to measure the *change in
+//! progress* when a cap is applied from an uncapped state, paper §VI.2),
+//! fluctuation measures (AMG's 2.5–3 it/s band, Fig. 1), and window means.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple time series: times in seconds, values in the series' unit.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Sample times, seconds, non-decreasing.
+    pub t: Vec<f64>,
+    /// Sample values.
+    pub v: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample.
+    ///
+    /// # Panics
+    /// Panics if `t` decreases.
+    pub fn push(&mut self, t: f64, v: f64) {
+        if let Some(&last) = self.t.last() {
+            assert!(t >= last, "time series must be non-decreasing in t");
+        }
+        self.t.push(t);
+        self.v.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// Iterate over `(t, v)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.t.iter().copied().zip(self.v.iter().copied())
+    }
+
+    /// Mean of all values; 0 for an empty series.
+    pub fn mean(&self) -> f64 {
+        if self.v.is_empty() {
+            return 0.0;
+        }
+        self.v.iter().sum::<f64>() / self.v.len() as f64
+    }
+
+    /// Population standard deviation of values.
+    pub fn std(&self) -> f64 {
+        if self.v.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / self.v.len() as f64;
+        var.sqrt()
+    }
+
+    /// Coefficient of variation (std/mean); 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.std() / m
+        }
+    }
+
+    /// Minimum value, or NaN for an empty series.
+    pub fn min(&self) -> f64 {
+        self.v.iter().copied().fold(f64::NAN, f64::min)
+    }
+
+    /// Maximum value, or NaN for an empty series.
+    pub fn max(&self) -> f64 {
+        self.v.iter().copied().fold(f64::NAN, f64::max)
+    }
+
+    /// Mean of values with `t0 <= t < t1`; 0 when no samples fall inside.
+    pub fn mean_between(&self, t0: f64, t1: f64) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (t, v) in self.iter() {
+            if t >= t0 && t < t1 {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Mean after trimming a fraction of samples off each end — a robust
+    /// "steady-state" estimate that skips warm-up and tear-down.
+    pub fn steady_mean(&self, trim_frac: f64) -> f64 {
+        assert!((0.0..0.5).contains(&trim_frac));
+        let n = self.v.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let skip = (n as f64 * trim_frac).floor() as usize;
+        let slice = &self.v[skip..n - skip.min(n - skip)];
+        if slice.is_empty() {
+            return self.mean();
+        }
+        slice.iter().sum::<f64>() / slice.len() as f64
+    }
+
+    /// Count of samples whose value is exactly zero (used to detect the
+    /// OpenMC zero-reporting artefact).
+    pub fn zero_count(&self) -> usize {
+        self.v.iter().filter(|&&x| x == 0.0).count()
+    }
+
+    /// Downsample into buckets of `k` consecutive samples, averaging both
+    /// time and value; a trailing partial bucket is dropped. Useful for
+    /// comparing series against coarse (batch-level) reporters whose 1 s
+    /// windows alias (paper Fig. 3).
+    ///
+    /// # Panics
+    /// Panics if `k` is zero.
+    pub fn bucket_mean(&self, k: usize) -> TimeSeries {
+        assert!(k > 0, "bucket size must be positive");
+        let mut out = TimeSeries::new();
+        for (tc, vc) in self.t.chunks(k).zip(self.v.chunks(k)) {
+            if tc.len() < k {
+                break;
+            }
+            let finite: Vec<f64> = vc.iter().copied().filter(|v| v.is_finite()).collect();
+            let v = if finite.is_empty() {
+                f64::NAN
+            } else {
+                finite.iter().sum::<f64>() / finite.len() as f64
+            };
+            out.push(tc.iter().sum::<f64>() / k as f64, v);
+        }
+        out
+    }
+
+    /// Render as CSV lines `t,v` with the given header.
+    pub fn to_csv(&self, t_name: &str, v_name: &str) -> String {
+        let mut out = String::with_capacity(16 * (self.len() + 1));
+        out.push_str(t_name);
+        out.push(',');
+        out.push_str(v_name);
+        out.push('\n');
+        for (t, v) in self.iter() {
+            out.push_str(&format!("{t:.6},{v:.6}\n"));
+        }
+        out
+    }
+}
+
+impl FromIterator<(f64, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (f64, f64)>>(iter: I) -> Self {
+        let mut s = TimeSeries::new();
+        for (t, v) in iter {
+            s.push(t, v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(vals: &[f64]) -> TimeSeries {
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64, v))
+            .collect()
+    }
+
+    #[test]
+    fn mean_std_cv() {
+        let s = series(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std() - 2.0).abs() < 1e-12);
+        assert!((s.cv() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series_statistics_are_safe() {
+        let s = TimeSeries::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std(), 0.0);
+        assert_eq!(s.cv(), 0.0);
+        assert!(s.min().is_nan());
+        assert_eq!(s.mean_between(0.0, 10.0), 0.0);
+        assert_eq!(s.steady_mean(0.1), 0.0);
+    }
+
+    #[test]
+    fn mean_between_is_half_open() {
+        let s = series(&[1.0, 2.0, 3.0, 4.0]);
+        // t in [1, 3): samples at t=1 (v=2) and t=2 (v=3).
+        assert!((s.mean_between(1.0, 3.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steady_mean_trims_edges() {
+        let mut vals = vec![0.0, 0.0];
+        vals.extend(std::iter::repeat_n(10.0, 16));
+        vals.extend([0.0, 0.0]);
+        let s = series(&vals);
+        assert!((s.steady_mean(0.1) - 10.0).abs() < 1e-12);
+        assert!(s.mean() < 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn time_cannot_go_backwards() {
+        let mut s = TimeSeries::new();
+        s.push(1.0, 0.0);
+        s.push(0.5, 0.0);
+    }
+
+    #[test]
+    fn zero_count_counts_exact_zeros() {
+        let s = series(&[0.0, 1.0, 0.0, 2.0]);
+        assert_eq!(s.zero_count(), 2);
+    }
+
+    #[test]
+    fn bucket_mean_averages_and_drops_partials() {
+        let s = series(&[1.0, 3.0, 5.0, 7.0, 9.0]);
+        let b = s.bucket_mean(2);
+        assert_eq!(b.v, vec![2.0, 6.0]);
+        assert_eq!(b.t, vec![0.5, 2.5]);
+    }
+
+    #[test]
+    fn bucket_mean_ignores_nans_within_a_bucket() {
+        let mut s = TimeSeries::new();
+        s.push(0.0, f64::NAN);
+        s.push(1.0, 4.0);
+        let b = s.bucket_mean(2);
+        assert_eq!(b.v, vec![4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket size")]
+    fn zero_bucket_rejected() {
+        series(&[1.0]).bucket_mean(0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let s = series(&[1.5]);
+        let csv = s.to_csv("t", "rate");
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("t,rate"));
+        assert_eq!(lines.next(), Some("0.000000,1.500000"));
+    }
+}

@@ -1,0 +1,170 @@
+//! The paper's application taxonomy (§III.B) and interview questionnaire
+//! (Table III).
+//!
+//! - **Category 1**: loop-based applications with a well-defined online
+//!   performance metric that correlates with the application's scientific
+//!   goal (and its FOM, if defined).
+//! - **Category 2**: online performance is well defined but does *not*
+//!   correlate with the scientific metrics of interest — one cannot tell
+//!   how far the application has progressed toward its goal.
+//! - **Category 3**: online performance cannot be monitored reliably,
+//!   and/or the application is composed of multiple components that defeat
+//!   a single metric.
+
+use serde::{Deserialize, Serialize};
+
+/// The eight questions posed to application specialists (paper Table III).
+pub const QUESTIONS: [&str; 8] = [
+    "Is there a well-defined FOM for the application?",
+    "Can we measure online performance during execution that correlates \
+     well with either FOM or the execution time?",
+    "Does online performance measure progress toward an application-defined \
+     scientific goal?",
+    "Is the execution time accurately predictable based on a performance \
+     model of the application?",
+    "If the application is loop based, is the number of loop iterations \
+     decided prior to execution?",
+    "If application is loop based, do loop iterations proceed in a uniform \
+     manner in terms of instructions executed?",
+    "Does the application have multiple phases or components that are \
+     clearly demarcated from a design or performance characteristic \
+     standpoint?",
+    "What system resource is the application limited by?",
+];
+
+/// Progress-metric category (paper §III.B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Category {
+    /// Clear, well-defined online performance correlated with the science.
+    One,
+    /// Well-defined online performance, uncorrelated with the science.
+    Two,
+    /// No reliable single metric (unmonitorable or multi-component).
+    Three,
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Category::One => write!(f, "1"),
+            Category::Two => write!(f, "2"),
+            Category::Three => write!(f, "3"),
+        }
+    }
+}
+
+/// The limiting system resource (Table IV, question 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceBound {
+    /// CPU compute bound.
+    Compute,
+    /// Bound by memory latency.
+    MemoryLatency,
+    /// Bound by memory bandwidth.
+    MemoryBandwidth,
+    /// Different components have different bounds.
+    ComponentDependent,
+}
+
+impl std::fmt::Display for ResourceBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResourceBound::Compute => write!(f, "Compute"),
+            ResourceBound::MemoryLatency => write!(f, "Memory latency"),
+            ResourceBound::MemoryBandwidth => write!(f, "Memory bandwidth"),
+            ResourceBound::ComponentDependent => write!(f, "Component-dependent"),
+        }
+    }
+}
+
+/// One application's answers to the questionnaire (paper Table IV).
+/// `None` encodes a blank/ambiguous answer in the published table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterviewAnswers {
+    /// Q1: well-defined FOM exists.
+    pub has_fom: Option<bool>,
+    /// Q2: online performance measurable and correlated with FOM/time.
+    pub measurable_online: Option<bool>,
+    /// Q3: online performance measures progress toward the science goal.
+    pub relates_to_science: Option<bool>,
+    /// Q4: execution time predictable from a model.
+    pub predictable_time: Option<bool>,
+    /// Q5: loop-iteration count known before execution.
+    pub iterations_known: Option<bool>,
+    /// Q6: loop iterations uniform in instructions.
+    pub uniform_iterations: Option<bool>,
+    /// Q7: clearly demarcated phases/components.
+    pub phased: Option<bool>,
+    /// Q8: limiting resource.
+    pub bound: ResourceBound,
+}
+
+impl InterviewAnswers {
+    /// Derive the paper's category from the questionnaire, per §III.B:
+    /// unmonitorable or component-dependent applications are Category 3;
+    /// monitorable ones split on whether the metric tracks the science.
+    pub fn derive_category(&self) -> Category {
+        let measurable = self.measurable_online.unwrap_or(false);
+        if !measurable || matches!(self.bound, ResourceBound::ComponentDependent) {
+            return Category::Three;
+        }
+        match self.relates_to_science {
+            Some(true) => Category::One,
+            _ => Category::Two,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answers(measurable: bool, science: Option<bool>, bound: ResourceBound) -> InterviewAnswers {
+        InterviewAnswers {
+            has_fom: Some(true),
+            measurable_online: Some(measurable),
+            relates_to_science: science,
+            predictable_time: Some(true),
+            iterations_known: Some(true),
+            uniform_iterations: Some(true),
+            phased: Some(false),
+            bound,
+        }
+    }
+
+    #[test]
+    fn measurable_and_scientific_is_category_one() {
+        let a = answers(true, Some(true), ResourceBound::Compute);
+        assert_eq!(a.derive_category(), Category::One);
+    }
+
+    #[test]
+    fn measurable_but_not_scientific_is_category_two() {
+        let a = answers(true, Some(false), ResourceBound::MemoryBandwidth);
+        assert_eq!(a.derive_category(), Category::Two);
+    }
+
+    #[test]
+    fn unmonitorable_is_category_three() {
+        let a = answers(false, Some(true), ResourceBound::Compute);
+        assert_eq!(a.derive_category(), Category::Three);
+    }
+
+    #[test]
+    fn component_dependent_is_category_three_even_if_measurable() {
+        let a = answers(true, Some(true), ResourceBound::ComponentDependent);
+        assert_eq!(a.derive_category(), Category::Three);
+    }
+
+    #[test]
+    fn questionnaire_has_eight_questions() {
+        assert_eq!(QUESTIONS.len(), 8);
+        assert!(QUESTIONS[7].contains("resource"));
+    }
+
+    #[test]
+    fn category_displays_as_number() {
+        assert_eq!(Category::One.to_string(), "1");
+        assert_eq!(Category::Three.to_string(), "3");
+    }
+}

@@ -1,0 +1,70 @@
+//! CANDLE proxy — deep-learning cancer benchmark (paper §III.A, IV.B).
+//!
+//! The paper could not instrument TensorFlow (prebuilt binaries, §IV.B) and
+//! describes CANDLE as Category 1/2: online performance is epochs per
+//! second during training, but "the number of epochs required for training
+//! to complete cannot be predicted" when training is bounded by accuracy.
+//! The proxy implements exactly that: epochs repeat until a seeded,
+//! saturating accuracy curve crosses the target, so different seeds
+//! converge after different epoch counts.
+
+use progress::event::MetricDesc;
+use simnode::config::NodeConfig;
+
+use crate::catalog::AppInstance;
+use crate::programs::ConvergenceProgram;
+use crate::runtime::Program;
+use crate::spec::KernelSpec;
+
+/// Epoch wall time at `f_max`, seconds.
+pub const EPOCH_SECONDS: f64 = 3.5;
+/// Validation-accuracy stopping bound.
+pub const TARGET_ACCURACY: f64 = 0.92;
+
+/// Calibration of one training epoch (GEMM-heavy: compute bound).
+pub fn spec(ranks: usize) -> KernelSpec {
+    KernelSpec::new(0.90, EPOCH_SECONDS, 1.0e-3, ranks)
+}
+
+/// Build the proxy for `ranks` ranks.
+pub fn instance(cfg: &NodeConfig, ranks: usize, seed: u64) -> AppInstance {
+    let s = spec(ranks);
+    let programs: Vec<Box<dyn Program>> = (0..ranks)
+        .map(|_| Box::new(ConvergenceProgram::new(cfg, s, seed, TARGET_ACCURACY)) as _)
+        .collect();
+    AppInstance {
+        name: "CANDLE",
+        metrics: vec![MetricDesc::new(
+            "epochs per second (training phase)",
+            "epochs",
+        )],
+        programs,
+        primary_spec: Some(s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_count_is_not_predictable_across_seeds() {
+        // Build two instances with different seeds and count the epochs
+        // their programs would run (paper Table IV: Q5 = N for CANDLE).
+        let cfg = NodeConfig::default();
+        let count = |seed: u64| {
+            let mut p = ConvergenceProgram::new(&cfg, spec(2), seed, TARGET_ACCURACY);
+            let mut n = 0;
+            loop {
+                match p.next_action(1) {
+                    crate::runtime::Action::Compute(_) => n += 1,
+                    crate::runtime::Action::Done => break,
+                    _ => {}
+                }
+            }
+            n
+        };
+        let counts: Vec<i32> = (0..6).map(count).collect();
+        assert!(counts.iter().any(|&c| c != counts[0]), "{counts:?}");
+    }
+}

@@ -1,0 +1,118 @@
+//! The paper's Listing-1 microbenchmark: MPI workload (im)balance.
+//!
+//! Five iterations of `do_work()` + `MPI_Barrier`. One work unit is defined
+//! as one microsecond spent in `usleep`; the highest rank always sleeps a
+//! full second and is on the critical path, so *both* variants run at
+//! ~1 iteration/s (online performance Definition 1), while the total work
+//! (Definition 2) halves in the unequal case and MIPS — inflated by barrier
+//! busy-waiting — *rises* ~20×. That inversion is Table I's point: MIPS is
+//! not correlated with online performance.
+
+use progress::event::MetricDesc;
+use simnode::time::US;
+
+use crate::catalog::AppInstance;
+use crate::programs::SleepBarrierProgram;
+use crate::runtime::Program;
+
+/// Outer-loop iterations (paper: 5).
+pub const ITERATIONS: u64 = 5;
+/// Work units (µs of sleep) done by the critical-path rank per iteration.
+pub const CRITICAL_WORK: f64 = 1_000_000.0;
+
+/// Per-iteration sleep of `rank` (0-based) among `ranks`, in microseconds.
+/// Mirrors the listing: `do_unequal_work` gets `(rank+1)/size · 10⁶` µs,
+/// `do_equal_work` a flat 10⁶ µs.
+pub fn sleep_us(rank: usize, ranks: usize, equal: bool) -> f64 {
+    if equal {
+        CRITICAL_WORK
+    } else {
+        (rank + 1) as f64 / ranks as f64 * CRITICAL_WORK
+    }
+}
+
+/// Total work units per iteration across all ranks.
+pub fn work_per_iteration(ranks: usize, equal: bool) -> f64 {
+    (0..ranks).map(|r| sleep_us(r, ranks, equal)).sum()
+}
+
+/// Build the microbenchmark. Progress channels: 0 = iterations
+/// (Definition 1), 1 = work units (Definition 2).
+pub fn instance(ranks: usize, equal: bool) -> AppInstance {
+    let work = work_per_iteration(ranks, equal);
+    let programs: Vec<Box<dyn Program>> = (0..ranks)
+        .map(|rank| {
+            let sleep_ns = (sleep_us(rank, ranks, equal) as u64).max(1) * US;
+            Box::new(SleepBarrierProgram::new(ITERATIONS, sleep_ns, 1.0, work)) as _
+        })
+        .collect();
+    AppInstance {
+        name: if equal {
+            "Listing1 (equal)"
+        } else {
+            "Listing1 (unequal)"
+        },
+        metrics: vec![
+            MetricDesc::new("iterations per second", "iterations"),
+            MetricDesc::new("work units per second", "work units"),
+        ],
+        programs,
+        primary_spec: None,
+    }
+}
+
+/// Build the per-rank variant: every rank publishes its own work on its
+/// own channel (the paper's future-work "per-processing-element"
+/// monitoring). Channel `r` carries rank `r`'s work units.
+pub fn instance_per_rank(ranks: usize, equal: bool) -> AppInstance {
+    let programs: Vec<Box<dyn Program>> = (0..ranks)
+        .map(|rank| {
+            let work = sleep_us(rank, ranks, equal);
+            let sleep_ns = (work as u64).max(1) * US;
+            Box::new(SleepBarrierProgram::new(ITERATIONS, sleep_ns, 1.0, work).per_rank(rank, work))
+                as _
+        })
+        .collect();
+    AppInstance {
+        name: if equal {
+            "Listing1 per-rank (equal)"
+        } else {
+            "Listing1 per-rank (unequal)"
+        },
+        metrics: (0..ranks)
+            .map(|_| MetricDesc::new("work units per second (per rank)", "work units"))
+            .collect(),
+        programs,
+        primary_spec: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_path_rank_always_does_full_work() {
+        assert_eq!(sleep_us(23, 24, true), 1_000_000.0);
+        assert_eq!(sleep_us(23, 24, false), 1_000_000.0);
+    }
+
+    #[test]
+    fn unequal_work_is_about_half_of_equal() {
+        let eq = work_per_iteration(24, true);
+        let uneq = work_per_iteration(24, false);
+        assert_eq!(eq, 24.0e6);
+        assert_eq!(uneq, 12.5e6);
+        let ratio = eq / uneq;
+        assert!(
+            (ratio - 1.92).abs() < 0.01,
+            "Table I's 2:1 ratio, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn two_progress_channels() {
+        let app = instance(24, true);
+        assert_eq!(app.metrics.len(), 2);
+    }
+}

@@ -1,0 +1,16 @@
+//! One module per study application.
+//!
+//! Each module exposes `instance(cfg, ranks, seed) -> AppInstance` building
+//! the per-rank programs calibrated to the paper's characterization
+//! (Table VI) and instrumentation description (§IV.B).
+
+pub mod amg;
+pub mod candle;
+pub mod hacc;
+pub mod lammps;
+pub mod listing1;
+pub mod nek5000;
+pub mod openmc;
+pub mod qmcpack;
+pub mod stream;
+pub mod urban;

@@ -1,0 +1,54 @@
+//! Nek5000 proxy — spectral-element CFD library (Category 3).
+//!
+//! "The number of timesteps per second cannot be used to measure online
+//! performance reliably because this metric does not stay uniform during
+//! the execution" (paper §III.A). The proxy models an adaptive solver whose
+//! per-timestep cost drifts across the run (mesh refinement / CFL-driven
+//! substeps): successive segments of increasingly expensive timesteps with
+//! wide noise, so a timesteps/s series trends and wanders rather than
+//! holding a level.
+
+use progress::event::MetricDesc;
+use simnode::config::NodeConfig;
+
+use crate::catalog::AppInstance;
+use crate::programs::{IterSegment, PhasedProgram};
+use crate::runtime::Program;
+use crate::spec::KernelSpec;
+
+/// Per-segment timestep cost multipliers across the run.
+pub const COST_DRIFT: [f64; 5] = [1.0, 1.35, 1.8, 2.5, 3.3];
+/// Base timestep wall time at `f_max`, seconds.
+pub const BASE_STEP_SECONDS: f64 = 0.3;
+
+/// Build the proxy for `ranks` ranks.
+pub fn instance(cfg: &NodeConfig, ranks: usize, seed: u64) -> AppInstance {
+    let segments: Vec<IterSegment> = COST_DRIFT
+        .iter()
+        .map(|&mult| {
+            let spec = KernelSpec::new(0.78, BASE_STEP_SECONDS * mult, 6.0e-3, ranks);
+            IterSegment::new(spec, 40, 1.0).with_noise(0.15)
+        })
+        .collect();
+    let programs: Vec<Box<dyn Program>> = (0..ranks)
+        .map(|_| Box::new(PhasedProgram::new(cfg, segments.clone(), seed)) as _)
+        .collect();
+    AppInstance {
+        name: "Nek5000",
+        metrics: vec![MetricDesc::new("timesteps per second", "timesteps")],
+        programs,
+        primary_spec: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestep_rate_drifts_by_more_than_3x() {
+        let first = 1.0 / (BASE_STEP_SECONDS * COST_DRIFT[0]);
+        let last = 1.0 / (BASE_STEP_SECONDS * COST_DRIFT[COST_DRIFT.len() - 1]);
+        assert!(first / last > 3.0, "rate must not stay uniform");
+    }
+}

@@ -1,0 +1,85 @@
+//! OpenMC proxy — Monte Carlo neutron transport (paper §IV.B.5).
+//!
+//! Two phases: 10 inactive batches then 300 active batches simulating
+//! 100 000 particles each; progress (particles per second) is reported
+//! once per batch, "approximately once every second". A batch period
+//! slightly above the 1 s aggregation window makes the reported rate
+//! alias — some windows see no report — reproducing the zero readings the
+//! paper attributes to its monitoring framework (Fig. 3).
+//!
+//! OpenMC is *memory-latency* bound (Table IV): its unstructured access
+//! pattern has low memory-level parallelism, so the proxy uses a small MLP
+//! factor — lots of stall time, little bandwidth, hence the low
+//! MPO = 0.20·10⁻³ next to a high β = 0.93 (Table VI).
+
+use progress::event::MetricDesc;
+use simnode::config::NodeConfig;
+
+use crate::catalog::AppInstance;
+use crate::programs::{IterSegment, PhasedProgram};
+use crate::runtime::Program;
+use crate::spec::KernelSpec;
+
+/// Particles per batch (paper: 100 000).
+pub const PARTICLES_PER_BATCH: f64 = 100_000.0;
+/// Active-batch wall time at `f_max`, seconds (slightly above the 1 s
+/// reporting window, so reports alias against it).
+pub const BATCH_SECONDS: f64 = 1.05;
+/// Memory-level parallelism of the unstructured transport kernel.
+pub const MLP: f64 = 0.15;
+
+/// Calibration of one active batch.
+pub fn active_spec(ranks: usize) -> KernelSpec {
+    KernelSpec::new(0.93, BATCH_SECONDS, 0.20e-3, ranks).with_mlp(MLP)
+}
+
+/// Build the proxy. `active_only` skips the inactive batches (the paper's
+/// characterization and power-capping variant).
+pub fn instance(cfg: &NodeConfig, ranks: usize, seed: u64, active_only: bool) -> AppInstance {
+    let active = active_spec(ranks);
+    let inactive = KernelSpec::new(0.94, 0.8, 0.18e-3, ranks).with_mlp(MLP);
+    let mut segments = Vec::new();
+    if !active_only {
+        segments.push(
+            IterSegment::new(inactive, 10, PARTICLES_PER_BATCH)
+                .with_phase("inactive")
+                .with_noise(0.02),
+        );
+    }
+    segments.push(
+        IterSegment::new(active, 1_000_000, PARTICLES_PER_BATCH)
+            .with_phase("active")
+            .with_noise(0.02),
+    );
+    let programs: Vec<Box<dyn Program>> = (0..ranks)
+        .map(|_| Box::new(PhasedProgram::new(cfg, segments.clone(), seed)) as _)
+        .collect();
+    AppInstance {
+        name: if active_only {
+            "OpenMC (Active)"
+        } else {
+            "OpenMC"
+        },
+        metrics: vec![MetricDesc::new("particles per second", "particles")],
+        programs,
+        primary_spec: Some(active),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_period_aliases_against_one_second_window() {
+        const { assert!(BATCH_SECONDS > 1.0 && BATCH_SECONDS < 1.2) };
+    }
+
+    #[test]
+    fn latency_bound_profile() {
+        let s = active_spec(24);
+        assert!(s.beta > 0.9, "high beta");
+        assert!(s.mlp < 0.3, "low MLP = latency bound");
+        assert!(!powermodel::mpo::is_memory_bound(s.mpo), "low MPO");
+    }
+}

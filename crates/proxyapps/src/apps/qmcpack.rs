@@ -1,0 +1,82 @@
+//! QMCPACK proxy — performance-NiO benchmark (paper §IV.B.3).
+//!
+//! Three phases — VMC1, VMC2, DMC — each computing blocks at a distinct
+//! rate, "clearly distinguishable from one another as they compute blocks
+//! at different rates" (Fig. 1 right). The DMC phase (3000 blocks, ~16
+//! blocks/s) is the characterization target: β = 0.84, MPO = 3.91·10⁻³
+//! (Table VI). Progress is blocks completed per second.
+
+use progress::event::MetricDesc;
+use simnode::config::NodeConfig;
+
+use crate::catalog::AppInstance;
+use crate::programs::{IterSegment, PhasedProgram};
+use crate::runtime::Program;
+use crate::spec::KernelSpec;
+
+/// DMC block wall time at `f_max`, seconds (≈16 blocks/s).
+pub const DMC_BLOCK_SECONDS: f64 = 1.0 / 16.0;
+
+/// Memory-level parallelism of the walker-update kernels (mixed strided
+/// and random access).
+pub const MLP: f64 = 0.6;
+
+/// Calibration of one DMC block.
+pub fn dmc_spec(ranks: usize) -> KernelSpec {
+    KernelSpec::new(0.84, DMC_BLOCK_SECONDS, 3.91e-3, ranks).with_mlp(MLP)
+}
+
+/// Build the proxy. `dmc_only` restricts to the DMC phase, the variant the
+/// paper uses for characterization and power-capping experiments.
+pub fn instance(cfg: &NodeConfig, ranks: usize, seed: u64, dmc_only: bool) -> AppInstance {
+    let dmc = dmc_spec(ranks);
+    let vmc1 = KernelSpec::new(0.88, 1.0 / 22.0, 2.8e-3, ranks).with_mlp(MLP);
+    let vmc2 = KernelSpec::new(0.86, 1.0 / 19.0, 3.2e-3, ranks).with_mlp(MLP);
+    let mut segments = Vec::new();
+    if !dmc_only {
+        segments.push(
+            IterSegment::new(vmc1, 220, 1.0)
+                .with_phase("VMC1")
+                .with_noise(0.01),
+        );
+        segments.push(
+            IterSegment::new(vmc2, 190, 1.0)
+                .with_phase("VMC2")
+                .with_noise(0.01),
+        );
+    }
+    // 15 steps per block, 3000 blocks (paper §IV.B.3); in the proxy a block
+    // is one packet whose cost already includes its 15 steps.
+    segments.push(
+        IterSegment::new(dmc, 1_000_000, 1.0)
+            .with_phase("DMC")
+            .with_noise(0.012),
+    );
+    let programs: Vec<Box<dyn Program>> = (0..ranks)
+        .map(|_| Box::new(PhasedProgram::new(cfg, segments.clone(), seed)) as _)
+        .collect();
+    AppInstance {
+        name: if dmc_only { "QMCPACK (DMC)" } else { "QMCPACK" },
+        metrics: vec![MetricDesc::new("blocks per second", "blocks")],
+        programs,
+        primary_spec: Some(dmc),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_run_at_distinct_rates() {
+        let r1 = 22.0;
+        let r2 = 19.0;
+        let r3 = 1.0 / DMC_BLOCK_SECONDS;
+        assert!(r1 > r2 && r2 > r3, "phase rates must be distinguishable");
+    }
+
+    #[test]
+    fn dmc_matches_table_vi_beta() {
+        assert!((dmc_spec(24).beta - 0.84).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,69 @@
+//! STREAM proxy — memory-bandwidth benchmark (paper §IV.B.4).
+//!
+//! One iteration runs the copy/scale/add/triad operations (4 sub-packets)
+//! and reports once; progress arrives ~16×/s. Calibrated to Table VI:
+//! β = 0.37, MPO = 50.9·10⁻³. With 24 streaming ranks the node's memory
+//! pipe saturates, pushing a large share of package power into the uncore —
+//! which is what makes RAPL treat STREAM so differently from LAMMPS
+//! (paper Figs. 2, 4d, 5).
+
+use progress::event::MetricDesc;
+use simnode::config::NodeConfig;
+
+use crate::catalog::AppInstance;
+use crate::programs::{IterSegment, PhasedProgram};
+use crate::runtime::Program;
+use crate::spec::KernelSpec;
+
+/// Iteration wall time at `f_max`, seconds (≈16 reports/s).
+pub const ITER_SECONDS: f64 = 1.0 / 16.0;
+
+/// Calibration of one STREAM iteration.
+pub fn spec(ranks: usize) -> KernelSpec {
+    KernelSpec::new(0.37, ITER_SECONDS, 50.9e-3, ranks)
+}
+
+/// Build the proxy for `ranks` ranks.
+pub fn instance(cfg: &NodeConfig, ranks: usize, seed: u64) -> AppInstance {
+    let spec = spec(ranks);
+    let seg = IterSegment::new(spec, 1_000_000, 1.0)
+        .with_subpackets(4)
+        .with_noise(0.005);
+    let programs: Vec<Box<dyn Program>> = (0..ranks)
+        .map(|_| Box::new(PhasedProgram::new(cfg, vec![seg.clone()], seed)) as _)
+        .collect();
+    AppInstance {
+        name: "STREAM",
+        metrics: vec![MetricDesc::new("iterations per second", "iterations")],
+        programs,
+        primary_spec: Some(spec),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_is_memory_bound() {
+        let s = spec(24);
+        assert!(s.beta < 0.4);
+        assert!(powermodel::mpo::is_memory_bound(s.mpo));
+    }
+
+    #[test]
+    fn full_node_saturates_memory_bandwidth() {
+        // 24 ranks each spending 63% of a 62.5 ms iteration on memory at
+        // ~4.2 GB/s per-core share ≈ the full 100 GB/s pipe.
+        let cfg = NodeConfig::default();
+        let s = spec(24);
+        let p = s.packet(&cfg);
+        let per_rank_bw = p.misses * cfg.uncore.bytes_per_miss / ITER_SECONDS;
+        let node_bw = per_rank_bw * 24.0;
+        assert!(
+            node_bw > 0.5 * cfg.uncore.peak_bw,
+            "node traffic {:.1} GB/s too low",
+            node_bw * 1e-9
+        );
+    }
+}

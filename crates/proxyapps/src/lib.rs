@@ -1,0 +1,36 @@
+//! # proxyapps — synthetic proxy applications + simulated SPMD runtime
+//!
+//! The paper instruments real production applications (LAMMPS, AMG,
+//! QMCPACK, OpenMC, STREAM, CANDLE) at source level and runs them on a
+//! 24-core node (§IV.B). Those builds and their inputs are not available
+//! here, so this crate provides *calibrated proxies*: loop-structured
+//! programs whose per-iteration compute-cycle / memory-traffic mix is
+//! solved in closed form to land on the paper's Table VI characterization
+//! (β and MPO) and §IV.B reporting rates, executed on the `simnode`
+//! hardware by a simulated SPMD runtime with ranks, barriers and pinned
+//! cores.
+//!
+//! - [`runtime`]: the rank/barrier execution driver;
+//! - [`spec`]: closed-form workload calibration from (β, MPO, iteration
+//!   time, memory-level parallelism);
+//! - [`programs`]: reusable program shapes (iterative, phased,
+//!   sleep-barrier);
+//! - [`apps`]: one module per paper application, plus the Listing-1
+//!   imbalance demo and the Category-3 multi-component apps;
+//! - [`catalog`]: build any application by id;
+//! - [`trace`]: telemetry agents recording power/frequency/cap series.
+
+pub mod apps;
+pub mod catalog;
+pub mod programs;
+pub mod runtime;
+pub mod spec;
+pub mod trace;
+
+pub use catalog::{build, AppId, AppInstance};
+pub use runtime::{Action, Driver, Program, RunRecord};
+pub use spec::KernelSpec;
+pub use trace::TelemetryAgent;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,105 @@
+//! Telemetry tracing agents.
+//!
+//! A [`TelemetryAgent`] samples the node on a fixed period and records
+//! package power, effective core frequency, achieved memory bandwidth and
+//! the programmed power cap as time series — the raw material for the
+//! paper's Figs. 2, 3 and 5.
+
+use progress::series::TimeSeries;
+use simnode::agent::SimAgent;
+use simnode::node::Node;
+use simnode::time::{secs, Nanos};
+
+/// Records node telemetry once per period.
+#[derive(Debug, Clone)]
+pub struct TelemetryAgent {
+    period: Nanos,
+    /// Package power, W.
+    pub power: TimeSeries,
+    /// Rolling-average package power over the sample period, W.
+    pub avg_power: TimeSeries,
+    /// Effective core frequency (including duty cycling), MHz.
+    pub freq: TimeSeries,
+    /// Achieved memory bandwidth, GB/s.
+    pub bandwidth: TimeSeries,
+    /// Programmed package cap, W (uncapped samples use `f64::NAN`).
+    pub cap: TimeSeries,
+}
+
+impl TelemetryAgent {
+    /// Sample every `period` nanoseconds.
+    ///
+    /// # Panics
+    /// Panics if the period is zero.
+    pub fn new(period: Nanos) -> Self {
+        assert!(period > 0, "period must be positive");
+        Self {
+            period,
+            power: TimeSeries::new(),
+            avg_power: TimeSeries::new(),
+            freq: TimeSeries::new(),
+            bandwidth: TimeSeries::new(),
+            cap: TimeSeries::new(),
+        }
+    }
+}
+
+impl SimAgent for TelemetryAgent {
+    fn period(&self) -> Nanos {
+        self.period
+    }
+
+    fn on_tick(&mut self, node: &mut Node, now: Nanos) {
+        let t = secs(now);
+        let tel = node.telemetry();
+        self.power.push(t, tel.package_w);
+        self.avg_power.push(t, node.average_power(self.period));
+        self.freq.push(t, tel.effective_mhz);
+        self.bandwidth.push(t, tel.achieved_bw * 1e-9);
+        self.cap.push(t, node.package_cap().unwrap_or(f64::NAN));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnode::config::NodeConfig;
+    use simnode::node::{CoreWork, WorkPacket};
+    use simnode::time::{MS, SEC};
+
+    #[test]
+    fn agent_records_all_series_in_lockstep() {
+        let mut node = Node::new(NodeConfig::default());
+        node.set_package_cap(Some(90.0));
+        for c in 0..node.cores() {
+            node.assign(
+                c,
+                CoreWork::Compute(
+                    WorkPacket {
+                        cycles: 3.3e9,
+                        misses: 1e6,
+                        instructions: 5e9,
+                        mlp: 1.0,
+                        mem_weight: 1.0,
+                    }
+                    .into(),
+                ),
+            );
+        }
+        let mut agent = TelemetryAgent::new(100 * MS);
+        let mut next = agent.phase();
+        while node.now() < SEC {
+            node.step();
+            let now = node.now();
+            if now >= next {
+                agent.on_tick(&mut node, now);
+                next += agent.period();
+            }
+        }
+        assert_eq!(agent.power.len(), 10);
+        assert_eq!(agent.freq.len(), 10);
+        assert_eq!(agent.cap.len(), 10);
+        assert!(agent.cap.v.iter().all(|&c| (c - 90.0).abs() < 1e-9));
+        assert!(agent.power.mean() > 10.0);
+    }
+}

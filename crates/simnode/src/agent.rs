@@ -1,0 +1,58 @@
+//! Periodic control agents.
+//!
+//! Control software that runs *beside* the application — the paper's
+//! `power-policy` daemon, progress monitors, tracers — is modelled as a
+//! [`SimAgent`]: a callback invoked at a fixed period of simulated time with
+//! mutable access to the node. The SPMD driver (in the `proxyapps` crate)
+//! owns the agents and invokes them on period boundaries.
+
+use crate::node::Node;
+use crate::time::Nanos;
+
+/// A periodic agent co-scheduled with the simulation.
+pub trait SimAgent: Send {
+    /// Invocation period in simulated nanoseconds. Must be a positive
+    /// multiple of the simulation quantum for exact scheduling.
+    fn period(&self) -> Nanos;
+
+    /// Called once per period with the current simulated time.
+    fn on_tick(&mut self, node: &mut Node, now: Nanos);
+
+    /// Optional offset of the first tick (defaults to one full period).
+    fn phase(&self) -> Nanos {
+        self.period()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NodeConfig;
+    use crate::time::SEC;
+
+    struct CountingAgent {
+        period: Nanos,
+        ticks: Vec<Nanos>,
+    }
+
+    impl SimAgent for CountingAgent {
+        fn period(&self) -> Nanos {
+            self.period
+        }
+        fn on_tick(&mut self, _node: &mut Node, now: Nanos) {
+            self.ticks.push(now);
+        }
+    }
+
+    #[test]
+    fn agent_trait_is_object_safe_and_invocable() {
+        let mut node = Node::new(NodeConfig::default());
+        let mut agent: Box<dyn SimAgent> = Box::new(CountingAgent {
+            period: SEC,
+            ticks: vec![],
+        });
+        agent.on_tick(&mut node, SEC);
+        assert_eq!(agent.period(), SEC);
+        assert_eq!(agent.phase(), SEC);
+    }
+}

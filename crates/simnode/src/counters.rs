@@ -1,0 +1,169 @@
+//! Hardware performance counters.
+//!
+//! The node accumulates the three counters the paper uses through PAPI:
+//! total instructions (`PAPI_TOT_INS`), unhalted cycles (`PAPI_TOT_CYC`) and
+//! L3 total cache misses (`PAPI_L3_TCM`). The derived metrics — MIPS, IPC
+//! and MPO (misses per operation) — are computed exactly as in the paper:
+//! MPO = L3 misses / instructions (Section IV.A), MIPS over wall time.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{secs, Nanos};
+
+/// Monotonic counter accumulators for the whole package.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Retired instructions (all cores).
+    pub instructions: f64,
+    /// Unhalted core cycles (all cores).
+    pub cycles: f64,
+    /// L3 cache misses (all cores).
+    pub l3_misses: f64,
+}
+
+impl Counters {
+    /// Add another accumulator's deltas into this one.
+    pub fn add(&mut self, other: &Counters) {
+        self.instructions += other.instructions;
+        self.cycles += other.cycles;
+        self.l3_misses += other.l3_misses;
+    }
+
+    /// Snapshot at time `now`, for later interval arithmetic.
+    pub fn snapshot(&self, now: Nanos) -> CounterSnapshot {
+        CounterSnapshot {
+            at: now,
+            counters: self.clone(),
+        }
+    }
+}
+
+/// A timestamped copy of [`Counters`], enabling interval metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Simulation time of the snapshot.
+    pub at: Nanos,
+    /// Counter values at `at`.
+    pub counters: Counters,
+}
+
+impl CounterSnapshot {
+    /// Interval metrics between `self` (earlier) and `later`.
+    ///
+    /// # Panics
+    /// Panics if `later` precedes `self` in time.
+    pub fn interval_to(&self, later: &CounterSnapshot) -> IntervalMetrics {
+        assert!(later.at >= self.at, "snapshots out of order");
+        let dt = secs(later.at - self.at);
+        let di = later.counters.instructions - self.counters.instructions;
+        let dc = later.counters.cycles - self.counters.cycles;
+        let dm = later.counters.l3_misses - self.counters.l3_misses;
+        IntervalMetrics {
+            seconds: dt,
+            instructions: di,
+            cycles: dc,
+            l3_misses: dm,
+        }
+    }
+}
+
+/// Derived metrics over a time interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntervalMetrics {
+    /// Interval length in seconds.
+    pub seconds: f64,
+    /// Instructions retired in the interval.
+    pub instructions: f64,
+    /// Cycles elapsed in the interval.
+    pub cycles: f64,
+    /// L3 misses in the interval.
+    pub l3_misses: f64,
+}
+
+impl IntervalMetrics {
+    /// Million instructions per second over the interval (paper Table I).
+    pub fn mips(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
+        self.instructions / self.seconds / 1e6
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles <= 0.0 {
+            return 0.0;
+        }
+        self.instructions / self.cycles
+    }
+
+    /// Misses per operation: `PAPI_L3_TCM / PAPI_TOT_INS` (paper §IV.A).
+    pub fn mpo(&self) -> f64 {
+        if self.instructions <= 0.0 {
+            return 0.0;
+        }
+        self.l3_misses / self.instructions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SEC;
+
+    fn snap(at: Nanos, inst: f64, cyc: f64, miss: f64) -> CounterSnapshot {
+        CounterSnapshot {
+            at,
+            counters: Counters {
+                instructions: inst,
+                cycles: cyc,
+                l3_misses: miss,
+            },
+        }
+    }
+
+    #[test]
+    fn mips_ipc_mpo_basic() {
+        let a = snap(0, 0.0, 0.0, 0.0);
+        let b = snap(2 * SEC, 4.0e9, 2.0e9, 4.0e6);
+        let m = a.interval_to(&b);
+        assert!((m.mips() - 2000.0).abs() < 1e-9);
+        assert!((m.ipc() - 2.0).abs() < 1e-12);
+        assert!((m.mpo() - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_intervals_do_not_divide_by_zero() {
+        let a = snap(SEC, 1.0, 1.0, 1.0);
+        let m = a.interval_to(&a.clone());
+        assert_eq!(m.mips(), 0.0);
+        let empty = snap(0, 0.0, 0.0, 0.0).interval_to(&snap(SEC, 0.0, 0.0, 0.0));
+        assert_eq!(empty.ipc(), 0.0);
+        assert_eq!(empty.mpo(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn reversed_snapshots_panic() {
+        let a = snap(SEC, 0.0, 0.0, 0.0);
+        let b = snap(0, 0.0, 0.0, 0.0);
+        let _ = a.interval_to(&b);
+    }
+
+    #[test]
+    fn accumulate_adds_fields() {
+        let mut a = Counters {
+            instructions: 1.0,
+            cycles: 2.0,
+            l3_misses: 3.0,
+        };
+        a.add(&Counters {
+            instructions: 10.0,
+            cycles: 20.0,
+            l3_misses: 30.0,
+        });
+        assert_eq!(a.instructions, 11.0);
+        assert_eq!(a.cycles, 22.0);
+        assert_eq!(a.l3_misses, 33.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Dynamic duty-cycle modulation (DDCM).
+//!
+//! Intel exposes clock modulation through `IA32_CLOCK_MODULATION`: the core
+//! clock is gated for a fraction of each modulation period, in 1/16 steps.
+//! RAPL engages clock modulation when the lowest DVFS operating point still
+//! exceeds the core power budget — this is one of the "additional means"
+//! the paper notes its model does not capture (Section VI.2, STREAM
+//! discussion), and the reason the model underestimates the impact of
+//! stringent power caps.
+
+use serde::{Deserialize, Serialize};
+
+/// A duty cycle in sixteenths: `DutyCycle(n)` runs the clock `n/16` of the
+/// time, `1 <= n <= 16`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DutyCycle(u8);
+
+impl DutyCycle {
+    /// Number of duty levels (16ths).
+    pub const LEVELS: u8 = 16;
+
+    /// Full-speed duty cycle (16/16, modulation off).
+    pub const FULL: DutyCycle = DutyCycle(16);
+
+    /// Minimum duty cycle (1/16).
+    pub const MIN: DutyCycle = DutyCycle(1);
+
+    /// Create a duty cycle of `sixteenths/16`.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= sixteenths <= 16`.
+    pub fn new(sixteenths: u8) -> Self {
+        assert!(
+            (1..=16).contains(&sixteenths),
+            "duty cycle must be 1..=16 sixteenths, got {sixteenths}"
+        );
+        Self(sixteenths)
+    }
+
+    /// The raw numerator (1..=16).
+    pub fn sixteenths(self) -> u8 {
+        self.0
+    }
+
+    /// The fraction of time the clock runs, in (0, 1].
+    pub fn fraction(self) -> f64 {
+        f64::from(self.0) / 16.0
+    }
+
+    /// Whether modulation is disabled (full duty).
+    pub fn is_full(self) -> bool {
+        self.0 == 16
+    }
+
+    /// One step lower (slower), saturating at 1/16.
+    pub fn lower(self) -> Self {
+        Self(self.0.saturating_sub(1).max(1))
+    }
+
+    /// One step higher (faster), saturating at 16/16.
+    pub fn raise(self) -> Self {
+        Self((self.0 + 1).min(16))
+    }
+
+    /// All duty cycles from slowest to fastest.
+    pub fn all() -> impl DoubleEndedIterator<Item = DutyCycle> {
+        (1..=16).map(DutyCycle)
+    }
+
+    /// Encode as the `IA32_CLOCK_MODULATION` register value: bit 4 enables
+    /// modulation, bits 0..=3 hold the duty level (0 means 16/16 in our
+    /// encoding when disabled).
+    pub fn encode_msr(self) -> u64 {
+        if self.is_full() {
+            0
+        } else {
+            0x10 | u64::from(self.0)
+        }
+    }
+
+    /// Decode from an `IA32_CLOCK_MODULATION` register value.
+    pub fn decode_msr(raw: u64) -> Self {
+        if raw & 0x10 == 0 {
+            Self::FULL
+        } else {
+            let n = (raw & 0xF) as u8;
+            Self::new(n.clamp(1, 16))
+        }
+    }
+}
+
+impl Default for DutyCycle {
+    fn default() -> Self {
+        Self::FULL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_spans_unit_interval() {
+        assert_eq!(DutyCycle::MIN.fraction(), 1.0 / 16.0);
+        assert_eq!(DutyCycle::FULL.fraction(), 1.0);
+        assert!(DutyCycle::new(8).fraction() == 0.5);
+    }
+
+    #[test]
+    fn lower_and_raise_saturate() {
+        assert_eq!(DutyCycle::MIN.lower(), DutyCycle::MIN);
+        assert_eq!(DutyCycle::FULL.raise(), DutyCycle::FULL);
+        assert_eq!(DutyCycle::new(8).lower(), DutyCycle::new(7));
+        assert_eq!(DutyCycle::new(8).raise(), DutyCycle::new(9));
+    }
+
+    #[test]
+    fn msr_encoding_roundtrips() {
+        for d in DutyCycle::all() {
+            assert_eq!(DutyCycle::decode_msr(d.encode_msr()), d);
+        }
+        // Disabled modulation decodes to full duty regardless of stale bits.
+        assert_eq!(DutyCycle::decode_msr(0x0F), DutyCycle::FULL);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty cycle must be")]
+    fn zero_duty_rejected() {
+        DutyCycle::new(0);
+    }
+
+    #[test]
+    fn all_is_ascending() {
+        let v: Vec<_> = DutyCycle::all().collect();
+        assert_eq!(v.len(), 16);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,161 @@
+//! DVFS frequency ladder (P-states).
+//!
+//! The simulated package exposes a discrete ladder of core frequencies, like
+//! the ACPI P-states a real Skylake exposes through `IA32_PERF_CTL`. The
+//! paper's testbed runs 1200–3300 MHz (nominal max 3300 MHz with Turbo
+//! enabled), which is the default ladder here.
+
+use serde::{Deserialize, Serialize};
+
+/// Index into a [`FrequencyLadder`]. Higher index = higher frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PState(pub usize);
+
+/// A discrete set of available core frequencies, sorted ascending.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyLadder {
+    mhz: Vec<u32>,
+}
+
+impl FrequencyLadder {
+    /// Build a ladder from an explicit list of frequencies in MHz.
+    ///
+    /// # Panics
+    /// Panics if the list is empty, unsorted, or contains duplicates or
+    /// zeros — a malformed ladder is a configuration bug, not a runtime
+    /// condition.
+    pub fn from_mhz(mhz: Vec<u32>) -> Self {
+        assert!(!mhz.is_empty(), "frequency ladder must be non-empty");
+        assert!(
+            mhz.windows(2).all(|w| w[0] < w[1]),
+            "frequency ladder must be strictly ascending"
+        );
+        assert!(mhz[0] > 0, "frequencies must be positive");
+        Self { mhz }
+    }
+
+    /// Build an inclusive range ladder `min..=max` in `step` MHz increments.
+    pub fn range_mhz(min: u32, max: u32, step: u32) -> Self {
+        assert!(step > 0 && min <= max);
+        let mhz = (min..=max).step_by(step as usize).collect();
+        Self::from_mhz(mhz)
+    }
+
+    /// Number of P-states.
+    pub fn len(&self) -> usize {
+        self.mhz.len()
+    }
+
+    /// A ladder is never empty; provided for clippy-friendliness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Lowest P-state.
+    pub fn min_pstate(&self) -> PState {
+        PState(0)
+    }
+
+    /// Highest (fastest) P-state.
+    pub fn max_pstate(&self) -> PState {
+        PState(self.mhz.len() - 1)
+    }
+
+    /// Frequency of `p` in MHz.
+    ///
+    /// # Panics
+    /// Panics if `p` is out of range.
+    pub fn mhz(&self, p: PState) -> u32 {
+        self.mhz[p.0]
+    }
+
+    /// Frequency of `p` in Hz.
+    pub fn hz(&self, p: PState) -> f64 {
+        self.mhz(p) as f64 * 1e6
+    }
+
+    /// Frequency of `p` in GHz.
+    pub fn ghz(&self, p: PState) -> f64 {
+        self.mhz(p) as f64 * 1e-3
+    }
+
+    /// Maximum frequency in MHz (the paper's `f_max`).
+    pub fn fmax_mhz(&self) -> u32 {
+        *self.mhz.last().expect("non-empty")
+    }
+
+    /// Minimum frequency in MHz.
+    pub fn fmin_mhz(&self) -> u32 {
+        self.mhz[0]
+    }
+
+    /// The highest P-state whose frequency is `<= mhz`, or the lowest
+    /// P-state if every rung is above `mhz`.
+    pub fn pstate_at_or_below(&self, mhz: u32) -> PState {
+        match self.mhz.partition_point(|&m| m <= mhz) {
+            0 => PState(0),
+            n => PState(n - 1),
+        }
+    }
+
+    /// The exact P-state for `mhz`, if it is a rung of the ladder.
+    pub fn pstate_exact(&self, mhz: u32) -> Option<PState> {
+        self.mhz.binary_search(&mhz).ok().map(PState)
+    }
+
+    /// Iterate over all P-states from slowest to fastest.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = PState> + '_ {
+        (0..self.mhz.len()).map(PState)
+    }
+}
+
+impl Default for FrequencyLadder {
+    /// The paper's testbed ladder: 1200–3300 MHz in 100 MHz steps.
+    fn default() -> Self {
+        Self::range_mhz(1200, 3300, 100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ladder_matches_paper_testbed() {
+        let l = FrequencyLadder::default();
+        assert_eq!(l.fmin_mhz(), 1200);
+        assert_eq!(l.fmax_mhz(), 3300);
+        assert_eq!(l.len(), 22);
+        assert_eq!(l.mhz(l.max_pstate()), 3300);
+    }
+
+    #[test]
+    fn pstate_at_or_below_picks_floor() {
+        let l = FrequencyLadder::default();
+        assert_eq!(l.mhz(l.pstate_at_or_below(2650)), 2600);
+        assert_eq!(l.mhz(l.pstate_at_or_below(2600)), 2600);
+        assert_eq!(l.mhz(l.pstate_at_or_below(100)), 1200, "clamps to fmin");
+        assert_eq!(l.mhz(l.pstate_at_or_below(9999)), 3300);
+    }
+
+    #[test]
+    fn pstate_exact_only_matches_rungs() {
+        let l = FrequencyLadder::default();
+        assert_eq!(l.pstate_exact(1600), Some(l.pstate_at_or_below(1600)));
+        assert_eq!(l.pstate_exact(1650), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_ladder_panics() {
+        FrequencyLadder::from_mhz(vec![2000, 1000]);
+    }
+
+    #[test]
+    fn hz_and_ghz_agree() {
+        let l = FrequencyLadder::default();
+        let p = l.max_pstate();
+        assert!((l.hz(p) - 3.3e9).abs() < 1.0);
+        assert!((l.ghz(p) - 3.3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,344 @@
+//! Model-specific registers (MSRs) with an `msr-safe`-style allow-list.
+//!
+//! The paper's power-policy daemon talks to hardware exclusively through
+//! `libmsr` on top of the `msr-safe` kernel module, which exposes a
+//! whitelisted subset of MSRs to non-root users. This module reproduces
+//! that interface: a register file, an allow-list with independent
+//! read/write permission, and faithful RAPL register encodings —
+//! `MSR_RAPL_POWER_UNIT`, `MSR_PKG_POWER_LIMIT` (with the real
+//! `(1 + F/4)·2^Y` time-window format) and the 32-bit wrapping
+//! `MSR_PKG_ENERGY_STATUS` counter.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Nanos;
+
+/// `MSR_RAPL_POWER_UNIT`: unit definitions for the RAPL registers.
+pub const MSR_RAPL_POWER_UNIT: u32 = 0x606;
+/// `MSR_PKG_POWER_LIMIT`: package power cap control.
+pub const MSR_PKG_POWER_LIMIT: u32 = 0x610;
+/// `MSR_PKG_ENERGY_STATUS`: wrapping package energy counter.
+pub const MSR_PKG_ENERGY_STATUS: u32 = 0x611;
+/// `IA32_PERF_CTL`: requested P-state (frequency / 100 MHz in bits 8..16).
+pub const IA32_PERF_CTL: u32 = 0x199;
+/// `IA32_CLOCK_MODULATION`: DDCM duty-cycle control.
+pub const IA32_CLOCK_MODULATION: u32 = 0x19A;
+/// `IA32_MPERF`: cycles at nominal frequency while unhalted.
+pub const IA32_MPERF: u32 = 0xE7;
+/// `IA32_APERF`: actual unhalted cycles; `APERF/MPERF` gives the effective
+/// frequency ratio, which is how tools measure frequency under RAPL.
+pub const IA32_APERF: u32 = 0xE8;
+
+/// Errors surfaced by the MSR device, mirroring what `msr-safe` returns to
+/// user space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsrError {
+    /// The register exists but the allow-list denies this access.
+    NotAllowed(u32),
+    /// The register is not implemented by this model.
+    Unknown(u32),
+}
+
+impl std::fmt::Display for MsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MsrError::NotAllowed(a) => write!(f, "MSR {a:#x}: access denied by allow-list"),
+            MsrError::Unknown(a) => write!(f, "MSR {a:#x}: not implemented"),
+        }
+    }
+}
+
+impl std::error::Error for MsrError {}
+
+/// Per-register permissions, like an `msr-safe` whitelist entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Permission {
+    /// Reads allowed.
+    pub read: bool,
+    /// Writes allowed.
+    pub write: bool,
+}
+
+impl Permission {
+    /// Read-only access.
+    pub const RO: Permission = Permission {
+        read: true,
+        write: false,
+    };
+    /// Read-write access.
+    pub const RW: Permission = Permission {
+        read: true,
+        write: true,
+    };
+}
+
+/// The MSR register file.
+#[derive(Debug, Clone)]
+pub struct MsrDevice {
+    regs: HashMap<u32, u64>,
+    allowlist: HashMap<u32, Permission>,
+}
+
+impl MsrDevice {
+    /// A device with the default RAPL/DVFS allow-list and power-on values.
+    pub fn new() -> Self {
+        let mut allowlist = HashMap::new();
+        allowlist.insert(MSR_RAPL_POWER_UNIT, Permission::RO);
+        allowlist.insert(MSR_PKG_POWER_LIMIT, Permission::RW);
+        allowlist.insert(MSR_PKG_ENERGY_STATUS, Permission::RO);
+        allowlist.insert(IA32_PERF_CTL, Permission::RW);
+        allowlist.insert(IA32_CLOCK_MODULATION, Permission::RW);
+        allowlist.insert(IA32_MPERF, Permission::RO);
+        allowlist.insert(IA32_APERF, Permission::RO);
+
+        let mut regs = HashMap::new();
+        regs.insert(MSR_RAPL_POWER_UNIT, RaplUnits::SKYLAKE_RAW);
+        regs.insert(MSR_PKG_POWER_LIMIT, 0);
+        regs.insert(MSR_PKG_ENERGY_STATUS, 0);
+        regs.insert(IA32_PERF_CTL, 0);
+        regs.insert(IA32_CLOCK_MODULATION, 0);
+        regs.insert(IA32_MPERF, 0);
+        regs.insert(IA32_APERF, 0);
+        Self { regs, allowlist }
+    }
+
+    /// User-space read through the allow-list.
+    pub fn read(&self, addr: u32) -> Result<u64, MsrError> {
+        match self.allowlist.get(&addr) {
+            None => Err(MsrError::Unknown(addr)),
+            Some(p) if !p.read => Err(MsrError::NotAllowed(addr)),
+            Some(_) => Ok(*self.regs.get(&addr).unwrap_or(&0)),
+        }
+    }
+
+    /// User-space write through the allow-list.
+    pub fn write(&mut self, addr: u32, value: u64) -> Result<(), MsrError> {
+        match self.allowlist.get(&addr) {
+            None => Err(MsrError::Unknown(addr)),
+            Some(p) if !p.write => Err(MsrError::NotAllowed(addr)),
+            Some(_) => {
+                self.regs.insert(addr, value);
+                Ok(())
+            }
+        }
+    }
+
+    /// Privileged (hardware-side) read, bypassing the allow-list. Used by
+    /// the simulated silicon itself.
+    pub fn hw_read(&self, addr: u32) -> u64 {
+        *self.regs.get(&addr).unwrap_or(&0)
+    }
+
+    /// Privileged (hardware-side) write, bypassing the allow-list.
+    pub fn hw_write(&mut self, addr: u32, value: u64) {
+        self.regs.insert(addr, value);
+    }
+
+    /// Accumulate `joules` into the wrapping 32-bit energy-status counter.
+    pub fn hw_add_energy(&mut self, joules: f64) {
+        let units = self.units();
+        let ticks = (joules / units.energy_j).round() as u64;
+        let cur = self.hw_read(MSR_PKG_ENERGY_STATUS);
+        self.hw_write(MSR_PKG_ENERGY_STATUS, (cur + ticks) & 0xFFFF_FFFF);
+    }
+
+    /// Decode the RAPL unit register.
+    pub fn units(&self) -> RaplUnits {
+        RaplUnits::decode(self.hw_read(MSR_RAPL_POWER_UNIT))
+    }
+}
+
+impl Default for MsrDevice {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Decoded `MSR_RAPL_POWER_UNIT` fields.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RaplUnits {
+    /// Power unit in watts (Skylake: 1/8 W).
+    pub power_w: f64,
+    /// Energy unit in joules (Skylake server: 2⁻¹⁴ J ≈ 61 µJ).
+    pub energy_j: f64,
+    /// Time unit in seconds (2⁻¹⁰ s ≈ 977 µs).
+    pub time_s: f64,
+}
+
+impl RaplUnits {
+    /// Raw Skylake-style value: PU=3, ESU=14, TU=10.
+    pub const SKYLAKE_RAW: u64 = 3 | (14 << 8) | (10 << 16);
+
+    /// Decode from the raw register value.
+    pub fn decode(raw: u64) -> Self {
+        let pu = raw & 0xF;
+        let esu = (raw >> 8) & 0x1F;
+        let tu = (raw >> 16) & 0xF;
+        Self {
+            power_w: (0.5f64).powi(pu as i32),
+            energy_j: (0.5f64).powi(esu as i32),
+            time_s: (0.5f64).powi(tu as i32),
+        }
+    }
+}
+
+/// Decoded `MSR_PKG_POWER_LIMIT` fields (power limit #1 only; the paper's
+/// daemon programs a single limit).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLimit {
+    /// Cap in watts; `None` when the enable bit is clear (uncapped).
+    pub watts: Option<f64>,
+    /// Averaging time window in nanoseconds.
+    pub window: Nanos,
+}
+
+impl PowerLimit {
+    /// Encode into the raw register format: bits 0..15 power (in power
+    /// units), bit 15 enable, bit 16 clamp, bits 17..22 window exponent
+    /// `Y`, bits 22..24 window fraction `F`, window = `(1 + F/4)·2^Y`
+    /// time-units.
+    pub fn encode(&self, units: RaplUnits) -> u64 {
+        let mut raw = 0u64;
+        if let Some(w) = self.watts {
+            assert!(w > 0.0, "cap must be positive");
+            let p = ((w / units.power_w).round() as u64).min(0x7FFF);
+            raw |= p; // bits 0..15
+            raw |= 1 << 15; // enable
+            raw |= 1 << 16; // clamp
+            let (y, f) = encode_time_window(self.window, units);
+            raw |= (y as u64) << 17;
+            raw |= (f as u64) << 22;
+        }
+        raw
+    }
+
+    /// Decode from the raw register format.
+    pub fn decode(raw: u64, units: RaplUnits) -> Self {
+        let enabled = raw & (1 << 15) != 0;
+        let watts = if enabled {
+            Some((raw & 0x7FFF) as f64 * units.power_w)
+        } else {
+            None
+        };
+        let y = (raw >> 17) & 0x1F;
+        let f = (raw >> 22) & 0x3;
+        let window_s = (1.0 + f as f64 / 4.0) * (2.0f64).powi(y as i32) * units.time_s;
+        Self {
+            watts,
+            window: (window_s * 1e9).round() as Nanos,
+        }
+    }
+}
+
+/// Find the `(Y, F)` pair whose `(1 + F/4)·2^Y` time-units best
+/// approximates `window`.
+fn encode_time_window(window: Nanos, units: RaplUnits) -> (u8, u8) {
+    let target = window as f64 / 1e9 / units.time_s;
+    let mut best = (0u8, 0u8);
+    let mut best_err = f64::INFINITY;
+    for y in 0u8..32 {
+        for f in 0u8..4 {
+            let v = (1.0 + f as f64 / 4.0) * (2.0f64).powi(y as i32);
+            let err = (v - target).abs();
+            if err < best_err {
+                best_err = err;
+                best = (y, f);
+            }
+        }
+    }
+    best
+}
+
+/// Encode a requested frequency (MHz) into `IA32_PERF_CTL` format
+/// (multiples of 100 MHz in bits 8..16).
+pub fn encode_perf_ctl(mhz: u32) -> u64 {
+    (u64::from(mhz) / 100) << 8
+}
+
+/// Decode an `IA32_PERF_CTL` value into a requested frequency in MHz.
+/// Returns `None` for the power-on value 0 (no request).
+pub fn decode_perf_ctl(raw: u64) -> Option<u32> {
+    let ratio = (raw >> 8) & 0xFF;
+    if ratio == 0 {
+        None
+    } else {
+        Some(ratio as u32 * 100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::MS;
+
+    #[test]
+    fn allowlist_blocks_energy_writes() {
+        let mut d = MsrDevice::new();
+        assert_eq!(
+            d.write(MSR_PKG_ENERGY_STATUS, 1),
+            Err(MsrError::NotAllowed(MSR_PKG_ENERGY_STATUS))
+        );
+        assert_eq!(d.read(0xDEAD), Err(MsrError::Unknown(0xDEAD)));
+    }
+
+    #[test]
+    fn units_decode_skylake() {
+        let u = RaplUnits::decode(RaplUnits::SKYLAKE_RAW);
+        assert!((u.power_w - 0.125).abs() < 1e-12);
+        assert!((u.energy_j - 6.103515625e-5).abs() < 1e-15);
+        assert!((u.time_s - 9.765625e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_limit_roundtrip() {
+        let u = RaplUnits::decode(RaplUnits::SKYLAKE_RAW);
+        let pl = PowerLimit {
+            watts: Some(95.0),
+            window: 10 * MS,
+        };
+        let decoded = PowerLimit::decode(pl.encode(u), u);
+        assert_eq!(decoded.watts, Some(95.0));
+        // Window quantization: must land within 25% of the request.
+        let w = decoded.window as f64;
+        assert!((w - (10 * MS) as f64).abs() / (10 * MS) as f64 <= 0.25);
+    }
+
+    #[test]
+    fn disabled_limit_decodes_to_uncapped() {
+        let u = RaplUnits::decode(RaplUnits::SKYLAKE_RAW);
+        let pl = PowerLimit {
+            watts: None,
+            window: 0,
+        };
+        assert_eq!(PowerLimit::decode(pl.encode(u), u).watts, None);
+    }
+
+    #[test]
+    fn energy_counter_wraps_at_32_bits() {
+        let mut d = MsrDevice::new();
+        let u = d.units();
+        // Push the counter near the wrap point, then over it.
+        d.hw_write(MSR_PKG_ENERGY_STATUS, 0xFFFF_FFFE);
+        d.hw_add_energy(u.energy_j * 5.0);
+        assert_eq!(d.hw_read(MSR_PKG_ENERGY_STATUS), 3);
+    }
+
+    #[test]
+    fn perf_ctl_roundtrip() {
+        assert_eq!(decode_perf_ctl(encode_perf_ctl(2600)), Some(2600));
+        assert_eq!(decode_perf_ctl(0), None);
+    }
+
+    #[test]
+    fn cap_quantized_to_eighth_watt() {
+        let u = RaplUnits::decode(RaplUnits::SKYLAKE_RAW);
+        let pl = PowerLimit {
+            watts: Some(80.3),
+            window: MS,
+        };
+        let d = PowerLimit::decode(pl.encode(u), u);
+        assert!((d.watts.unwrap() - 80.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,773 @@
+//! The node execution engine.
+//!
+//! A [`Node`] owns the cores, the MSR file, the RAPL controller and all
+//! accounting state. A driver assigns [`CoreWork`] to cores and advances
+//! simulated time one quantum at a time with [`Node::step`]; each step
+//! retires work according to the current frequency/duty/uncore settings,
+//! integrates power into the energy counter, and accumulates hardware
+//! counters. RAPL re-evaluates its actuators on its own control period.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::NodeConfig;
+use crate::counters::Counters;
+use crate::ddcm::DutyCycle;
+use crate::energy::EnergyMeter;
+use crate::msr::{
+    decode_perf_ctl, MsrDevice, PowerLimit, IA32_APERF, IA32_CLOCK_MODULATION, IA32_MPERF,
+    IA32_PERF_CTL, MSR_PKG_POWER_LIMIT,
+};
+use crate::rapl::{ActivitySnapshot, Actuation, RaplController};
+use crate::thermal::ThermalState;
+use crate::time::{secs, Nanos};
+
+/// A unit of application work: some compute cycles interleaved with some
+/// memory traffic, retiring some number of instructions.
+///
+/// Execution time is `cycles / f_eff + misses · line / bw(uncore)` — the
+/// overlap-free compute+memory split that underlies the paper's Eq. (1):
+/// the compute term scales with frequency, the memory term does not.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkPacket {
+    /// Core cycles of computation.
+    pub cycles: f64,
+    /// L3 misses generated.
+    pub misses: f64,
+    /// Instructions retired by the packet.
+    pub instructions: f64,
+    /// Memory-level parallelism in (0, 1]: the fraction of the per-core
+    /// bandwidth ceiling this packet's (possibly dependent) misses can
+    /// exploit. Latency-bound codes (OpenMC) have low MLP — each miss
+    /// stalls longer while moving the same bytes, so they burn stall time
+    /// without burning bandwidth (or uncore power).
+    #[serde(default = "default_mlp")]
+    pub mlp: f64,
+    /// This packet's contribution to node memory pressure while in flight:
+    /// nominally its memory-time fraction × MLP. A workload-intrinsic
+    /// constant (set by the calibration layer), so shared-bandwidth
+    /// contention does not artificially relax when cores slow down.
+    #[serde(default = "default_mlp")]
+    pub mem_weight: f64,
+}
+
+fn default_mlp() -> f64 {
+    1.0
+}
+
+impl WorkPacket {
+    /// A bandwidth-streaming packet (MLP = 1, full memory weight).
+    pub fn new(cycles: f64, misses: f64, instructions: f64) -> Self {
+        Self {
+            cycles,
+            misses,
+            instructions,
+            mlp: 1.0,
+            mem_weight: 1.0,
+        }
+    }
+
+    /// Validate non-negativity (zero packets are legal no-ops).
+    pub fn validate(&self) {
+        assert!(
+            self.cycles >= 0.0 && self.misses >= 0.0 && self.instructions >= 0.0,
+            "work packet fields must be non-negative"
+        );
+        assert!(self.mlp > 0.0 && self.mlp <= 1.0, "mlp must be in (0,1]");
+        assert!(
+            self.mem_weight >= 0.0 && self.mem_weight <= 1.0,
+            "mem_weight must be in [0,1]"
+        );
+    }
+}
+
+/// In-flight packet state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacketState {
+    /// Remaining compute cycles.
+    pub cycles_left: f64,
+    /// Remaining L3 misses.
+    pub misses_left: f64,
+    /// Remaining instructions.
+    pub inst_left: f64,
+    /// Memory-level parallelism of the packet (see [`WorkPacket::mlp`]).
+    pub mlp: f64,
+    /// Pressure contribution (see [`WorkPacket::mem_weight`]).
+    pub mem_weight: f64,
+}
+
+impl From<WorkPacket> for PacketState {
+    fn from(p: WorkPacket) -> Self {
+        p.validate();
+        Self {
+            cycles_left: p.cycles,
+            misses_left: p.misses,
+            inst_left: p.instructions,
+            mlp: p.mlp,
+            mem_weight: p.mem_weight,
+        }
+    }
+}
+
+/// What a core is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CoreWork {
+    /// Nothing assigned; powered but idle.
+    Idle,
+    /// In a sleep C-state until the given absolute time (cf. `usleep` in the
+    /// paper's Listing 1).
+    Sleep {
+        /// Absolute wake time.
+        until: Nanos,
+    },
+    /// Busy-wait spinning (MPI barrier polling): full dynamic power,
+    /// instructions retire at the configured spin IPC, no useful work.
+    Spin,
+    /// Executing a work packet.
+    Compute(PacketState),
+}
+
+/// Result of one simulation quantum.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StepOutcome {
+    /// Cores whose packet completed during this quantum (now idle).
+    pub completed: Vec<usize>,
+    /// Cores whose sleep elapsed during this quantum (now idle).
+    pub woke: Vec<usize>,
+}
+
+/// Telemetry for the quantum that just executed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct QuantumTelemetry {
+    /// Package power over the quantum, W.
+    pub package_w: f64,
+    /// Core-domain share of package power, W.
+    pub core_w: f64,
+    /// Uncore-domain share of package power, W.
+    pub uncore_w: f64,
+    /// Effective core frequency (including duty cycling), MHz.
+    pub effective_mhz: f64,
+    /// Achieved memory traffic, bytes/s.
+    pub achieved_bw: f64,
+}
+
+/// The simulated node.
+///
+/// ```
+/// use simnode::config::NodeConfig;
+/// use simnode::node::{CoreWork, Node, WorkPacket};
+///
+/// let mut node = Node::new(NodeConfig::default());
+/// node.set_package_cap(Some(90.0)); // programs MSR_PKG_POWER_LIMIT
+/// node.assign(0, CoreWork::Compute(WorkPacket::new(3.3e7, 0.0, 5e7).into()));
+/// while !node.step().completed.contains(&0) {}
+/// // ~10 ms of compute at fmax, stretched by the cap's settling P-state.
+/// assert!(node.now() >= 10_000_000);
+/// assert!(node.total_energy() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Node {
+    cfg: NodeConfig,
+    now: Nanos,
+    msr: MsrDevice,
+    rapl: RaplController,
+    actuation: Actuation,
+    cores: Vec<CoreWork>,
+    counters: Counters,
+    energy: EnergyMeter,
+    telemetry: QuantumTelemetry,
+    /// Activity accumulated since the last RAPL control decision.
+    acc_compute_weight: f64,
+    acc_busy_weight: f64,
+    acc_powered: f64,
+    acc_bytes: f64,
+    acc_quanta: u32,
+    thermal: Option<ThermalState>,
+    next_rapl: Nanos,
+}
+
+impl Node {
+    /// Build a node from a validated configuration.
+    pub fn new(cfg: NodeConfig) -> Self {
+        cfg.validate();
+        let actuation = Actuation {
+            pstate: cfg.ladder.max_pstate(),
+            duty: DutyCycle::FULL,
+            uncore: cfg.uncore.max_level(),
+        };
+        let cores = vec![CoreWork::Idle; cfg.cores];
+        let thermal = cfg.thermal.clone().map(ThermalState::new);
+        let retain = cfg.rapl_window.max(crate::time::SEC);
+        Self {
+            energy: EnergyMeter::new(retain * 2),
+            next_rapl: cfg.rapl_period,
+            cfg,
+            now: 0,
+            msr: MsrDevice::new(),
+            rapl: RaplController::new(),
+            actuation,
+            cores,
+            counters: Counters::default(),
+            telemetry: QuantumTelemetry::default(),
+            acc_compute_weight: 0.0,
+            acc_busy_weight: 0.0,
+            acc_powered: 0.0,
+            acc_bytes: 0.0,
+            acc_quanta: 0,
+            thermal,
+        }
+    }
+
+    /// The node configuration.
+    pub fn config(&self) -> &NodeConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Immutable access to the MSR device (for monitoring software).
+    pub fn msr(&self) -> &MsrDevice {
+        &self.msr
+    }
+
+    /// Mutable access to the MSR device (for control software, like
+    /// `libmsr` writes from the NRM).
+    pub fn msr_mut(&mut self) -> &mut MsrDevice {
+        &mut self.msr
+    }
+
+    /// Cumulative hardware counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Telemetry for the most recent quantum.
+    pub fn telemetry(&self) -> QuantumTelemetry {
+        self.telemetry
+    }
+
+    /// Total package energy consumed, joules.
+    pub fn total_energy(&self) -> f64 {
+        self.energy.total_joules()
+    }
+
+    /// Rolling-average package power over `window`, W.
+    pub fn average_power(&self, window: Nanos) -> f64 {
+        self.energy.average_power(window)
+    }
+
+    /// The actuator settings currently in force.
+    pub fn actuation(&self) -> Actuation {
+        self.actuation
+    }
+
+    /// Junction temperature in °C, when the thermal model is enabled.
+    pub fn temperature_c(&self) -> Option<f64> {
+        self.thermal.as_ref().map(|t| t.temperature_c())
+    }
+
+    /// Whether the PROCHOT thermal throttle is currently asserted.
+    pub fn thermal_throttling(&self) -> bool {
+        self.thermal
+            .as_ref()
+            .map(|t| t.throttling())
+            .unwrap_or(false)
+    }
+
+    /// Convenience: program (or clear) the package power cap through the
+    /// MSR interface, exactly as `libmsr` would.
+    pub fn set_package_cap(&mut self, watts: Option<f64>) {
+        let units = self.msr.units();
+        let raw = PowerLimit {
+            watts,
+            window: self.cfg.rapl_window,
+        }
+        .encode(units);
+        self.msr
+            .write(MSR_PKG_POWER_LIMIT, raw)
+            .expect("PKG_POWER_LIMIT is writable");
+    }
+
+    /// The currently programmed package cap, if any.
+    pub fn package_cap(&self) -> Option<f64> {
+        PowerLimit::decode(self.msr.hw_read(MSR_PKG_POWER_LIMIT), self.msr.units()).watts
+    }
+
+    /// Assign work to a core.
+    ///
+    /// # Panics
+    /// Panics if `core` is out of range.
+    pub fn assign(&mut self, core: usize, work: CoreWork) {
+        if let CoreWork::Sleep { until } = work {
+            assert!(until >= self.now, "sleep target in the past");
+        }
+        self.cores[core] = work;
+    }
+
+    /// What a core is currently doing.
+    pub fn work(&self, core: usize) -> &CoreWork {
+        &self.cores[core]
+    }
+
+    /// True when the core has no assigned work.
+    pub fn is_available(&self, core: usize) -> bool {
+        matches!(self.cores[core], CoreWork::Idle)
+    }
+
+    /// Advance the simulation by one quantum. Returns which cores finished
+    /// packets or woke from sleep.
+    pub fn step(&mut self) -> StepOutcome {
+        // RAPL control decision on period boundaries (before executing).
+        if self.now >= self.next_rapl {
+            self.rapl_tick();
+            self.next_rapl += self.cfg.rapl_period;
+        }
+
+        let dt = self.cfg.quantum;
+        let dt_s = secs(dt);
+        let end = self.now + dt;
+
+        // PROCHOT: an asserted thermal throttle overrides everything and
+        // pins the lowest P-state until the hysteresis band clears.
+        let mut effective = self.actuation;
+        if let Some(t) = &self.thermal {
+            if t.throttling() {
+                effective.pstate = self.cfg.ladder.min_pstate();
+            }
+        }
+        let leak_factor = self
+            .thermal
+            .as_ref()
+            .map(|t| t.leak_factor())
+            .unwrap_or(1.0);
+
+        let duty = effective.duty;
+        let f_mhz = self.cfg.ladder.mhz(effective.pstate) as f64;
+        let f_eff_hz = f_mhz * 1e6 * duty.fraction();
+        let fmax_hz = self.cfg.fmax_mhz() as f64 * 1e6;
+        let uncore_level = effective.uncore;
+
+        // Memory pressure: workload-intrinsic weights of in-flight packets
+        // still holding misses.
+        let pressure: f64 = self
+            .cores
+            .iter()
+            .map(|w| match w {
+                CoreWork::Compute(p) if p.misses_left > 0.0 => p.mem_weight,
+                _ => 0.0,
+            })
+            .sum();
+
+        let mut outcome = StepOutcome::default();
+        let mut core_w = 0.0;
+        let mut bytes_moved = 0.0;
+        let mut compute_weight = 0.0;
+        let mut busy_weight = 0.0;
+        let mut powered = 0.0;
+        let mut aperf = 0.0;
+        let mut mperf = 0.0;
+
+        for (i, work) in self.cores.iter_mut().enumerate() {
+            let (activity, static_scale, busy_frac) = match work {
+                CoreWork::Idle => (0.0, 1.0, 0.0),
+                CoreWork::Sleep { until } => {
+                    self.counters.instructions += self.cfg.sleep_inst_per_sec * dt_s;
+                    if *until <= end {
+                        outcome.woke.push(i);
+                        *work = CoreWork::Idle;
+                    }
+                    (0.0, self.cfg.cstate_static_frac, 0.0)
+                }
+                CoreWork::Spin => {
+                    let cyc = f_eff_hz * dt_s;
+                    self.counters.cycles += cyc;
+                    self.counters.instructions += self.cfg.spin_ipc * cyc;
+                    (1.0, 1.0, 1.0)
+                }
+                CoreWork::Compute(ps) => {
+                    let t_comp = if f_eff_hz > 0.0 {
+                        ps.cycles_left / f_eff_hz
+                    } else {
+                        f64::INFINITY
+                    };
+                    let service = self.cfg.uncore.service_rate(uncore_level, pressure, ps.mlp);
+                    let t_mem = ps.misses_left * self.cfg.uncore.bytes_per_miss / service;
+                    let t_total = t_comp + t_mem;
+
+                    let (frac_of_packet, u_comp, u_mem) = if t_total <= dt_s {
+                        // Packet completes within the quantum.
+                        (1.0, t_comp / dt_s, t_mem / dt_s)
+                    } else {
+                        let rho = dt_s / t_total;
+                        (rho, t_comp / t_total, t_mem / t_total)
+                    };
+
+                    let misses_serviced = ps.misses_left * frac_of_packet;
+                    bytes_moved += misses_serviced * self.cfg.uncore.bytes_per_miss;
+                    self.counters.instructions += ps.inst_left * frac_of_packet;
+                    let busy = (u_comp + u_mem).min(1.0);
+                    self.counters.cycles += f_eff_hz * busy * dt_s;
+                    self.counters.l3_misses += misses_serviced;
+
+                    if t_total <= dt_s {
+                        outcome.completed.push(i);
+                        *work = CoreWork::Idle;
+                    } else {
+                        ps.cycles_left -= ps.cycles_left * frac_of_packet;
+                        ps.misses_left -= misses_serviced;
+                        ps.inst_left -= ps.inst_left * frac_of_packet;
+                    }
+
+                    let activity = u_comp + u_mem * self.cfg.stall_dyn_frac;
+                    (activity.min(1.0), 1.0, busy)
+                }
+            };
+
+            core_w +=
+                self.cfg
+                    .core_power
+                    .core_power(f_mhz, duty, activity, static_scale * leak_factor);
+            compute_weight += activity;
+            busy_weight += busy_frac;
+            powered += static_scale.min(1.0_f64).ceil(); // 1 if powered, else C-state counts fractionally
+            aperf += f_eff_hz * busy_frac * dt_s;
+            mperf += fmax_hz * busy_frac * dt_s;
+        }
+
+        let achieved_bw = bytes_moved / dt_s;
+        let uncore_w = self.cfg.uncore.power(uncore_level, achieved_bw);
+        let pkg_w = core_w + uncore_w;
+
+        if let Some(t) = &mut self.thermal {
+            t.step(pkg_w, dt_s);
+        }
+
+        self.now = end;
+        self.energy.record(self.now, pkg_w * dt_s);
+        self.msr.hw_add_energy(pkg_w * dt_s);
+        let ap = self.msr.hw_read(IA32_APERF);
+        self.msr.hw_write(IA32_APERF, ap + aperf.round() as u64);
+        let mp = self.msr.hw_read(IA32_MPERF);
+        self.msr.hw_write(IA32_MPERF, mp + mperf.round() as u64);
+
+        self.telemetry = QuantumTelemetry {
+            package_w: pkg_w,
+            core_w,
+            uncore_w,
+            effective_mhz: f_mhz * duty.fraction(),
+            achieved_bw,
+        };
+
+        self.acc_compute_weight += compute_weight;
+        self.acc_busy_weight += busy_weight;
+        self.acc_powered += powered;
+        self.acc_bytes += bytes_moved;
+        self.acc_quanta += 1;
+
+        outcome
+    }
+
+    /// One RAPL control decision based on activity accumulated since the
+    /// last one, combined with any user DVFS/DDCM requests from the MSRs.
+    fn rapl_tick(&mut self) {
+        let quanta = self.acc_quanta.max(1) as f64;
+        let period_s = secs(self.cfg.quantum) * quanta;
+        let snapshot = ActivitySnapshot {
+            compute_weight: self.acc_compute_weight / quanta,
+            busy_weight: self.acc_busy_weight / quanta,
+            powered_cores: (self.acc_powered / quanta).max(1.0),
+            mem_active: self.cores.len(),
+            achieved_bw: self.acc_bytes / period_s,
+        };
+        self.acc_compute_weight = 0.0;
+        self.acc_busy_weight = 0.0;
+        self.acc_powered = 0.0;
+        self.acc_bytes = 0.0;
+        self.acc_quanta = 0;
+
+        let window = PowerLimit::decode(self.msr.hw_read(MSR_PKG_POWER_LIMIT), self.msr.units())
+            .window
+            .max(self.cfg.rapl_period);
+        let avg = self
+            .energy
+            .average_power(window.min(self.cfg.rapl_window * 4));
+        let mut act = self.rapl.control(&self.cfg, &self.msr, &snapshot, avg);
+
+        // Honour user P-state / duty requests: hardware takes the minimum of
+        // the OS request and RAPL's constraint, like real `IA32_PERF_CTL`
+        // under an active power limit.
+        if let Some(req_mhz) = decode_perf_ctl(self.msr.hw_read(IA32_PERF_CTL)) {
+            let req_p = self.cfg.ladder.pstate_at_or_below(req_mhz);
+            act.pstate = act.pstate.min(req_p);
+        }
+        let user_duty = DutyCycle::decode_msr(self.msr.hw_read(IA32_CLOCK_MODULATION));
+        act.duty = act.duty.min(user_duty);
+
+        self.actuation = act;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msr::encode_perf_ctl;
+    use crate::time::{MS, SEC};
+
+    fn run_quanta(node: &mut Node, n: usize) -> Vec<StepOutcome> {
+        (0..n).map(|_| node.step()).collect()
+    }
+
+    fn compute_packet(ms_at_fmax: f64) -> WorkPacket {
+        let cycles = 3.3e9 * ms_at_fmax / 1e3;
+        WorkPacket {
+            cycles,
+            misses: 0.0,
+            instructions: cycles * 2.0,
+            mlp: 1.0,
+            mem_weight: 1.0,
+        }
+    }
+
+    #[test]
+    fn packet_completes_in_expected_time_at_fmax() {
+        let mut node = Node::new(NodeConfig::default());
+        node.assign(0, CoreWork::Compute(compute_packet(10.0).into()));
+        let mut done_at = None;
+        for _ in 0..200 {
+            let out = node.step();
+            if out.completed.contains(&0) {
+                done_at = Some(node.now());
+                break;
+            }
+        }
+        let t = done_at.expect("packet should complete") as f64 / MS as f64;
+        assert!(
+            (t - 10.0).abs() <= 0.2,
+            "completed at {t} ms, wanted ~10 ms"
+        );
+    }
+
+    #[test]
+    fn sleep_wakes_on_time() {
+        let mut node = Node::new(NodeConfig::default());
+        let until = 5 * MS;
+        node.assign(3, CoreWork::Sleep { until });
+        let mut woke_at = None;
+        for _ in 0..100 {
+            let out = node.step();
+            if out.woke.contains(&3) {
+                woke_at = Some(node.now());
+                break;
+            }
+        }
+        let w = woke_at.expect("must wake");
+        assert!(w >= until && w <= until + node.config().quantum);
+    }
+
+    #[test]
+    fn uncapped_compute_power_in_calibration_band() {
+        let mut node = Node::new(NodeConfig::default());
+        for c in 0..24 {
+            node.assign(c, CoreWork::Compute(compute_packet(5000.0).into()));
+        }
+        run_quanta(&mut node, 5000); // 0.5 s
+        let p = node.average_power(100 * MS);
+        assert!(
+            (130.0..175.0).contains(&p),
+            "uncapped compute-bound package power {p:.1} W outside band"
+        );
+        let t = node.telemetry();
+        assert!(t.core_w > 5.0 * t.uncore_w, "core power should dominate");
+    }
+
+    #[test]
+    fn rapl_cap_is_enforced_on_average() {
+        let mut node = Node::new(NodeConfig::default());
+        node.set_package_cap(Some(80.0));
+        for c in 0..24 {
+            node.assign(c, CoreWork::Compute(compute_packet(20_000.0).into()));
+        }
+        run_quanta(&mut node, 20_000); // 2 s
+        let p = node.average_power(SEC);
+        assert!(
+            (p - 80.0).abs() / 80.0 < 0.10,
+            "average power {p:.1} W should sit near the 80 W cap"
+        );
+    }
+
+    #[test]
+    fn stringent_cap_reduces_effective_frequency_below_fmin() {
+        // DDCM region: effective frequency under a very low cap must fall
+        // below the DVFS floor of 1200 MHz.
+        let mut node = Node::new(NodeConfig::default());
+        node.set_package_cap(Some(25.0));
+        for c in 0..24 {
+            node.assign(c, CoreWork::Compute(compute_packet(20_000.0).into()));
+        }
+        run_quanta(&mut node, 10_000);
+        let t = node.telemetry();
+        assert!(
+            t.effective_mhz < 1200.0,
+            "effective {:.0} MHz should be below fmin (duty cycling)",
+            t.effective_mhz
+        );
+    }
+
+    #[test]
+    fn perf_ctl_request_limits_frequency_without_rapl() {
+        let mut node = Node::new(NodeConfig::default());
+        node.msr_mut()
+            .write(IA32_PERF_CTL, encode_perf_ctl(1600))
+            .unwrap();
+        for c in 0..24 {
+            node.assign(c, CoreWork::Compute(compute_packet(5000.0).into()));
+        }
+        run_quanta(&mut node, 100); // past the first RAPL tick
+        let t = node.telemetry();
+        assert!(
+            (t.effective_mhz - 1600.0).abs() < 1.0,
+            "requested 1600 MHz, effective {:.0}",
+            t.effective_mhz
+        );
+    }
+
+    #[test]
+    fn memory_bound_work_is_insensitive_to_frequency() {
+        // Two identical memory-heavy packets, one at fmax and one at fmin:
+        // completion times should be close (beta small).
+        let mem_packet = WorkPacket {
+            cycles: 3.3e6, // 1 ms at fmax
+            misses: 1.0e6, // dominates
+            instructions: 1e7,
+            mlp: 1.0,
+            mem_weight: 1.0,
+        };
+        let complete_time = |mhz: Option<u32>| -> f64 {
+            let mut node = Node::new(NodeConfig::default());
+            if let Some(m) = mhz {
+                node.msr_mut()
+                    .write(IA32_PERF_CTL, encode_perf_ctl(m))
+                    .unwrap();
+                // Let the control tick latch the request.
+                run_quanta(&mut node, 11);
+            }
+            node.assign(0, CoreWork::Compute(mem_packet.into()));
+            let start = node.now();
+            loop {
+                let out = node.step();
+                if out.completed.contains(&0) {
+                    return (node.now() - start) as f64;
+                }
+            }
+        };
+        let t_fast = complete_time(None);
+        let t_slow = complete_time(Some(1200));
+        let ratio = t_slow / t_fast;
+        assert!(
+            ratio < 1.35,
+            "memory-bound slowdown at fmin was {ratio:.2}x, expected < 1.35x"
+        );
+    }
+
+    #[test]
+    fn spin_inflates_instruction_counter() {
+        let mut node = Node::new(NodeConfig::default());
+        node.assign(0, CoreWork::Spin);
+        run_quanta(&mut node, 10_000); // 1 s
+        let inst = node.counters().instructions;
+        // spin_ipc (2.1) * 3.3 GHz ~= 6.9e9 inst/s.
+        assert!(
+            (6.0e9..8.0e9).contains(&inst),
+            "spin instructions {inst:.2e} off"
+        );
+    }
+
+    #[test]
+    fn thermal_model_heats_under_load_and_caps_cool_it() {
+        let mk = |cap: Option<f64>| {
+            let cfg = NodeConfig {
+                thermal: Some(crate::thermal::ThermalConfig::default()),
+                ..NodeConfig::default()
+            };
+            let mut node = Node::new(cfg);
+            node.set_package_cap(cap);
+            for c in 0..24 {
+                node.assign(c, CoreWork::Compute(compute_packet(60_000.0).into()));
+            }
+            run_quanta(&mut node, 150_000); // 15 s > tau
+            node.temperature_c().expect("thermal enabled")
+        };
+        let hot = mk(None);
+        let cool = mk(Some(80.0));
+        assert!(hot > 75.0, "uncapped junction {hot:.1} C too cool");
+        assert!(cool < hot - 10.0, "cap must create thermal headroom");
+    }
+
+    #[test]
+    fn prochot_pins_the_lowest_pstate() {
+        let cfg = NodeConfig {
+            thermal: Some(crate::thermal::ThermalConfig {
+                r_th_c_per_w: 0.45, // undersized heatsink: 150 W -> ~108 C
+                ..crate::thermal::ThermalConfig::default()
+            }),
+            ..NodeConfig::default()
+        };
+        let mut node = Node::new(cfg);
+        for c in 0..24 {
+            node.assign(c, CoreWork::Compute(compute_packet(60_000.0).into()));
+        }
+        // PROCHOT oscillates (trip -> cool -> release -> reheat), so
+        // observe the whole run rather than the final instant.
+        let mut max_temp: f64 = 0.0;
+        let mut throttled_quanta = 0u32;
+        let mut min_mhz_while_hot = f64::INFINITY;
+        for _ in 0..300_000 {
+            node.step();
+            max_temp = max_temp.max(node.temperature_c().unwrap());
+            if node.thermal_throttling() {
+                throttled_quanta += 1;
+                min_mhz_while_hot = min_mhz_while_hot.min(node.telemetry().effective_mhz);
+            }
+        }
+        assert!(
+            max_temp > 95.0,
+            "undersized sink must reach PROCHOT: {max_temp:.1} C"
+        );
+        assert!(throttled_quanta > 0, "throttle must assert at least once");
+        assert!(
+            (min_mhz_while_hot - 1200.0).abs() < 1.0,
+            "PROCHOT pins fmin, saw {min_mhz_while_hot:.0} MHz"
+        );
+    }
+
+    #[test]
+    fn thermal_disabled_reports_no_temperature() {
+        let node = Node::new(NodeConfig::default());
+        assert_eq!(node.temperature_c(), None);
+        assert!(!node.thermal_throttling());
+    }
+
+    #[test]
+    fn aperf_mperf_ratio_tracks_effective_frequency() {
+        let mut node = Node::new(NodeConfig::default());
+        node.set_package_cap(Some(70.0));
+        for c in 0..24 {
+            node.assign(c, CoreWork::Compute(compute_packet(20_000.0).into()));
+        }
+        run_quanta(&mut node, 10_000);
+        let ap = node.msr().read(IA32_APERF).unwrap() as f64;
+        let mp = node.msr().read(IA32_MPERF).unwrap() as f64;
+        let measured_mhz = ap / mp * 3300.0;
+        assert!(
+            measured_mhz < 3300.0 && measured_mhz > 500.0,
+            "APERF/MPERF-derived frequency {measured_mhz:.0} MHz implausible"
+        );
+    }
+}

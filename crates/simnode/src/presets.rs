@@ -1,0 +1,108 @@
+//! Named node configurations.
+//!
+//! The default [`NodeConfig`](crate::config::NodeConfig) is calibrated to
+//! the paper's testbed; these presets express the *node variability* the
+//! paper's motivation leans on (Rountree et al.: "performance variability
+//! between compute nodes becomes a highlighted issue in a power-limited
+//! HPC environment") as reusable configurations for job-level experiments.
+
+use crate::config::NodeConfig;
+use crate::thermal::ThermalConfig;
+
+/// The calibrated reference node (paper testbed: 24 cores, 1.2–3.3 GHz).
+pub fn reference() -> NodeConfig {
+    NodeConfig::default()
+}
+
+/// A leaky part from the same SKU: +`pct`% switched capacitance, so it
+/// draws more power at every operating point and falls behind under a
+/// shared cap — the variability the job manager compensates for.
+///
+/// # Panics
+/// Panics on a negative percentage.
+pub fn leaky(pct: f64) -> NodeConfig {
+    assert!(pct >= 0.0, "leak percentage must be non-negative");
+    let mut cfg = NodeConfig::default();
+    cfg.core_power.c_dyn *= 1.0 + pct / 100.0;
+    cfg
+}
+
+/// A lower-binned part: the same silicon with its top frequencies fused
+/// off (`fmax_mhz` < 3300).
+///
+/// # Panics
+/// Panics unless `1300 <= fmax_mhz <= 3300`.
+pub fn low_bin(fmax_mhz: u32) -> NodeConfig {
+    assert!(
+        (1300..=3300).contains(&fmax_mhz),
+        "fmax must be within the SKU's ladder"
+    );
+    NodeConfig {
+        ladder: crate::freq::FrequencyLadder::range_mhz(1200, fmax_mhz, 100),
+        ..NodeConfig::default()
+    }
+}
+
+/// The reference node with the thermal model enabled (default RC
+/// parameters).
+pub fn with_thermal() -> NodeConfig {
+    NodeConfig {
+        thermal: Some(ThermalConfig::default()),
+        ..NodeConfig::default()
+    }
+}
+
+/// A thermally constrained node: the thermal model with an undersized
+/// heatsink, so sustained full power trips PROCHOT.
+pub fn poor_cooling() -> NodeConfig {
+    NodeConfig {
+        thermal: Some(ThermalConfig {
+            r_th_c_per_w: 0.45,
+            ..ThermalConfig::default()
+        }),
+        ..NodeConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddcm::DutyCycle;
+
+    #[test]
+    fn all_presets_validate() {
+        for cfg in [
+            reference(),
+            leaky(18.0),
+            low_bin(2600),
+            with_thermal(),
+            poor_cooling(),
+        ] {
+            cfg.validate();
+        }
+    }
+
+    #[test]
+    fn leaky_draws_more_at_every_operating_point() {
+        let a = reference();
+        let b = leaky(18.0);
+        for f in [1200.0, 2200.0, 3300.0] {
+            let pa = a.core_power.core_power(f, DutyCycle::FULL, 1.0, 1.0);
+            let pb = b.core_power.core_power(f, DutyCycle::FULL, 1.0, 1.0);
+            assert!(pb > pa * 1.05, "{f} MHz: {pb:.2} vs {pa:.2}");
+        }
+    }
+
+    #[test]
+    fn low_bin_caps_the_ladder() {
+        let cfg = low_bin(2600);
+        assert_eq!(cfg.fmax_mhz(), 2600);
+        assert_eq!(cfg.ladder.fmin_mhz(), 1200);
+    }
+
+    #[test]
+    #[should_panic(expected = "within the SKU")]
+    fn over_binning_rejected() {
+        low_bin(3600);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the hardware substrate.
+//!
+//! These complement the per-module unit tests with randomized coverage of
+//! encode/decode layers and physical invariants of the power models.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::bandwidth::{UncoreConfig, UncoreLevel};
+use crate::config::NodeConfig;
+use crate::ddcm::DutyCycle;
+use crate::energy::EnergyMeter;
+use crate::freq::FrequencyLadder;
+use crate::msr::{decode_perf_ctl, encode_perf_ctl, PowerLimit, RaplUnits};
+use crate::power::CorePowerConfig;
+use crate::time::{Nanos, MS};
+
+proptest! {
+    // -- MSR encodings ----------------------------------------------------
+
+    #[test]
+    fn power_limit_roundtrips_for_any_representable_cap(
+        // The register's power field is 15 bits of 1/8 W units, so caps are
+        // representable up to 4095.875 W; larger values saturate (as on
+        // real hardware).
+        watts in 1.0f64..4000.0,
+        window_ms in 1u64..1000,
+    ) {
+        let units = RaplUnits::decode(RaplUnits::SKYLAKE_RAW);
+        let pl = PowerLimit { watts: Some(watts), window: window_ms * MS };
+        let back = PowerLimit::decode(pl.encode(units), units);
+        let got = back.watts.expect("enabled bit survives");
+        // Quantized to 1/8 W.
+        prop_assert!((got - watts).abs() <= units.power_w / 2.0 + 1e-9);
+        // Window within one (1 + F/4)·2^Y quantization step (≤ 25%).
+        let w = back.window as f64 / (window_ms * MS) as f64;
+        prop_assert!((0.75..=1.25).contains(&w), "window ratio {w}");
+    }
+
+    #[test]
+    fn perf_ctl_roundtrips_in_100mhz_steps(mhz in 1u32..=255) {
+        let mhz = mhz * 100;
+        prop_assert_eq!(decode_perf_ctl(encode_perf_ctl(mhz)), Some(mhz));
+    }
+
+    #[test]
+    fn duty_cycle_msr_roundtrips(raw in any::<u64>()) {
+        // Decoding arbitrary register garbage yields a valid duty cycle,
+        // and re-encoding a decoded value is stable.
+        let d = DutyCycle::decode_msr(raw);
+        prop_assert!((1..=16).contains(&d.sixteenths()));
+        prop_assert_eq!(DutyCycle::decode_msr(d.encode_msr()), d);
+    }
+
+    // -- Power model physics ------------------------------------------------
+
+    #[test]
+    fn core_power_is_monotone_in_frequency(f1 in 1200.0f64..3300.0, df in 0.0f64..2000.0) {
+        let c = CorePowerConfig::default();
+        let f2 = (f1 + df).min(3300.0);
+        let p1 = c.core_power(f1, DutyCycle::FULL, 1.0, 1.0);
+        let p2 = c.core_power(f2, DutyCycle::FULL, 1.0, 1.0);
+        prop_assert!(p2 >= p1 - 1e-12);
+    }
+
+    #[test]
+    fn local_alpha_stays_in_the_papers_band(f in 1200.0f64..3250.0) {
+        let c = CorePowerConfig::default();
+        let a = c.local_alpha(f);
+        prop_assert!((0.9..4.0).contains(&a), "alpha {a} at {f} MHz");
+    }
+
+    #[test]
+    fn duty_cycling_only_ever_reduces_power(
+        f in 1200.0f64..3300.0,
+        duty in 1u8..=16,
+        activity in 0.0f64..=1.0,
+    ) {
+        let c = CorePowerConfig::default();
+        let full = c.core_power(f, DutyCycle::FULL, activity, 1.0);
+        let gated = c.core_power(f, DutyCycle::new(duty), activity, 1.0);
+        prop_assert!(gated <= full + 1e-12);
+        // And never below pure leakage.
+        prop_assert!(gated >= c.static_power(f) - 1e-12);
+    }
+
+    #[test]
+    fn uncore_service_rate_monotone_in_level_and_antitone_in_pressure(
+        level in 0usize..8,
+        pressure in 1.0f64..64.0,
+        mlp in 0.05f64..=1.0,
+    ) {
+        let u = UncoreConfig::default();
+        let r = u.service_rate(UncoreLevel(level), pressure, mlp);
+        prop_assert!(r > 0.0);
+        if level + 1 < u.levels {
+            prop_assert!(u.service_rate(UncoreLevel(level + 1), pressure, mlp) >= r - 1e-9);
+        }
+        prop_assert!(u.service_rate(UncoreLevel(level), pressure + 1.0, mlp) <= r + 1e-9);
+    }
+
+    #[test]
+    fn uncore_power_monotone_in_traffic(level in 0usize..8, bw in 0.0f64..100e9, extra in 0.0f64..20e9) {
+        let u = UncoreConfig::default();
+        let p1 = u.power(UncoreLevel(level), bw);
+        let p2 = u.power(UncoreLevel(level), bw + extra);
+        prop_assert!(p2 >= p1);
+    }
+
+    // -- Frequency ladder -----------------------------------------------------
+
+    #[test]
+    fn pstate_at_or_below_never_exceeds_request(mhz in 0u32..6000) {
+        let l = FrequencyLadder::default();
+        let p = l.pstate_at_or_below(mhz);
+        if mhz >= l.fmin_mhz() {
+            prop_assert!(l.mhz(p) <= mhz);
+        } else {
+            prop_assert_eq!(l.mhz(p), l.fmin_mhz());
+        }
+    }
+
+    // -- Energy meter ----------------------------------------------------------
+
+    #[test]
+    fn windowed_average_bounded_by_sample_extremes(
+        powers in prop::collection::vec(5.0f64..300.0, 10..120),
+    ) {
+        let mut m = EnergyMeter::new(1000 * MS);
+        let dt: Nanos = MS;
+        let mut t = 0;
+        for &p in &powers {
+            t += dt;
+            m.record(t, p * 1e-3);
+        }
+        let avg = m.average_power(50 * MS);
+        let lo = powers.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = powers.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(avg >= lo - 1e-6 && avg <= hi + 1e-6, "avg {avg} not in [{lo},{hi}]");
+    }
+
+    // -- Config validation never accepts garbage -------------------------------
+
+    #[test]
+    fn default_config_survives_core_count_changes(cores in 1usize..=64) {
+        let cfg = NodeConfig { cores, ..NodeConfig::default() };
+        cfg.validate();
+        let node = crate::node::Node::new(cfg);
+        prop_assert_eq!(node.cores(), cores);
+    }
+}

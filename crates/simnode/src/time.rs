@@ -1,0 +1,62 @@
+//! Simulated time.
+//!
+//! All simulation time is carried as integer nanoseconds ([`Nanos`]) to keep
+//! event arithmetic exact; conversions to seconds happen only at measurement
+//! boundaries.
+
+/// Simulated time or duration in nanoseconds.
+pub type Nanos = u64;
+
+/// One microsecond in [`Nanos`].
+pub const US: Nanos = 1_000;
+/// One millisecond in [`Nanos`].
+pub const MS: Nanos = 1_000_000;
+/// One second in [`Nanos`].
+pub const SEC: Nanos = 1_000_000_000;
+/// Nanoseconds per second as a float divisor.
+pub const NS_PER_SEC: f64 = 1e9;
+
+/// Convert a nanosecond instant/duration into seconds.
+#[inline]
+pub fn secs(t: Nanos) -> f64 {
+    t as f64 / NS_PER_SEC
+}
+
+/// Convert (fractional) seconds into nanoseconds, rounding to nearest.
+///
+/// Negative inputs saturate to zero; this is a modelling convenience so that
+/// jitter distributions that stray below zero cannot produce time travel.
+#[inline]
+pub fn from_secs(s: f64) -> Nanos {
+    if s <= 0.0 {
+        0
+    } else {
+        (s * NS_PER_SEC).round() as Nanos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constants_are_consistent() {
+        assert_eq!(US * 1_000, MS);
+        assert_eq!(MS * 1_000, SEC);
+        assert_eq!(SEC as f64, NS_PER_SEC);
+    }
+
+    #[test]
+    fn secs_roundtrip() {
+        for &t in &[0u64, 1, 999, US, MS, SEC, 3 * SEC + 217] {
+            let s = secs(t);
+            assert_eq!(from_secs(s), t, "roundtrip failed for {t}");
+        }
+    }
+
+    #[test]
+    fn from_secs_saturates_negative() {
+        assert_eq!(from_secs(-1.0), 0);
+        assert_eq!(from_secs(0.0), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Dynamic power capping (paper §V): run QMCPACK's DMC phase under the
+//! three dynamic schemes — linearly-decreasing, step-function and
+//! jagged-edge — applied by the NRM daemon once per second, and show that
+//! online progress follows the capping function (paper Fig. 3).
+//!
+//! ```text
+//! cargo run --release --example dynamic_capping
+//! ```
+
+use powerprog::prelude::*;
+
+/// Crude ASCII sparkline for a series, normalized to its own range.
+fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let (lo, hi) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                '█' // uncapped samples render as the top level
+            } else if hi > lo {
+                GLYPHS[(((v - lo) / (hi - lo)) * 7.0).round() as usize]
+            } else {
+                GLYPHS[3]
+            }
+        })
+        .collect()
+}
+
+fn run_scheme(name: &str, schedule: ScheduleSpec) {
+    let duration = 60 * SEC;
+    let run = run_app(&RunConfig::new(AppId::QmcpackDmc, duration).with_schedule(schedule));
+
+    println!("--- {name} ---");
+    println!("cap (W)  : {}", sparkline(&run.telemetry.cap.v));
+    println!("power (W): {}", sparkline(&run.telemetry.power.v));
+    println!("progress : {}", sparkline(&run.progress[0].v));
+    println!(
+        "  progress range {:.1}..{:.1} blocks/s over {} one-second windows\n",
+        run.progress[0].min(),
+        run.progress[0].max(),
+        run.progress[0].len()
+    );
+}
+
+fn main() {
+    println!("QMCPACK (DMC) under the paper's three dynamic capping schemes\n");
+
+    run_scheme(
+        "linearly decreasing (uncapped, then ramp 150 W -> 60 W)",
+        ScheduleSpec::LinearDecay {
+            uncapped_for: 10 * SEC,
+            from_w: 150.0,
+            to_w: 60.0,
+            ramp: 40 * SEC,
+        },
+    );
+    run_scheme(
+        "step function (uncapped <-> 60 W, 20 s period)",
+        ScheduleSpec::Step {
+            low_w: 60.0,
+            period: 20 * SEC,
+        },
+    );
+    run_scheme(
+        "jagged edge (sawtooth 150 W -> 60 W every 20 s)",
+        ScheduleSpec::Jagged {
+            high_w: 150.0,
+            low_w: 60.0,
+            decay: 20 * SEC,
+        },
+    );
+
+    println!("The progress line tracks the cap line in every scheme — the");
+    println!("paper's central observation (\"the online performance of the");
+    println!("application follows the power capping function being applied\").");
+}

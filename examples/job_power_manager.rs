@@ -1,0 +1,83 @@
+//! Job-level power distribution (paper §II): the Argo hierarchy hands a
+//! *job* a power budget; the job manager divides it across nodes
+//! "according to application characteristics and node variability" — and
+//! progress monitoring is what makes an informed division possible.
+//!
+//! Three simulated nodes run LAMMPS; one has a leakier chip
+//! (manufacturing variability: +18% switched capacitance, so it needs
+//! more watts for the same frequency). Under a tight job budget, an
+//! application-agnostic equal split leaves the leaky node lagging — and
+//! for a bulk-synchronous job the whole job runs at the slowest node's
+//! pace. The progress-aware policy watches normalized progress and moves
+//! watts to the laggard.
+//!
+//! ```text
+//! cargo run --release --example job_power_manager
+//! ```
+
+use nrm::job::{settled_job_progress, JobPolicy, JobPowerManager, ManagedNode};
+use powerprog::core::jobsim::SimNode;
+use powerprog::prelude::*;
+
+fn build_fleet() -> Vec<SimNode> {
+    let normal = NodeConfig::default();
+    let mut leaky = normal.clone();
+    leaky.core_power.c_dyn *= 1.18;
+
+    println!("measuring per-node uncapped baselines...");
+    let base_normal = SimNode::measure_baseline(&normal, AppId::Lammps, 1, 5 * SEC);
+    let base_leaky = SimNode::measure_baseline(&leaky, AppId::Lammps, 1, 5 * SEC);
+    println!("  normal chip: {base_normal:.0} katom-steps/s");
+    println!("  leaky chip : {base_leaky:.0} katom-steps/s (same speed uncapped, more watts)\n");
+
+    vec![
+        SimNode::new(normal.clone(), AppId::Lammps, 11, base_normal).with_epoch(2 * SEC),
+        SimNode::new(normal, AppId::Lammps, 12, base_normal).with_epoch(2 * SEC),
+        SimNode::new(leaky, AppId::Lammps, 13, base_leaky).with_epoch(2 * SEC),
+    ]
+}
+
+fn run(policy: JobPolicy, label: &str) -> f64 {
+    let mut nodes = build_fleet();
+    let mut refs: Vec<&mut dyn ManagedNode> = nodes
+        .iter_mut()
+        .map(|n| n as &mut dyn ManagedNode)
+        .collect();
+    // Three nodes wanting ~450 W get 270 W.
+    let mgr = JobPowerManager::new(270.0, policy);
+    let trace = mgr.run(&mut refs, 10);
+
+    println!("--- {label} ---");
+    println!(
+        "{:>5} {:>22} {:>26} {:>8}",
+        "epoch", "caps (W)", "normalized progress", "job"
+    );
+    for (i, e) in trace.iter().enumerate() {
+        let caps: Vec<String> = e.caps_w.iter().map(|c| format!("{c:.0}")).collect();
+        let norm: Vec<String> = e.normalized.iter().map(|p| format!("{p:.2}")).collect();
+        println!(
+            "{:>5} {:>22} {:>26} {:>8.2}",
+            i,
+            caps.join("/"),
+            norm.join("/"),
+            e.job_progress
+        );
+    }
+    let settled = settled_job_progress(&trace);
+    println!("settled job progress: {settled:.3}\n");
+    settled
+}
+
+fn main() {
+    println!("Job budget: 270 W over 3 nodes (one leaky chip), LAMMPS everywhere.\n");
+    let equal = run(JobPolicy::EqualSplit, "equal split (application-agnostic)");
+    let aware = run(
+        JobPolicy::ProgressAware { gain: 1.5 },
+        "progress-aware (moves watts to the laggard)",
+    );
+    println!(
+        "progress-aware improves bulk-synchronous job progress by {:.1}%",
+        100.0 * (aware / equal - 1.0)
+    );
+    println!("— exactly why the paper wants progress to be monitorable online.");
+}

@@ -1,0 +1,99 @@
+//! Live, cross-thread progress monitoring.
+//!
+//! The paper's setup runs the application and the monitoring daemon as
+//! separate OS processes connected by ZeroMQ pub-sub. This example is the
+//! in-process equivalent: the simulation runs on one thread, publishing
+//! progress to the bus; a monitor thread subscribes, aggregates into 1 s
+//! windows, and prints a live ticker — while the NRM (driven inside the
+//! simulation) walks the cap down a linear-decay schedule.
+//!
+//! ```text
+//! cargo run --release --example live_monitor
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use nrm::actuator::ActuatorKind;
+use nrm::daemon::NrmDaemon;
+use nrm::scheme::LinearDecay;
+use powerprog::prelude::*;
+use progress::aggregator::ProgressAggregator;
+use simnode::agent::SimAgent;
+
+fn main() {
+    let sim_seconds: u64 = 30;
+    let bus = ProgressBus::new();
+    let sub = bus.subscribe(BusConfig::lossless());
+
+    // Shared simulated clock so the monitor can close windows.
+    let sim_now = Arc::new(AtomicU64::new(0));
+
+    // --- Simulation thread: QMCPACK DMC + NRM daemon. ---------------------
+    let sim_bus = bus.clone();
+    let sim_clock = Arc::clone(&sim_now);
+    let sim = thread::spawn(move || {
+        let cfg = NodeConfig::default();
+        let app = build(AppId::QmcpackDmc, &cfg, cfg.cores, 1);
+        let channels = app.channels();
+        let node = Node::new(cfg);
+        let mut driver = Driver::new(node, app.programs, &sim_bus, channels);
+        let mut daemon = NrmDaemon::new(
+            Box::new(LinearDecay {
+                uncapped_for: 5 * SEC,
+                from_w: 150.0,
+                to_w: 60.0,
+                ramp: 20 * SEC,
+            }),
+            ActuatorKind::Rapl,
+        );
+        for s in 1..=sim_seconds {
+            let mut agents: Vec<&mut dyn SimAgent> = vec![&mut daemon];
+            driver.run(s * SEC, &mut agents);
+            sim_clock.store(driver.node().now(), Ordering::Release);
+            // Pace the simulation so the ticker reads like a live system
+            // (the simulator itself runs ~100x faster than real time).
+            thread::sleep(Duration::from_millis(120));
+        }
+        sim_clock.store(u64::MAX, Ordering::Release);
+        let samples = daemon.samples;
+        (driver.node().total_energy(), samples)
+    });
+
+    // --- Monitor thread: aggregate + ticker. -------------------------------
+    let mon_clock = Arc::clone(&sim_now);
+    let monitor = thread::spawn(move || {
+        let mut agg = ProgressAggregator::new(sub, SEC, None);
+        let mut printed = 0usize;
+        loop {
+            let now = mon_clock.load(Ordering::Acquire);
+            let done = now == u64::MAX;
+            agg.poll(if done { sim_seconds * SEC } else { now });
+            let windows = agg.windows();
+            while printed < windows.len() {
+                let w = windows[printed];
+                println!(
+                    "t={:>3} s  progress = {:>5.1} blocks/s",
+                    w.start / SEC + 1,
+                    w.sum
+                );
+                printed += 1;
+            }
+            if done {
+                break;
+            }
+            thread::sleep(Duration::from_millis(40));
+        }
+        printed
+    });
+
+    let (energy, samples) = sim.join().expect("simulation thread");
+    let windows = monitor.join().expect("monitor thread");
+
+    println!("\nsimulated {sim_seconds} s; monitor saw {windows} windows live");
+    println!("total package energy: {:.1} kJ", energy / 1e3);
+    let capped = samples.iter().filter(|s| s.cap_w.is_some()).count();
+    println!("NRM ticks: {} ({} capped)", samples.len(), capped);
+}

@@ -1,0 +1,78 @@
+//! The paper's *envisioned* NRM policy (§II): "in response to an
+//! increasing system load, the NRM receives gradually decreasing power
+//! budgets and chooses the optimal strategy that respects the power budget
+//! with the least impact on performance."
+//!
+//! With progress monitoring and the Eq. 7 model in hand, this becomes
+//! computable. For STREAM the example also shows the Fig. 5 pitfall: the
+//! analytic model is optimistic about RAPL, so the policy calibrates a
+//! *measured* RAPL response curve first and picks DVFS where it is
+//! measurably better.
+//!
+//! ```text
+//! cargo run --release --example nrm_policies
+//! ```
+
+use nrm::policies::{choose_strategy, FreqPowerPoint, RateCurve};
+use powerprog::prelude::*;
+
+fn main() {
+    // --- Characterize STREAM. ---------------------------------------------
+    let base = run_app(&RunConfig::new(AppId::Stream, 12 * SEC));
+    let r_max = base.steady_rate();
+    let p_max = base.mean_power();
+    let model = ProgressModel::from_uncapped_run(0.37, PAPER_ALPHA, p_max, r_max);
+    println!("STREAM: r_max = {r_max:.1} it/s, uncapped {p_max:.0} W\n");
+
+    // --- Calibrate the two techniques by measurement. ----------------------
+    println!("calibrating DVFS frequency/power curve...");
+    let mut freq_power = Vec::new();
+    for mhz in [1200u32, 1800, 2400, 3000, 3300] {
+        let run = run_app(&RunConfig::new(AppId::Stream, 8 * SEC).with_fixed_mhz(mhz));
+        freq_power.push(FreqPowerPoint {
+            f_mhz: mhz as f64,
+            package_w: run.mean_power(),
+        });
+        println!(
+            "  {mhz} MHz -> {:.1} W, {:.1} it/s",
+            run.mean_power(),
+            run.steady_rate()
+        );
+    }
+
+    println!("calibrating measured RAPL response...");
+    let mut rapl_points = Vec::new();
+    for cap in [60.0, 80.0, 100.0, 120.0] {
+        let run = run_app(
+            &RunConfig::new(AppId::Stream, 8 * SEC).with_schedule(ScheduleSpec::Constant(cap)),
+        );
+        rapl_points.push((cap, run.steady_rate()));
+        println!("  cap {cap:.0} W -> {:.1} it/s", run.steady_rate());
+    }
+    let rapl_curve = RateCurve::new(rapl_points);
+
+    // --- Budget ramp-down: pick a strategy per budget. ---------------------
+    println!("\nbudget ramp-down (system load increasing):");
+    println!(
+        "{:>9} {:>12} {:>12} {:>14}",
+        "budget W", "strategy", "setting", "pred. it/s"
+    );
+    for budget in [140.0, 120.0, 105.0, 95.0, 85.0, 70.0, 55.0] {
+        let s = choose_strategy(&model, &freq_power, 3300.0, budget, Some(&rapl_curve));
+        let setting = match s.dvfs_mhz {
+            Some(mhz) => format!("{mhz:.0} MHz"),
+            None => "PKG cap".into(),
+        };
+        println!(
+            "{:>9.0} {:>12} {:>12} {:>14.1}",
+            budget,
+            format!("{:?}", s.actuator),
+            setting,
+            s.predicted_rate
+        );
+    }
+
+    println!("\nwithin DVFS's applicable power range the policy pins a frequency");
+    println!("(better measured progress per watt for STREAM, paper Fig. 5);");
+    println!("below the f_min power floor only RAPL can enforce the budget.");
+}

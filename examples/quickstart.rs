@@ -1,0 +1,56 @@
+//! Quickstart: run a proxy application on the simulated node, watch its
+//! online progress, cap the node, and compare the measured impact with
+//! the paper's model (Eq. 7).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use powerprog::prelude::*;
+
+fn main() {
+    // --- 1. Run LAMMPS uncapped for 8 simulated seconds. -----------------
+    let uncapped = run_app(&RunConfig::new(AppId::Lammps, 8 * SEC));
+    let r_max = uncapped.steady_rate();
+    let p_max = uncapped.mean_power();
+    println!("LAMMPS uncapped:");
+    println!("  progress : {r_max:.0} katom-timesteps/s");
+    println!("  power    : {p_max:.1} W package");
+    println!("  MIPS     : {:.0}", uncapped.mips());
+    println!("  MPO      : {:.2}e-3", uncapped.mpo() * 1e3);
+
+    // --- 2. Apply a 90 W RAPL package cap and measure again. -------------
+    let cap_w = 90.0;
+    let capped = run_app(
+        &RunConfig::new(AppId::Lammps, 8 * SEC).with_schedule(ScheduleSpec::Constant(cap_w)),
+    );
+    let r_capped = capped.steady_rate();
+    println!("\nLAMMPS under a {cap_w:.0} W cap:");
+    println!("  progress : {r_capped:.0} katom-timesteps/s");
+    println!(
+        "  power    : {:.1} W package (settled)",
+        capped.settled_power()
+    );
+
+    // --- 3. What did the paper's model predict? --------------------------
+    // β = 1.00 for LAMMPS (Table VI); α = 2 (the paper's choice);
+    // P_coremax is estimated as β times the uncapped package power (Eq. 5).
+    let model = ProgressModel::from_uncapped_run(1.0, PAPER_ALPHA, p_max, r_max);
+    let predicted = model.predict_rate(cap_w);
+    let measured_delta = r_max - r_capped;
+    let predicted_delta = model.predict_delta(cap_w);
+    println!("\nPaper model (Eq. 7), alpha = 2:");
+    println!("  predicted rate under cap : {predicted:.0} katom-timesteps/s");
+    println!(
+        "  change in progress       : measured {measured_delta:.0}, predicted {predicted_delta:.0} ({:+.1}% error)",
+        100.0 * (predicted_delta - measured_delta) / measured_delta
+    );
+
+    // --- 4. The inverse query the paper motivates (§VI): what cap
+    //        sustains 90% of full progress? ------------------------------
+    let target = 0.9 * r_max;
+    match model.required_cap_for_rate(target) {
+        Some(w) => println!("\nTo sustain {target:.0} katom-steps/s (90%), cap at {w:.1} W"),
+        None => println!("\nNo cap can sustain that rate"),
+    }
+}

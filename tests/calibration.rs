@@ -1,0 +1,99 @@
+//! Calibration round-trip: the proxy workloads were synthesized from the
+//! paper's Table VI characterization; measuring β and MPO back on the
+//! simulator (by the paper's own 3300-vs-1600 MHz method) must land on the
+//! published values.
+
+use powermodel::beta::beta_from_rates;
+use powerprog::prelude::*;
+
+fn characterize(app: AppId, dur: Nanos) -> (f64, f64, f64, f64) {
+    let fast = run_app(&RunConfig::new(app, dur));
+    let slow = run_app(&RunConfig::new(app, dur).with_fixed_mhz(1600));
+    let beta = beta_from_rates(slow.steady_rate(), fast.steady_rate(), 1600.0, 3300.0);
+    (beta, fast.mpo(), fast.steady_rate(), fast.mean_power())
+}
+
+#[test]
+fn lammps_beta_and_mpo_land_on_table_vi() {
+    let (beta, mpo, rate, power) = characterize(AppId::Lammps, 10 * SEC);
+    assert!((beta - 1.00).abs() <= 0.02, "beta {beta:.3}");
+    assert!((mpo - 0.32e-3).abs() / 0.32e-3 < 0.15, "mpo {mpo:.2e}");
+    // Fig. 1: flat ~1080 katom-steps/s.
+    assert!((rate - 1080.0).abs() < 60.0, "rate {rate:.0}");
+    assert!((130.0..170.0).contains(&power), "power {power:.0} W");
+}
+
+#[test]
+fn stream_beta_and_mpo_land_on_table_vi() {
+    let (beta, mpo, rate, _) = characterize(AppId::Stream, 10 * SEC);
+    assert!((beta - 0.37).abs() <= 0.05, "beta {beta:.3}");
+    assert!((mpo - 50.9e-3).abs() / 50.9e-3 < 0.15, "mpo {mpo:.2e}");
+    assert!(
+        (14.0..18.0).contains(&rate),
+        "rate {rate:.1} it/s, paper ~16/s"
+    );
+}
+
+#[test]
+fn amg_beta_and_mpo_land_on_table_vi() {
+    let (beta, mpo, rate, _) = characterize(AppId::Amg, 20 * SEC);
+    assert!((beta - 0.52).abs() <= 0.06, "beta {beta:.3}");
+    assert!((mpo - 30.1e-3).abs() / 30.1e-3 < 0.30, "mpo {mpo:.2e}");
+    // Fig. 1: fluctuates between 2.5 and 3 it/s.
+    assert!((2.4..3.1).contains(&rate), "rate {rate:.2} it/s");
+}
+
+#[test]
+fn qmcpack_dmc_beta_and_mpo_land_on_table_vi() {
+    let (beta, mpo, rate, _) = characterize(AppId::QmcpackDmc, 10 * SEC);
+    assert!((beta - 0.84).abs() <= 0.05, "beta {beta:.3}");
+    assert!((mpo - 3.91e-3).abs() / 3.91e-3 < 0.15, "mpo {mpo:.2e}");
+    assert!(
+        (14.5..17.5).contains(&rate),
+        "rate {rate:.1} blocks/s, paper ~16/s"
+    );
+}
+
+#[test]
+fn openmc_active_beta_and_mpo_land_on_table_vi() {
+    let (beta, mpo, rate, _) = characterize(AppId::OpenmcActive, 20 * SEC);
+    assert!((beta - 0.93).abs() <= 0.05, "beta {beta:.3}");
+    assert!((mpo - 0.20e-3).abs() / 0.20e-3 < 0.20, "mpo {mpo:.2e}");
+    // ~100k particles per ~1.05 s batch.
+    assert!((85_000.0..105_000.0).contains(&rate), "rate {rate:.0}");
+}
+
+#[test]
+fn power_ordering_is_physical_across_apps() {
+    // Compute-bound codes draw the most package power; every uncapped run
+    // sits in a plausible dual-socket band.
+    let power = |app: AppId| run_app(&RunConfig::new(app, 6 * SEC)).mean_power();
+    let lammps = power(AppId::Lammps);
+    let stream = power(AppId::Stream);
+    let amg = power(AppId::Amg);
+    assert!(lammps > stream, "LAMMPS {lammps:.0} vs STREAM {stream:.0}");
+    for (name, p) in [("LAMMPS", lammps), ("STREAM", stream), ("AMG", amg)] {
+        assert!((100.0..180.0).contains(&p), "{name} {p:.0} W implausible");
+    }
+}
+
+#[test]
+fn qmcpack_phases_compute_blocks_at_distinct_rates() {
+    // Fig. 1 (right): VMC1 > VMC2 > DMC block rates, distinguishable online.
+    let run = run_app(&RunConfig::new(AppId::Qmcpack, 30 * SEC));
+    let phases: Vec<(f64, &str)> = run
+        .record
+        .phases
+        .iter()
+        .map(|&(t, n)| (t as f64 / 1e9, n))
+        .collect();
+    assert_eq!(
+        phases.iter().map(|p| p.1).collect::<Vec<_>>(),
+        ["VMC1", "VMC2", "DMC"]
+    );
+    let rate_between = |a: f64, b: f64| run.progress[0].mean_between(a + 1.5, b - 0.5);
+    let v1 = rate_between(phases[0].0, phases[1].0);
+    let v2 = rate_between(phases[1].0, phases[2].0);
+    let dmc = rate_between(phases[2].0, run.duration_s);
+    assert!(v1 > v2 && v2 > dmc, "v1={v1:.1} v2={v2:.1} dmc={dmc:.1}");
+}

@@ -1,0 +1,189 @@
+//! Integration tests of the progress-monitoring pipeline: the pub-sub
+//! transport, the 1 Hz aggregation, the reporting artefacts the paper
+//! documents, and the NRM daemon's observation stream.
+
+use powerprog::prelude::*;
+
+/// OpenMC's ~1 report/s batches alias against the 1 s windows: some
+/// windows carry zero progress, exactly the artefact in paper Fig. 3.
+#[test]
+fn openmc_batch_reporting_produces_zero_windows() {
+    let run = run_app(&RunConfig::new(AppId::OpenmcActive, 40 * SEC));
+    let zeros = run.progress[0].zero_count();
+    assert!(zeros > 0, "expected aliasing zeros");
+    // But the application-side truth shows no stall: batch gaps stay
+    // below ~3 s even with noise.
+    assert!(run.channel_stats[0].events as f64 > 0.8 * run.duration_s);
+}
+
+/// A fine-grained reporter (LAMMPS) never aliases to zero.
+#[test]
+fn fine_grained_reporters_have_no_zero_windows() {
+    let run = run_app(&RunConfig::new(AppId::Lammps, 20 * SEC));
+    assert_eq!(run.progress[0].zero_count(), 0);
+}
+
+/// The lossy transport (capacity-bounded subscriber, the class of flaw the
+/// paper blames for its zeros) silently drops bursts; the lossless side
+/// channel sees everything.
+#[test]
+fn lossy_transport_drops_bursts_lossless_truth_does_not() {
+    let lossy = run_app(&RunConfig::new(AppId::Lammps, 10 * SEC).with_lossy_monitoring(4));
+    assert!(lossy.dropped_events > 0, "bursty reporter must overflow");
+    let monitor_total: f64 = lossy.progress[0].v.iter().sum();
+    let truth = lossy.channel_stats[0].sum;
+    assert!(
+        monitor_total < truth * 0.5,
+        "monitor saw {monitor_total:.0} of {truth:.0}"
+    );
+}
+
+/// The NRM daemon observes what it programs: its per-tick samples track
+/// the schedule, and its measured average power responds within a tick.
+#[test]
+fn daemon_samples_track_the_schedule() {
+    let run = run_app(&RunConfig::new(AppId::Lammps, 30 * SEC).with_schedule(
+        ScheduleSpec::LinearDecay {
+            uncapped_for: 5 * SEC,
+            from_w: 140.0,
+            to_w: 60.0,
+            ramp: 20 * SEC,
+        },
+    ));
+    let samples = &run.daemon_samples;
+    assert!(samples.len() >= 28, "one sample per second");
+    // Uncapped lead-in.
+    assert!(samples[2].cap_w.is_none());
+    // Ramp: caps decrease monotonically once engaged.
+    let caps: Vec<f64> = samples.iter().filter_map(|s| s.cap_w).collect();
+    assert!(caps.windows(2).all(|w| w[1] <= w[0] + 1e-9));
+    assert!((caps.last().unwrap() - 60.0).abs() < 1e-9);
+    // Measured power at the end sits near the floor.
+    let last = samples.last().unwrap();
+    assert!(
+        (last.avg_power_w - 60.0).abs() < 8.0,
+        "settled at {:.1} W",
+        last.avg_power_w
+    );
+}
+
+/// Multi-channel applications publish independent streams that the
+/// monitor separates correctly.
+#[test]
+fn multi_channel_streams_are_separated() {
+    let run = run_app(&RunConfig::new(AppId::Urban, 40 * SEC));
+    assert_eq!(run.progress.len(), 2);
+    let cfd = run.channel_stats[0].events;
+    let ep = run.channel_stats[1].events;
+    assert!(
+        cfd > 20 * ep.max(1),
+        "CFD reports ({cfd}) dwarf EP's ({ep})"
+    );
+}
+
+/// Progress monitoring has negligible effect on the application: a run
+/// with four extra subscribers retires the same work in the same time.
+#[test]
+fn monitoring_is_non_intrusive() {
+    let base = run_app(&RunConfig::new(AppId::Amg, 8 * SEC));
+    // The runner already registers monitor subscribers; add a stack of
+    // external ones on a fresh run via the lossy path to stress it.
+    let watched = run_app(&RunConfig::new(AppId::Amg, 8 * SEC).with_lossy_monitoring(1));
+    assert_eq!(
+        base.channel_stats[0].events, watched.channel_stats[0].events,
+        "application-side work must not depend on the observers"
+    );
+    assert!((base.total_energy_j - watched.total_energy_j).abs() < 1e-6);
+}
+
+/// The paper's future-work "per-processing-element" monitoring: per-rank
+/// channels expose the load imbalance Table I's aggregate MIPS hides, and
+/// identify the critical-path rank.
+#[test]
+fn per_rank_channels_expose_the_listing1_imbalance() {
+    let mut rc = RunConfig::new(AppId::Listing1PerRank, 10 * SEC);
+    rc.ranks = 24;
+    let run = run_app(&rc);
+    assert!(run.record.all_done);
+    assert_eq!(run.progress.len(), 24, "one channel per rank");
+
+    // Per-rank work rates over the whole run.
+    let rates: Vec<f64> = run
+        .channel_stats
+        .iter()
+        .map(|s| s.sum / run.duration_s)
+        .collect();
+    let report = progress::imbalance::analyze(&rates);
+    assert_eq!(
+        report.critical_rank, 23,
+        "the highest rank is on the critical path (paper Listing 1)"
+    );
+    assert!(
+        report.imbalance_factor > 15.0,
+        "unequal work spans ~24x: {:.1}",
+        report.imbalance_factor
+    );
+    assert!(
+        report.wait_fraction > 0.4,
+        "nearly half the aggregate capacity waits at barriers: {:.2}",
+        report.wait_fraction
+    );
+}
+
+/// Fault injection: one rank livelocks mid-run. Hardware metrics stay
+/// "healthy" (instructions retire at full speed on every core) while the
+/// progress metric flatlines — the failure class that motivates online
+/// progress over counters (paper §II).
+#[test]
+fn progress_detects_a_hang_that_mips_misses() {
+    use progress::aggregator::ProgressAggregator;
+    use proxyapps::programs::HangAfter;
+
+    let cfg = NodeConfig::default();
+    let mut app = build(AppId::Lammps, &cfg, cfg.cores, 1);
+    // Wrap rank 3: healthy for ~40 actions (~13 timesteps), then livelock.
+    let victim = app.programs.remove(3);
+    app.programs.insert(
+        3,
+        Box::new(HangAfter::new(struct_program_adapter::Adapter(victim), 40)),
+    );
+
+    let bus = ProgressBus::new();
+    let sub = bus.subscribe(BusConfig::lossless());
+    let node = Node::new(cfg);
+    let mut driver = Driver::new(node, app.programs, &bus, 1);
+    driver.run(8 * SEC, &mut []);
+
+    let agg = ProgressAggregator::new(sub, SEC, None);
+    let series = agg.finish(driver.node().now());
+
+    // Progress flatlines after the hang... (window samples carry the
+    // window's *end* time, so the first healthy window is at t = 1.0)
+    let early = series.mean_between(0.5, 1.5);
+    let late = series.mean_between(4.0, 8.0);
+    assert!(early > 500.0, "healthy phase reports progress: {early:.0}");
+    assert!(late < 1.0, "hung phase must flatline: {late:.2}");
+
+    // ...while the instruction counter says everything is fine: the other
+    // 23 ranks spin at the barrier and the victim burns compute, so the
+    // node retires instructions at multi-GIPS rates throughout.
+    let inst_rate = driver.node().counters().instructions / (driver.node().now() as f64 / 1e9);
+    assert!(
+        inst_rate > 1e10,
+        "MIPS stays 'healthy' during the hang: {inst_rate:.2e} inst/s"
+    );
+}
+
+/// Adapter so a boxed program can be wrapped by `HangAfter` (which is
+/// generic over `Program`).
+mod struct_program_adapter {
+    use proxyapps::runtime::{Action, Program};
+
+    pub struct Adapter(pub Box<dyn Program>);
+
+    impl Program for Adapter {
+        fn next_action(&mut self, rank: usize) -> Action {
+            self.0.next_action(rank)
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! End-to-end checks of the paper's headline qualitative claims, exercised
+//! through the full stack (proxy app → SPMD driver → simulated node →
+//! RAPL → NRM daemon → pub-sub monitoring → aggregation).
+
+use powerprog::prelude::*;
+
+/// §II / Table I: MIPS is not correlated with online performance — the
+/// imbalanced Listing-1 variant does *half* the work at ~20× the MIPS.
+#[test]
+fn mips_is_uncorrelated_with_online_performance() {
+    let run = |app: AppId| {
+        let mut rc = RunConfig::new(app, 10 * SEC);
+        rc.ranks = 24;
+        run_app(&rc)
+    };
+    let equal = run(AppId::Listing1Equal);
+    let unequal = run(AppId::Listing1Unequal);
+    assert!(equal.record.all_done && unequal.record.all_done);
+
+    // Definition 1 (iterations/s) matches: both ~1/s.
+    let it_eq: f64 = equal.progress[0].v.iter().sum::<f64>() / equal.duration_s;
+    let it_un: f64 = unequal.progress[0].v.iter().sum::<f64>() / unequal.duration_s;
+    assert!((it_eq - it_un).abs() < 0.05, "{it_eq} vs {it_un}");
+
+    // Definition 2 (work units/s): equal does ~1.92x the unequal work.
+    let w_eq: f64 = equal.progress[1].v.iter().sum::<f64>();
+    let w_un: f64 = unequal.progress[1].v.iter().sum::<f64>();
+    assert!(
+        (w_eq / w_un - 1.92).abs() < 0.1,
+        "work ratio {}",
+        w_eq / w_un
+    );
+
+    // MIPS inverts: the less productive run reports far more instructions.
+    assert!(
+        unequal.mips() > 8.0 * equal.mips(),
+        "unequal {:.0} MIPS vs equal {:.0} MIPS",
+        unequal.mips(),
+        equal.mips()
+    );
+}
+
+/// §V / Fig. 3: "the online performance of the application follows the
+/// power capping function being applied" — checked end-to-end with the
+/// step-function scheme on a Category-1 application.
+#[test]
+fn progress_follows_the_cap_under_the_step_scheme() {
+    let run = run_app(
+        &RunConfig::new(AppId::Lammps, 40 * SEC).with_schedule(ScheduleSpec::Step {
+            low_w: 70.0,
+            period: 20 * SEC,
+        }),
+    );
+    let p = &run.progress[0];
+    // High phases: ~0-9 s and ~20-29 s (daemon latency shifts by ~1 s).
+    let high = (p.mean_between(3.0, 9.0) + p.mean_between(23.0, 29.0)) / 2.0;
+    let low = (p.mean_between(13.0, 19.0) + p.mean_between(33.0, 39.0)) / 2.0;
+    assert!(
+        high > low * 1.2,
+        "uncapped phases ({high:.0}) must outpace capped phases ({low:.0})"
+    );
+}
+
+/// §V.A / Fig. 2: RAPL is application-aware — under the same cap the
+/// compute-bound code runs at a higher core frequency.
+#[test]
+fn rapl_clocks_compute_bound_codes_higher() {
+    let settle = |app: AppId| {
+        let run =
+            run_app(&RunConfig::new(app, 6 * SEC).with_schedule(ScheduleSpec::Constant(90.0)));
+        let f = &run.telemetry.freq;
+        f.mean_between(3.0, 6.5)
+    };
+    let lammps = settle(AppId::Lammps);
+    let stream = settle(AppId::Stream);
+    assert!(
+        lammps > stream + 50.0,
+        "LAMMPS {lammps:.0} MHz should exceed STREAM {stream:.0} MHz at 90 W"
+    );
+}
+
+/// §VI / Fig. 5: direct DVFS beats RAPL for STREAM at comparable power.
+#[test]
+fn dvfs_beats_rapl_for_stream_at_comparable_power() {
+    let rapl = run_app(
+        &RunConfig::new(AppId::Stream, 10 * SEC).with_schedule(ScheduleSpec::Constant(95.0)),
+    );
+    // Find a DVFS point with power at or below the RAPL run's settled power.
+    let rapl_power = rapl.settled_power();
+    let mut best_dvfs: Option<(f64, f64)> = None;
+    for mhz in [1600u32, 2000, 2400, 2800] {
+        let run = run_app(&RunConfig::new(AppId::Stream, 10 * SEC).with_fixed_mhz(mhz));
+        let p = run.settled_power();
+        if p <= rapl_power + 1.0 {
+            let candidate = (p, run.steady_rate());
+            if best_dvfs.map(|(_, r)| candidate.1 > r).unwrap_or(true) {
+                best_dvfs = Some(candidate);
+            }
+        }
+    }
+    let (p, r) = best_dvfs.expect("some DVFS point fits under the RAPL power");
+    assert!(
+        r > rapl.steady_rate(),
+        "DVFS at {p:.0} W gives {r:.1} it/s, RAPL at {rapl_power:.0} W gives {:.1}",
+        rapl.steady_rate()
+    );
+}
+
+/// §III.B / Table V: category assignments derive from the questionnaire
+/// and Category-3 apps expose no single metric.
+#[test]
+fn taxonomy_is_consistent_end_to_end() {
+    use progress::registry::registry;
+    for rec in registry() {
+        let derived = rec.answers.derive_category();
+        assert!(rec.categories.contains(&derived), "{}", rec.name);
+        if rec.primary_category() == Category::Three {
+            assert!(rec.metric.is_none());
+        }
+    }
+}
+
+/// §IV.B: reporting granularities match the paper's description — LAMMPS
+/// ~20+/s, AMG ~3/s, OpenMC ~1/s.
+#[test]
+fn reporting_rates_match_the_papers_instrumentation() {
+    let reports_per_s = |app: AppId, dur: Nanos| {
+        let run = run_app(&RunConfig::new(app, dur));
+        run.channel_stats[0].events as f64 / run.duration_s
+    };
+    let lammps = reports_per_s(AppId::Lammps, 5 * SEC);
+    assert!(
+        (20.0..35.0).contains(&lammps),
+        "LAMMPS reports {lammps:.1}/s, paper says ~20/s"
+    );
+    let amg = reports_per_s(AppId::Amg, 12 * SEC);
+    assert!(
+        (1.5..4.0).contains(&amg),
+        "AMG reports {amg:.1}/s, paper ~3/s"
+    );
+    let openmc = reports_per_s(AppId::OpenmcActive, 12 * SEC);
+    assert!(
+        (0.6..1.2).contains(&openmc),
+        "OpenMC reports {openmc:.1}/s, paper ~1/s"
+    );
+}
+
+/// §II's second envisioned policy: a high-priority job preempts the node's
+/// budget; the NRM applies a hard immediate cap and lifts it on departure.
+/// Progress must drop during the preemption window and recover after.
+#[test]
+fn priority_preemption_caps_hard_and_releases() {
+    let run = run_app(&RunConfig::new(AppId::QmcpackDmc, 30 * SEC).with_schedule(
+        ScheduleSpec::Preemption {
+            preempt_at: 10 * SEC,
+            hard_cap_w: 60.0,
+            release_at: Some(20 * SEC),
+        },
+    ));
+    let p = &run.progress[0];
+    let before = p.mean_between(3.0, 10.0);
+    let during = p.mean_between(13.0, 20.0);
+    let after = p.mean_between(23.0, 30.0);
+    assert!(
+        during < before * 0.85,
+        "hard cap must cut progress: {before:.1} -> {during:.1}"
+    );
+    assert!(
+        after > before * 0.95,
+        "departure must restore progress: {after:.1} vs {before:.1}"
+    );
+    // The daemon samples show the hard cap engaged exactly in the window.
+    let capped: Vec<bool> = run
+        .daemon_samples
+        .iter()
+        .map(|s| s.cap_w.is_some())
+        .collect();
+    assert!(capped.iter().filter(|&&c| c).count() >= 9);
+}

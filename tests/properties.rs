@@ -1,0 +1,140 @@
+//! Property-based integration tests: invariants that must hold across the
+//! whole stack for arbitrary (bounded) parameters.
+
+use powerprog::prelude::*;
+use proptest::prelude::*;
+
+/// Energy accounting is self-consistent: mean power × time == energy.
+#[test]
+fn energy_equals_mean_power_times_time() {
+    let run = run_app(&RunConfig::new(AppId::Stream, 4 * SEC));
+    let reconstructed = run.mean_power() * run.duration_s;
+    assert!((reconstructed - run.total_energy_j).abs() / run.total_energy_j < 1e-9);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case runs a real simulation; keep the count sane
+        ..ProptestConfig::default()
+    })]
+
+    /// RAPL enforces any admissible cap on the rolling average: the settled
+    /// package power never exceeds the cap by more than the control slack.
+    #[test]
+    fn any_admissible_cap_is_enforced(cap in 45.0f64..150.0) {
+        let run = run_app(
+            &RunConfig::new(AppId::Lammps, 5 * SEC)
+                .with_schedule(ScheduleSpec::Constant(cap)),
+        );
+        let settled = run.settled_power();
+        prop_assert!(
+            settled <= cap * 1.08 + 1.0,
+            "cap {cap:.0} W, settled {settled:.1} W"
+        );
+    }
+
+    /// Tighter caps never yield more progress (within noise).
+    #[test]
+    fn progress_is_monotone_in_the_cap(lo in 50.0f64..90.0, hi_extra in 20.0f64..60.0) {
+        let hi = lo + hi_extra;
+        let rate = |cap: f64| {
+            run_app(
+                &RunConfig::new(AppId::QmcpackDmc, 5 * SEC)
+                    .with_schedule(ScheduleSpec::Constant(cap)),
+            )
+            .steady_rate()
+        };
+        let r_lo = rate(lo);
+        let r_hi = rate(hi);
+        prop_assert!(
+            r_hi >= r_lo * 0.97,
+            "cap {lo:.0} W gave {r_lo:.2}, cap {hi:.0} W gave {r_hi:.2}"
+        );
+    }
+
+    /// The same configuration and seed reproduce identical results, and
+    /// the progress series is identical bit-for-bit (full determinism
+    /// through the parallel sweep machinery is tested in `sweep`).
+    #[test]
+    fn runs_are_deterministic(seed in 0u64..1000) {
+        let cfg = RunConfig::new(AppId::Amg, 4 * SEC).with_seed(seed);
+        let a = run_app(&cfg);
+        let b = run_app(&cfg);
+        prop_assert_eq!(a.progress[0].clone(), b.progress[0].clone());
+        prop_assert!((a.total_energy_j - b.total_energy_j).abs() < 1e-9);
+        prop_assert_eq!(a.counters.instructions.to_bits(), b.counters.instructions.to_bits());
+    }
+
+    /// Eq. 7 consistency against the full pipeline: for any β and cap, the
+    /// predicted rate is within (0, r_max] and delta + rate == r_max.
+    #[test]
+    fn model_predictions_are_well_formed(
+        beta in 0.05f64..1.0,
+        cap in 30.0f64..200.0,
+        pkg in 100.0f64..180.0,
+        r_max in 0.5f64..2000.0,
+    ) {
+        let m = ProgressModel::from_uncapped_run(beta, PAPER_ALPHA, pkg, r_max);
+        let rate = m.predict_rate(cap);
+        let delta = m.predict_delta(cap);
+        prop_assert!(rate > 0.0 && rate <= r_max * (1.0 + 1e-12));
+        prop_assert!((rate + delta - r_max).abs() < 1e-9 * r_max);
+        // Inverse query round-trips whenever the rate is attainable.
+        if let Some(back) = m.required_cap_for_rate(rate) {
+            let forward = m.predict_rate(back);
+            prop_assert!((forward - rate).abs() < 1e-6 * r_max);
+        }
+    }
+
+    /// Cap schedules are well-formed: linear decay is monotone within the
+    /// ramp and step/jagged stay inside [low, high].
+    #[test]
+    fn schedules_stay_in_their_bands(
+        low in 40.0f64..80.0,
+        high_extra in 10.0f64..80.0,
+        t in 0u64..400_000_000_000u64,
+    ) {
+        use nrm::scheme::{CapSchedule, JaggedEdge, StepFunction};
+        let high = low + high_extra;
+        let step = StepFunction { high_w: Some(high), low_w: low, period: 20 * SEC, high_fraction: 0.5 };
+        if let Some(c) = step.cap_at(t) {
+            prop_assert!(c == low || c == high);
+        }
+        let jag = JaggedEdge { high_w: high, low_w: low, decay: 30 * SEC };
+        let c = jag.cap_at(t).unwrap();
+        prop_assert!(c >= low - 1e-9 && c <= high + 1e-9);
+    }
+}
+
+/// Work conservation: the total reported progress equals iterations
+/// actually executed — no monitoring path loses lossless reports.
+#[test]
+fn lossless_monitoring_conserves_reported_work() {
+    let run = run_app(&RunConfig::new(AppId::Stream, 6 * SEC));
+    let windowed: f64 = run.progress[0].v.iter().sum();
+    let truth = run.channel_stats[0].sum;
+    assert!(
+        (windowed - truth).abs() <= 1.0 + truth * 1e-9,
+        "windowed {windowed} vs raw {truth}"
+    );
+}
+
+/// Per-core counters are non-negative and monotone through a run with
+/// mixed work (compute, spin, sleep).
+#[test]
+fn counters_accumulate_monotonically() {
+    let mut node = Node::new(NodeConfig::default());
+    node.assign(
+        0,
+        CoreWork::Compute(WorkPacket::new(3.3e9, 1e6, 5e9).into()),
+    );
+    node.assign(1, CoreWork::Spin);
+    node.assign(2, CoreWork::Sleep { until: SEC });
+    let mut prev = (0.0, 0.0, 0.0);
+    for _ in 0..5000 {
+        node.step();
+        let c = node.counters();
+        assert!(c.instructions >= prev.0 && c.cycles >= prev.1 && c.l3_misses >= prev.2);
+        prev = (c.instructions, c.cycles, c.l3_misses);
+    }
+}
