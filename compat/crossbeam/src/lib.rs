@@ -1,0 +1,80 @@
+//! Offline stand-in for `crossbeam`, providing the `channel::unbounded`
+//! subset this workspace uses, implemented over `std::sync::mpsc`.
+
+/// MPMC-ish channels (MPSC underneath — sufficient for the progress bus,
+/// where each receiver is owned by exactly one subscriber).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Error returned when the receiving half is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> Sender<T> {
+        /// Queue a value; fails only if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Iterate over values currently queued, without blocking.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.try_iter()
+        }
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn roundtrip_preserves_order() {
+            let (tx, rx) = unbounded();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            let got: Vec<i32> = rx.try_iter().collect();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn send_after_receiver_drop_errors() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn works_across_threads() {
+            let (tx, rx) = unbounded();
+            let t = std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    tx.send(i).unwrap();
+                }
+            });
+            t.join().unwrap();
+            assert_eq!(rx.try_iter().count(), 1000);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Offline stand-in for `rayon`, covering the subset this workspace uses:
+//! `par_iter()` / `into_par_iter()` followed by `.map(f).collect()`.
+//!
+//! Work really does run in parallel — items are distributed over
+//! `available_parallelism()` scoped threads through an atomic cursor — and
+//! `collect` preserves input order, matching rayon's indexed semantics.
+//! Parameter sweeps are embarrassingly parallel with coarse items (whole
+//! simulation runs), so an atomic-cursor work queue is all the scheduling
+//! the workload needs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Public prelude, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Owned-item parallel iteration (`vec.into_par_iter()`).
+pub trait IntoParallelIterator {
+    /// Item type produced by the iterator.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowed-item parallel iteration (`slice.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced by the iterator.
+    type Item: Send + 'a;
+    /// A parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Map each item through `f` in parallel.
+    pub fn map<O: Send, F: Fn(I) -> O + Sync>(self, f: F) -> ParMap<I, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, executed on `collect`.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send, F> ParMap<I, F> {
+    /// Execute the map across threads and collect results in input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<<F as ItemFn<I>>::Out>,
+        F: ItemFn<I> + Sync,
+    {
+        let n = self.items.len();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        let slots: Vec<Mutex<Option<I>>> = self
+            .items
+            .into_iter()
+            .map(|i| Mutex::new(Some(i)))
+            .collect();
+        let out: Vec<Mutex<Option<F::Out>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let f = &self.f;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i].lock().unwrap().take().expect("slot taken once");
+                    let r = f.call(item);
+                    *out[i].lock().unwrap() = Some(r);
+                });
+            }
+        });
+        C::from_ordered(
+            out.into_iter()
+                .map(|m| m.into_inner().unwrap().expect("worker filled slot")),
+        )
+    }
+}
+
+/// Helper trait naming the closure's output type (stable-Rust substitute
+/// for `F: Fn(I) -> O` appearing in two bounds at once).
+pub trait ItemFn<I> {
+    /// The closure's return type.
+    type Out: Send;
+    /// Invoke the closure.
+    fn call(&self, item: I) -> Self::Out;
+}
+
+impl<I, O: Send, F: Fn(I) -> O> ItemFn<I> for F {
+    type Out = O;
+    fn call(&self, item: I) -> O {
+        self(item)
+    }
+}
+
+/// Ordered collection from a parallel iterator.
+pub trait FromParallelIterator<T> {
+    /// Build the collection from items already in input order.
+    fn from_ordered(iter: impl Iterator<Item = T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered(iter: impl Iterator<Item = T>) -> Self {
+        iter.collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_maps_in_order() {
+        let v: Vec<i64> = (0..1000).collect();
+        let out: Vec<i64> = v.into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = v.par_iter().map(|s| s.len()).collect();
+        assert_eq!(out[0], 1);
+        assert_eq!(out[99], 2);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u8> = vec![];
+        let out: Vec<u8> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let v: Vec<u32> = (0..64).collect();
+        let _: Vec<()> = v
+            .into_par_iter()
+            .map(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            })
+            .collect();
+        let n = ids.lock().unwrap().len();
+        if std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(n > 1, "expected work on >1 thread, saw {n}");
+        }
+    }
+}

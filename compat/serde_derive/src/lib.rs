@@ -1,0 +1,19 @@
+//! No-op `serde_derive` stand-in for offline builds.
+//!
+//! The repository only ever uses serde as derive decoration — nothing is
+//! actually serialized — so the derives accept the full attribute syntax
+//! (`#[serde(default = "...")]` and friends) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,57 @@
+//! Bench for the **faults** experiment — measures the overhead of the
+//! fault-injection layer and the hardened control loop against the naive
+//! baseline at benchmark scale. Fault injection sits on the MSR hot path
+//! (every user-space read/write consults the fault layer), so this is the
+//! regression guard for that cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nrm::resilience::ResilienceConfig;
+use powerprog_core::experiments::faults::{Config, Scenario};
+use powerprog_core::runner::{run_app, RunConfig, ScheduleSpec};
+use proxyapps::catalog::AppId;
+use simnode::time::SEC;
+use std::hint::black_box;
+
+fn bench_faults(c: &mut Criterion) {
+    let mut g = c.benchmark_group("faults");
+    g.sample_size(10);
+
+    let schedule = ScheduleSpec::StepAfter {
+        lead_in: 2 * SEC,
+        cap_w: 80.0,
+    };
+    let cfg = Config {
+        duration: 10 * SEC,
+        budget_w: 80.0,
+        seed: 7,
+    };
+
+    // Baseline: naive loop, no fault layer installed at all.
+    let plain = RunConfig::new(AppId::Lammps, cfg.duration).with_schedule(schedule);
+    g.bench_function("naive_no_faults_10s", |b| {
+        b.iter(|| black_box(run_app(black_box(&plain))))
+    });
+
+    // Fault layer installed and firing, naive loop.
+    let stormy = plain
+        .clone()
+        .with_faults(Scenario::CapWriteStorm.plan(&cfg));
+    g.bench_function("naive_storm_10s", |b| {
+        b.iter(|| black_box(run_app(black_box(&stormy))))
+    });
+
+    // Hardened loop riding the same storm: retry + read-back + fallback.
+    let hardened = stormy.clone().with_resilience(ResilienceConfig::default());
+    g.bench_function("hardened_storm_10s", |b| {
+        b.iter(|| {
+            let a = run_app(black_box(&hardened));
+            assert!(a.fallback_ticks() > 0);
+            black_box(a)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_faults);
+criterion_main!(benches);

@@ -37,7 +37,7 @@ fn bench_node_step(c: &mut Criterion) {
     });
     g.bench_function("step_1s_24core_capped", |b| {
         let mut node = busy_node();
-        node.set_package_cap(Some(90.0));
+        node.set_package_cap(Some(90.0)).unwrap();
         b.iter(|| {
             for _ in 0..10_000 {
                 black_box(node.step());

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations]
+//! repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults]
 //!       [--quick] [--out DIR]
 //! ```
 //!
@@ -12,7 +12,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use powerprog_core::experiments::{
-    ablations, candle_ext, fig1, fig2, fig3, fig4, fig5, table1, table6, tables2to5,
+    ablations, candle_ext, faults, fig1, fig2, fig3, fig4, fig5, table1, table6, tables2to5,
 };
 use powerprog_core::report::TextTable;
 
@@ -39,7 +39,7 @@ fn parse_args() -> Opts {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations]... [--quick] [--out DIR]"
+                    "usage: repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults]... [--quick] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -175,6 +175,23 @@ fn main() {
             candle_ext::Config::default()
         };
         emit(&candle_ext::run(&cfg).table(), &opts.out, "candle_ext");
+    }
+    if wants("faults") {
+        let cfg = if opts.quick {
+            faults::Config::quick()
+        } else {
+            faults::Config::default()
+        };
+        emit(&faults::run(&cfg).table(), &opts.out, "faults");
+        let (plain, empty) = faults::purity_check(&cfg);
+        println!(
+            "fault-free purity: {} (plain {plain:.3} J, empty plan {empty:.3} J)\n",
+            if plain.to_bits() == empty.to_bits() {
+                "bit-identical"
+            } else {
+                "MISMATCH"
+            }
+        );
     }
     if wants("ablations") {
         let cfg = if opts.quick {

@@ -2,6 +2,7 @@
 
 use nrm::actuator::ActuatorKind;
 use nrm::daemon::{DaemonSample, NrmDaemon};
+use nrm::resilience::{ResilienceConfig, ResilientDaemon};
 use nrm::scheme::{
     CapSchedule, ConstantCap, JaggedEdge, LinearDecay, PriorityPreemption, StepFunction, Uncapped,
 };
@@ -14,6 +15,7 @@ use proxyapps::trace::TelemetryAgent;
 use simnode::agent::SimAgent;
 use simnode::config::NodeConfig;
 use simnode::counters::Counters;
+use simnode::faults::FaultPlan;
 use simnode::msr::{encode_perf_ctl, IA32_PERF_CTL};
 use simnode::node::Node;
 use simnode::time::{Nanos, SEC};
@@ -145,6 +147,13 @@ pub struct RunConfig {
     pub window: Nanos,
     /// Optional lossy monitoring transport (capacity); `None` = lossless.
     pub lossy_capacity: Option<usize>,
+    /// Deterministic fault-injection plan for the node's user-space MSR
+    /// interface; `None` (the default) is bit-identical to the seed
+    /// behaviour.
+    pub faults: Option<FaultPlan>,
+    /// Run the hardened control loop ([`ResilientDaemon`]) instead of the
+    /// naive [`NrmDaemon`].
+    pub resilience: Option<ResilienceConfig>,
 }
 
 impl RunConfig {
@@ -162,6 +171,8 @@ impl RunConfig {
             fixed_mhz: None,
             window: SEC,
             lossy_capacity: None,
+            faults: None,
+            resilience: None,
         }
     }
 
@@ -186,6 +197,18 @@ impl RunConfig {
     /// Use a lossy monitoring transport with the given queue capacity.
     pub fn with_lossy_monitoring(mut self, capacity: usize) -> Self {
         self.lossy_capacity = Some(capacity);
+        self
+    }
+
+    /// Inject faults at the node's user-space MSR boundary.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Replace the naive daemon with the hardened control loop.
+    pub fn with_resilience(mut self, cfg: ResilienceConfig) -> Self {
+        self.resilience = Some(cfg);
         self
     }
 }
@@ -231,6 +254,20 @@ impl ChannelStats {
     }
 }
 
+/// User-space MSR fault counters observed during a run (all zero when no
+/// fault plan is installed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// User-space reads that returned an injected I/O error.
+    pub reads_failed: u64,
+    /// Energy-counter reads served a stale (stuck) value.
+    pub reads_stuck: u64,
+    /// User-space writes that returned an injected I/O error.
+    pub writes_failed: u64,
+    /// Cap writes silently deferred by the latch-delay fault.
+    pub writes_delayed: u64,
+}
+
 /// All measurements from one run.
 pub struct RunArtifacts {
     /// Progress rate series, one per channel, 1 sample per window.
@@ -251,6 +288,8 @@ pub struct RunArtifacts {
     pub total_energy_j: f64,
     /// Events dropped by the monitoring transport (lossy mode).
     pub dropped_events: u64,
+    /// Injected-fault counters at end of run.
+    pub fault_summary: FaultSummary,
 }
 
 impl RunArtifacts {
@@ -294,6 +333,44 @@ impl RunArtifacts {
             s.mean()
         }
     }
+
+    /// Daemon ticks on which actuation failed even after any retries and
+    /// fallbacks the control loop attempted.
+    pub fn actuation_failures(&self) -> usize {
+        self.daemon_samples
+            .iter()
+            .filter(|s| s.actuation_failed)
+            .count()
+    }
+
+    /// Daemon ticks served by a fallback actuator.
+    pub fn fallback_ticks(&self) -> usize {
+        self.daemon_samples
+            .iter()
+            .filter(|s| s.fallback_used)
+            .count()
+    }
+
+    /// Daemon ticks spent with the safe-mode floor cap engaged.
+    pub fn safe_mode_ticks(&self) -> usize {
+        self.daemon_samples.iter().filter(|s| s.safe_mode).count()
+    }
+
+    /// Worst overshoot (W) of the ground-truth rolling power average over
+    /// a requested budget, ignoring the first `skip` telemetry samples
+    /// (the average lags one window behind a freshly applied cap). The
+    /// comparison is against the budget the schedule *asked for* — not the
+    /// latched hardware cap, which under injected faults may never have
+    /// arrived (that silent gap is exactly the violation to measure).
+    pub fn max_overshoot_w(&self, budget_w: f64, skip: usize) -> f64 {
+        self.telemetry
+            .avg_power
+            .v
+            .iter()
+            .skip(skip)
+            .map(|p| p - budget_w)
+            .fold(0.0, f64::max)
+    }
 }
 
 /// A monitor agent polling an aggregator once per window (the paper's
@@ -329,7 +406,11 @@ impl SimAgent for MonitorAgent {
 
 /// Execute one run.
 pub fn run_app(cfg: &RunConfig) -> RunArtifacts {
-    let mut node = Node::new(cfg.node.clone());
+    let mut node_cfg = cfg.node.clone();
+    if cfg.faults.is_some() {
+        node_cfg.faults = cfg.faults.clone();
+    }
+    let mut node = Node::new(node_cfg);
     if let Some(mhz) = cfg.fixed_mhz {
         node.msr_mut()
             .write(IA32_PERF_CTL, encode_perf_ctl(mhz))
@@ -359,11 +440,28 @@ pub fn run_app(cfg: &RunConfig) -> RunArtifacts {
         .collect();
 
     let mut telemetry = TelemetryAgent::new(cfg.window);
-    let mut daemon = NrmDaemon::new(cfg.schedule.build(), cfg.actuator);
+    // Either the naive 1 Hz loop or the hardened one — never both.
+    let mut naive: Option<NrmDaemon> = None;
+    let mut hardened: Option<ResilientDaemon> = None;
+    match &cfg.resilience {
+        Some(rc) => {
+            hardened = Some(ResilientDaemon::new(
+                cfg.schedule.build(),
+                cfg.actuator,
+                rc.clone(),
+            ));
+        }
+        None => naive = Some(NrmDaemon::new(cfg.schedule.build(), cfg.actuator)),
+    }
 
     {
         let mut agents: Vec<&mut dyn SimAgent> = Vec::with_capacity(2 + monitors.len());
-        agents.push(&mut daemon as &mut dyn SimAgent);
+        if let Some(d) = &mut naive {
+            agents.push(d as &mut dyn SimAgent);
+        }
+        if let Some(d) = &mut hardened {
+            agents.push(d as &mut dyn SimAgent);
+        }
         agents.push(&mut telemetry as &mut dyn SimAgent);
         for m in &mut monitors {
             agents.push(m as &mut dyn SimAgent);
@@ -371,6 +469,16 @@ pub fn run_app(cfg: &RunConfig) -> RunArtifacts {
         let record = driver.run(cfg.duration, &mut agents);
         let node = driver.node();
         let end = node.now();
+        let fault_summary = node
+            .msr()
+            .fault_stats()
+            .map(|fs| FaultSummary {
+                reads_failed: fs.reads_failed(),
+                reads_stuck: fs.reads_stuck(),
+                writes_failed: fs.writes_failed(),
+                writes_delayed: fs.writes_delayed(),
+            })
+            .unwrap_or_default();
         let mut progress = Vec::with_capacity(monitors.len());
         let mut channel_stats = Vec::with_capacity(monitors.len());
         for mut m in monitors {
@@ -382,11 +490,16 @@ pub fn run_app(cfg: &RunConfig) -> RunArtifacts {
             progress,
             channel_stats,
             telemetry,
-            daemon_samples: daemon.samples.clone(),
+            daemon_samples: match (&naive, &hardened) {
+                (Some(d), _) => d.samples.clone(),
+                (_, Some(d)) => d.samples.clone(),
+                _ => unreachable!("one daemon always runs"),
+            },
             counters: node.counters().clone(),
             duration_s: simnode::time::secs(end),
             total_energy_j: node.total_energy(),
             dropped_events: bus.dropped(),
+            fault_summary,
             record,
         }
     }

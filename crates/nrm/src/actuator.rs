@@ -16,7 +16,9 @@
 
 use serde::{Deserialize, Serialize};
 use simnode::ddcm::DutyCycle;
-use simnode::msr::{decode_perf_ctl, encode_perf_ctl, IA32_CLOCK_MODULATION, IA32_PERF_CTL};
+use simnode::msr::{
+    decode_perf_ctl, encode_perf_ctl, MsrError, IA32_CLOCK_MODULATION, IA32_PERF_CTL,
+};
 use simnode::node::Node;
 use simnode::time::SEC;
 
@@ -52,14 +54,20 @@ impl Actuator {
 
     /// Enforce `target` (W; `None` = lift all limits) on the node. Called
     /// once per daemon tick.
-    pub fn apply(&mut self, node: &mut Node, target: Option<f64>) {
+    ///
+    /// Returns an error when the knob write itself fails (e.g. under
+    /// injected MSR faults); the caller decides whether to retry, fall
+    /// back to another actuator, or carry on with the stale setting. For
+    /// the software loops, clearing a leftover RAPL cap is best-effort: a
+    /// stale cap coexisting with the DVFS/DDCM knob only makes the node
+    /// *more* constrained, never less, so it is not worth failing over.
+    pub fn apply(&mut self, node: &mut Node, target: Option<f64>) -> Result<(), MsrError> {
         match self.kind {
             ActuatorKind::Rapl => node.set_package_cap(target),
             ActuatorKind::DirectDvfs => {
-                node.set_package_cap(None);
+                let _ = node.set_package_cap(None);
                 let Some(t) = target else {
-                    node.msr_mut().write(IA32_PERF_CTL, 0).expect("writable");
-                    return;
+                    return node.msr_mut().write(IA32_PERF_CTL, 0);
                 };
                 let ladder = node.config().ladder.clone();
                 let cur_mhz = decode_perf_ctl(node.msr().hw_read(IA32_PERF_CTL))
@@ -75,15 +83,13 @@ impl Actuator {
                 };
                 node.msr_mut()
                     .write(IA32_PERF_CTL, encode_perf_ctl(ladder.mhz(next)))
-                    .expect("writable");
             }
             ActuatorKind::Ddcm => {
-                node.set_package_cap(None);
+                let _ = node.set_package_cap(None);
                 let Some(t) = target else {
-                    node.msr_mut()
-                        .write(IA32_CLOCK_MODULATION, DutyCycle::FULL.encode_msr())
-                        .expect("writable");
-                    return;
+                    return node
+                        .msr_mut()
+                        .write(IA32_CLOCK_MODULATION, DutyCycle::FULL.encode_msr());
                 };
                 let cur = DutyCycle::decode_msr(node.msr().hw_read(IA32_CLOCK_MODULATION));
                 let power = node.average_power(SEC);
@@ -96,7 +102,6 @@ impl Actuator {
                 };
                 node.msr_mut()
                     .write(IA32_CLOCK_MODULATION, next.encode_msr())
-                    .expect("writable");
             }
         }
     }
@@ -134,7 +139,7 @@ mod tests {
         let mut act = Actuator::new(kind);
         let quanta_per_tick = (SEC / node.config().quantum) as usize;
         for _ in 0..seconds {
-            act.apply(&mut node, Some(target));
+            act.apply(&mut node, Some(target)).unwrap();
             for _ in 0..quanta_per_tick {
                 node.step();
             }
@@ -146,9 +151,9 @@ mod tests {
     fn rapl_actuator_programs_the_msr_cap() {
         let mut node = busy_node();
         let mut act = Actuator::new(ActuatorKind::Rapl);
-        act.apply(&mut node, Some(95.0));
+        act.apply(&mut node, Some(95.0)).unwrap();
         assert_eq!(node.package_cap(), Some(95.0));
-        act.apply(&mut node, None);
+        act.apply(&mut node, None).unwrap();
         assert_eq!(node.package_cap(), None);
     }
 
@@ -197,11 +202,11 @@ mod tests {
     fn lifting_dvfs_target_restores_full_frequency() {
         let mut node = busy_node();
         let mut act = Actuator::new(ActuatorKind::DirectDvfs);
-        act.apply(&mut node, Some(60.0));
+        act.apply(&mut node, Some(60.0)).unwrap();
         for _ in 0..20_000 {
             node.step();
         }
-        act.apply(&mut node, None);
+        act.apply(&mut node, None).unwrap();
         for _ in 0..(20 * MS / node.config().quantum) {
             node.step();
         }

@@ -14,7 +14,8 @@ use simnode::time::{Nanos, SEC};
 use crate::actuator::{Actuator, ActuatorKind};
 use crate::scheme::CapSchedule;
 
-/// One daemon observation per tick.
+/// One daemon observation per tick, including per-tick health counters so
+/// experiments can audit how the control loop coped with faults.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DaemonSample {
     /// Tick time, ns.
@@ -23,6 +24,37 @@ pub struct DaemonSample {
     pub cap_w: Option<f64>,
     /// Average package power over the preceding second, W.
     pub avg_power_w: f64,
+    /// Health: every actuation attempt this tick failed (the knob was not
+    /// moved).
+    pub actuation_failed: bool,
+    /// Health: a fallback actuator, not the primary, performed the
+    /// actuation this tick.
+    pub fallback_used: bool,
+    /// Health: write retries spent this tick (0 for the naive daemon,
+    /// which never retries).
+    pub retries: u32,
+    /// Health: result of read-back verification of the programmed cap —
+    /// `None` when not performed, `Some(false)` when the register did not
+    /// hold the requested value.
+    pub verified: Option<bool>,
+    /// Health: the safe-mode floor cap was in force this tick.
+    pub safe_mode: bool,
+}
+
+impl DaemonSample {
+    /// A healthy observation with no resilience machinery engaged.
+    pub fn healthy(at: Nanos, cap_w: Option<f64>, avg_power_w: f64) -> Self {
+        Self {
+            at,
+            cap_w,
+            avg_power_w,
+            actuation_failed: false,
+            fallback_used: false,
+            retries: 0,
+            verified: None,
+            safe_mode: false,
+        }
+    }
 }
 
 /// The node resource manager daemon.
@@ -69,11 +101,13 @@ impl SimAgent for NrmDaemon {
         let start = *self.start.get_or_insert(now);
         let elapsed = now - start;
         let cap = self.schedule.cap_at(elapsed);
-        self.actuator.apply(node, cap);
+        // The naive daemon assumes actuation succeeds: it records the
+        // failure for the audit trail but neither retries nor falls back.
+        // (Contrast `crate::resilience::ResilientDaemon`.)
+        let failed = self.actuator.apply(node, cap).is_err();
         self.samples.push(DaemonSample {
-            at: now,
-            cap_w: cap,
-            avg_power_w: node.average_power(self.period),
+            actuation_failed: failed,
+            ..DaemonSample::healthy(now, cap, node.average_power(self.period))
         });
     }
 }

@@ -22,6 +22,7 @@ pub mod composition;
 pub mod daemon;
 pub mod job;
 pub mod policies;
+pub mod resilience;
 pub mod scheme;
 
 pub use actuator::{Actuator, ActuatorKind};
@@ -29,6 +30,7 @@ pub use composition::CompositeProgress;
 pub use daemon::NrmDaemon;
 pub use job::{JobPolicy, JobPowerManager, ManagedNode, NodeStatus};
 pub use policies::{choose_strategy, ramp_plan, FreqPowerPoint, RateCurve, Strategy};
+pub use resilience::{MsrPowerSensor, ResilienceConfig, ResilientDaemon};
 pub use scheme::{
     CapSchedule, ConstantCap, JaggedEdge, LinearDecay, PriorityPreemption, StepFunction, Uncapped,
 };

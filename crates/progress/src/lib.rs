@@ -14,7 +14,9 @@
 //!   evaluation needs (steady-state means, coefficient of variation);
 //! - [`taxonomy`]: the paper's three-way categorization of applications
 //!   and the interview questionnaire of Table III;
-//! - [`registry`]: Tables II, IV and V as queryable data.
+//! - [`registry`]: Tables II, IV and V as queryable data;
+//! - [`watchdog`]: debounced stall detection that distinguishes genuine
+//!   application flatlines from lossy-transport zero glitches.
 
 pub mod aggregator;
 pub mod bus;
@@ -23,6 +25,7 @@ pub mod imbalance;
 pub mod registry;
 pub mod series;
 pub mod taxonomy;
+pub mod watchdog;
 
 pub use aggregator::{ProgressAggregator, WindowStats};
 pub use bus::{BusConfig, DropPolicy, ProgressBus, Publisher, Subscriber};
@@ -31,6 +34,7 @@ pub use imbalance::{analyze, ImbalanceReport};
 pub use registry::{registry, AppRecord};
 pub use series::TimeSeries;
 pub use taxonomy::{Category, InterviewAnswers, ResourceBound, QUESTIONS};
+pub use watchdog::{Health, ProgressWatchdog, WatchdogConfig};
 
 #[cfg(test)]
 mod proptests;

@@ -4,9 +4,10 @@
 
 use proptest::prelude::*;
 
-use crate::aggregator::ProgressAggregator;
+use crate::aggregator::{ProgressAggregator, WindowStats};
 use crate::bus::{BusConfig, DropPolicy, ProgressBus};
 use crate::series::TimeSeries;
+use crate::watchdog::{Health, ProgressWatchdog, WatchdogConfig};
 
 proptest! {
     /// Lossless aggregation conserves work: the sum of window rates (over
@@ -85,6 +86,127 @@ proptest! {
         let s: TimeSeries = vals.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
         let full = s.mean_between(-1.0, vals.len() as f64 + 1.0);
         prop_assert!((full - s.mean()).abs() < 1e-9);
+    }
+
+    /// Drained events from a lossy queue are always a time-ordered
+    /// subsequence of what was published: DropNewest keeps the earliest
+    /// queued prefix, DropOldest the latest suffix, and neither ever
+    /// reorders or duplicates.
+    #[test]
+    fn lossy_drain_is_an_ordered_subsequence(
+        capacity in 1usize..16,
+        n in 1u64..200,
+        drop_newest in any::<bool>(),
+    ) {
+        let policy = if drop_newest { DropPolicy::DropNewest } else { DropPolicy::DropOldest };
+        let bus = ProgressBus::new();
+        let mut sub = bus.subscribe(BusConfig::lossy(capacity, policy));
+        let p = bus.publisher();
+        for i in 0..n {
+            p.publish(i, i as f64);
+        }
+        let got = sub.drain();
+        prop_assert!(got.len() <= capacity);
+        prop_assert!(got.windows(2).all(|w| w[0].at < w[1].at), "reordered");
+        match policy {
+            DropPolicy::DropNewest => {
+                // Earliest events survive: 0, 1, 2, ...
+                for (i, ev) in got.iter().enumerate() {
+                    prop_assert_eq!(ev.at, i as u64);
+                }
+            }
+            DropPolicy::DropOldest => {
+                // Latest events survive: ..., n-2, n-1.
+                for (i, ev) in got.iter().rev().enumerate() {
+                    prop_assert_eq!(ev.at, n - 1 - i as u64);
+                }
+            }
+        }
+    }
+
+    /// Full-queue churn across threads never deadlocks, never exceeds
+    /// capacity on any drain, and the delivered + dropped accounting is
+    /// exact once the publishers finish.
+    #[test]
+    fn lossy_churn_under_threads_is_lock_safe_and_exact(
+        capacity in 1usize..8,
+        per_thread in 50u64..300,
+        drop_newest in any::<bool>(),
+    ) {
+        let policy = if drop_newest { DropPolicy::DropNewest } else { DropPolicy::DropOldest };
+        let bus = ProgressBus::new();
+        let mut sub = bus.subscribe(BusConfig::lossy(capacity, policy));
+        let publishers: Vec<_> = (0..3).map(|_| bus.publisher()).collect();
+        let mut received = 0u64;
+        let handles: Vec<_> = publishers
+            .into_iter()
+            .map(|p| {
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        p.publish(i, 1.0);
+                    }
+                })
+            })
+            .collect();
+        // Drain concurrently while the publishers hammer the full queue.
+        for _ in 0..50 {
+            let got = sub.drain();
+            prop_assert!(got.len() <= capacity, "capacity exceeded mid-churn");
+            received += got.len() as u64;
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        received += sub.drain().len() as u64;
+        prop_assert_eq!(received + bus.dropped(), 3 * per_thread);
+    }
+
+    /// A lossless subscriber on the same bus is untouched by a lossy
+    /// sibling's drops: per-subscriber queues are independent.
+    #[test]
+    fn lossy_sibling_does_not_lose_lossless_events(
+        capacity in 1usize..8,
+        n in 1u64..200,
+    ) {
+        let bus = ProgressBus::new();
+        let mut lossless = bus.subscribe(BusConfig::lossless());
+        let mut lossy = bus.subscribe(BusConfig::lossy(capacity, DropPolicy::DropNewest));
+        let p = bus.publisher();
+        for i in 0..n {
+            p.publish(i, 1.0);
+        }
+        prop_assert_eq!(lossless.drain().len() as u64, n);
+        prop_assert!(lossy.drain().len() <= capacity);
+    }
+
+    /// Watchdog soundness: a `Stalled` verdict is only ever reached after
+    /// `stall_after` consecutive observations that were empty AND carried
+    /// no new transport drops — regardless of the input pattern.
+    #[test]
+    fn watchdog_never_calls_a_live_source_stalled(
+        pattern in prop::collection::vec((0usize..3, 0u64..3), 1..80),
+    ) {
+        let cfg = WatchdogConfig::default();
+        let mut wd = ProgressWatchdog::new(cfg);
+        let mut drops = 0u64;
+        let mut quiet = 0u32;
+        for &(events, new_drops) in &pattern {
+            drops += new_drops;
+            let h = wd.observe(
+                &WindowStats { start: 0, events, sum: events as f64 },
+                drops,
+            );
+            if events > 0 || new_drops > 0 {
+                quiet = 0;
+            } else {
+                quiet += 1;
+            }
+            prop_assert_eq!(
+                h == Health::Stalled,
+                quiet >= cfg.stall_after,
+                "verdict {:?} after {} loss-free quiet windows", h, quiet
+            );
+        }
     }
 }
 

@@ -1,0 +1,239 @@
+//! Progress watchdog: is the application still making progress?
+//!
+//! A zero-valued monitoring window has two very different causes. The
+//! paper's own framework produces benign zeros — a ~1 report/s source
+//! beating against a 1 Hz window, or the lossy ZeroMQ transport dropping
+//! reports at its high-water mark (§IV.B, Fig. 3) — and an application
+//! that has genuinely hung produces exactly the same zeros, forever. A
+//! daemon that restarts jobs on the first zero window kills healthy runs;
+//! one that never acts rides a dead job to the end of its allocation.
+//!
+//! [`ProgressWatchdog`] tells the two apart with debounced, evidence-aware
+//! state tracking. Each closed aggregation window is fed to
+//! [`ProgressWatchdog::observe`] together with the transport's cumulative
+//! drop counter ([`ProgressBus::dropped`]):
+//!
+//! - a window with events is **healthy** and resets all suspicion;
+//! - an empty window while the transport reports *new drops* is a
+//!   transport glitch: suspicion is capped at [`Health::Suspect`] —
+//!   evidence of loss is evidence the publisher is alive;
+//! - empty windows with a quiet transport accumulate: after
+//!   `suspect_after` of them the source is [`Health::Suspect`], after
+//!   `stall_after` it is declared [`Health::Stalled`].
+//!
+//! [`ProgressBus::dropped`]: crate::bus::ProgressBus::dropped
+
+use serde::{Deserialize, Serialize};
+
+use crate::aggregator::WindowStats;
+
+/// Watchdog verdict for a progress source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Health {
+    /// Progress reports are arriving.
+    Healthy,
+    /// Reports have gone quiet, but not long enough (or with transport
+    /// evidence of loss) — do not act yet.
+    Suspect,
+    /// Reports have been absent past the stall threshold with no
+    /// transport-loss evidence: the source has flatlined.
+    Stalled,
+}
+
+/// Debounce thresholds, in consecutive empty windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// Empty windows before a quiet source becomes [`Health::Suspect`].
+    pub suspect_after: u32,
+    /// Empty windows before a quiet source is declared
+    /// [`Health::Stalled`]. Must be `>= suspect_after`.
+    pub stall_after: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        // At 1 Hz windows: worried after 2 s of silence, declared dead
+        // after 5 s. OpenMC-style aliasing produces isolated zeros, never
+        // five in a row.
+        Self {
+            suspect_after: 2,
+            stall_after: 5,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// Validate threshold ordering.
+    ///
+    /// # Panics
+    /// Panics if `stall_after < suspect_after` or either is zero.
+    pub fn validate(&self) {
+        assert!(self.suspect_after > 0, "suspect_after must be positive");
+        assert!(
+            self.stall_after >= self.suspect_after,
+            "stall threshold below suspect threshold"
+        );
+    }
+}
+
+/// Debounced stall detector over closed aggregation windows.
+#[derive(Debug, Clone)]
+pub struct ProgressWatchdog {
+    cfg: WatchdogConfig,
+    /// Consecutive empty windows with no transport-loss evidence.
+    quiet_streak: u32,
+    /// Transport drop counter at the previous observation.
+    last_drops: u64,
+    /// Windows in which new transport drops were observed.
+    lossy_windows: u32,
+    state: Health,
+}
+
+impl ProgressWatchdog {
+    /// A watchdog with the given thresholds.
+    pub fn new(cfg: WatchdogConfig) -> Self {
+        cfg.validate();
+        Self {
+            cfg,
+            quiet_streak: 0,
+            last_drops: 0,
+            lossy_windows: 0,
+            state: Health::Healthy,
+        }
+    }
+
+    /// Feed one closed window plus the transport's cumulative drop count
+    /// at close time; returns the updated verdict.
+    pub fn observe(&mut self, window: &WindowStats, transport_drops: u64) -> Health {
+        let new_drops = transport_drops.saturating_sub(self.last_drops);
+        self.last_drops = transport_drops;
+        if new_drops > 0 {
+            self.lossy_windows += 1;
+        }
+
+        if window.events > 0 {
+            self.quiet_streak = 0;
+            self.state = Health::Healthy;
+        } else if new_drops > 0 {
+            // The transport dropped reports this window: the publisher is
+            // demonstrably alive, so this cannot count toward a stall.
+            self.quiet_streak = 0;
+            self.state = Health::Suspect;
+        } else {
+            self.quiet_streak += 1;
+            self.state = if self.quiet_streak >= self.cfg.stall_after {
+                Health::Stalled
+            } else if self.quiet_streak >= self.cfg.suspect_after {
+                Health::Suspect
+            } else {
+                Health::Healthy
+            };
+        }
+        self.state
+    }
+
+    /// The current verdict.
+    pub fn health(&self) -> Health {
+        self.state
+    }
+
+    /// Consecutive empty, loss-free windows so far.
+    pub fn quiet_streak(&self) -> u32 {
+        self.quiet_streak
+    }
+
+    /// Windows in which the transport reported new drops.
+    pub fn lossy_windows(&self) -> u32 {
+        self.lossy_windows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(events: usize) -> WindowStats {
+        WindowStats {
+            start: 0,
+            events,
+            sum: events as f64,
+        }
+    }
+
+    #[test]
+    fn steady_reports_stay_healthy() {
+        let mut wd = ProgressWatchdog::new(WatchdogConfig::default());
+        for _ in 0..20 {
+            assert_eq!(wd.observe(&w(3), 0), Health::Healthy);
+        }
+    }
+
+    #[test]
+    fn isolated_zero_window_is_not_suspect() {
+        // OpenMC aliasing: a lone zero window between reporting windows.
+        let mut wd = ProgressWatchdog::new(WatchdogConfig::default());
+        wd.observe(&w(1), 0);
+        assert_eq!(wd.observe(&w(0), 0), Health::Healthy, "debounced");
+        assert_eq!(wd.observe(&w(1), 0), Health::Healthy);
+    }
+
+    #[test]
+    fn sustained_silence_escalates_to_stalled() {
+        let mut wd = ProgressWatchdog::new(WatchdogConfig::default());
+        wd.observe(&w(5), 0);
+        let verdicts: Vec<Health> = (0..6).map(|_| wd.observe(&w(0), 0)).collect();
+        assert_eq!(verdicts[0], Health::Healthy);
+        assert_eq!(verdicts[1], Health::Suspect);
+        assert_eq!(verdicts[4], Health::Stalled);
+        assert_eq!(verdicts[5], Health::Stalled);
+    }
+
+    #[test]
+    fn transport_drops_cap_suspicion_below_stalled() {
+        // Lossy transport eats every report: windows are empty but the
+        // drop counter keeps rising — publisher alive, never Stalled.
+        let mut wd = ProgressWatchdog::new(WatchdogConfig::default());
+        wd.observe(&w(4), 0);
+        let mut drops = 0;
+        for _ in 0..20 {
+            drops += 3;
+            assert_eq!(wd.observe(&w(0), drops), Health::Suspect);
+        }
+        assert_eq!(wd.lossy_windows(), 20);
+    }
+
+    #[test]
+    fn recovery_after_stall_verdict() {
+        let mut wd = ProgressWatchdog::new(WatchdogConfig::default());
+        for _ in 0..8 {
+            wd.observe(&w(0), 0);
+        }
+        assert_eq!(wd.health(), Health::Stalled);
+        assert_eq!(wd.observe(&w(2), 0), Health::Healthy);
+        assert_eq!(wd.quiet_streak(), 0);
+    }
+
+    #[test]
+    fn stall_clock_restarts_after_a_glitch() {
+        // drop-evidence window resets the quiet streak: silence must be
+        // *contiguous and loss-free* to count toward a stall.
+        let mut wd = ProgressWatchdog::new(WatchdogConfig::default());
+        wd.observe(&w(0), 0);
+        wd.observe(&w(0), 0);
+        wd.observe(&w(0), 5); // new drops
+        for i in 0..4 {
+            let h = wd.observe(&w(0), 5);
+            assert_ne!(h, Health::Stalled, "window {i} too early for a stall");
+        }
+        assert_eq!(wd.observe(&w(0), 5), Health::Stalled);
+    }
+
+    #[test]
+    #[should_panic(expected = "stall threshold")]
+    fn bad_thresholds_rejected() {
+        ProgressWatchdog::new(WatchdogConfig {
+            suspect_after: 5,
+            stall_after: 2,
+        });
+    }
+}

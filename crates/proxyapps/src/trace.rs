@@ -70,7 +70,7 @@ mod tests {
     #[test]
     fn agent_records_all_series_in_lockstep() {
         let mut node = Node::new(NodeConfig::default());
-        node.set_package_cap(Some(90.0));
+        node.set_package_cap(Some(90.0)).unwrap();
         for c in 0..node.cores() {
             node.assign(
                 c,

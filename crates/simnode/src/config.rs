@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::bandwidth::UncoreConfig;
+use crate::faults::FaultPlan;
 use crate::freq::FrequencyLadder;
 use crate::power::CorePowerConfig;
 use crate::thermal::ThermalConfig;
@@ -56,6 +57,11 @@ pub struct NodeConfig {
     /// PROCHOT throttling). `None` (the default) disables it, leaving the
     /// calibrated experiments untouched.
     pub thermal: Option<ThermalConfig>,
+    /// Optional fault-injection plan applied at the MSR boundary (see
+    /// [`crate::faults`]). `None` (the default) leaves every access path
+    /// untouched, so fault-free runs are bit-identical to a build without
+    /// the framework.
+    pub faults: Option<FaultPlan>,
 }
 
 impl NodeConfig {
@@ -88,6 +94,9 @@ impl NodeConfig {
         if let Some(t) = &self.thermal {
             t.validate();
         }
+        if let Some(f) = &self.faults {
+            f.validate();
+        }
     }
 }
 
@@ -106,6 +115,7 @@ impl Default for NodeConfig {
             stall_dyn_frac: 0.45,
             cstate_static_frac: 0.30,
             thermal: None,
+            faults: None,
         }
     }
 }

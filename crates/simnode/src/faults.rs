@@ -1,0 +1,509 @@
+//! Deterministic, seeded fault injection at the MSR boundary.
+//!
+//! Everything the control plane (the NRM daemon, `libmsr`-style tooling)
+//! knows about the hardware flows through [`MsrDevice::read`] and
+//! [`MsrDevice::write`](crate::msr::MsrDevice::write). Injecting faults at
+//! exactly that boundary lets us reproduce the field failures a
+//! power-capping daemon actually sees — `msr-safe` EIO returns, energy
+//! counters that freeze or wrap mid-run, cap writes that latch late, and
+//! whole telemetry blackouts — without touching the silicon model. The
+//! simulated hardware keeps evolving truthfully underneath; only the
+//! *user-space view* degrades.
+//!
+//! Faults are declared up front in a [`FaultPlan`]: a seed plus a list of
+//! [`FaultSpec`]s, each a [`FaultKind`] active during a half-open
+//! [`FaultWindow`]. Probabilistic kinds draw from a SplitMix64 stream
+//! seeded from the plan, so a given plan and access sequence replays
+//! bit-identically. A node with no plan installed (the default) takes none
+//! of these code paths.
+//!
+//! [`MsrDevice::read`]: crate::msr::MsrDevice::read
+
+use std::cell::Cell;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Nanos;
+
+/// Half-open activity window `[start, end)` in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// First instant the fault is active.
+    pub start: Nanos,
+    /// First instant the fault is no longer active.
+    pub end: Nanos,
+}
+
+impl FaultWindow {
+    /// Window covering the whole run.
+    pub const ALWAYS: FaultWindow = FaultWindow {
+        start: 0,
+        end: Nanos::MAX,
+    };
+
+    /// A window `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if `end <= start`.
+    pub fn new(start: Nanos, end: Nanos) -> Self {
+        assert!(end > start, "fault window must have positive length");
+        Self { start, end }
+    }
+
+    /// Whether `now` falls inside the window.
+    pub fn contains(&self, now: Nanos) -> bool {
+        self.start <= now && now < self.end
+    }
+}
+
+/// What kind of fault to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// User-space reads of `addr` fail with probability `prob` per access
+    /// (`1.0` = persistent failure), as an EIO-style [`MsrError::Io`].
+    ///
+    /// [`MsrError::Io`]: crate::msr::MsrError::Io
+    ReadError {
+        /// Target register.
+        addr: u32,
+        /// Per-access failure probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// User-space writes to `addr` fail with probability `prob` per access.
+    WriteError {
+        /// Target register.
+        addr: u32,
+        /// Per-access failure probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// `MSR_PKG_ENERGY_STATUS` reads return the value captured at fault
+    /// onset for the duration of the window; the hardware counter keeps
+    /// accumulating underneath.
+    StuckEnergyCounter,
+    /// At fault onset the energy counter jumps to `to` (hardware-side),
+    /// typically a value just below `0xFFFF_FFFF` to force an early 32-bit
+    /// wrap through any monitoring software.
+    EnergyCounterJump {
+        /// Raw counter value to jump to.
+        to: u64,
+    },
+    /// Writes to `MSR_PKG_POWER_LIMIT` during the window report success but
+    /// latch only after `delay` has elapsed. A later write replaces a
+    /// pending one (latest wins), as on real hardware.
+    DelayedCapLatch {
+        /// Latch delay in nanoseconds.
+        delay: Nanos,
+    },
+    /// All user-space reads fail for the duration of the window: a
+    /// telemetry blackout (hwmon driver wedged, msr-safe module reloading).
+    TelemetryDropout,
+}
+
+/// One fault: a kind active during a window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// When the fault is active.
+    pub window: FaultWindow,
+    /// What the fault does.
+    pub kind: FaultKind,
+}
+
+/// A complete, deterministic fault schedule for one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultPlan {
+    /// Seed for the probabilistic draws.
+    pub seed: u64,
+    /// The faults to inject.
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan drawing from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Add an arbitrary spec.
+    pub fn with(mut self, window: FaultWindow, kind: FaultKind) -> Self {
+        self.specs.push(FaultSpec { window, kind });
+        self
+    }
+
+    /// Reads of `addr` fail with probability `prob` during `window`.
+    pub fn read_error(self, addr: u32, prob: f64, window: FaultWindow) -> Self {
+        self.with(window, FaultKind::ReadError { addr, prob })
+    }
+
+    /// Writes to `addr` fail with probability `prob` during `window`.
+    pub fn write_error(self, addr: u32, prob: f64, window: FaultWindow) -> Self {
+        self.with(window, FaultKind::WriteError { addr, prob })
+    }
+
+    /// The energy counter appears frozen during `window`.
+    pub fn stuck_energy(self, window: FaultWindow) -> Self {
+        self.with(window, FaultKind::StuckEnergyCounter)
+    }
+
+    /// The energy counter jumps to `to` at the start of `window`, forcing
+    /// an early wrap.
+    pub fn energy_jump(self, to: u64, window: FaultWindow) -> Self {
+        self.with(window, FaultKind::EnergyCounterJump { to })
+    }
+
+    /// Cap writes latch `delay` late during `window`.
+    pub fn delayed_cap_latch(self, delay: Nanos, window: FaultWindow) -> Self {
+        self.with(window, FaultKind::DelayedCapLatch { delay })
+    }
+
+    /// All telemetry reads fail during `window`.
+    pub fn telemetry_dropout(self, window: FaultWindow) -> Self {
+        self.with(window, FaultKind::TelemetryDropout)
+    }
+
+    /// Validate probabilities and windows.
+    ///
+    /// # Panics
+    /// Panics on probabilities outside `[0, 1]` or empty windows.
+    pub fn validate(&self) {
+        for s in &self.specs {
+            assert!(
+                s.window.end > s.window.start,
+                "fault window must have positive length"
+            );
+            match s.kind {
+                FaultKind::ReadError { prob, .. } | FaultKind::WriteError { prob, .. } => {
+                    assert!(
+                        (0.0..=1.0).contains(&prob),
+                        "fault probability must be in [0, 1]"
+                    );
+                }
+                FaultKind::EnergyCounterJump { to } => {
+                    assert!(to <= 0xFFFF_FFFF, "energy counter is 32-bit");
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Injection counters, so experiments can report what actually fired.
+/// Read-path counters are interior-mutable because [`MsrDevice::read`]
+/// takes `&self`.
+///
+/// [`MsrDevice::read`]: crate::msr::MsrDevice::read
+#[derive(Debug, Clone, Default)]
+pub struct FaultStats {
+    reads_failed: Cell<u64>,
+    reads_stuck: Cell<u64>,
+    writes_failed: Cell<u64>,
+    writes_delayed: Cell<u64>,
+}
+
+impl FaultStats {
+    /// User-space reads that returned an injected error.
+    pub fn reads_failed(&self) -> u64 {
+        self.reads_failed.get()
+    }
+
+    /// Energy-counter reads that returned the frozen onset value.
+    pub fn reads_stuck(&self) -> u64 {
+        self.reads_stuck.get()
+    }
+
+    /// User-space writes that returned an injected error.
+    pub fn writes_failed(&self) -> u64 {
+        self.writes_failed.get()
+    }
+
+    /// Cap writes whose latch was deferred.
+    pub fn writes_delayed(&self) -> u64 {
+        self.writes_delayed.get()
+    }
+}
+
+/// Live injection state attached to an [`MsrDevice`].
+///
+/// [`MsrDevice`]: crate::msr::MsrDevice
+#[derive(Debug, Clone)]
+pub struct FaultLayer {
+    plan: FaultPlan,
+    /// SplitMix64 state; `Cell` because reads are `&self`.
+    rng: Cell<u64>,
+    /// Frozen energy reading while a stuck window is active.
+    stuck_at: Option<u64>,
+    /// Per-spec flag: has this (onset-triggered) spec already fired?
+    onset_done: Vec<bool>,
+    /// Deferred `MSR_PKG_POWER_LIMIT` write: (raw value, latch time).
+    pending_cap: Option<(u64, Nanos)>,
+    stats: FaultStats,
+}
+
+impl FaultLayer {
+    /// Build the layer for a validated plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        plan.validate();
+        let n = plan.specs.len();
+        Self {
+            // SplitMix64 handles seed 0 fine, but offset by a golden-ratio
+            // increment so plan seeds 0 and 1 diverge immediately.
+            rng: Cell::new(plan.seed.wrapping_add(0x9E37_79B9_7F4A_7C15)),
+            plan,
+            stuck_at: None,
+            onset_done: vec![false; n],
+            pending_cap: None,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Injection counters.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// The plan this layer executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// One SplitMix64 draw mapped to `[0, 1)`.
+    fn draw(&self) -> f64 {
+        let mut z = self.rng.get().wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.rng.set(z);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn hit(&self, prob: f64) -> bool {
+        prob >= 1.0 || (prob > 0.0 && self.draw() < prob)
+    }
+
+    /// Should this user-space read fail? (`&self`: called from
+    /// `MsrDevice::read`.)
+    pub(crate) fn read_fails(&self, now: Nanos, addr: u32) -> bool {
+        for s in &self.plan.specs {
+            if !s.window.contains(now) {
+                continue;
+            }
+            let failed = match s.kind {
+                FaultKind::TelemetryDropout => true,
+                FaultKind::ReadError { addr: a, prob } if a == addr => self.hit(prob),
+                _ => false,
+            };
+            if failed {
+                self.stats
+                    .reads_failed
+                    .set(self.stats.reads_failed.get() + 1);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The frozen energy value to serve instead of the live counter, if a
+    /// stuck window is active.
+    pub(crate) fn stuck_energy(&self, now: Nanos) -> Option<u64> {
+        let active = self
+            .plan
+            .specs
+            .iter()
+            .any(|s| matches!(s.kind, FaultKind::StuckEnergyCounter) && s.window.contains(now));
+        if !active {
+            return None;
+        }
+        self.stuck_at.inspect(|_| {
+            self.stats.reads_stuck.set(self.stats.reads_stuck.get() + 1);
+        })
+    }
+
+    /// Should this user-space write fail?
+    pub(crate) fn write_fails(&mut self, now: Nanos, addr: u32) -> bool {
+        for s in &self.plan.specs {
+            if !s.window.contains(now) {
+                continue;
+            }
+            if let FaultKind::WriteError { addr: a, prob } = s.kind {
+                if a == addr && self.hit(prob) {
+                    self.stats
+                        .writes_failed
+                        .set(self.stats.writes_failed.get() + 1);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// If a delayed-latch fault is active, defer this cap write and return
+    /// `true` (the caller reports success without touching the register).
+    pub(crate) fn defer_cap_write(&mut self, now: Nanos, raw: u64) -> bool {
+        for s in &self.plan.specs {
+            if !s.window.contains(now) {
+                continue;
+            }
+            if let FaultKind::DelayedCapLatch { delay } = s.kind {
+                self.pending_cap = Some((raw, now + delay));
+                self.stats
+                    .writes_delayed
+                    .set(self.stats.writes_delayed.get() + 1);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Advance to `now`: fire onset effects and return any deferred cap
+    /// write whose latch time has arrived. `energy_now` is the live counter
+    /// value (for stuck-onset capture); the return values are
+    /// `(jump_to, latched_cap_raw)`.
+    pub(crate) fn advance_to(&mut self, now: Nanos, energy_now: u64) -> (Option<u64>, Option<u64>) {
+        let mut jump_to = None;
+        for (i, s) in self.plan.specs.iter().enumerate() {
+            if !s.window.contains(now) {
+                // Reset stuck capture once its window closes so a later
+                // window re-captures.
+                if matches!(s.kind, FaultKind::StuckEnergyCounter) && now >= s.window.end {
+                    self.stuck_at = None;
+                    self.onset_done[i] = false;
+                }
+                continue;
+            }
+            match s.kind {
+                FaultKind::StuckEnergyCounter if !self.onset_done[i] => {
+                    self.stuck_at = Some(energy_now);
+                    self.onset_done[i] = true;
+                }
+                FaultKind::EnergyCounterJump { to } if !self.onset_done[i] => {
+                    jump_to = Some(to);
+                    self.onset_done[i] = true;
+                }
+                _ => {}
+            }
+        }
+        let latched = match self.pending_cap {
+            Some((raw, at)) if at <= now => {
+                self.pending_cap = None;
+                Some(raw)
+            }
+            _ => None,
+        };
+        (jump_to, latched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_containment_is_half_open() {
+        let w = FaultWindow::new(10, 20);
+        assert!(!w.contains(9));
+        assert!(w.contains(10));
+        assert!(w.contains(19));
+        assert!(!w.contains(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn empty_window_rejected() {
+        FaultWindow::new(5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_rejected() {
+        FaultPlan::new(1)
+            .read_error(0x611, 1.5, FaultWindow::ALWAYS)
+            .validate();
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_seed() {
+        let layer = |seed| FaultLayer::new(FaultPlan::new(seed));
+        let a = layer(7);
+        let b = layer(7);
+        let c = layer(8);
+        let sa: Vec<f64> = (0..8).map(|_| a.draw()).collect();
+        let sb: Vec<f64> = (0..8).map(|_| b.draw()).collect();
+        let sc: Vec<f64> = (0..8).map(|_| c.draw()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+        assert!(sa.iter().all(|v| (0.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn persistent_read_error_always_fires_and_counts() {
+        let fl = FaultLayer::new(FaultPlan::new(0).read_error(0x611, 1.0, FaultWindow::new(5, 10)));
+        assert!(!fl.read_fails(4, 0x611), "before the window");
+        assert!(fl.read_fails(5, 0x611));
+        assert!(!fl.read_fails(5, 0x610), "other register untouched");
+        assert!(!fl.read_fails(10, 0x611), "after the window");
+        assert_eq!(fl.stats().reads_failed(), 1);
+    }
+
+    #[test]
+    fn transient_error_rate_tracks_probability() {
+        let mut fl =
+            FaultLayer::new(FaultPlan::new(42).write_error(0x610, 0.3, FaultWindow::ALWAYS));
+        let n = 2000;
+        let failures = (0..n).filter(|_| fl.write_fails(1, 0x610)).count();
+        let rate = failures as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.05, "observed rate {rate}");
+        assert_eq!(fl.stats().writes_failed(), failures as u64);
+    }
+
+    #[test]
+    fn dropout_fails_every_register() {
+        let fl = FaultLayer::new(FaultPlan::new(0).telemetry_dropout(FaultWindow::new(0, 100)));
+        assert!(fl.read_fails(50, 0x611));
+        assert!(fl.read_fails(50, 0x610));
+        assert!(!fl.read_fails(100, 0x611));
+    }
+
+    #[test]
+    fn stuck_energy_captures_at_onset_and_clears() {
+        let mut fl = FaultLayer::new(FaultPlan::new(0).stuck_energy(FaultWindow::new(10, 20)));
+        assert_eq!(fl.advance_to(5, 111), (None, None));
+        assert_eq!(fl.stuck_energy(5), None);
+        fl.advance_to(10, 222);
+        assert_eq!(fl.stuck_energy(10), Some(222));
+        fl.advance_to(15, 333);
+        assert_eq!(fl.stuck_energy(15), Some(222), "stays frozen at onset");
+        fl.advance_to(20, 444);
+        assert_eq!(fl.stuck_energy(20), None, "window over");
+    }
+
+    #[test]
+    fn deferred_cap_latches_when_due() {
+        let mut fl =
+            FaultLayer::new(FaultPlan::new(0).delayed_cap_latch(30, FaultWindow::new(0, 100)));
+        assert!(fl.defer_cap_write(10, 0xAB));
+        assert_eq!(fl.advance_to(20, 0), (None, None), "not due yet");
+        assert_eq!(fl.advance_to(40, 0), (None, Some(0xAB)));
+        assert_eq!(fl.advance_to(50, 0), (None, None), "latched once");
+        assert_eq!(fl.stats().writes_delayed(), 1);
+    }
+
+    #[test]
+    fn latest_deferred_write_wins() {
+        let mut fl =
+            FaultLayer::new(FaultPlan::new(0).delayed_cap_latch(30, FaultWindow::new(0, 100)));
+        assert!(fl.defer_cap_write(10, 0xAA));
+        assert!(fl.defer_cap_write(15, 0xBB));
+        assert_eq!(fl.advance_to(60, 0), (None, Some(0xBB)));
+    }
+
+    #[test]
+    fn energy_jump_fires_once_at_onset() {
+        let mut fl =
+            FaultLayer::new(FaultPlan::new(0).energy_jump(0xFFFF_FF00, FaultWindow::new(10, 20)));
+        assert_eq!(fl.advance_to(9, 0), (None, None));
+        assert_eq!(fl.advance_to(12, 0), (Some(0xFFFF_FF00), None));
+        assert_eq!(fl.advance_to(15, 0), (None, None), "onset already fired");
+    }
+}

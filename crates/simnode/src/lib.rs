@@ -34,6 +34,7 @@ pub mod config;
 pub mod counters;
 pub mod ddcm;
 pub mod energy;
+pub mod faults;
 pub mod freq;
 pub mod msr;
 pub mod node;
@@ -47,6 +48,7 @@ pub use agent::SimAgent;
 pub use config::NodeConfig;
 pub use counters::{CounterSnapshot, Counters};
 pub use ddcm::DutyCycle;
+pub use faults::{FaultKind, FaultPlan, FaultSpec, FaultWindow};
 pub use freq::{FrequencyLadder, PState};
 pub use msr::{MsrDevice, MsrError};
 pub use node::{CoreWork, Node, StepOutcome, WorkPacket};

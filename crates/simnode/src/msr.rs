@@ -13,6 +13,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::faults::{FaultLayer, FaultPlan, FaultStats};
 use crate::time::Nanos;
 
 /// `MSR_RAPL_POWER_UNIT`: unit definitions for the RAPL registers.
@@ -39,6 +40,10 @@ pub enum MsrError {
     NotAllowed(u32),
     /// The register is not implemented by this model.
     Unknown(u32),
+    /// The access failed at the driver level (EIO), as injected by the
+    /// fault layer ([`crate::faults`]). Transient or persistent depending
+    /// on the fault plan.
+    Io(u32),
 }
 
 impl std::fmt::Display for MsrError {
@@ -46,6 +51,7 @@ impl std::fmt::Display for MsrError {
         match self {
             MsrError::NotAllowed(a) => write!(f, "MSR {a:#x}: access denied by allow-list"),
             MsrError::Unknown(a) => write!(f, "MSR {a:#x}: not implemented"),
+            MsrError::Io(a) => write!(f, "MSR {a:#x}: I/O error"),
         }
     }
 }
@@ -79,6 +85,12 @@ impl Permission {
 pub struct MsrDevice {
     regs: HashMap<u32, u64>,
     allowlist: HashMap<u32, Permission>,
+    /// Simulated time of the device, advanced by [`MsrDevice::advance_to`];
+    /// only consulted by the fault layer.
+    now: Nanos,
+    /// Optional fault-injection layer ([`crate::faults`]). `None` (the
+    /// default) leaves every access path untouched.
+    faults: Option<FaultLayer>,
 }
 
 impl MsrDevice {
@@ -101,24 +113,82 @@ impl MsrDevice {
         regs.insert(IA32_CLOCK_MODULATION, 0);
         regs.insert(IA32_MPERF, 0);
         regs.insert(IA32_APERF, 0);
-        Self { regs, allowlist }
+        Self {
+            regs,
+            allowlist,
+            now: 0,
+            faults: None,
+        }
     }
 
-    /// User-space read through the allow-list.
+    /// Install a fault-injection plan. Subsequent user-space accesses are
+    /// filtered through it; hardware-side (`hw_*`) accesses never are.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultLayer::new(plan));
+    }
+
+    /// Injection counters, when a fault plan is installed.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
+    }
+
+    /// Advance the device clock to `now`. The simulated node calls this
+    /// once per quantum; the fault layer uses it to fire onset effects
+    /// (stuck-counter capture, forced wraps) and to latch deferred cap
+    /// writes whose delay has elapsed.
+    pub fn advance_to(&mut self, now: Nanos) {
+        self.now = now;
+        if let Some(fl) = &mut self.faults {
+            let energy = *self.regs.get(&MSR_PKG_ENERGY_STATUS).unwrap_or(&0);
+            let (jump_to, latched) = fl.advance_to(now, energy);
+            if let Some(v) = jump_to {
+                self.regs.insert(MSR_PKG_ENERGY_STATUS, v & 0xFFFF_FFFF);
+            }
+            if let Some(raw) = latched {
+                self.regs.insert(MSR_PKG_POWER_LIMIT, raw);
+            }
+        }
+    }
+
+    /// User-space read through the allow-list (and the fault layer, when
+    /// one is installed).
     pub fn read(&self, addr: u32) -> Result<u64, MsrError> {
         match self.allowlist.get(&addr) {
             None => Err(MsrError::Unknown(addr)),
             Some(p) if !p.read => Err(MsrError::NotAllowed(addr)),
-            Some(_) => Ok(*self.regs.get(&addr).unwrap_or(&0)),
+            Some(_) => {
+                if let Some(fl) = &self.faults {
+                    if fl.read_fails(self.now, addr) {
+                        return Err(MsrError::Io(addr));
+                    }
+                    if addr == MSR_PKG_ENERGY_STATUS {
+                        if let Some(frozen) = fl.stuck_energy(self.now) {
+                            return Ok(frozen);
+                        }
+                    }
+                }
+                Ok(*self.regs.get(&addr).unwrap_or(&0))
+            }
         }
     }
 
-    /// User-space write through the allow-list.
+    /// User-space write through the allow-list (and the fault layer, when
+    /// one is installed).
     pub fn write(&mut self, addr: u32, value: u64) -> Result<(), MsrError> {
         match self.allowlist.get(&addr) {
             None => Err(MsrError::Unknown(addr)),
             Some(p) if !p.write => Err(MsrError::NotAllowed(addr)),
             Some(_) => {
+                if let Some(fl) = &mut self.faults {
+                    if fl.write_fails(self.now, addr) {
+                        return Err(MsrError::Io(addr));
+                    }
+                    if addr == MSR_PKG_POWER_LIMIT && fl.defer_cap_write(self.now, value) {
+                        // Reported as success: the sneaky failure mode that
+                        // only read-back verification catches.
+                        return Ok(());
+                    }
+                }
                 self.regs.insert(addr, value);
                 Ok(())
             }
@@ -329,6 +399,64 @@ mod tests {
     fn perf_ctl_roundtrip() {
         assert_eq!(decode_perf_ctl(encode_perf_ctl(2600)), Some(2600));
         assert_eq!(decode_perf_ctl(0), None);
+    }
+
+    #[test]
+    fn fault_free_device_never_takes_fault_paths() {
+        let mut d = MsrDevice::new();
+        d.advance_to(5 * MS);
+        assert_eq!(d.fault_stats().map(|s| s.reads_failed()), None);
+        assert!(d.read(MSR_PKG_ENERGY_STATUS).is_ok());
+        assert!(d.write(MSR_PKG_POWER_LIMIT, 0).is_ok());
+    }
+
+    #[test]
+    fn injected_read_error_surfaces_as_io() {
+        use crate::faults::{FaultPlan, FaultWindow};
+        let mut d = MsrDevice::new();
+        d.install_faults(FaultPlan::new(1).read_error(
+            MSR_PKG_ENERGY_STATUS,
+            1.0,
+            FaultWindow::new(MS, 2 * MS),
+        ));
+        assert!(d.read(MSR_PKG_ENERGY_STATUS).is_ok(), "before window");
+        d.advance_to(MS);
+        assert_eq!(
+            d.read(MSR_PKG_ENERGY_STATUS),
+            Err(MsrError::Io(MSR_PKG_ENERGY_STATUS))
+        );
+        assert!(d.read(MSR_PKG_POWER_LIMIT).is_ok(), "other regs fine");
+        d.advance_to(2 * MS);
+        assert!(d.read(MSR_PKG_ENERGY_STATUS).is_ok(), "after window");
+        assert_eq!(d.fault_stats().unwrap().reads_failed(), 1);
+    }
+
+    #[test]
+    fn stuck_counter_freezes_reads_but_not_hardware() {
+        use crate::faults::{FaultPlan, FaultWindow};
+        let mut d = MsrDevice::new();
+        let u = d.units();
+        d.install_faults(FaultPlan::new(1).stuck_energy(FaultWindow::new(MS, 10 * MS)));
+        d.hw_write(MSR_PKG_ENERGY_STATUS, 1000);
+        d.advance_to(MS);
+        d.hw_add_energy(u.energy_j * 500.0);
+        assert_eq!(d.read(MSR_PKG_ENERGY_STATUS), Ok(1000), "frozen at onset");
+        assert_eq!(d.hw_read(MSR_PKG_ENERGY_STATUS), 1500, "silicon truthful");
+        d.advance_to(10 * MS);
+        assert_eq!(d.read(MSR_PKG_ENERGY_STATUS), Ok(1500), "thawed");
+    }
+
+    #[test]
+    fn delayed_cap_write_reports_success_but_latches_late() {
+        use crate::faults::{FaultPlan, FaultWindow};
+        let mut d = MsrDevice::new();
+        d.install_faults(FaultPlan::new(1).delayed_cap_latch(5 * MS, FaultWindow::ALWAYS));
+        d.advance_to(MS);
+        assert!(d.write(MSR_PKG_POWER_LIMIT, 0xCAFE).is_ok());
+        assert_eq!(d.hw_read(MSR_PKG_POWER_LIMIT), 0, "not latched yet");
+        assert_eq!(d.read(MSR_PKG_POWER_LIMIT), Ok(0), "read-back sees it");
+        d.advance_to(6 * MS);
+        assert_eq!(d.hw_read(MSR_PKG_POWER_LIMIT), 0xCAFE);
     }
 
     #[test]

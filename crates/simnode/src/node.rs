@@ -14,8 +14,8 @@ use crate::counters::Counters;
 use crate::ddcm::DutyCycle;
 use crate::energy::EnergyMeter;
 use crate::msr::{
-    decode_perf_ctl, MsrDevice, PowerLimit, IA32_APERF, IA32_CLOCK_MODULATION, IA32_MPERF,
-    IA32_PERF_CTL, MSR_PKG_POWER_LIMIT,
+    decode_perf_ctl, MsrDevice, MsrError, PowerLimit, IA32_APERF, IA32_CLOCK_MODULATION,
+    IA32_MPERF, IA32_PERF_CTL, MSR_PKG_POWER_LIMIT,
 };
 use crate::rapl::{ActivitySnapshot, Actuation, RaplController};
 use crate::thermal::ThermalState;
@@ -61,8 +61,8 @@ impl WorkPacket {
             cycles,
             misses,
             instructions,
-            mlp: 1.0,
-            mem_weight: 1.0,
+            mlp: default_mlp(),
+            mem_weight: default_mlp(),
         }
     }
 
@@ -157,7 +157,7 @@ pub struct QuantumTelemetry {
 /// use simnode::node::{CoreWork, Node, WorkPacket};
 ///
 /// let mut node = Node::new(NodeConfig::default());
-/// node.set_package_cap(Some(90.0)); // programs MSR_PKG_POWER_LIMIT
+/// node.set_package_cap(Some(90.0)).unwrap(); // programs MSR_PKG_POWER_LIMIT
 /// node.assign(0, CoreWork::Compute(WorkPacket::new(3.3e7, 0.0, 5e7).into()));
 /// while !node.step().completed.contains(&0) {}
 /// // ~10 ms of compute at fmax, stretched by the cap's settling P-state.
@@ -197,12 +197,16 @@ impl Node {
         let cores = vec![CoreWork::Idle; cfg.cores];
         let thermal = cfg.thermal.clone().map(ThermalState::new);
         let retain = cfg.rapl_window.max(crate::time::SEC);
+        let mut msr = MsrDevice::new();
+        if let Some(plan) = &cfg.faults {
+            msr.install_faults(plan.clone());
+        }
         Self {
             energy: EnergyMeter::new(retain * 2),
             next_rapl: cfg.rapl_period,
             cfg,
             now: 0,
-            msr: MsrDevice::new(),
+            msr,
             rapl: RaplController::new(),
             actuation,
             cores,
@@ -282,17 +286,17 @@ impl Node {
     }
 
     /// Convenience: program (or clear) the package power cap through the
-    /// MSR interface, exactly as `libmsr` would.
-    pub fn set_package_cap(&mut self, watts: Option<f64>) {
+    /// MSR interface, exactly as `libmsr` would. Like any user-space MSR
+    /// access this can fail (e.g. under injected faults); control software
+    /// is expected to handle the error rather than assume the cap latched.
+    pub fn set_package_cap(&mut self, watts: Option<f64>) -> Result<(), MsrError> {
         let units = self.msr.units();
         let raw = PowerLimit {
             watts,
             window: self.cfg.rapl_window,
         }
         .encode(units);
-        self.msr
-            .write(MSR_PKG_POWER_LIMIT, raw)
-            .expect("PKG_POWER_LIMIT is writable");
+        self.msr.write(MSR_PKG_POWER_LIMIT, raw)
     }
 
     /// The currently programmed package cap, if any.
@@ -452,6 +456,7 @@ impl Node {
         self.now = end;
         self.energy.record(self.now, pkg_w * dt_s);
         self.msr.hw_add_energy(pkg_w * dt_s);
+        self.msr.advance_to(end);
         let ap = self.msr.hw_read(IA32_APERF);
         self.msr.hw_write(IA32_APERF, ap + aperf.round() as u64);
         let mp = self.msr.hw_read(IA32_MPERF);
@@ -590,7 +595,7 @@ mod tests {
     #[test]
     fn rapl_cap_is_enforced_on_average() {
         let mut node = Node::new(NodeConfig::default());
-        node.set_package_cap(Some(80.0));
+        node.set_package_cap(Some(80.0)).unwrap();
         for c in 0..24 {
             node.assign(c, CoreWork::Compute(compute_packet(20_000.0).into()));
         }
@@ -607,7 +612,7 @@ mod tests {
         // DDCM region: effective frequency under a very low cap must fall
         // below the DVFS floor of 1200 MHz.
         let mut node = Node::new(NodeConfig::default());
-        node.set_package_cap(Some(25.0));
+        node.set_package_cap(Some(25.0)).unwrap();
         for c in 0..24 {
             node.assign(c, CoreWork::Compute(compute_packet(20_000.0).into()));
         }
@@ -697,7 +702,7 @@ mod tests {
                 ..NodeConfig::default()
             };
             let mut node = Node::new(cfg);
-            node.set_package_cap(cap);
+            node.set_package_cap(cap).unwrap();
             for c in 0..24 {
                 node.assign(c, CoreWork::Compute(compute_packet(60_000.0).into()));
             }
@@ -757,7 +762,7 @@ mod tests {
     #[test]
     fn aperf_mperf_ratio_tracks_effective_frequency() {
         let mut node = Node::new(NodeConfig::default());
-        node.set_package_cap(Some(70.0));
+        node.set_package_cap(Some(70.0)).unwrap();
         for c in 0..24 {
             node.assign(c, CoreWork::Compute(compute_packet(20_000.0).into()));
         }

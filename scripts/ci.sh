@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, build, and the full test suite.
+# Usage: scripts/ci.sh [--no-test]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --workspace --release
+
+if [[ "${1:-}" != "--no-test" ]]; then
+    echo "== cargo test"
+    cargo test --workspace --release -q
+fi
+
+echo "CI gate passed."

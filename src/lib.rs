@@ -53,6 +53,7 @@ pub mod prelude {
     pub use nrm::composition::CompositeProgress;
     pub use nrm::daemon::NrmDaemon;
     pub use nrm::job::{JobPolicy, JobPowerManager, ManagedNode};
+    pub use nrm::resilience::{MsrPowerSensor, ResilienceConfig, ResilientDaemon};
     pub use nrm::scheme::{
         CapSchedule, ConstantCap, JaggedEdge, LinearDecay, StepFunction, Uncapped,
     };
@@ -61,14 +62,16 @@ pub mod prelude {
     pub use powermodel::predict::{ProgressModel, PAPER_ALPHA};
     pub use powerprog_core::runner::{run_app, RunArtifacts, RunConfig, ScheduleSpec};
     pub use progress::aggregator::ProgressAggregator;
-    pub use progress::bus::{BusConfig, ProgressBus};
+    pub use progress::bus::{BusConfig, DropPolicy, ProgressBus};
     pub use progress::imbalance::{analyze as analyze_imbalance, ImbalanceReport};
     pub use progress::series::TimeSeries;
     pub use progress::taxonomy::Category;
+    pub use progress::watchdog::{Health, ProgressWatchdog, WatchdogConfig};
     pub use proxyapps::catalog::{build, AppId, AppInstance};
     pub use proxyapps::runtime::{Action, Driver, Program};
     pub use proxyapps::spec::KernelSpec;
     pub use simnode::config::NodeConfig;
+    pub use simnode::faults::{FaultKind, FaultPlan, FaultSpec, FaultWindow};
     pub use simnode::node::{CoreWork, Node, WorkPacket};
     pub use simnode::time::{Nanos, MS, SEC, US};
 }
