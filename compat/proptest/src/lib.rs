@@ -67,6 +67,35 @@ pub trait Strategy {
     type Value: std::fmt::Debug;
     /// Generate one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values — mirror of `Strategy::prop_map`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: std::fmt::Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, f }
+    }
+
+    /// Derive a dependent strategy from generated values — mirror of
+    /// `Strategy::prop_flat_map`.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Type-erase the strategy — mirror of `Strategy::boxed`.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -74,6 +103,112 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
     }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// A type-erased strategy — mirror of `proptest::strategy::BoxedStrategy`.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+/// Strategy that always yields a clone of one value — mirror of
+/// `proptest::strategy::Just`.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: std::fmt::Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// Weighted choice between strategies — the expansion of [`prop_oneof!`].
+pub struct Union<T> {
+    branches: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T: std::fmt::Debug> Union<T> {
+    /// A union drawing each branch with probability `weight / Σ weights`.
+    pub fn new_weighted(branches: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = branches.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "union needs positive total weight");
+        Self { branches, total }
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.next_u64() % self.total;
+        for (w, s) in &self.branches {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights covered the draw range")
+    }
+}
+
+/// Choose between strategies, optionally weighted (`w => strategy`) —
+/// mirror of `proptest::prop_oneof!`. All branches must yield the same
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $w:literal => $s:expr ),+ $(,)? ) => {
+        $crate::Union::new_weighted(vec![
+            $( ($w as u32, ::std::boxed::Box::new($s) as $crate::BoxedStrategy<_>) ),+
+        ])
+    };
+    ( $( $s:expr ),+ $(,)? ) => {
+        $crate::Union::new_weighted(vec![
+            $( (1u32, ::std::boxed::Box::new($s) as $crate::BoxedStrategy<_>) ),+
+        ])
+    };
 }
 
 impl Strategy for std::ops::Range<f64> {
@@ -182,7 +317,7 @@ impl<T: Arbitrary> Strategy for Any<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// A length specification for [`vec`].
+    /// A length specification for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -225,7 +360,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy produced by [`vec`].
+    /// Strategy produced by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
@@ -248,8 +383,8 @@ pub mod prelude {
     /// proptest.
     pub use crate as prop;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
-        Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
     };
 }
 
@@ -363,6 +498,22 @@ mod tests {
         #[test]
         fn any_works(b in any::<bool>(), n in any::<u64>()) {
             let _ = (b, n);
+        }
+
+        /// Combinators compose: map, flat_map, oneof, Just.
+        #[test]
+        fn combinators_compose(
+            v in (1usize..5).prop_flat_map(|n| {
+                prop::collection::vec(
+                    prop_oneof![1 => Just(-1.0f64), 3 => (0.0f64..10.0).prop_map(|x| x * 2.0)],
+                    n..n + 1,
+                )
+            }),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            for x in v {
+                prop_assert!(x == -1.0 || (0.0..20.0).contains(&x));
+            }
         }
     }
 

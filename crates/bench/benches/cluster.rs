@@ -1,0 +1,84 @@
+//! Bench for the **cluster** experiment — measures the cost of the
+//! barrier-coupled multi-node simulation and the arbiter redistribution
+//! path. The members step in parallel between barriers, so this also
+//! tracks the coordination overhead of the owned-move fan-out; the bare
+//! arbiter bench isolates the redistribution arithmetic from the node
+//! simulation.
+
+use cluster::{
+    run_cluster, ArbiterConfig, ClusterConfig, NodeSpec, NodeTelemetry, Policy, PowerArbiter,
+    Preset, WorkloadShape, DEFAULT_DAEMON_PERIOD,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A small imbalanced cluster, sized so one run is bench-friendly.
+fn bench_config(policy: Policy) -> ClusterConfig {
+    ClusterConfig {
+        nodes: vec![
+            NodeSpec::new(Preset::Reference, 1.0),
+            NodeSpec::new(Preset::Leaky(15.0), 1.4),
+            NodeSpec::new(Preset::Reference, 1.8),
+            NodeSpec::new(Preset::Reference, 2.2),
+        ],
+        iters: 3,
+        arbiter: ArbiterConfig {
+            budget_w: 280.0,
+            min_cap_w: 40.0,
+            max_cap_w: 130.0,
+            policy,
+        },
+        shape: WorkloadShape::default(),
+        daemon_period: DEFAULT_DAEMON_PERIOD,
+    }
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster");
+    g.sample_size(10);
+
+    let uniform = bench_config(Policy::UniformStatic);
+    g.bench_function("uniform_4n_3it", |b| {
+        b.iter(|| black_box(run_cluster(black_box(&uniform))))
+    });
+
+    let feedback = bench_config(Policy::ProgressFeedback { gain: 1.0 });
+    g.bench_function("feedback_4n_3it", |b| {
+        b.iter(|| {
+            let out = run_cluster(black_box(&feedback));
+            assert!(out.min_budget_slack_w() >= -1e-6);
+            black_box(out)
+        })
+    });
+
+    // The arbiter alone: redistribution arithmetic at a 64-node scale.
+    let cfg = ArbiterConfig {
+        budget_w: 64.0 * 80.0,
+        min_cap_w: 40.0,
+        max_cap_w: 130.0,
+        policy: Policy::ProgressFeedback { gain: 1.0 },
+    };
+    let reports: Vec<Option<NodeTelemetry>> = (0..64)
+        .map(|i| {
+            Some(NodeTelemetry {
+                compute_s: 1.0 + (i % 7) as f64 * 0.2,
+                rate: 1.0,
+                power_w: 75.0 + (i % 11) as f64,
+            })
+        })
+        .collect();
+    g.bench_function("arbiter_redistribute_64n", |b| {
+        b.iter(|| {
+            let mut arb = PowerArbiter::new(cfg, 64);
+            for _ in 0..10 {
+                black_box(arb.redistribute(black_box(&reports)));
+            }
+            black_box(arb)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

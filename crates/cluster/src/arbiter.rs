@@ -1,0 +1,487 @@
+//! The global power-budget arbiter.
+//!
+//! A cluster holds one fixed power budget (machine-room breaker, PUE
+//! contract, job allocation) and must divide it across nodes. Medhat et
+//! al. ("Power Redistribution for Optimizing Performance in MPI
+//! Clusters") show that shifting a fixed budget toward critical-path
+//! ranks recovers performance lost to imbalance; Cerf et al. argue the
+//! actuation should be a feedback controller on an online progress
+//! signal. [`PowerArbiter`] implements both on top of this repo's
+//! progress stack:
+//!
+//! - [`Policy::UniformStatic`] — the application-agnostic baseline:
+//!   `budget / n` once, never revisited;
+//! - [`Policy::DemandProportional`] — each epoch, watts in proportion to
+//!   each node's measured power draw (demand), so idle-ish nodes yield
+//!   headroom;
+//! - [`Policy::ProgressFeedback`] — a proportional controller on the
+//!   per-node iteration times: nodes ahead of the barrier (below-mean
+//!   compute time) donate watts, the critical-path node (identified with
+//!   [`progress::imbalance::analyze`]) receives them, equalizing arrival
+//!   times at the barrier.
+//!
+//! Two invariants hold after every redistribution, checked on every tick
+//! and recorded in the [`GrantTick`] trace: granted caps sum to at most
+//! the global budget, and every grant respects the per-node `[min, max]`
+//! clamp. Nodes whose telemetry dropped out (the PR-1 fault layer) keep
+//! their last grant and are excluded from redistribution until they
+//! report again.
+
+use serde::{Deserialize, Serialize};
+
+/// Tolerance for floating-point invariant checks, W.
+const EPS_W: f64 = 1e-6;
+
+/// Budget-division policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Policy {
+    /// `budget / n` for everyone, never redistributed.
+    UniformStatic,
+    /// Watts in proportion to each node's measured power draw.
+    DemandProportional,
+    /// Proportional feedback on per-node iteration times: steal watts
+    /// from ahead-of-barrier nodes for the critical-path node.
+    ProgressFeedback {
+        /// Controller gain: fraction of the relative time error converted
+        /// into a relative cap adjustment per epoch (0.5–1.5 is sensible).
+        gain: f64,
+    },
+}
+
+impl Policy {
+    /// Display name (table/CSV key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::UniformStatic => "uniform-static",
+            Policy::DemandProportional => "demand-proportional",
+            Policy::ProgressFeedback { .. } => "progress-feedback",
+        }
+    }
+}
+
+/// Arbiter tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArbiterConfig {
+    /// Cluster-wide power budget, W.
+    pub budget_w: f64,
+    /// Lowest cap the arbiter will ever grant a node, W (RAPL floors and
+    /// safe-mode margins live below this).
+    pub min_cap_w: f64,
+    /// Highest cap the arbiter will ever grant a node, W.
+    pub max_cap_w: f64,
+    /// Division policy.
+    pub policy: Policy,
+}
+
+impl ArbiterConfig {
+    /// Validate internal consistency.
+    ///
+    /// # Panics
+    /// Panics on non-positive budget, an empty/inverted clamp range, or a
+    /// negative feedback gain.
+    pub fn validate(&self) {
+        assert!(self.budget_w > 0.0, "budget must be positive");
+        assert!(
+            self.min_cap_w > 0.0 && self.min_cap_w <= self.max_cap_w,
+            "need 0 < min_cap_w <= max_cap_w"
+        );
+        if let Policy::ProgressFeedback { gain } = self.policy {
+            assert!(gain >= 0.0, "gain must be non-negative");
+        }
+    }
+}
+
+/// What one node's monitoring stack delivered for the last epoch.
+/// A node that could not measure (telemetry dropout) reports `None`
+/// instead and is excluded from redistribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeTelemetry {
+    /// Barrier-to-barrier compute time (excluding barrier wait), s.
+    pub compute_s: f64,
+    /// Progress rate while computing, work units/s.
+    pub rate: f64,
+    /// Measured package power over the epoch (user-space MSR path), W.
+    pub power_w: f64,
+}
+
+/// One row of the budget-conservation trace: the grants in force after a
+/// redistribution round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrantTick {
+    /// Redistribution round (0 = first barrier).
+    pub round: usize,
+    /// Cap granted to each node, W.
+    pub granted_w: Vec<f64>,
+    /// Whether each node's telemetry arrived this round.
+    pub reporting: Vec<bool>,
+    /// Sum of granted caps, W.
+    pub total_w: f64,
+    /// The global budget, W.
+    pub budget_w: f64,
+}
+
+impl GrantTick {
+    /// Unallocated headroom, W (non-negative when the invariant holds).
+    pub fn slack_w(&self) -> f64 {
+        self.budget_w - self.total_w
+    }
+}
+
+/// The cluster-wide budget arbiter.
+#[derive(Debug, Clone)]
+pub struct PowerArbiter {
+    cfg: ArbiterConfig,
+    grants: Vec<f64>,
+    round: usize,
+    trace: Vec<GrantTick>,
+}
+
+impl PowerArbiter {
+    /// An arbiter over `n` nodes, initially granting a uniform split
+    /// (clamped to `[min, max]`) regardless of policy.
+    ///
+    /// # Panics
+    /// Panics when `n` is zero or the budget cannot fund `n` nodes at
+    /// `min_cap_w` (no feasible allocation exists).
+    pub fn new(cfg: ArbiterConfig, n: usize) -> Self {
+        cfg.validate();
+        assert!(n > 0, "need at least one node");
+        assert!(
+            cfg.budget_w >= cfg.min_cap_w * n as f64 - EPS_W,
+            "budget {} W cannot fund {} nodes at the {} W floor",
+            cfg.budget_w,
+            n,
+            cfg.min_cap_w
+        );
+        let uniform = (cfg.budget_w / n as f64).clamp(cfg.min_cap_w, cfg.max_cap_w);
+        let arb = Self {
+            grants: vec![uniform; n],
+            cfg,
+            round: 0,
+            trace: Vec::new(),
+        };
+        arb.assert_invariants();
+        arb
+    }
+
+    /// The arbiter configuration.
+    pub fn config(&self) -> &ArbiterConfig {
+        &self.cfg
+    }
+
+    /// Caps currently in force, W.
+    pub fn grants(&self) -> &[f64] {
+        &self.grants
+    }
+
+    /// The budget-conservation trace, one entry per redistribution round.
+    pub fn trace(&self) -> &[GrantTick] {
+        &self.trace
+    }
+
+    /// Redistribute the budget from the latest telemetry; returns the new
+    /// grants. `reports[i] = None` means node `i`'s telemetry dropped out:
+    /// it keeps its last grant and is excluded from this round.
+    ///
+    /// # Panics
+    /// Panics if the report arity differs from the node count, or if an
+    /// internal invariant (Σ grants ≤ budget, per-node clamps) breaks —
+    /// the latter is a bug, not an operating condition.
+    pub fn redistribute(&mut self, reports: &[Option<NodeTelemetry>]) -> &[f64] {
+        assert_eq!(reports.len(), self.grants.len(), "report arity mismatch");
+        let reporting: Vec<usize> = (0..reports.len())
+            .filter(|&i| reports[i].is_some())
+            .collect();
+        if !reporting.is_empty() {
+            self.rebalance(reports, &reporting);
+        }
+        self.record(reports);
+        self.assert_invariants();
+        &self.grants
+    }
+
+    /// Compute new grants for the reporting nodes; frozen (silent) nodes
+    /// keep their last grant and reduce the distributable pool.
+    fn rebalance(&mut self, reports: &[Option<NodeTelemetry>], reporting: &[usize]) {
+        let min = self.cfg.min_cap_w;
+        let max = self.cfg.max_cap_w;
+        let frozen: Vec<usize> = (0..self.grants.len())
+            .filter(|i| !reporting.contains(i))
+            .collect();
+        let mut pool = self.cfg.budget_w - frozen.iter().map(|&i| self.grants[i]).sum::<f64>();
+
+        // A silent node keeps its cap only while the rest of the cluster
+        // can still meet the per-node floor; otherwise frozen grants are
+        // clipped toward the floor to restore feasibility.
+        let need = min * reporting.len() as f64 - pool;
+        if need > 0.0 && !frozen.is_empty() {
+            let available: f64 = frozen.iter().map(|&i| self.grants[i] - min).sum();
+            let scale = if available > 0.0 {
+                (1.0 - need / available).max(0.0)
+            } else {
+                0.0
+            };
+            for &i in &frozen {
+                self.grants[i] = min + (self.grants[i] - min) * scale;
+            }
+            pool = self.cfg.budget_w - frozen.iter().map(|&i| self.grants[i]).sum::<f64>();
+        }
+
+        let desired: Vec<f64> = match self.cfg.policy {
+            Policy::UniformStatic => return, // grants are immutable by design
+            Policy::DemandProportional => {
+                let demand: Vec<f64> = reporting
+                    .iter()
+                    .map(|&i| reports[i].expect("reporting").power_w.max(0.0))
+                    .collect();
+                let total: f64 = demand.iter().sum();
+                if total <= 0.0 {
+                    vec![pool / reporting.len() as f64; reporting.len()]
+                } else {
+                    demand.iter().map(|d| pool * d / total).collect()
+                }
+            }
+            Policy::ProgressFeedback { gain } => {
+                let times: Vec<f64> = reporting
+                    .iter()
+                    .map(|&i| reports[i].expect("reporting").compute_s.max(0.0))
+                    .collect();
+                // Per-iteration compute times are per-node costs under a
+                // shared barrier, so the imbalance algebra applies as-is:
+                // critical rank = longest time, wait fraction = barrier
+                // waste. `analyze` also rejects NaNs for us.
+                match progress::imbalance::analyze(&times) {
+                    Ok(rep) => {
+                        let mean_t: f64 = times.iter().sum::<f64>() / times.len() as f64;
+                        if mean_t <= 0.0 {
+                            reporting.iter().map(|&i| self.grants[i]).collect()
+                        } else {
+                            reporting
+                                .iter()
+                                .zip(&times)
+                                .map(|(&i, &t)| {
+                                    // Behind the barrier mean (the critical
+                                    // path, rep.critical_rank) ⇒ positive
+                                    // error ⇒ more watts; ahead ⇒ donate.
+                                    let err = (t - mean_t) / mean_t;
+                                    debug_assert!(
+                                        t < times[rep.critical_rank] + EPS_W || err >= -EPS_W,
+                                        "critical node must not donate"
+                                    );
+                                    self.grants[i] * (1.0 + gain * err)
+                                })
+                                .collect()
+                        }
+                    }
+                    // Degenerate telemetry (no usable times): hold grants.
+                    Err(_) => reporting.iter().map(|&i| self.grants[i]).collect(),
+                }
+            }
+        };
+
+        let filled = waterfill(&desired, pool, min, max);
+        for (&i, g) in reporting.iter().zip(filled) {
+            self.grants[i] = g;
+        }
+    }
+
+    fn record(&mut self, reports: &[Option<NodeTelemetry>]) {
+        let total_w = self.grants.iter().sum();
+        self.trace.push(GrantTick {
+            round: self.round,
+            granted_w: self.grants.clone(),
+            reporting: reports.iter().map(|r| r.is_some()).collect(),
+            total_w,
+            budget_w: self.cfg.budget_w,
+        });
+        self.round += 1;
+    }
+
+    /// The hard invariants: Σ grants ≤ budget and every grant clamped.
+    fn assert_invariants(&self) {
+        let total: f64 = self.grants.iter().sum();
+        assert!(
+            total <= self.cfg.budget_w + EPS_W,
+            "granted {} W exceeds the {} W budget",
+            total,
+            self.cfg.budget_w
+        );
+        for (i, &g) in self.grants.iter().enumerate() {
+            assert!(
+                (self.cfg.min_cap_w - EPS_W..=self.cfg.max_cap_w + EPS_W).contains(&g),
+                "node {i} grant {g} W outside [{}, {}] W",
+                self.cfg.min_cap_w,
+                self.cfg.max_cap_w
+            );
+        }
+    }
+}
+
+/// Deterministic clamped proportional fill: clamp `desired` to
+/// `[min, max]`, then scale the above-floor portions down to fit `pool`,
+/// or push leftover pool into the remaining headroom (proportionally, so
+/// nobody exceeds `max`). The result always satisfies Σ ≤ pool and the
+/// per-node clamps, provided `pool ≥ len·min`.
+fn waterfill(desired: &[f64], pool: f64, min: f64, max: f64) -> Vec<f64> {
+    let n = desired.len() as f64;
+    let mut out: Vec<f64> = desired.iter().map(|d| d.clamp(min, max)).collect();
+    let sum: f64 = out.iter().sum();
+    if sum > pool {
+        // Scale the above-floor portion to exactly fit the pool.
+        let above: f64 = out.iter().map(|g| g - min).sum();
+        let target = (pool - min * n).max(0.0);
+        let s = if above > 0.0 { target / above } else { 0.0 };
+        for g in &mut out {
+            *g = min + (*g - min) * s;
+        }
+    } else {
+        // Distribute the leftover into headroom, proportionally.
+        let leftover = pool - sum;
+        let headroom: f64 = out.iter().map(|g| max - g).sum();
+        if leftover > 0.0 && headroom > 0.0 {
+            let s = (leftover / headroom).min(1.0);
+            for g in &mut out {
+                *g += (max - *g) * s;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(policy: Policy) -> ArbiterConfig {
+        ArbiterConfig {
+            budget_w: 400.0,
+            min_cap_w: 40.0,
+            max_cap_w: 120.0,
+            policy,
+        }
+    }
+
+    fn report(compute_s: f64, power_w: f64) -> Option<NodeTelemetry> {
+        Some(NodeTelemetry {
+            compute_s,
+            rate: 1.0 / compute_s,
+            power_w,
+        })
+    }
+
+    #[test]
+    fn uniform_static_never_moves() {
+        let mut a = PowerArbiter::new(cfg(Policy::UniformStatic), 4);
+        let before = a.grants().to_vec();
+        a.redistribute(&[
+            report(1.0, 90.0),
+            report(4.0, 100.0),
+            report(0.5, 80.0),
+            report(2.0, 95.0),
+        ]);
+        assert_eq!(a.grants(), before.as_slice());
+        assert_eq!(a.trace().len(), 1);
+    }
+
+    #[test]
+    fn feedback_steals_from_ahead_for_the_critical_node() {
+        let gain = Policy::ProgressFeedback { gain: 1.0 };
+        let mut a = PowerArbiter::new(cfg(gain), 4);
+        // Node 3 is far behind the barrier; node 0 far ahead.
+        a.redistribute(&[
+            report(0.5, 100.0),
+            report(1.0, 100.0),
+            report(1.0, 100.0),
+            report(2.5, 100.0),
+        ]);
+        let g = a.grants();
+        assert!(g[3] > 100.0 + 1.0, "critical node must gain: {:?}", g);
+        assert!(g[0] < 100.0 - 1.0, "ahead node must donate: {:?}", g);
+        let total: f64 = g.iter().sum();
+        assert!(total <= 400.0 + 1e-6);
+    }
+
+    #[test]
+    fn demand_proportional_follows_measured_draw() {
+        // A tight budget (well under 3·max) so proportionality is visible
+        // instead of everyone saturating at the clamp ceiling.
+        let tight = ArbiterConfig {
+            budget_w: 240.0,
+            ..cfg(Policy::DemandProportional)
+        };
+        let mut a = PowerArbiter::new(tight, 3);
+        a.redistribute(&[report(1.0, 120.0), report(1.0, 60.0), report(1.0, 60.0)]);
+        let g = a.grants();
+        assert!(g[0] > g[1] + 5.0, "double demand must earn more: {:?}", g);
+        assert!((g[1] - g[2]).abs() < 1e-9, "equal demand, equal grant");
+    }
+
+    #[test]
+    fn silent_node_keeps_its_grant_and_is_excluded() {
+        let mut a = PowerArbiter::new(cfg(Policy::ProgressFeedback { gain: 1.0 }), 4);
+        a.redistribute(&[
+            report(1.0, 90.0),
+            report(1.5, 90.0),
+            report(1.0, 90.0),
+            report(1.2, 90.0),
+        ]);
+        let held = a.grants()[1];
+        // Node 1 goes silent: its grant must not move.
+        a.redistribute(&[
+            report(1.0, 90.0),
+            None,
+            report(3.0, 90.0),
+            report(1.2, 90.0),
+        ]);
+        assert_eq!(a.grants()[1], held, "silent node's cap must freeze");
+        assert!(!a.trace()[1].reporting[1]);
+        let total: f64 = a.grants().iter().sum();
+        assert!(total <= 400.0 + 1e-6);
+    }
+
+    #[test]
+    fn all_silent_round_only_records_the_tick() {
+        let mut a = PowerArbiter::new(cfg(Policy::DemandProportional), 2);
+        let before = a.grants().to_vec();
+        a.redistribute(&[None, None]);
+        assert_eq!(a.grants(), before.as_slice());
+        assert_eq!(a.trace().len(), 1);
+        assert!(a.trace()[0].slack_w() >= -1e-6);
+    }
+
+    #[test]
+    fn waterfill_fits_pool_and_clamps() {
+        let out = waterfill(&[500.0, 10.0, 80.0], 240.0, 40.0, 120.0);
+        let sum: f64 = out.iter().sum();
+        assert!(sum <= 240.0 + 1e-9, "{out:?}");
+        for g in &out {
+            assert!((40.0..=120.0).contains(g), "{out:?}");
+        }
+        // The starved entry sits at the floor, the greedy one above it.
+        assert!(out[0] > out[1]);
+    }
+
+    #[test]
+    fn waterfill_spreads_leftover_without_exceeding_max() {
+        let out = waterfill(&[50.0, 50.0], 400.0, 40.0, 120.0);
+        for g in &out {
+            assert!(*g <= 120.0 + 1e-9);
+        }
+        // Headroom is funded evenly from the oversized pool.
+        assert!((out[0] - 120.0).abs() < 1e-9 && (out[1] - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fund")]
+    fn infeasible_budget_rejected() {
+        PowerArbiter::new(
+            ArbiterConfig {
+                budget_w: 100.0,
+                min_cap_w: 40.0,
+                max_cap_w: 120.0,
+                policy: Policy::UniformStatic,
+            },
+            4,
+        );
+    }
+}

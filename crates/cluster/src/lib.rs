@@ -1,0 +1,36 @@
+//! Cluster-level power management over `simnode`.
+//!
+//! The paper studies how dynamic power capping perturbs *one* node's
+//! application progress; the motivating scenario (its §I, and the Medhat
+//! and Cerf lines of related work) is a *cluster*: a fixed machine-level
+//! power budget that a job-level manager divides across nodes while a
+//! bulk-synchronous application couples them at barriers. This crate
+//! builds that layer out of the existing single-node pieces:
+//!
+//! - [`member::ClusterNode`] — a node + hardened NRM daemon + telemetry
+//!   collector, advanced between barriers by the driver;
+//! - [`grant`] — the atomic arbiter → daemon cap channel
+//!   ([`grant::GrantCell`] / [`grant::GrantSchedule`]);
+//! - [`arbiter::PowerArbiter`] — the global budget divider with three
+//!   policies (uniform-static, demand-proportional, progress-feedback)
+//!   and hard Σ ≤ budget / per-node clamp invariants;
+//! - [`workload`] — per-rank iteration costs and the imbalanced ramp;
+//! - [`sim::run_cluster`] — the barrier-coupled driver producing
+//!   makespan, ground-truth energy, per-iteration imbalance analysis
+//!   (via [`progress::imbalance`]) and the budget-conservation trace.
+//!
+//! Everything is deterministic for a fixed configuration, including
+//! across thread counts: members are independent simulations between
+//! barriers, and the arbiter is pure arithmetic over ordered vectors.
+
+pub mod arbiter;
+pub mod grant;
+pub mod member;
+pub mod sim;
+pub mod workload;
+
+pub use arbiter::{ArbiterConfig, GrantTick, NodeTelemetry, Policy, PowerArbiter};
+pub use grant::{GrantCell, GrantSchedule};
+pub use member::{ClusterNode, DEFAULT_DAEMON_PERIOD};
+pub use sim::{run_cluster, ClusterConfig, ClusterOutcome, IterationRecord, NodeSpec, Preset};
+pub use workload::{ramp_weights, WorkloadShape};

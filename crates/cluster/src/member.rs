@@ -1,0 +1,276 @@
+//! One cluster member: a simulated node, its NRM daemon, and its rank of
+//! the bulk-synchronous proxy application.
+//!
+//! Each member owns a full per-node stack — [`simnode::node::Node`] with
+//! optional fault plan, a hardened [`ResilientDaemon`] applying the
+//! arbiter's grant through the [`GrantSchedule`] channel, and an
+//! [`MsrPowerSensor`] playing the role of the job manager's telemetry
+//! collector (user-space MSR reads, so the PR-1 fault layer can take it
+//! out). The cluster driver calls [`ClusterNode::compute_iteration`] /
+//! [`ClusterNode::spin_until`] to advance the member between barriers;
+//! the daemon is ticked inline on its own control period, exactly like
+//! the single-node SPMD driver does.
+
+use nrm::actuator::ActuatorKind;
+use nrm::resilience::{MsrPowerSensor, ResilienceConfig, ResilientDaemon};
+use simnode::agent::SimAgent;
+use simnode::config::NodeConfig;
+use simnode::node::{CoreWork, Node};
+use simnode::time::{secs, Nanos, SEC};
+
+use crate::arbiter::NodeTelemetry;
+use crate::grant::{GrantCell, GrantSchedule};
+use crate::workload::WorkloadShape;
+
+/// Telemetry plausibility window for the cluster collector, W.
+const MIN_PLAUSIBLE_W: f64 = 1.0;
+const MAX_PLAUSIBLE_W: f64 = 400.0;
+
+/// Resilience tuning for cluster daemons. Arbiter grants step at every
+/// barrier, so a tick measured under the *previous* (higher) grant can
+/// transiently read over the new budget; a wider tolerance and a longer
+/// safe-mode fuse keep redistribution from tripping the overshoot logic.
+fn cluster_resilience() -> ResilienceConfig {
+    ResilienceConfig {
+        overshoot_tolerance_w: 8.0,
+        safe_mode_after: 8,
+        ..ResilienceConfig::default()
+    }
+}
+
+/// A node participating in the bulk-synchronous cluster.
+pub struct ClusterNode {
+    /// Cluster-wide rank of this member.
+    pub id: usize,
+    node: Node,
+    daemon: ResilientDaemon,
+    grant: GrantCell,
+    /// Next daemon tick, absolute node time.
+    next_tick: Nanos,
+    tick_period: Nanos,
+    /// The job manager's own power telemetry (separate from the daemon's
+    /// sensor: a real collector samples the MSR independently).
+    sensor: MsrPowerSensor,
+    /// Work multiplier for this rank (see [`crate::workload`]).
+    weight: f64,
+    shape: WorkloadShape,
+    last_compute_s: f64,
+}
+
+impl ClusterNode {
+    /// Build a member with its daemon ticking every `daemon_period`.
+    ///
+    /// # Panics
+    /// Panics when `daemon_period` is not a positive multiple of the node
+    /// quantum (ticks must land on quantum boundaries).
+    pub fn new(
+        id: usize,
+        cfg: NodeConfig,
+        weight: f64,
+        shape: WorkloadShape,
+        daemon_period: Nanos,
+    ) -> Self {
+        assert!(
+            daemon_period > 0 && daemon_period.is_multiple_of(cfg.quantum),
+            "daemon period must be a positive multiple of the quantum"
+        );
+        let grant = GrantCell::default();
+        let daemon = ResilientDaemon::new(
+            Box::new(GrantSchedule(grant.clone())),
+            ActuatorKind::Rapl,
+            cluster_resilience(),
+        )
+        .with_period(daemon_period);
+        let node = Node::new(cfg);
+        let mut member = Self {
+            id,
+            node,
+            daemon,
+            grant,
+            // First tick lands on the first quantum after start, so the
+            // initial grant is programmed as soon as the run begins rather
+            // than a full control period in.
+            next_tick: 0,
+            tick_period: daemon_period,
+            sensor: MsrPowerSensor::new(),
+            weight,
+            shape,
+            last_compute_s: 0.0,
+        };
+        // Prime the collector: the first MSR sample only establishes the
+        // (time, counter) baseline and never yields a power reading.
+        let now = member.node.now();
+        member
+            .sensor
+            .sample(&member.node, now, MIN_PLAUSIBLE_W, MAX_PLAUSIBLE_W);
+        member
+    }
+
+    /// The member's local clock, ns.
+    pub fn now(&self) -> Nanos {
+        self.node.now()
+    }
+
+    /// Ground-truth energy consumed so far, J (meter, not MSR).
+    pub fn total_energy(&self) -> f64 {
+        self.node.total_energy()
+    }
+
+    /// Compute time of the most recent iteration, s.
+    pub fn last_compute_s(&self) -> f64 {
+        self.last_compute_s
+    }
+
+    /// This rank's work multiplier.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The member's NRM daemon (health counters, safe-mode state).
+    pub fn daemon(&self) -> &ResilientDaemon {
+        &self.daemon
+    }
+
+    /// The underlying node (read-only; the driver advances it through the
+    /// iteration methods).
+    pub fn node(&self) -> &Node {
+        &self.node
+    }
+
+    /// Store the arbiter's latest grant; the daemon programs it at its
+    /// next tick (grants propagate with control-period latency, as in a
+    /// real NRM hierarchy).
+    pub fn set_grant(&mut self, cap_w: f64) {
+        self.grant.set(Some(cap_w));
+    }
+
+    /// Advance one quantum, ticking the daemon when its period elapses.
+    fn advance_quantum(&mut self) {
+        self.node.step();
+        let now = self.node.now();
+        while now >= self.next_tick {
+            self.daemon.on_tick(&mut self.node, now);
+            self.next_tick += self.tick_period;
+        }
+    }
+
+    /// Run one iteration of this rank's share of the kernel on every core;
+    /// returns the compute time, s.
+    pub fn compute_iteration(&mut self) -> f64 {
+        let packet = self.shape.packet(self.weight);
+        for c in 0..self.node.cores() {
+            self.node.assign(c, CoreWork::Compute(packet.into()));
+        }
+        let t0 = self.node.now();
+        while !(0..self.node.cores()).all(|c| self.node.is_available(c)) {
+            self.advance_quantum();
+        }
+        self.last_compute_s = secs(self.node.now() - t0);
+        self.last_compute_s
+    }
+
+    /// Busy-wait at the barrier until the member's clock reaches
+    /// `barrier_at` (MPI-style polling: full dynamic power, no progress).
+    pub fn spin_until(&mut self, barrier_at: Nanos) {
+        if self.node.now() >= barrier_at {
+            return;
+        }
+        for c in 0..self.node.cores() {
+            self.node.assign(c, CoreWork::Spin);
+        }
+        while self.node.now() < barrier_at {
+            self.advance_quantum();
+        }
+        for c in 0..self.node.cores() {
+            self.node.assign(c, CoreWork::Idle);
+        }
+    }
+
+    /// Report this epoch's telemetry to the arbiter, or `None` when the
+    /// MSR power path is faulted (dropout, stuck/jumping counter): the
+    /// member then keeps its last grant and sits out redistribution.
+    pub fn take_report(&mut self) -> Option<NodeTelemetry> {
+        let now = self.node.now();
+        let power_w = self
+            .sensor
+            .sample(&self.node, now, MIN_PLAUSIBLE_W, MAX_PLAUSIBLE_W)?;
+        if self.last_compute_s <= 0.0 {
+            return None;
+        }
+        Some(NodeTelemetry {
+            compute_s: self.last_compute_s,
+            rate: self.weight / self.last_compute_s,
+            power_w,
+        })
+    }
+}
+
+/// A second is a whole number of default daemon periods.
+pub const DEFAULT_DAEMON_PERIOD: Nanos = SEC / 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnode::faults::{FaultPlan, FaultWindow};
+
+    fn member(cfg: NodeConfig) -> ClusterNode {
+        ClusterNode::new(0, cfg, 1.0, WorkloadShape::default(), DEFAULT_DAEMON_PERIOD)
+    }
+
+    #[test]
+    fn iteration_runs_to_completion_and_times_it() {
+        let mut m = member(simnode::presets::reference());
+        m.set_grant(120.0);
+        let t = m.compute_iteration();
+        // ~120 ms of compute at fmax; capped at 120 W barely stretches it.
+        assert!((0.1..0.5).contains(&t), "iteration took {t:.3} s");
+        assert!(m.total_energy() > 0.0);
+    }
+
+    #[test]
+    fn spin_burns_time_and_power_without_progress() {
+        let mut m = member(simnode::presets::reference());
+        m.set_grant(100.0);
+        m.compute_iteration();
+        let e0 = m.total_energy();
+        let target = m.now() + SEC / 2;
+        m.spin_until(target);
+        assert!(m.now() >= target);
+        assert!(m.total_energy() > e0, "spinning must burn energy");
+    }
+
+    #[test]
+    fn grant_reaches_the_package_via_the_daemon() {
+        let mut m = member(simnode::presets::reference());
+        m.set_grant(70.0);
+        m.compute_iteration();
+        assert_eq!(
+            m.node().package_cap(),
+            Some(70.0),
+            "daemon must program the granted cap"
+        );
+    }
+
+    #[test]
+    fn report_carries_power_and_rate() {
+        let mut m = member(simnode::presets::reference());
+        m.set_grant(90.0);
+        m.compute_iteration();
+        let rep = m.take_report().expect("healthy node reports");
+        assert!(rep.power_w > 20.0 && rep.power_w < 160.0, "{rep:?}");
+        assert!((rep.rate - 1.0 / rep.compute_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn telemetry_dropout_suppresses_the_report() {
+        let plan = FaultPlan::new(11).telemetry_dropout(FaultWindow::new(0, 3600 * SEC));
+        let cfg = NodeConfig {
+            faults: Some(plan),
+            ..simnode::presets::reference()
+        };
+        let mut m = member(cfg);
+        m.set_grant(90.0);
+        m.compute_iteration();
+        assert!(m.take_report().is_none(), "dropout must suppress telemetry");
+    }
+}

@@ -1,0 +1,325 @@
+//! The bulk-synchronous cluster driver.
+//!
+//! [`run_cluster`] instantiates N independent members (heterogeneous
+//! presets allowed), couples them with a barrier — the slowest rank gates
+//! every iteration, faster ranks spin — and lets a [`PowerArbiter`]
+//! redistribute the global power budget at each barrier from the
+//! telemetry the members report. Members step in parallel between
+//! barriers (each owns an independent `simnode` instance, so the
+//! simulation is embarrassingly parallel within an epoch and bitwise
+//! deterministic regardless of thread count).
+
+use rayon::prelude::*;
+
+use progress::imbalance::{self, ImbalanceReport};
+use simnode::config::NodeConfig;
+use simnode::faults::FaultPlan;
+use simnode::time::{secs, Nanos};
+
+use crate::arbiter::{ArbiterConfig, GrantTick, NodeTelemetry, PowerArbiter};
+use crate::member::ClusterNode;
+use crate::workload::WorkloadShape;
+
+/// Named node hardware variants (see [`simnode::presets`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Preset {
+    /// The calibrated reference node.
+    Reference,
+    /// +pct% switched capacitance: hotter at every operating point.
+    Leaky(f64),
+    /// Top frequencies fused off at `fmax_mhz`.
+    LowBin(u32),
+    /// Thermal model with an undersized heatsink.
+    PoorCooling,
+}
+
+impl Preset {
+    fn config(self) -> NodeConfig {
+        match self {
+            Preset::Reference => simnode::presets::reference(),
+            Preset::Leaky(pct) => simnode::presets::leaky(pct),
+            Preset::LowBin(fmax) => simnode::presets::low_bin(fmax),
+            Preset::PoorCooling => simnode::presets::poor_cooling(),
+        }
+    }
+}
+
+/// One node's place in the cluster: hardware variant, share of the
+/// decomposition, and an optional injected fault plan.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// Hardware variant.
+    pub preset: Preset,
+    /// Work multiplier for this rank.
+    pub weight: f64,
+    /// Fault plan for this node's MSR layer (PR-1 fault injection).
+    pub faults: Option<FaultPlan>,
+}
+
+impl NodeSpec {
+    /// A healthy node of `preset` carrying `weight`.
+    pub fn new(preset: Preset, weight: f64) -> Self {
+        Self {
+            preset,
+            weight,
+            faults: None,
+        }
+    }
+
+    /// Attach a fault plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+}
+
+/// Full cluster run description.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// The member nodes.
+    pub nodes: Vec<NodeSpec>,
+    /// Outer (barrier-to-barrier) iterations to run.
+    pub iters: usize,
+    /// Budget arbiter tuning.
+    pub arbiter: ArbiterConfig,
+    /// Kernel cost shape shared by all ranks.
+    pub shape: WorkloadShape,
+    /// NRM daemon control period on every member, ns.
+    pub daemon_period: Nanos,
+}
+
+impl ClusterConfig {
+    /// Validate the composite configuration.
+    ///
+    /// # Panics
+    /// Panics on an empty cluster, zero iterations, or an invalid
+    /// arbiter/preset configuration.
+    pub fn validate(&self) {
+        assert!(!self.nodes.is_empty(), "cluster needs at least one node");
+        assert!(self.iters > 0, "need at least one iteration");
+        self.arbiter.validate();
+        for spec in &self.nodes {
+            spec.preset.config().validate();
+        }
+    }
+}
+
+/// Per-iteration record: barrier time, per-node compute times, and the
+/// imbalance analysis over them (critical rank = slowest node, wait
+/// fraction = share of node-seconds burned at the barrier).
+#[derive(Debug, Clone)]
+pub struct IterationRecord {
+    /// Iteration index.
+    pub round: usize,
+    /// Barrier time (max member clock), s from run start.
+    pub barrier_at_s: f64,
+    /// Per-node compute time this iteration, s.
+    pub compute_s: Vec<f64>,
+    /// Imbalance analysis over `compute_s`.
+    pub imbalance: ImbalanceReport,
+    /// Which nodes delivered telemetry this iteration.
+    pub reporting: Vec<bool>,
+}
+
+/// Everything a cluster run produced.
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// Wall-clock makespan: when the last member finished the last
+    /// barrier, s.
+    pub makespan_s: f64,
+    /// Ground-truth total energy across all members, J.
+    pub energy_j: f64,
+    /// Per-iteration records.
+    pub iterations: Vec<IterationRecord>,
+    /// The arbiter's budget-conservation trace, one tick per barrier.
+    pub grant_trace: Vec<GrantTick>,
+    /// Final grants in force, W.
+    pub final_grants_w: Vec<f64>,
+}
+
+impl ClusterOutcome {
+    /// Mean across iterations of the per-iteration imbalance factor.
+    pub fn mean_imbalance_factor(&self) -> f64 {
+        mean(self.iterations.iter().map(|i| i.imbalance.imbalance_factor))
+    }
+
+    /// Mean across iterations of the barrier wait fraction.
+    pub fn mean_wait_fraction(&self) -> f64 {
+        mean(self.iterations.iter().map(|i| i.imbalance.wait_fraction))
+    }
+
+    /// Smallest budget slack observed across the whole trace, W
+    /// (non-negative iff conservation held on every tick).
+    pub fn min_budget_slack_w(&self) -> f64 {
+        self.grant_trace
+            .iter()
+            .map(GrantTick::slack_w)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Node-ticks excluded from redistribution (telemetry dropouts).
+    pub fn excluded_node_ticks(&self) -> usize {
+        self.grant_trace
+            .iter()
+            .map(|t| t.reporting.iter().filter(|r| !**r).count())
+            .sum()
+    }
+}
+
+fn mean(it: impl Iterator<Item = f64>) -> f64 {
+    let (mut n, mut sum) = (0usize, 0.0);
+    for v in it {
+        n += 1;
+        sum += v;
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Run the cluster to completion under `cfg`.
+///
+/// Each iteration: all members compute their share in parallel; the
+/// barrier lands at the slowest member's clock and everyone else spins up
+/// to it; members report telemetry; the arbiter redistributes and the new
+/// grants take effect for the next iteration.
+///
+/// # Panics
+/// Panics on an invalid configuration or an arbiter invariant violation.
+pub fn run_cluster(cfg: &ClusterConfig) -> ClusterOutcome {
+    cfg.validate();
+    let n = cfg.nodes.len();
+    let mut arbiter = PowerArbiter::new(cfg.arbiter, n);
+
+    let mut members: Vec<ClusterNode> = cfg
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(id, spec)| {
+            let node_cfg = NodeConfig {
+                faults: spec.faults.clone(),
+                ..spec.preset.config()
+            };
+            let mut m = ClusterNode::new(id, node_cfg, spec.weight, cfg.shape, cfg.daemon_period);
+            m.set_grant(arbiter.grants()[id]);
+            m
+        })
+        .collect();
+
+    let mut iterations = Vec::with_capacity(cfg.iters);
+    for round in 0..cfg.iters {
+        // Compute phase: members advance independently in parallel.
+        members = members
+            .into_par_iter()
+            .map(|mut m| {
+                m.compute_iteration();
+                m
+            })
+            .collect();
+
+        // Barrier: the slowest member's clock gates everyone.
+        let barrier_at = members
+            .iter()
+            .map(ClusterNode::now)
+            .max()
+            .expect("nonempty");
+        members = members
+            .into_par_iter()
+            .map(|mut m| {
+                m.spin_until(barrier_at);
+                m
+            })
+            .collect();
+
+        // Telemetry + redistribution.
+        let reports: Vec<Option<NodeTelemetry>> =
+            members.iter_mut().map(ClusterNode::take_report).collect();
+        let compute_s: Vec<f64> = members.iter().map(ClusterNode::last_compute_s).collect();
+        let imbalance =
+            imbalance::analyze(&compute_s).expect("compute times are positive and finite");
+        let grants = arbiter.redistribute(&reports).to_vec();
+        for (m, &g) in members.iter_mut().zip(&grants) {
+            m.set_grant(g);
+        }
+
+        iterations.push(IterationRecord {
+            round,
+            barrier_at_s: secs(barrier_at),
+            compute_s,
+            imbalance,
+            reporting: reports.iter().map(Option::is_some).collect(),
+        });
+    }
+
+    let makespan_s = iterations.last().map(|i| i.barrier_at_s).unwrap_or(0.0);
+    let energy_j = members.iter().map(ClusterNode::total_energy).sum();
+    ClusterOutcome {
+        makespan_s,
+        energy_j,
+        iterations,
+        final_grants_w: arbiter.grants().to_vec(),
+        grant_trace: arbiter.trace().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiter::Policy;
+    use crate::member::DEFAULT_DAEMON_PERIOD;
+
+    fn small_cfg(policy: Policy) -> ClusterConfig {
+        ClusterConfig {
+            nodes: vec![
+                NodeSpec::new(Preset::Reference, 1.0),
+                NodeSpec::new(Preset::Reference, 1.5),
+                NodeSpec::new(Preset::Reference, 2.0),
+            ],
+            iters: 3,
+            arbiter: ArbiterConfig {
+                budget_w: 240.0,
+                min_cap_w: 40.0,
+                max_cap_w: 130.0,
+                policy,
+            },
+            shape: WorkloadShape::default(),
+            daemon_period: DEFAULT_DAEMON_PERIOD,
+        }
+    }
+
+    #[test]
+    fn barrier_couples_the_members() {
+        let out = run_cluster(&small_cfg(Policy::UniformStatic));
+        assert_eq!(out.iterations.len(), 3);
+        for it in &out.iterations {
+            // The heaviest rank is the critical path every iteration.
+            assert_eq!(it.imbalance.critical_rank, 2);
+            assert!(it.imbalance.wait_fraction > 0.05, "light ranks wait");
+        }
+        assert!(out.makespan_s > 0.0);
+        assert!(out.energy_j > 0.0);
+    }
+
+    #[test]
+    fn budget_is_conserved_on_every_tick() {
+        let out = run_cluster(&small_cfg(Policy::ProgressFeedback { gain: 1.0 }));
+        assert_eq!(out.grant_trace.len(), 3);
+        assert!(
+            out.min_budget_slack_w() >= -1e-6,
+            "slack {}",
+            out.min_budget_slack_w()
+        );
+    }
+
+    #[test]
+    fn feedback_shifts_watts_toward_the_heavy_rank() {
+        let out = run_cluster(&small_cfg(Policy::ProgressFeedback { gain: 1.0 }));
+        let g = &out.final_grants_w;
+        assert!(
+            g[2] > g[0] + 5.0,
+            "critical rank must end with more watts: {g:?}"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Per-node iteration workloads for the bulk-synchronous cluster.
+//!
+//! Every node runs the same SPMD kernel, but real decompositions are not
+//! perfectly balanced: domain geometry, particle clustering, or AMR give
+//! some ranks more work per iteration than others. A [`WorkloadShape`]
+//! describes the kernel's per-unit cost; each node's share is that shape
+//! scaled by a dimensionless *weight*, so `weight = 2.0` means twice the
+//! cycles, misses and instructions per iteration of a `weight = 1.0`
+//! node.
+
+use simnode::node::WorkPacket;
+
+/// The per-core, per-weight-unit cost of one outer iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadShape {
+    /// Core cycles per weight unit.
+    pub cycles_per_unit: f64,
+    /// L3 misses per weight unit.
+    pub misses_per_unit: f64,
+    /// Instructions retired per weight unit.
+    pub inst_per_unit: f64,
+    /// Memory-level parallelism of the misses, in (0, 1].
+    pub mlp: f64,
+    /// Memory-pressure contribution while in flight, in [0, 1].
+    pub mem_weight: f64,
+}
+
+impl Default for WorkloadShape {
+    /// A compute-bound kernel: ~120 ms per weight unit at the reference
+    /// node's 3.3 GHz fmax, with a light memory tail. Compute-bound is
+    /// the interesting regime for an arbiter — frequency (and therefore
+    /// the granted cap) translates directly into iteration time.
+    fn default() -> Self {
+        Self {
+            cycles_per_unit: 3.3e9 * 0.12,
+            misses_per_unit: 2.0e5,
+            inst_per_unit: 5.0e8,
+            mlp: 0.8,
+            mem_weight: 0.2,
+        }
+    }
+}
+
+impl WorkloadShape {
+    /// The packet one core executes for one iteration at `weight`.
+    ///
+    /// # Panics
+    /// Panics on a non-finite or non-positive weight.
+    pub fn packet(&self, weight: f64) -> WorkPacket {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "node weight must be finite positive"
+        );
+        WorkPacket {
+            cycles: self.cycles_per_unit * weight,
+            misses: self.misses_per_unit * weight,
+            instructions: self.inst_per_unit * weight,
+            mlp: self.mlp,
+            mem_weight: self.mem_weight,
+        }
+    }
+}
+
+/// A linear weight ramp from `lo` to `hi` across `n` nodes — the standard
+/// imbalanced decomposition used by the cluster experiments (node `n-1`
+/// carries `hi / lo` times the work of node 0 and is the static critical
+/// path).
+///
+/// # Panics
+/// Panics when `n` is zero or the ramp is inverted/non-positive.
+pub fn ramp_weights(n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one node");
+    assert!(0.0 < lo && lo <= hi, "need 0 < lo <= hi");
+    if n == 1 {
+        return vec![hi];
+    }
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_scales_linearly_with_weight() {
+        let shape = WorkloadShape::default();
+        let a = shape.packet(1.0);
+        let b = shape.packet(2.5);
+        assert!((b.cycles / a.cycles - 2.5).abs() < 1e-12);
+        assert!((b.misses / a.misses - 2.5).abs() < 1e-12);
+        assert_eq!(a.mlp, b.mlp, "weight scales work, not its character");
+    }
+
+    #[test]
+    fn ramp_spans_the_requested_range() {
+        let w = ramp_weights(8, 1.0, 2.4);
+        assert_eq!(w.len(), 8);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[7] - 2.4).abs() < 1e-12);
+        assert!(w.windows(2).all(|p| p[1] > p[0]), "strictly increasing");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite positive")]
+    fn zero_weight_rejected() {
+        WorkloadShape::default().packet(0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests for the power-budget arbiter: the invariants that make
+//! it safe to wire into a machine-room breaker. For arbitrary (bounded)
+//! budgets, clamps, telemetry and dropout patterns:
+//!
+//! - **budget conservation** — granted caps never sum above the budget;
+//! - **clamp respect** — every grant stays inside `[min, max]`;
+//! - **determinism** — identical inputs produce bitwise-identical grants,
+//!   independent of history cloning or repetition (and, by construction,
+//!   of worker thread count: redistribution is pure arithmetic over
+//!   ordered vectors).
+
+use cluster::{ArbiterConfig, NodeTelemetry, Policy, PowerArbiter};
+use proptest::prelude::*;
+
+/// Bounded arbitrary telemetry: `None` (~1 in 5) models a dropout.
+fn telemetry() -> impl Strategy<Value = Option<NodeTelemetry>> {
+    prop_oneof![
+        1 => Just(None),
+        4 => (0.05f64..20.0, 5.0f64..300.0).prop_map(|(compute_s, power_w)| {
+            Some(NodeTelemetry { compute_s, rate: 1.0 / compute_s, power_w })
+        }),
+    ]
+}
+
+fn policy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::UniformStatic),
+        Just(Policy::DemandProportional),
+        (0.1f64..2.0).prop_map(|gain| Policy::ProgressFeedback { gain }),
+    ]
+}
+
+/// A feasible (budget ≥ n·min) arbiter config plus several rounds of
+/// per-node reports.
+fn scenario() -> impl Strategy<Value = (ArbiterConfig, Vec<Vec<Option<NodeTelemetry>>>)> {
+    (2usize..9, policy()).prop_flat_map(|(n, policy)| {
+        (
+            (20.0f64..60.0, 60.0f64..180.0).prop_flat_map(move |(min_cap_w, max_cap_w)| {
+                (min_cap_w * n as f64..max_cap_w * n as f64 * 1.2).prop_map(move |budget_w| {
+                    ArbiterConfig {
+                        budget_w,
+                        min_cap_w,
+                        max_cap_w,
+                        policy,
+                    }
+                })
+            }),
+            prop::collection::vec(prop::collection::vec(telemetry(), n), 1..6),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    /// Σ grants ≤ budget after every redistribution, for every policy,
+    /// through arbitrary dropout patterns.
+    #[test]
+    fn budget_is_conserved(scn in scenario()) {
+        let (cfg, rounds) = scn;
+        let n = rounds[0].len();
+        let mut arb = PowerArbiter::new(cfg, n);
+        for reports in &rounds {
+            arb.redistribute(reports);
+        }
+        for tick in arb.trace() {
+            prop_assert!(
+                tick.total_w <= tick.budget_w + 1e-6,
+                "round {}: granted {} W over the {} W budget",
+                tick.round, tick.total_w, tick.budget_w
+            );
+            let s: f64 = tick.granted_w.iter().sum();
+            prop_assert!((s - tick.total_w).abs() < 1e-9, "trace self-consistency");
+        }
+    }
+
+    /// Every grant, on every tick, respects the per-node clamp range.
+    #[test]
+    fn clamps_are_respected(scn in scenario()) {
+        let (cfg, rounds) = scn;
+        let n = rounds[0].len();
+        let mut arb = PowerArbiter::new(cfg, n);
+        for reports in &rounds {
+            for &g in arb.redistribute(reports) {
+                prop_assert!(
+                    g >= cfg.min_cap_w - 1e-6 && g <= cfg.max_cap_w + 1e-6,
+                    "grant {g} W outside [{}, {}] W",
+                    cfg.min_cap_w, cfg.max_cap_w
+                );
+            }
+        }
+    }
+
+    /// Redistribution is a pure function of (config, history): replaying
+    /// identical reports on a fresh arbiter, or continuing from a cloned
+    /// arbiter, reproduces bitwise-identical grants.
+    #[test]
+    fn redistribution_is_deterministic(scn in scenario()) {
+        let (cfg, rounds) = scn;
+        let n = rounds[0].len();
+        let mut a = PowerArbiter::new(cfg, n);
+        let mut b = PowerArbiter::new(cfg, n);
+        for reports in &rounds {
+            // A cloned mid-stream arbiter must agree with both originals.
+            let mut c = a.clone();
+            let ga = a.redistribute(reports).to_vec();
+            let gb = b.redistribute(reports).to_vec();
+            let gc = c.redistribute(reports).to_vec();
+            for i in 0..n {
+                prop_assert_eq!(ga[i].to_bits(), gb[i].to_bits(), "replay divergence");
+                prop_assert_eq!(ga[i].to_bits(), gc[i].to_bits(), "clone divergence");
+            }
+        }
+        prop_assert_eq!(a.trace().len(), rounds.len());
+    }
+
+    /// A silent node's grant is frozen verbatim while the cluster still
+    /// has headroom to fund everyone's floor.
+    #[test]
+    fn dropout_freezes_the_grant(
+        n in 3usize..8,
+        silent in 0usize..3,
+        gain in 0.2f64..1.5,
+    ) {
+        let silent = silent.min(n - 1);
+        let cfg = ArbiterConfig {
+            // Generous budget: freezing never needs the feasibility clip.
+            budget_w: 120.0 * n as f64,
+            min_cap_w: 40.0,
+            max_cap_w: 160.0,
+            policy: Policy::ProgressFeedback { gain },
+        };
+        let mut arb = PowerArbiter::new(cfg, n);
+        let all: Vec<_> = (0..n)
+            .map(|i| Some(NodeTelemetry {
+                compute_s: 1.0 + i as f64 * 0.3,
+                rate: 1.0,
+                power_w: 100.0,
+            }))
+            .collect();
+        arb.redistribute(&all);
+        let frozen = arb.grants()[silent];
+        let mut partial = all;
+        partial[silent] = None;
+        arb.redistribute(&partial);
+        prop_assert_eq!(arb.grants()[silent].to_bits(), frozen.to_bits());
+    }
+}

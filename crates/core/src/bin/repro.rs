@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults]
+//! repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|cluster]
 //!       [--quick] [--out DIR]
 //! ```
 //!
@@ -12,7 +12,8 @@ use std::fs;
 use std::path::PathBuf;
 
 use powerprog_core::experiments::{
-    ablations, candle_ext, faults, fig1, fig2, fig3, fig4, fig5, table1, table6, tables2to5,
+    ablations, candle_ext, cluster, faults, fig1, fig2, fig3, fig4, fig5, table1, table6,
+    tables2to5,
 };
 use powerprog_core::report::TextTable;
 
@@ -39,7 +40,7 @@ fn parse_args() -> Opts {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults]... [--quick] [--out DIR]"
+                    "usage: repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|cluster]... [--quick] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -192,6 +193,16 @@ fn main() {
                 "MISMATCH"
             }
         );
+    }
+    if wants("cluster") {
+        let cfg = if opts.quick {
+            cluster::Config::quick()
+        } else {
+            cluster::Config::default()
+        };
+        let r = cluster::run(&cfg);
+        emit(&r.table(), &opts.out, "cluster_policies");
+        emit(&r.budget_trace_table(), &opts.out, "cluster_budget_trace");
     }
     if wants("ablations") {
         let cfg = if opts.quick {

@@ -7,6 +7,7 @@
 
 pub mod ablations;
 pub mod candle_ext;
+pub mod cluster;
 pub mod faults;
 pub mod fig1;
 pub mod fig2;

@@ -90,6 +90,11 @@ impl NrmDaemon {
     pub fn planned_cap(&self, elapsed: Nanos) -> Option<f64> {
         self.schedule.cap_at(elapsed)
     }
+
+    /// The most recent observation, if the daemon has ticked at all.
+    pub fn last_sample(&self) -> Option<&DaemonSample> {
+        self.samples.last()
+    }
 }
 
 impl SimAgent for NrmDaemon {
@@ -173,7 +178,7 @@ mod tests {
         };
         let d = run_daemon(NrmDaemon::new(Box::new(sched), ActuatorKind::Rapl), 18);
         // Late samples should sit near the 60 W floor.
-        let last = d.samples.last().unwrap();
+        let last = d.last_sample().expect("daemon ticked");
         assert!(
             (last.avg_power_w - 60.0).abs() < 8.0,
             "settled power {:.1} W",

@@ -229,6 +229,11 @@ impl ResilientDaemon {
         &self.sensor
     }
 
+    /// The most recent observation, if the daemon has ticked at all.
+    pub fn last_sample(&self) -> Option<&DaemonSample> {
+        self.samples.last()
+    }
+
     /// Attempt `chain[idx]` with immediate retries; returns
     /// `(succeeded, retries_spent, readback_verdict)`.
     fn attempt(
@@ -483,7 +488,7 @@ mod tests {
         );
         // Well after the fault clears, the backoff probe restores RAPL.
         assert_eq!(d.active_kind(), ActuatorKind::Rapl, "primary recovered");
-        let last = d.samples.last().unwrap();
+        let last = d.last_sample().expect("daemon ticked");
         assert!(!last.fallback_used && !last.actuation_failed);
     }
 
@@ -526,7 +531,7 @@ mod tests {
             d.samples.iter().any(|s| s.safe_mode),
             "sustained overshoot must engage safe mode"
         );
-        let last = d.samples.last().unwrap();
+        let last = d.last_sample().expect("daemon ticked");
         assert!(!last.safe_mode, "safe mode must disengage after recovery");
         assert_eq!(last.cap_w, Some(80.0), "scheduled cap restored");
         let p = node.average_power(2 * SEC);

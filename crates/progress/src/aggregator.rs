@@ -2,7 +2,7 @@
 //!
 //! The paper's monitoring daemon collects raw progress reports and averages
 //! them "once every second" (§IV.B.1). [`ProgressAggregator`] reproduces
-//! that: it drains a [`Subscriber`](crate::bus::Subscriber), buckets events
+//! that: it drains a [`crate::bus::Subscriber`], buckets events
 //! into fixed windows, and emits one *rate* sample per window — including
 //! **zero-valued windows** when no report arrived, which is how the OpenMC
 //! zero readings of paper Fig. 3 show up (a ~1 report/s source beating

@@ -9,7 +9,31 @@
 //! to techniques like the DDCM rebalancing the paper cites
 //! (Bhalachandra et al.).
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
+
+/// Why a set of per-rank rates could not be analyzed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImbalanceError {
+    /// No ranks were supplied.
+    Empty,
+    /// The rate at the given rank is negative or NaN.
+    InvalidRate(usize),
+}
+
+impl fmt::Display for ImbalanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImbalanceError::Empty => write!(f, "need at least one rank"),
+            ImbalanceError::InvalidRate(rank) => {
+                write!(f, "rank {rank} has a negative or NaN rate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImbalanceError {}
 
 /// Summary of per-rank progress rates.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,11 +54,16 @@ pub struct ImbalanceReport {
 
 /// Analyze per-rank work rates.
 ///
-/// # Panics
-/// Panics if `rates` is empty or contains a negative value.
-pub fn analyze(rates: &[f64]) -> ImbalanceReport {
-    assert!(!rates.is_empty(), "need at least one rank");
-    assert!(rates.iter().all(|&r| r >= 0.0), "rates are non-negative");
+/// # Errors
+/// Returns [`ImbalanceError::Empty`] for an empty slice and
+/// [`ImbalanceError::InvalidRate`] when a rate is negative or NaN.
+pub fn analyze(rates: &[f64]) -> Result<ImbalanceReport, ImbalanceError> {
+    if rates.is_empty() {
+        return Err(ImbalanceError::Empty);
+    }
+    if let Some(bad) = rates.iter().position(|r| r.is_nan() || *r < 0.0) {
+        return Err(ImbalanceError::InvalidRate(bad));
+    }
     let n = rates.len() as f64;
     let max = rates.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -46,13 +75,13 @@ pub fn analyze(rates: &[f64]) -> ImbalanceReport {
         .max_by(|a, b| a.1.total_cmp(b.1))
         .expect("non-empty")
         .0;
-    ImbalanceReport {
+    Ok(ImbalanceReport {
         rates: rates.to_vec(),
         critical_rank,
         imbalance_factor: if min > 0.0 { max / min } else { f64::INFINITY },
         cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
         wait_fraction: if max > 0.0 { 1.0 - mean / max } else { 0.0 },
-    }
+    })
 }
 
 impl ImbalanceReport {
@@ -69,7 +98,7 @@ mod tests {
 
     #[test]
     fn balanced_ranks_report_unit_factor() {
-        let r = analyze(&[10.0, 10.0, 10.0, 10.0]);
+        let r = analyze(&[10.0, 10.0, 10.0, 10.0]).unwrap();
         assert!(r.is_balanced(0.01));
         assert_eq!(r.imbalance_factor, 1.0);
         assert_eq!(r.wait_fraction, 0.0);
@@ -81,7 +110,7 @@ mod tests {
         // Rank r does (r+1)/n of the critical work per iteration.
         let n = 24usize;
         let rates: Vec<f64> = (0..n).map(|r| (r + 1) as f64 / n as f64 * 1e6).collect();
-        let rep = analyze(&rates);
+        let rep = analyze(&rates).unwrap();
         assert_eq!(rep.critical_rank, n - 1);
         assert!((rep.imbalance_factor - 24.0).abs() < 1e-9);
         // mean = (n+1)/2n of max → wait fraction ≈ 1 − 25/48.
@@ -91,14 +120,28 @@ mod tests {
 
     #[test]
     fn idle_rank_yields_infinite_factor() {
-        let rep = analyze(&[0.0, 5.0]);
+        let rep = analyze(&[0.0, 5.0]).unwrap();
         assert!(rep.imbalance_factor.is_infinite());
         assert!(!rep.is_balanced(10.0));
     }
 
     #[test]
-    #[should_panic(expected = "at least one rank")]
     fn empty_input_rejected() {
-        analyze(&[]);
+        assert_eq!(analyze(&[]), Err(ImbalanceError::Empty));
+    }
+
+    #[test]
+    fn negative_and_nan_rates_rejected_with_rank() {
+        assert_eq!(
+            analyze(&[1.0, -2.0, 3.0]),
+            Err(ImbalanceError::InvalidRate(1))
+        );
+        assert_eq!(
+            analyze(&[1.0, 2.0, f64::NAN]),
+            Err(ImbalanceError::InvalidRate(2))
+        );
+        assert!(ImbalanceError::InvalidRate(2)
+            .to_string()
+            .contains("rank 2"));
     }
 }

@@ -14,7 +14,7 @@
 //!   evaluation needs (steady-state means, coefficient of variation);
 //! - [`taxonomy`]: the paper's three-way categorization of applications
 //!   and the interview questionnaire of Table III;
-//! - [`registry`]: Tables II, IV and V as queryable data;
+//! - [`mod@registry`]: Tables II, IV and V as queryable data;
 //! - [`watchdog`]: debounced stall detection that distinguishes genuine
 //!   application flatlines from lossy-transport zero glitches.
 
@@ -30,7 +30,7 @@ pub mod watchdog;
 pub use aggregator::{ProgressAggregator, WindowStats};
 pub use bus::{BusConfig, DropPolicy, ProgressBus, Publisher, Subscriber};
 pub use event::{MetricDesc, ProgressEvent, SourceId};
-pub use imbalance::{analyze, ImbalanceReport};
+pub use imbalance::{analyze, ImbalanceError, ImbalanceReport};
 pub use registry::{registry, AppRecord};
 pub use series::TimeSeries;
 pub use taxonomy::{Category, InterviewAnswers, ResourceBound, QUESTIONS};

@@ -1,6 +1,6 @@
 //! Named node configurations.
 //!
-//! The default [`NodeConfig`](crate::config::NodeConfig) is calibrated to
+//! The default [`crate::config::NodeConfig`] is calibrated to
 //! the paper's testbed; these presets express the *node variability* the
 //! paper's motivation leans on (Rountree et al.: "performance variability
 //! between compute nodes becomes a highlighted issue in a power-limited

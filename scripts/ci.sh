@@ -10,12 +10,17 @@ cargo fmt --all --check
 echo "== cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo build --release"
 cargo build --workspace --release
 
 if [[ "${1:-}" != "--no-test" ]]; then
     echo "== cargo test"
     cargo test --workspace --release -q
+    echo "== cluster bench (test mode)"
+    cargo bench -q -p powerprog-bench --bench cluster -- --test
 fi
 
 echo "CI gate passed."

@@ -63,7 +63,7 @@ pub mod prelude {
     pub use powerprog_core::runner::{run_app, RunArtifacts, RunConfig, ScheduleSpec};
     pub use progress::aggregator::ProgressAggregator;
     pub use progress::bus::{BusConfig, DropPolicy, ProgressBus};
-    pub use progress::imbalance::{analyze as analyze_imbalance, ImbalanceReport};
+    pub use progress::imbalance::{analyze as analyze_imbalance, ImbalanceError, ImbalanceReport};
     pub use progress::series::TimeSeries;
     pub use progress::taxonomy::Category;
     pub use progress::watchdog::{Health, ProgressWatchdog, WatchdogConfig};

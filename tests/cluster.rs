@@ -1,0 +1,157 @@
+//! Integration tests for the cluster layer: the progress-aware arbiter
+//! must actually pay off end-to-end (lower makespan than uniform-static
+//! under the same global budget, without spending more energy), conserve
+//! the budget on every tick, and tolerate the PR-1 fault layer taking a
+//! node's telemetry out.
+
+use cluster::{
+    run_cluster, ArbiterConfig, ClusterConfig, NodeSpec, Policy, Preset, WorkloadShape,
+    DEFAULT_DAEMON_PERIOD,
+};
+use powerprog_core::experiments::cluster as experiment;
+use simnode::faults::{FaultPlan, FaultWindow};
+use simnode::time::SEC;
+
+/// The acceptance scenario: on an imbalanced 8-node workload under one
+/// global budget, the progress-feedback policy achieves strictly lower
+/// makespan than uniform-static, at no extra energy, with budget
+/// conservation holding at every arbiter tick of every policy.
+#[test]
+fn progress_aware_beats_uniform_static_under_the_same_budget() {
+    let cfg = experiment::Config::quick();
+    let r = experiment::run(&cfg);
+    let uniform = &r.cell("uniform-static").expect("baseline ran").outcome;
+    let feedback = &r.cell("progress-feedback").expect("feedback ran").outcome;
+
+    assert!(
+        feedback.makespan_s < uniform.makespan_s,
+        "progress-aware arbiter must strictly beat uniform-static: \
+         {:.2} s vs {:.2} s",
+        feedback.makespan_s,
+        uniform.makespan_s
+    );
+    assert!(
+        feedback.energy_j <= uniform.energy_j * 1.05,
+        "the win must not come from extra energy: {:.0} J vs {:.0} J",
+        feedback.energy_j,
+        uniform.energy_j
+    );
+
+    // Budget conservation, asserted tick by tick for every policy.
+    for cell in &r.cells {
+        for tick in &cell.outcome.grant_trace {
+            let total: f64 = tick.granted_w.iter().sum();
+            assert!(
+                total <= cfg.budget_w + 1e-6,
+                "{} round {}: granted {:.2} W over the {:.0} W budget",
+                cell.policy,
+                tick.round,
+                total,
+                cfg.budget_w
+            );
+            for &g in &tick.granted_w {
+                assert!(
+                    g >= cfg.min_cap_w - 1e-6 && g <= cfg.max_cap_w + 1e-6,
+                    "{} round {}: grant {g:.2} W outside clamps",
+                    cell.policy,
+                    tick.round
+                );
+            }
+        }
+    }
+}
+
+/// A node whose telemetry drops out keeps its last-granted cap verbatim
+/// and is excluded from redistribution until it reports again.
+#[test]
+fn telemetry_dropout_freezes_the_grant_until_the_node_reports_again() {
+    let victim = 1usize;
+    // Dropout over the middle of the run (node-local clock): the energy
+    // counter becomes unreadable, so the collector cannot report.
+    let plan = FaultPlan::new(21).telemetry_dropout(FaultWindow::new(SEC, 4 * SEC));
+    let mut nodes = vec![
+        NodeSpec::new(Preset::Reference, 1.0),
+        NodeSpec::new(Preset::Reference, 1.5),
+        NodeSpec::new(Preset::Reference, 2.0),
+    ];
+    nodes[victim] = nodes[victim].clone().with_faults(plan);
+    let out = run_cluster(&ClusterConfig {
+        nodes,
+        iters: 8,
+        arbiter: ArbiterConfig {
+            budget_w: 240.0,
+            min_cap_w: 40.0,
+            max_cap_w: 130.0,
+            policy: Policy::ProgressFeedback { gain: 1.0 },
+        },
+        shape: WorkloadShape::default(),
+        daemon_period: DEFAULT_DAEMON_PERIOD,
+    });
+
+    let silent_rounds: Vec<usize> = out
+        .grant_trace
+        .iter()
+        .filter(|t| !t.reporting[victim])
+        .map(|t| t.round)
+        .collect();
+    assert!(
+        !silent_rounds.is_empty(),
+        "the dropout window must actually silence the victim"
+    );
+    assert!(
+        out.grant_trace.iter().any(|t| t.reporting[victim]),
+        "the victim must report again after the window closes"
+    );
+
+    // While silent, the victim's grant is frozen bit-for-bit at its
+    // previous value (the arbiter may only shrink it if feasibility
+    // demanded it, which this generous budget never does).
+    for &round in &silent_rounds {
+        if round == 0 {
+            continue;
+        }
+        let prev = out.grant_trace[round - 1].granted_w[victim];
+        let cur = out.grant_trace[round].granted_w[victim];
+        assert_eq!(
+            cur.to_bits(),
+            prev.to_bits(),
+            "round {round}: silent victim's grant moved ({prev} -> {cur})"
+        );
+    }
+
+    // The healthy nodes keep being rebalanced meanwhile.
+    assert!(out.excluded_node_ticks() == silent_rounds.len());
+    assert!(out.min_budget_slack_w() >= -1e-6);
+}
+
+/// Determinism end-to-end: the same cluster configuration reproduces the
+/// same makespan, energy and grant trace bit-for-bit.
+#[test]
+fn cluster_runs_are_deterministic() {
+    let cfg = ClusterConfig {
+        nodes: vec![
+            NodeSpec::new(Preset::Reference, 1.0),
+            NodeSpec::new(Preset::Leaky(12.0), 1.6),
+            NodeSpec::new(Preset::LowBin(2800), 2.1),
+        ],
+        iters: 3,
+        arbiter: ArbiterConfig {
+            budget_w: 250.0,
+            min_cap_w: 40.0,
+            max_cap_w: 130.0,
+            policy: Policy::ProgressFeedback { gain: 0.8 },
+        },
+        shape: WorkloadShape::default(),
+        daemon_period: DEFAULT_DAEMON_PERIOD,
+    };
+    let a = run_cluster(&cfg);
+    let b = run_cluster(&cfg);
+    assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits());
+    assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+    assert_eq!(a.grant_trace.len(), b.grant_trace.len());
+    for (ta, tb) in a.grant_trace.iter().zip(&b.grant_trace) {
+        for (ga, gb) in ta.granted_w.iter().zip(&tb.granted_w) {
+            assert_eq!(ga.to_bits(), gb.to_bits());
+        }
+    }
+}

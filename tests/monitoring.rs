@@ -113,7 +113,7 @@ fn per_rank_channels_expose_the_listing1_imbalance() {
         .iter()
         .map(|s| s.sum / run.duration_s)
         .collect();
-    let report = progress::imbalance::analyze(&rates);
+    let report = progress::imbalance::analyze(&rates).expect("valid per-rank rates");
     assert_eq!(
         report.critical_rank, 23,
         "the highest rank is on the critical path (paper Listing 1)"
