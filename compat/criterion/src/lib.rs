@@ -4,11 +4,20 @@
 //! `bench_function`, `bench_with_input`, `sample_size`, `throughput`,
 //! `BenchmarkId`, the `criterion_group!`/`criterion_main!` macros — as a
 //! small wall-clock harness: a fixed warm-up iteration, then `samples`
-//! timed iterations, reporting min/mean per-iteration time. No statistics
-//! engine, no HTML reports; enough to smoke-run every bench and eyeball
-//! regressions offline.
+//! timed iterations, reporting median/mean/min per-iteration time. No
+//! statistics engine, no HTML reports; enough to smoke-run every bench
+//! and eyeball regressions offline.
+//!
+//! Environment knobs:
+//!
+//! - `CRITERION_SAMPLES` — timed samples per bench (default 3);
+//! - `CRITERION_JSON` — when set to a path, each bench also appends one
+//!   JSON line `{"name","median_s","mean_s","min_s","samples"}` to that
+//!   file — the machine-readable feed `scripts/bench_snapshot.sh` and
+//!   the CI bench-regression gate consume.
 
 use std::fmt::Display;
+use std::io::Write;
 use std::time::Instant;
 
 /// Throughput annotation (printed alongside timing when set).
@@ -86,6 +95,23 @@ impl Bencher {
     }
 }
 
+/// Median of a sample set (mean of the middle pair for even counts);
+/// the statistic the bench-regression gate compares, as it shrugs off
+/// the occasional scheduler hiccup that drags the mean.
+fn median(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mid = s.len() / 2;
+    if s.len() % 2 == 1 {
+        s[mid]
+    } else {
+        0.5 * (s[mid - 1] + s[mid])
+    }
+}
+
 fn report(group: &str, id: &str, b: &Bencher, throughput: Option<Throughput>) {
     let n = b.last_per_iter_s.len().max(1) as f64;
     let mean = b.last_per_iter_s.iter().sum::<f64>() / n;
@@ -94,11 +120,17 @@ fn report(group: &str, id: &str, b: &Bencher, throughput: Option<Throughput>) {
         .iter()
         .copied()
         .fold(f64::INFINITY, f64::min);
+    let med = median(&b.last_per_iter_s);
     let name = if group.is_empty() {
         id.to_string()
     } else {
         format!("{group}/{id}")
     };
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            append_json_line(&path, &name, med, mean, min, b.last_per_iter_s.len());
+        }
+    }
     let extra = match throughput {
         Some(Throughput::Elements(e)) if mean > 0.0 => {
             format!("  {:>12.0} elem/s", e as f64 / mean)
@@ -109,10 +141,32 @@ fn report(group: &str, id: &str, b: &Bencher, throughput: Option<Throughput>) {
         _ => String::new(),
     };
     println!(
-        "bench {name:<48} mean {:>11} min {:>11}{extra}",
+        "bench {name:<48} median {:>11} mean {:>11} min {:>11}{extra}",
+        fmt_s(med),
         fmt_s(mean),
         fmt_s(min)
     );
+}
+
+/// Append one machine-readable result line to the `CRITERION_JSON` file.
+/// Best-effort: an unwritable path must not fail the bench run itself.
+fn append_json_line(path: &str, name: &str, med: f64, mean: f64, min: f64, samples: usize) {
+    let line = format!(
+        "{{\"name\":\"{}\",\"median_s\":{:.9},\"mean_s\":{:.9},\"min_s\":{:.9},\"samples\":{}}}\n",
+        name.replace('\\', "\\\\").replace('"', "\\\""),
+        med,
+        mean,
+        min,
+        samples
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("criterion stub: cannot append to {path}: {e}");
+    }
 }
 
 fn fmt_s(s: f64) -> String {
@@ -278,5 +332,28 @@ mod tests {
     fn bench_ids_render() {
         assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
         assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn median_handles_odd_even_and_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn json_lines_append_and_escape() {
+        let path = std::env::temp_dir().join("criterion_stub_json_test.jsonl");
+        let path = path.to_str().expect("utf-8 temp path");
+        let _ = std::fs::remove_file(path);
+        append_json_line(path, "g/one", 1e-3, 1.1e-3, 0.9e-3, 3);
+        append_json_line(path, "g/\"two\"", 2e-3, 2.0e-3, 2.0e-3, 1);
+        let text = std::fs::read_to_string(path).expect("file written");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one JSON line per bench");
+        assert!(lines[0].contains("\"name\":\"g/one\""));
+        assert!(lines[0].contains("\"median_s\":0.001000000"));
+        assert!(lines[1].contains("\\\"two\\\""), "quotes escaped");
+        let _ = std::fs::remove_file(path);
     }
 }

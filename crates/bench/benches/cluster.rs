@@ -6,8 +6,8 @@
 //! simulation.
 
 use cluster::{
-    run_cluster, ArbiterConfig, ClusterConfig, NodeSpec, NodeTelemetry, Policy, PowerArbiter,
-    Preset, WorkloadShape, DEFAULT_DAEMON_PERIOD,
+    exchange, run_cluster, ArbiterConfig, ClusterConfig, CommConfig, CommPattern, NodeSpec,
+    NodeTelemetry, Policy, PowerArbiter, Preset, Topology, WorkloadShape, DEFAULT_DAEMON_PERIOD,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -30,6 +30,18 @@ fn bench_config(policy: Policy) -> ClusterConfig {
         },
         shape: WorkloadShape::default(),
         daemon_period: DEFAULT_DAEMON_PERIOD,
+        comm: CommConfig {
+            alpha_s: 2e-6,
+            nic_bw: 1.25e9,
+            power_coupling: 0.5,
+            pattern: CommPattern::HaloExchange {
+                bytes_per_unit: 8.0 * 1024.0 * 1024.0,
+            },
+            topology: Topology::RackTree {
+                nodes_per_rack: 2,
+                uplink_bw: 2.5e9,
+            },
+        },
     }
 }
 
@@ -62,6 +74,8 @@ fn bench_cluster(c: &mut Criterion) {
         .map(|i| {
             Some(NodeTelemetry {
                 compute_s: 1.0 + (i % 7) as f64 * 0.2,
+                comm_s: 0.05 * (i % 3) as f64,
+                slack_s: 0.0,
                 rate: 1.0,
                 power_w: 75.0 + (i % 11) as f64,
             })
@@ -74,6 +88,35 @@ fn bench_cluster(c: &mut Criterion) {
                 black_box(arb.redistribute(black_box(&reports)));
             }
             black_box(arb)
+        })
+    });
+
+    // The exchange pricing alone: one 64-node halo over a rack tree,
+    // staggered readiness and throttled NICs — the per-barrier cost the
+    // comm model adds to the driver loop.
+    let comm_cfg = CommConfig {
+        alpha_s: 2e-6,
+        nic_bw: 12.5e9,
+        power_coupling: 0.5,
+        pattern: CommPattern::HaloExchange {
+            bytes_per_unit: 32.0 * 1024.0 * 1024.0,
+        },
+        topology: Topology::RackTree {
+            nodes_per_rack: 8,
+            uplink_bw: 25.0e9,
+        },
+    };
+    let ready: Vec<f64> = (0..64).map(|i| 0.01 * (i % 5) as f64).collect();
+    let weights: Vec<f64> = (0..64).map(|i| 1.0 + (i % 7) as f64 * 0.2).collect();
+    let drain: Vec<f64> = (0..64).map(|i| 0.6 + 0.05 * (i % 8) as f64).collect();
+    g.bench_function("exchange_halo_64n", |b| {
+        b.iter(|| {
+            black_box(exchange(
+                black_box(&comm_cfg),
+                black_box(&ready),
+                black_box(&weights),
+                black_box(&drain),
+            ))
         })
     });
 

@@ -40,7 +40,11 @@ pub enum Policy {
     /// Watts in proportion to each node's measured power draw.
     DemandProportional,
     /// Proportional feedback on per-node iteration times: steal watts
-    /// from ahead-of-barrier nodes for the critical-path node.
+    /// from ahead-of-barrier nodes for the critical-path node. The error
+    /// term is scaled by each rank's compute fraction
+    /// ([`NodeTelemetry::compute_fraction`]), so a rank that is slow
+    /// because it is waiting on the wire — not because it is capped —
+    /// stops being funded.
     ProgressFeedback {
         /// Controller gain: fraction of the relative time error converted
         /// into a relative cap adjustment per epoch (0.5–1.5 is sensible).
@@ -96,12 +100,44 @@ impl ArbiterConfig {
 /// instead and is excluded from redistribution.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NodeTelemetry {
-    /// Barrier-to-barrier compute time (excluding barrier wait), s.
+    /// Compute-phase time this epoch (excluding exchange and wait), s.
     pub compute_s: f64,
+    /// Exchange-phase wire time this epoch (see [`crate::comm`]), s.
+    pub comm_s: f64,
+    /// Time neither computing nor on the wire (barrier/rendezvous
+    /// slack), s.
+    pub slack_s: f64,
     /// Progress rate while computing, work units/s.
     pub rate: f64,
     /// Measured package power over the epoch (user-space MSR path), W.
     pub power_w: f64,
+}
+
+impl NodeTelemetry {
+    /// Telemetry for an epoch with no exchange phase (the PR-2
+    /// ideal-barrier shape: comm and slack are zero).
+    pub fn compute_only(compute_s: f64, rate: f64, power_w: f64) -> Self {
+        Self {
+            compute_s,
+            comm_s: 0.0,
+            slack_s: 0.0,
+            rate,
+            power_w,
+        }
+    }
+
+    /// Fraction of this node's busy time spent computing (1.0 when the
+    /// epoch had no wire time). The feedback policy scales its error
+    /// term by this: watts speed up compute, not the network, so a
+    /// communication-bound rank earns proportionally less boost.
+    pub fn compute_fraction(&self) -> f64 {
+        let busy = self.compute_s + self.comm_s;
+        if self.comm_s > 0.0 && busy > 0.0 {
+            self.compute_s / busy
+        } else {
+            1.0
+        }
+    }
 }
 
 /// One row of the budget-conservation trace: the grants in force after a
@@ -118,6 +154,12 @@ pub struct GrantTick {
     pub total_w: f64,
     /// The global budget, W.
     pub budget_w: f64,
+    /// Per-node compute-phase time reported this round, s (NaN for a
+    /// silent node).
+    pub compute_s: Vec<f64>,
+    /// Per-node exchange-phase wire time reported this round, s (NaN for
+    /// a silent node).
+    pub comm_s: Vec<f64>,
 }
 
 impl GrantTick {
@@ -268,7 +310,17 @@ impl PowerArbiter {
                                         t < times[rep.critical_rank] + EPS_W || err >= -EPS_W,
                                         "critical node must not donate"
                                     );
-                                    self.grants[i] * (1.0 + gain * err)
+                                    // Comm-aware damping: a rank that is
+                                    // slow because it is waiting on the
+                                    // wire cannot convert watts into
+                                    // barrier arrival time, so its error
+                                    // (boost *or* donation) is scaled by
+                                    // its compute fraction. With no
+                                    // exchange phase the fraction is
+                                    // exactly 1.0 and this reduces to the
+                                    // PR-2 controller bit for bit.
+                                    let frac = reports[i].expect("reporting").compute_fraction();
+                                    self.grants[i] * (1.0 + gain * err * frac)
                                 })
                                 .collect()
                         }
@@ -287,12 +339,20 @@ impl PowerArbiter {
 
     fn record(&mut self, reports: &[Option<NodeTelemetry>]) {
         let total_w = self.grants.iter().sum();
+        let phase = |f: fn(&NodeTelemetry) -> f64| -> Vec<f64> {
+            reports
+                .iter()
+                .map(|r| r.as_ref().map(f).unwrap_or(f64::NAN))
+                .collect()
+        };
         self.trace.push(GrantTick {
             round: self.round,
             granted_w: self.grants.clone(),
             reporting: reports.iter().map(|r| r.is_some()).collect(),
             total_w,
             budget_w: self.cfg.budget_w,
+            compute_s: phase(|t| t.compute_s),
+            comm_s: phase(|t| t.comm_s),
         });
         self.round += 1;
     }
@@ -362,8 +422,18 @@ mod tests {
     }
 
     fn report(compute_s: f64, power_w: f64) -> Option<NodeTelemetry> {
+        Some(NodeTelemetry::compute_only(
+            compute_s,
+            1.0 / compute_s,
+            power_w,
+        ))
+    }
+
+    fn report_with_comm(compute_s: f64, comm_s: f64, power_w: f64) -> Option<NodeTelemetry> {
         Some(NodeTelemetry {
             compute_s,
+            comm_s,
+            slack_s: 0.0,
             rate: 1.0 / compute_s,
             power_w,
         })
@@ -399,6 +469,64 @@ mod tests {
         assert!(g[0] < 100.0 - 1.0, "ahead node must donate: {:?}", g);
         let total: f64 = g.iter().sum();
         assert!(total <= 400.0 + 1e-6);
+    }
+
+    #[test]
+    fn feedback_damps_the_boost_for_communication_bound_ranks() {
+        let gain = Policy::ProgressFeedback { gain: 1.0 };
+        // A wide clamp range keeps the controller in its linear region;
+        // with the default 120 W ceiling both boosts would saturate and
+        // the damping would be invisible.
+        let wide = ArbiterConfig {
+            max_cap_w: 250.0,
+            ..cfg(gain)
+        };
+        // Two arbiters, identical compute times for the slow rank — but
+        // in `wire`, node 3 additionally spent 1.5 s on the exchange.
+        let mut compute = PowerArbiter::new(wide, 4);
+        compute.redistribute(&[
+            report(1.0, 100.0),
+            report(1.0, 100.0),
+            report(1.0, 100.0),
+            report(2.5, 100.0),
+        ]);
+        let mut wire = PowerArbiter::new(wide, 4);
+        wire.redistribute(&[
+            report_with_comm(1.0, 0.0, 100.0),
+            report_with_comm(1.0, 0.0, 100.0),
+            report_with_comm(1.0, 0.0, 100.0),
+            report_with_comm(2.5, 1.5, 100.0),
+        ]);
+        // `analyze` sees the same compute times either way, but the
+        // comm-bound rank earns a damped boost: watts cannot speed up the
+        // wire.
+        assert!(
+            wire.grants()[3] < compute.grants()[3] - 1.0,
+            "comm-bound rank must be funded less: {:?} vs {:?}",
+            wire.grants(),
+            compute.grants()
+        );
+        // The trace records the per-phase split for the policy analysis.
+        assert_eq!(wire.trace()[0].comm_s[3], 1.5);
+        assert_eq!(wire.trace()[0].compute_s[3], 2.5);
+    }
+
+    #[test]
+    fn compute_only_telemetry_reproduces_the_ideal_barrier_controller() {
+        let gain = Policy::ProgressFeedback { gain: 0.9 };
+        let mut a = PowerArbiter::new(cfg(gain), 3);
+        let mut b = PowerArbiter::new(cfg(gain), 3);
+        for _ in 0..4 {
+            a.redistribute(&[report(0.8, 90.0), report(1.1, 95.0), report(1.9, 99.0)]);
+            b.redistribute(&[
+                report_with_comm(0.8, 0.0, 90.0),
+                report_with_comm(1.1, 0.0, 95.0),
+                report_with_comm(1.9, 0.0, 99.0),
+            ]);
+        }
+        for (ga, gb) in a.grants().iter().zip(b.grants()) {
+            assert_eq!(ga.to_bits(), gb.to_bits(), "zero comm must be exact");
+        }
     }
 
     #[test]

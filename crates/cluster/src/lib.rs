@@ -15,22 +15,33 @@
 //!   policies (uniform-static, demand-proportional, progress-feedback)
 //!   and hard Σ ≤ budget / per-node clamp invariants;
 //! - [`workload`] — per-rank iteration costs and the imbalanced ramp;
-//! - [`sim::run_cluster`] — the barrier-coupled driver producing
-//!   makespan, ground-truth energy, per-iteration imbalance analysis
+//! - [`comm`] / [`topology`] — the exchange-phase cost model: alpha-beta
+//!   link pricing with per-link fair-share contention over a flat switch
+//!   or 2-level rack tree, all-reduce and halo-exchange patterns, and a
+//!   power-dependent NIC drain rate (a capped node drains its injection
+//!   queue slower);
+//! - [`sim::run_cluster`] — the compute-phase → exchange-phase driver
+//!   producing makespan, ground-truth energy, per-phase timing
+//!   (`compute_s`/`comm_s`/`slack_s`), per-iteration imbalance analysis
 //!   (via [`progress::imbalance`]) and the budget-conservation trace.
 //!
 //! Everything is deterministic for a fixed configuration, including
 //! across thread counts: members are independent simulations between
-//! barriers, and the arbiter is pure arithmetic over ordered vectors.
+//! barriers, and the arbiter and exchange pricing are pure arithmetic
+//! over ordered vectors.
 
 pub mod arbiter;
+pub mod comm;
 pub mod grant;
 pub mod member;
 pub mod sim;
+pub mod topology;
 pub mod workload;
 
 pub use arbiter::{ArbiterConfig, GrantTick, NodeTelemetry, Policy, PowerArbiter};
+pub use comm::{exchange, CommConfig, CommPattern, ExchangeOutcome, Flow, NodePhase};
 pub use grant::{GrantCell, GrantSchedule};
 pub use member::{ClusterNode, DEFAULT_DAEMON_PERIOD};
 pub use sim::{run_cluster, ClusterConfig, ClusterOutcome, IterationRecord, NodeSpec, Preset};
+pub use topology::{LinkId, Topology};
 pub use workload::{ramp_weights, WorkloadShape};

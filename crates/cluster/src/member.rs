@@ -55,6 +55,11 @@ pub struct ClusterNode {
     weight: f64,
     shape: WorkloadShape,
     last_compute_s: f64,
+    /// Exchange-phase wire time of the most recent iteration, s (set by
+    /// the driver from the comm model; 0 under an ideal barrier).
+    last_comm_s: f64,
+    /// Barrier/rendezvous slack of the most recent iteration, s.
+    last_slack_s: f64,
 }
 
 impl ClusterNode {
@@ -96,6 +101,8 @@ impl ClusterNode {
             weight,
             shape,
             last_compute_s: 0.0,
+            last_comm_s: 0.0,
+            last_slack_s: 0.0,
         };
         // Prime the collector: the first MSR sample only establishes the
         // (time, counter) baseline and never yields a power reading.
@@ -119,6 +126,39 @@ impl ClusterNode {
     /// Compute time of the most recent iteration, s.
     pub fn last_compute_s(&self) -> f64 {
         self.last_compute_s
+    }
+
+    /// Exchange-phase wire time of the most recent iteration, s.
+    pub fn last_comm_s(&self) -> f64 {
+        self.last_comm_s
+    }
+
+    /// Barrier/rendezvous slack of the most recent iteration, s.
+    pub fn last_slack_s(&self) -> f64 {
+        self.last_slack_s
+    }
+
+    /// Record this iteration's exchange-phase split (driver-computed from
+    /// the cluster-wide comm model, which needs the global view).
+    pub fn set_phase(&mut self, comm_s: f64, slack_s: f64) {
+        debug_assert!(comm_s >= 0.0 && slack_s >= 0.0, "phases are durations");
+        self.last_comm_s = comm_s;
+        self.last_slack_s = slack_s;
+    }
+
+    /// This epoch's NIC drain factor in (0, 1]: how fast the node can
+    /// feed its injection queue relative to full power. A power cap
+    /// slows the cores (DVFS/DDCM) that post descriptors and the uncore
+    /// that moves payload to the NIC, so the factor blends the effective
+    /// core-frequency ratio with the uncore-frequency ratio; `coupling`
+    /// in [0, 1] scales how much of that slowdown the NIC path feels.
+    pub fn link_drain_factor(&self, coupling: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&coupling), "coupling in [0,1]");
+        let cfg = self.node.config();
+        let f_ratio = self.node.telemetry().effective_mhz / cfg.fmax_mhz() as f64;
+        let u_ratio = cfg.uncore.scale(self.node.actuation().uncore);
+        let norm = (0.5 * f_ratio + 0.5 * u_ratio).clamp(0.05, 1.0);
+        (1.0 - coupling) + coupling * norm
     }
 
     /// This rank's work multiplier.
@@ -199,6 +239,8 @@ impl ClusterNode {
         }
         Some(NodeTelemetry {
             compute_s: self.last_compute_s,
+            comm_s: self.last_comm_s,
+            slack_s: self.last_slack_s,
             rate: self.weight / self.last_compute_s,
             power_w,
         })
@@ -259,6 +301,39 @@ mod tests {
         let rep = m.take_report().expect("healthy node reports");
         assert!(rep.power_w > 20.0 && rep.power_w < 160.0, "{rep:?}");
         assert!((rep.rate - 1.0 / rep.compute_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_carries_the_phase_split() {
+        let mut m = member(simnode::presets::reference());
+        m.set_grant(90.0);
+        m.compute_iteration();
+        m.set_phase(0.025, 0.075);
+        let rep = m.take_report().expect("healthy node reports");
+        assert_eq!(rep.comm_s, 0.025);
+        assert_eq!(rep.slack_s, 0.075);
+        assert!(rep.compute_fraction() < 1.0);
+    }
+
+    #[test]
+    fn capped_node_drains_its_nic_slower() {
+        let run_at = |cap: f64| {
+            let mut m = member(simnode::presets::reference());
+            m.set_grant(cap);
+            m.compute_iteration();
+            m.link_drain_factor(1.0)
+        };
+        let full = run_at(130.0);
+        let capped = run_at(45.0);
+        assert!(
+            capped < full - 0.05,
+            "a 45 W node must drain slower than a 130 W one: {capped:.2} vs {full:.2}"
+        );
+        // With the coupling off, the NIC ignores the power state entirely.
+        let mut m = member(simnode::presets::reference());
+        m.set_grant(45.0);
+        m.compute_iteration();
+        assert_eq!(m.link_drain_factor(0.0), 1.0);
     }
 
     #[test]

@@ -1,22 +1,33 @@
 //! The bulk-synchronous cluster driver.
 //!
 //! [`run_cluster`] instantiates N independent members (heterogeneous
-//! presets allowed), couples them with a barrier — the slowest rank gates
-//! every iteration, faster ranks spin — and lets a [`PowerArbiter`]
-//! redistribute the global power budget at each barrier from the
-//! telemetry the members report. Members step in parallel between
-//! barriers (each owns an independent `simnode` instance, so the
-//! simulation is embarrassingly parallel within an epoch and bitwise
-//! deterministic regardless of thread count).
+//! presets allowed) and advances them in compute-phase → exchange-phase
+//! iterations: members compute their share in parallel, the comm model
+//! ([`crate::comm`]) prices the exchange from the global view (message
+//! sizes, topology contention, each node's power-dependent NIC drain
+//! rate), and the barrier lands when the last flow does — faster ranks
+//! spin (MPI-style polling, full power). A [`PowerArbiter`]
+//! redistributes the global power budget at each barrier from the
+//! telemetry the members report, which now splits each iteration into
+//! `compute_s` / `comm_s` / `slack_s` so a progress-aware policy can
+//! distinguish "slow because capped" from "slow because waiting on the
+//! wire". With [`CommConfig::none`] (or zero-byte messages) the exchange
+//! generates no flows and the schedule is bit-identical to the PR-2
+//! ideal barrier. Members step in parallel between barriers (each owns
+//! an independent `simnode` instance, so the simulation is
+//! embarrassingly parallel within an epoch and bitwise deterministic
+//! regardless of thread count; the exchange pricing is single-threaded
+//! pure arithmetic).
 
 use rayon::prelude::*;
 
 use progress::imbalance::{self, ImbalanceReport};
 use simnode::config::NodeConfig;
 use simnode::faults::FaultPlan;
-use simnode::time::{secs, Nanos};
+use simnode::time::{from_secs, secs, Nanos};
 
 use crate::arbiter::{ArbiterConfig, GrantTick, NodeTelemetry, PowerArbiter};
+use crate::comm::{self, CommConfig};
 use crate::member::ClusterNode;
 use crate::workload::WorkloadShape;
 
@@ -84,6 +95,9 @@ pub struct ClusterConfig {
     pub arbiter: ArbiterConfig,
     /// Kernel cost shape shared by all ranks.
     pub shape: WorkloadShape,
+    /// Exchange-phase cost model ([`CommConfig::none`] for the ideal
+    /// barrier).
+    pub comm: CommConfig,
     /// NRM daemon control period on every member, ns.
     pub daemon_period: Nanos,
 }
@@ -98,6 +112,7 @@ impl ClusterConfig {
         assert!(!self.nodes.is_empty(), "cluster needs at least one node");
         assert!(self.iters > 0, "need at least one iteration");
         self.arbiter.validate();
+        self.comm.validate();
         for spec in &self.nodes {
             spec.preset.config().validate();
         }
@@ -111,10 +126,18 @@ impl ClusterConfig {
 pub struct IterationRecord {
     /// Iteration index.
     pub round: usize,
-    /// Barrier time (max member clock), s from run start.
+    /// Barrier time (when the last exchange flow landed), s from run
+    /// start.
     pub barrier_at_s: f64,
     /// Per-node compute time this iteration, s.
     pub compute_s: Vec<f64>,
+    /// Per-node exchange wire time this iteration, s (all zero under an
+    /// ideal barrier).
+    pub comm_s: Vec<f64>,
+    /// Per-node barrier/rendezvous slack this iteration, s.
+    pub slack_s: Vec<f64>,
+    /// Bytes the exchange moved this iteration.
+    pub bytes: f64,
     /// Imbalance analysis over `compute_s`.
     pub imbalance: ImbalanceReport,
     /// Which nodes delivered telemetry this iteration.
@@ -146,6 +169,39 @@ impl ClusterOutcome {
     /// Mean across iterations of the barrier wait fraction.
     pub fn mean_wait_fraction(&self) -> f64 {
         mean(self.iterations.iter().map(|i| i.imbalance.wait_fraction))
+    }
+
+    /// Mean per-node compute-phase time per iteration, s.
+    pub fn mean_compute_s(&self) -> f64 {
+        mean(
+            self.iterations
+                .iter()
+                .flat_map(|i| i.compute_s.iter().copied()),
+        )
+    }
+
+    /// Mean per-node exchange wire time per iteration, s (0 under an
+    /// ideal barrier).
+    pub fn mean_comm_s(&self) -> f64 {
+        mean(
+            self.iterations
+                .iter()
+                .flat_map(|i| i.comm_s.iter().copied()),
+        )
+    }
+
+    /// Mean per-node barrier/rendezvous slack per iteration, s.
+    pub fn mean_slack_s(&self) -> f64 {
+        mean(
+            self.iterations
+                .iter()
+                .flat_map(|i| i.slack_s.iter().copied()),
+        )
+    }
+
+    /// Total bytes the exchange phases moved across the run.
+    pub fn total_bytes(&self) -> f64 {
+        self.iterations.iter().map(|i| i.bytes).sum()
     }
 
     /// Smallest budget slack observed across the whole trace, W
@@ -181,10 +237,12 @@ fn mean(it: impl Iterator<Item = f64>) -> f64 {
 
 /// Run the cluster to completion under `cfg`.
 ///
-/// Each iteration: all members compute their share in parallel; the
-/// barrier lands at the slowest member's clock and everyone else spins up
-/// to it; members report telemetry; the arbiter redistributes and the new
-/// grants take effect for the next iteration.
+/// Each iteration: all members compute their share in parallel; the comm
+/// model prices the exchange phase from the global view (rendezvous
+/// starts, per-link contention, power-throttled NIC drain rates); the
+/// barrier lands when the last flow does and everyone spins up to it
+/// (MPI-style polling); members report per-phase telemetry; the arbiter
+/// redistributes and the new grants take effect for the next iteration.
 ///
 /// # Panics
 /// Panics on an invalid configuration or an arbiter invariant violation.
@@ -208,6 +266,7 @@ pub fn run_cluster(cfg: &ClusterConfig) -> ClusterOutcome {
         })
         .collect();
 
+    let weights: Vec<f64> = cfg.nodes.iter().map(|s| s.weight).collect();
     let mut iterations = Vec::with_capacity(cfg.iters);
     for round in 0..cfg.iters {
         // Compute phase: members advance independently in parallel.
@@ -219,10 +278,24 @@ pub fn run_cluster(cfg: &ClusterConfig) -> ClusterOutcome {
             })
             .collect();
 
-        // Barrier: the slowest member's clock gates everyone.
+        // Exchange phase: priced from the global view. The NIC drain
+        // factors reflect each node's power state at the end of its
+        // compute phase — a capped node feeds its injection queue slower.
+        let ready_ns: Vec<Nanos> = members.iter().map(ClusterNode::now).collect();
+        let ready_s: Vec<f64> = ready_ns.iter().map(|&t| secs(t)).collect();
+        let drain: Vec<f64> = members
+            .iter()
+            .map(|m| m.link_drain_factor(cfg.comm.power_coupling))
+            .collect();
+        let exchange = comm::exchange(&cfg.comm, &ready_s, &weights, &drain);
+
+        // Barrier: the last flow's landing gates everyone. With no flows
+        // every `done_s` equals `ready_s` exactly, so this reduces to the
+        // ideal barrier (max member clock) bit for bit.
         let barrier_at = members
             .iter()
-            .map(ClusterNode::now)
+            .zip(&exchange.phases)
+            .map(|(m, p)| m.now() + from_secs(p.done_s - p.ready_s))
             .max()
             .expect("nonempty");
         members = members
@@ -234,6 +307,9 @@ pub fn run_cluster(cfg: &ClusterConfig) -> ClusterOutcome {
             .collect();
 
         // Telemetry + redistribution.
+        for (m, p) in members.iter_mut().zip(&exchange.phases) {
+            m.set_phase(p.comm_s, p.slack_s);
+        }
         let reports: Vec<Option<NodeTelemetry>> =
             members.iter_mut().map(ClusterNode::take_report).collect();
         let compute_s: Vec<f64> = members.iter().map(ClusterNode::last_compute_s).collect();
@@ -248,6 +324,9 @@ pub fn run_cluster(cfg: &ClusterConfig) -> ClusterOutcome {
             round,
             barrier_at_s: secs(barrier_at),
             compute_s,
+            comm_s: exchange.phases.iter().map(|p| p.comm_s).collect(),
+            slack_s: exchange.phases.iter().map(|p| p.slack_s).collect(),
+            bytes: exchange.total_bytes,
             imbalance,
             reporting: reports.iter().map(Option::is_some).collect(),
         });
@@ -285,7 +364,18 @@ mod tests {
                 policy,
             },
             shape: WorkloadShape::default(),
+            comm: CommConfig::none(),
             daemon_period: DEFAULT_DAEMON_PERIOD,
+        }
+    }
+
+    fn halo_comm(bytes_per_unit: f64) -> CommConfig {
+        CommConfig {
+            alpha_s: 2.0e-6,
+            nic_bw: 12.5e9,
+            power_coupling: 0.5,
+            pattern: crate::comm::CommPattern::HaloExchange { bytes_per_unit },
+            topology: crate::topology::Topology::FlatSwitch,
         }
     }
 
@@ -321,5 +411,54 @@ mod tests {
             g[2] > g[0] + 5.0,
             "critical rank must end with more watts: {g:?}"
         );
+    }
+
+    #[test]
+    fn ideal_barrier_reports_zero_comm_everywhere() {
+        let out = run_cluster(&small_cfg(Policy::UniformStatic));
+        assert_eq!(out.mean_comm_s(), 0.0);
+        assert_eq!(out.total_bytes(), 0.0);
+        for it in &out.iterations {
+            assert!(it.comm_s.iter().all(|&c| c == 0.0));
+        }
+    }
+
+    #[test]
+    fn halo_exchange_stretches_the_makespan_and_reports_phases() {
+        let ideal = run_cluster(&small_cfg(Policy::UniformStatic));
+        let mut cfg = small_cfg(Policy::UniformStatic);
+        cfg.comm = halo_comm(64.0 * 1024.0 * 1024.0);
+        let out = run_cluster(&cfg);
+        assert!(
+            out.makespan_s > ideal.makespan_s,
+            "paying for the wire must cost wall-clock: {:.3} vs {:.3}",
+            out.makespan_s,
+            ideal.makespan_s
+        );
+        assert!(out.mean_comm_s() > 0.0);
+        assert!(out.total_bytes() > 0.0);
+        // The phase split reaches the arbiter's trace.
+        for tick in &out.grant_trace {
+            for (i, &c) in tick.comm_s.iter().enumerate() {
+                if tick.reporting[i] {
+                    assert!(c > 0.0, "reporting node {i} must carry wire time");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_byte_messages_reproduce_the_ideal_barrier_bit_for_bit() {
+        let ideal = run_cluster(&small_cfg(Policy::ProgressFeedback { gain: 1.0 }));
+        let mut cfg = small_cfg(Policy::ProgressFeedback { gain: 1.0 });
+        cfg.comm = halo_comm(0.0);
+        let zero = run_cluster(&cfg);
+        assert_eq!(ideal.makespan_s.to_bits(), zero.makespan_s.to_bits());
+        assert_eq!(ideal.energy_j.to_bits(), zero.energy_j.to_bits());
+        for (a, b) in ideal.grant_trace.iter().zip(&zero.grant_trace) {
+            for (ga, gb) in a.granted_w.iter().zip(&b.granted_w) {
+                assert_eq!(ga.to_bits(), gb.to_bits());
+            }
+        }
     }
 }

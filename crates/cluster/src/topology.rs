@@ -1,0 +1,161 @@
+//! Network topologies for the cluster's exchange phase.
+//!
+//! The comm model ([`crate::comm`]) charges every byte to the links it
+//! crosses. A [`Topology`] names those links and routes node-to-node
+//! flows over them:
+//!
+//! - [`Topology::FlatSwitch`] — one non-blocking crossbar: the only
+//!   contended resources are the per-node NIC injection/ejection links,
+//!   so congestion is purely endpoint congestion;
+//! - [`Topology::RackTree`] — a 2-level fat-tree sketch matching the
+//!   future hierarchical-arbiter layout: nodes are grouped into racks of
+//!   `nodes_per_rack`, intra-rack traffic stays on the rack switch
+//!   (non-blocking), and inter-rack traffic additionally crosses the
+//!   source rack's uplink and the destination rack's downlink, which all
+//!   nodes of a rack share (oversubscription made explicit).
+//!
+//! Links are directional: a full-duplex NIC is two links (`NicTx`,
+//! `NicRx`), and a rack uplink is distinct from its downlink, so an
+//! all-to-one incast and a one-to-all broadcast stress different
+//! resources.
+
+use serde::{Deserialize, Serialize};
+
+/// A directional contended resource in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LinkId {
+    /// Node `n`'s NIC injection (send) side.
+    NicTx(usize),
+    /// Node `n`'s NIC ejection (receive) side.
+    NicRx(usize),
+    /// Rack `r`'s shared uplink into the core (leaving the rack).
+    RackUp(usize),
+    /// Rack `r`'s shared downlink from the core (entering the rack).
+    RackDown(usize),
+}
+
+/// The wiring between nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Topology {
+    /// A single non-blocking switch: only NICs contend.
+    FlatSwitch,
+    /// Two-level rack tree with shared, possibly oversubscribed uplinks.
+    RackTree {
+        /// Nodes per rack (the last rack may be partial).
+        nodes_per_rack: usize,
+        /// Uplink/downlink bandwidth shared by a whole rack, bytes/s.
+        uplink_bw: f64,
+    },
+}
+
+impl Topology {
+    /// Validate the topology parameters.
+    ///
+    /// # Panics
+    /// Panics on a zero-node rack or a non-positive uplink bandwidth.
+    pub fn validate(&self) {
+        if let Topology::RackTree {
+            nodes_per_rack,
+            uplink_bw,
+        } = self
+        {
+            assert!(*nodes_per_rack > 0, "racks need at least one node");
+            assert!(
+                uplink_bw.is_finite() && *uplink_bw > 0.0,
+                "uplink bandwidth must be finite positive"
+            );
+        }
+    }
+
+    /// Which rack a node lives in (nodes are packed in rank order).
+    pub fn rack_of(&self, node: usize) -> usize {
+        match self {
+            Topology::FlatSwitch => 0,
+            Topology::RackTree { nodes_per_rack, .. } => node / nodes_per_rack,
+        }
+    }
+
+    /// The ordered links a `src → dst` flow crosses. Self-flows are
+    /// loopback and cross nothing.
+    pub fn path(&self, src: usize, dst: usize) -> Vec<LinkId> {
+        if src == dst {
+            return Vec::new();
+        }
+        let mut links = vec![LinkId::NicTx(src)];
+        if let Topology::RackTree { .. } = self {
+            let (rs, rd) = (self.rack_of(src), self.rack_of(dst));
+            if rs != rd {
+                links.push(LinkId::RackUp(rs));
+                links.push(LinkId::RackDown(rd));
+            }
+        }
+        links.push(LinkId::NicRx(dst));
+        links
+    }
+
+    /// The capacity of a link, bytes/s. NIC links scale with the owning
+    /// node's power-dependent drain factor (see [`crate::comm`]); rack
+    /// links are passive switch hardware and do not.
+    pub fn link_bw(&self, link: LinkId, nic_bw: f64, drain: &[f64]) -> f64 {
+        match link {
+            LinkId::NicTx(n) | LinkId::NicRx(n) => nic_bw * drain[n],
+            LinkId::RackUp(_) | LinkId::RackDown(_) => match self {
+                Topology::RackTree { uplink_bw, .. } => *uplink_bw,
+                Topology::FlatSwitch => unreachable!("flat switch has no rack links"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_switch_paths_touch_only_nics() {
+        let t = Topology::FlatSwitch;
+        assert_eq!(t.path(0, 3), vec![LinkId::NicTx(0), LinkId::NicRx(3)]);
+        assert_eq!(t.rack_of(7), 0);
+        assert!(t.path(2, 2).is_empty(), "loopback crosses nothing");
+    }
+
+    #[test]
+    fn rack_tree_adds_uplinks_only_across_racks() {
+        let t = Topology::RackTree {
+            nodes_per_rack: 4,
+            uplink_bw: 25.0e9,
+        };
+        // Intra-rack: NICs only.
+        assert_eq!(t.path(0, 3), vec![LinkId::NicTx(0), LinkId::NicRx(3)]);
+        // Inter-rack: up out of rack 0, down into rack 1.
+        assert_eq!(
+            t.path(1, 5),
+            vec![
+                LinkId::NicTx(1),
+                LinkId::RackUp(0),
+                LinkId::RackDown(1),
+                LinkId::NicRx(5)
+            ]
+        );
+        assert_eq!(t.rack_of(3), 0);
+        assert_eq!(t.rack_of(4), 1);
+    }
+
+    #[test]
+    fn nic_bandwidth_scales_with_drain_factor() {
+        let t = Topology::FlatSwitch;
+        let drain = [1.0, 0.5];
+        assert_eq!(t.link_bw(LinkId::NicTx(0), 10.0e9, &drain), 10.0e9);
+        assert_eq!(t.link_bw(LinkId::NicRx(1), 10.0e9, &drain), 5.0e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_rack_rejected() {
+        Topology::RackTree {
+            nodes_per_rack: 0,
+            uplink_bw: 1.0e9,
+        }
+        .validate();
+    }
+}

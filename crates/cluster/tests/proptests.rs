@@ -8,17 +8,40 @@
 //!   independent of history cloning or repetition (and, by construction,
 //!   of worker thread count: redistribution is pure arithmetic over
 //!   ordered vectors).
+//!
+//! And for the exchange-phase comm model, over arbitrary patterns,
+//! topologies, rendezvous skews and NIC drain factors:
+//!
+//! - **non-negative, exhaustive phases** — `comm_s`/`slack_s` ≥ 0 and
+//!   `ready + comm + slack` lands exactly on the barrier;
+//! - **conservation of bytes** — NIC injection = NIC ejection = flow
+//!   total on every link map;
+//! - **purity/determinism** — re-pricing a scenario is bitwise identical
+//!   (the property that keeps `run_cluster` deterministic under rayon);
+//! - **monotonicity** — throttling a NIC never speeds anyone up.
 
-use cluster::{ArbiterConfig, NodeTelemetry, Policy, PowerArbiter};
+use cluster::{
+    exchange, ArbiterConfig, CommConfig, CommPattern, LinkId, NodeTelemetry, Policy, PowerArbiter,
+    Topology,
+};
 use proptest::prelude::*;
 
-/// Bounded arbitrary telemetry: `None` (~1 in 5) models a dropout.
+/// Bounded arbitrary telemetry: `None` (~1 in 5) models a dropout, and
+/// the per-phase split includes comm-free and comm-heavy epochs.
 fn telemetry() -> impl Strategy<Value = Option<NodeTelemetry>> {
     prop_oneof![
         1 => Just(None),
-        4 => (0.05f64..20.0, 5.0f64..300.0).prop_map(|(compute_s, power_w)| {
-            Some(NodeTelemetry { compute_s, rate: 1.0 / compute_s, power_w })
-        }),
+        4 => (0.05f64..20.0, 0.0f64..5.0, 5.0f64..300.0).prop_map(
+            |(compute_s, comm_s, power_w)| {
+                Some(NodeTelemetry {
+                    compute_s,
+                    comm_s,
+                    slack_s: 0.0,
+                    rate: 1.0 / compute_s,
+                    power_w,
+                })
+            }
+        ),
     ]
 }
 
@@ -135,11 +158,11 @@ proptest! {
         };
         let mut arb = PowerArbiter::new(cfg, n);
         let all: Vec<_> = (0..n)
-            .map(|i| Some(NodeTelemetry {
-                compute_s: 1.0 + i as f64 * 0.3,
-                rate: 1.0,
-                power_w: 100.0,
-            }))
+            .map(|i| Some(NodeTelemetry::compute_only(
+                1.0 + i as f64 * 0.3,
+                1.0,
+                100.0,
+            )))
             .collect();
         arb.redistribute(&all);
         let frozen = arb.grants()[silent];
@@ -147,5 +170,137 @@ proptest! {
         partial[silent] = None;
         arb.redistribute(&partial);
         prop_assert_eq!(arb.grants()[silent].to_bits(), frozen.to_bits());
+    }
+}
+
+/// A bounded exchange scenario: pattern, topology, and per-node state.
+fn comm_scenario() -> impl Strategy<
+    Value = (
+        CommConfig,
+        Vec<f64>, // ready_s
+        Vec<f64>, // weights
+        Vec<f64>, // drain
+    ),
+> {
+    let pattern = prop_oneof![
+        Just(CommPattern::None),
+        (0.0f64..256.0e6).prop_map(|payload_bytes| CommPattern::AllReduce { payload_bytes }),
+        (0.0f64..256.0e6).prop_map(|bytes_per_unit| CommPattern::HaloExchange { bytes_per_unit }),
+    ];
+    let topology = prop_oneof![
+        Just(Topology::FlatSwitch),
+        (1usize..5, 1.0e9f64..50.0e9).prop_map(|(nodes_per_rack, uplink_bw)| {
+            Topology::RackTree {
+                nodes_per_rack,
+                uplink_bw,
+            }
+        }),
+    ];
+    (1usize..10, pattern, topology).prop_flat_map(|(n, pattern, topology)| {
+        (
+            (0.0f64..1.0e-5, 1.0e9f64..100.0e9, 0.0f64..1.0).prop_map(
+                move |(alpha_s, nic_bw, power_coupling)| CommConfig {
+                    alpha_s,
+                    nic_bw,
+                    power_coupling,
+                    pattern,
+                    topology,
+                },
+            ),
+            prop::collection::vec(0.0f64..10.0, n),
+            prop::collection::vec(0.1f64..4.0, n),
+            prop::collection::vec(0.05f64..1.0, n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    /// Exchange times are non-negative, the phase split is exhaustive
+    /// (ready + comm + slack = barrier for every node), and the barrier
+    /// never lands before the slowest rank's compute clock.
+    #[test]
+    fn exchange_phases_are_nonnegative_and_exhaustive(scn in comm_scenario()) {
+        let (cfg, ready, weights, drain) = scn;
+        let out = exchange(&cfg, &ready, &weights, &drain);
+        let max_ready = ready.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(out.barrier_s >= max_ready, "barrier before the last rank");
+        for (i, p) in out.phases.iter().enumerate() {
+            prop_assert!(p.comm_s >= 0.0, "node {i}: negative wire time");
+            prop_assert!(p.slack_s >= 0.0, "node {i}: negative slack");
+            prop_assert!(p.done_s >= p.ready_s, "node {i}: done before ready");
+            let span = p.ready_s + p.comm_s + p.slack_s;
+            prop_assert!(
+                (span - out.barrier_s).abs() < 1e-6,
+                "node {i}: phase split {span} != barrier {}",
+                out.barrier_s
+            );
+        }
+    }
+
+    /// Conservation of bytes: what the NICs inject equals what the NICs
+    /// eject equals the flow total, regardless of pattern and topology.
+    #[test]
+    fn exchange_bytes_are_conserved(scn in comm_scenario()) {
+        let (cfg, ready, weights, drain) = scn;
+        let out = exchange(&cfg, &ready, &weights, &drain);
+        let sum_on = |f: fn(&LinkId) -> bool| -> f64 {
+            out.link_bytes
+                .iter()
+                .filter(|(l, _)| f(l))
+                .map(|(_, b)| b)
+                .sum()
+        };
+        let tx = sum_on(|l| matches!(l, LinkId::NicTx(_)));
+        let rx = sum_on(|l| matches!(l, LinkId::NicRx(_)));
+        let tol = 1e-9 * out.total_bytes.max(1.0);
+        prop_assert!((tx - out.total_bytes).abs() <= tol, "tx {tx} != {}", out.total_bytes);
+        prop_assert!((rx - out.total_bytes).abs() <= tol, "rx {rx} != {}", out.total_bytes);
+        // Rack links can only carry a subset of the total.
+        let up = sum_on(|l| matches!(l, LinkId::RackUp(_)));
+        prop_assert!(up <= out.total_bytes + tol);
+    }
+
+    /// The exchange pricing is a pure function: re-pricing the same
+    /// scenario is bitwise identical (this, plus the members being
+    /// independent between barriers, is what makes the whole cluster run
+    /// deterministic under rayon).
+    #[test]
+    fn exchange_is_deterministic(scn in comm_scenario()) {
+        let (cfg, ready, weights, drain) = scn;
+        let a = exchange(&cfg, &ready, &weights, &drain);
+        let b = exchange(&cfg, &ready, &weights, &drain);
+        prop_assert_eq!(a.barrier_s.to_bits(), b.barrier_s.to_bits());
+        for (pa, pb) in a.phases.iter().zip(&b.phases) {
+            prop_assert_eq!(pa.comm_s.to_bits(), pb.comm_s.to_bits());
+            prop_assert_eq!(pa.slack_s.to_bits(), pb.slack_s.to_bits());
+            prop_assert_eq!(pa.done_s.to_bits(), pb.done_s.to_bits());
+        }
+        prop_assert_eq!(a.total_bytes.to_bits(), b.total_bytes.to_bits());
+    }
+
+    /// Throttling any single NIC never *speeds up* anyone's exchange:
+    /// the fair-share model is monotone in link capacity.
+    #[test]
+    fn slower_nic_never_speeds_anyone_up(
+        scn in comm_scenario(),
+        victim_frac in 0.1f64..0.9,
+    ) {
+        let (cfg, ready, weights, drain) = scn;
+        let full = exchange(&cfg, &ready, &weights, &drain);
+        let victim = drain.len() / 2;
+        let mut slower = drain.clone();
+        slower[victim] *= victim_frac;
+        let out = exchange(&cfg, &ready, &weights, &slower);
+        for (i, (pf, ps)) in full.phases.iter().zip(&out.phases).enumerate() {
+            prop_assert!(
+                ps.comm_s >= pf.comm_s - 1e-12,
+                "node {i} got faster when node {victim} was throttled"
+            );
+        }
     }
 }

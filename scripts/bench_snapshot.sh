@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Record the bench-regression baseline: run the cluster bench with the
+# stub harness's JSON output enabled and wrap the per-bench lines into
+# BENCH_cluster.json. Commit the result; scripts/ci.sh --bench-check
+# compares fresh medians against it and fails on >15 % regressions.
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_cluster.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== cargo bench -p powerprog-bench --bench cluster (snapshot)"
+CRITERION_JSON="$raw" CRITERION_SAMPLES="${CRITERION_SAMPLES:-5}" \
+    cargo bench -q -p powerprog-bench --bench cluster
+
+if [[ ! -s "$raw" ]]; then
+    echo "bench_snapshot: no JSON lines produced — harness problem" >&2
+    exit 1
+fi
+
+{
+    echo "["
+    # JSONL -> JSON array, comma-joining all but the last line.
+    awk 'NR > 1 { print prev "," } { prev = "  " $0 } END { print prev }' "$raw"
+    echo "]"
+} > "$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"

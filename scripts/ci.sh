@@ -1,8 +1,39 @@
 #!/usr/bin/env bash
-# CI gate: formatting, lints, build, and the full test suite.
-# Usage: scripts/ci.sh [--no-test]
+# CI gate: formatting, lints, docs, vendored-dependency audit, build,
+# tests, and (optionally) the bench-regression check.
+#
+# Usage: scripts/ci.sh [--no-test] [--bench-check] [--help]
+#
+#   --no-test      skip the test suite and bench smoke run (lints+build)
+#   --bench-check  additionally compare fresh cluster-bench medians
+#                  against the committed BENCH_cluster.json baseline and
+#                  fail on regressions beyond BENCH_TOLERANCE (default
+#                  0.15 = 15 %)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+usage() {
+    sed -n '2,11p' "$0" | sed 's/^# \{0,1\}//'
+}
+
+run_tests=1
+bench_check=0
+for arg in "$@"; do
+    case "$arg" in
+    --no-test) run_tests=0 ;;
+    --bench-check) bench_check=1 ;;
+    -h | --help)
+        usage
+        exit 0
+        ;;
+    *)
+        echo "ci.sh: unknown argument '$arg'" >&2
+        echo >&2
+        usage >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "== cargo fmt --check"
 cargo fmt --all --check
@@ -13,14 +44,71 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+echo "== vendored-dependency audit"
+scripts/check_vendored.sh
+
 echo "== cargo build --release"
 cargo build --workspace --release
 
-if [[ "${1:-}" != "--no-test" ]]; then
+if [[ "$run_tests" -eq 1 ]]; then
     echo "== cargo test"
     cargo test --workspace --release -q
     echo "== cluster bench (test mode)"
     cargo bench -q -p powerprog-bench --bench cluster -- --test
+fi
+
+if [[ "$bench_check" -eq 1 ]]; then
+    echo "== bench-regression check (tolerance ${BENCH_TOLERANCE:-0.15})"
+    baseline="BENCH_cluster.json"
+    if [[ ! -f "$baseline" ]]; then
+        echo "ci.sh: missing $baseline — run scripts/bench_snapshot.sh and commit it" >&2
+        exit 1
+    fi
+    fresh="$(mktemp)"
+    trap 'rm -f "$fresh"' EXIT
+    CRITERION_JSON="$fresh" CRITERION_SAMPLES="${CRITERION_SAMPLES:-5}" \
+        cargo bench -q -p powerprog-bench --bench cluster
+    # Compare per-bench medians: fail when fresh > baseline * (1 + tol).
+    # Both files carry one {"name":...,"median_s":...} object per bench
+    # (the baseline wraps them in a JSON array; the field layout is ours,
+    # so field-anchored extraction is reliable).
+    awk -v tol="${BENCH_TOLERANCE:-0.15}" '
+        function fields(line) {
+            match(line, /"name":"[^"]*"/)
+            name = substr(line, RSTART + 8, RLENGTH - 9)
+            match(line, /"median_s":[0-9.eE+-]+/)
+            med = substr(line, RSTART + 11, RLENGTH - 11) + 0
+        }
+        FNR == NR {
+            if ($0 ~ /"name"/) { fields($0); base[name] = med }
+            next
+        }
+        /"name"/ {
+            fields($0)
+            if (!(name in base)) {
+                printf "NEW   %-48s median %.6fs (no baseline)\n", name, med
+                next
+            }
+            ratio = med / base[name]
+            status = (ratio > 1 + tol) ? "FAIL" : "ok"
+            printf "%-5s %-48s median %.6fs vs %.6fs (x%.2f)\n", \
+                status, name, med, base[name], ratio
+            if (ratio > 1 + tol) bad = 1
+            seen[name] = 1
+        }
+        END {
+            for (n in base) {
+                if (!(n in seen)) {
+                    printf "GONE  %-48s benched in baseline only\n", n
+                    bad = 1
+                }
+            }
+            exit bad ? 1 : 0
+        }
+    ' "$baseline" "$fresh" || {
+        echo "ci.sh: bench regression beyond ${BENCH_TOLERANCE:-0.15} (or missing bench)" >&2
+        exit 1
+    }
 fi
 
 echo "CI gate passed."

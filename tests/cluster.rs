@@ -1,12 +1,13 @@
 //! Integration tests for the cluster layer: the progress-aware arbiter
 //! must actually pay off end-to-end (lower makespan than uniform-static
 //! under the same global budget, without spending more energy), conserve
-//! the budget on every tick, and tolerate the PR-1 fault layer taking a
-//! node's telemetry out.
+//! the budget on every tick, tolerate the PR-1 fault layer taking a
+//! node's telemetry out, and degrade exactly — not approximately — to
+//! the ideal-barrier schedule when the exchange moves no bytes.
 
 use cluster::{
-    run_cluster, ArbiterConfig, ClusterConfig, NodeSpec, Policy, Preset, WorkloadShape,
-    DEFAULT_DAEMON_PERIOD,
+    ramp_weights, run_cluster, ArbiterConfig, ClusterConfig, CommConfig, CommPattern, NodeSpec,
+    Policy, Preset, Topology, WorkloadShape, DEFAULT_DAEMON_PERIOD,
 };
 use powerprog_core::experiments::cluster as experiment;
 use simnode::faults::{FaultPlan, FaultWindow};
@@ -86,6 +87,7 @@ fn telemetry_dropout_freezes_the_grant_until_the_node_reports_again() {
         },
         shape: WorkloadShape::default(),
         daemon_period: DEFAULT_DAEMON_PERIOD,
+        comm: CommConfig::none(),
     });
 
     let silent_rounds: Vec<usize> = out
@@ -143,6 +145,15 @@ fn cluster_runs_are_deterministic() {
         },
         shape: WorkloadShape::default(),
         daemon_period: DEFAULT_DAEMON_PERIOD,
+        comm: CommConfig {
+            alpha_s: 2e-6,
+            nic_bw: 1.25e9,
+            power_coupling: 0.5,
+            pattern: CommPattern::HaloExchange {
+                bytes_per_unit: 8.0 * 1024.0 * 1024.0,
+            },
+            topology: Topology::FlatSwitch,
+        },
     };
     let a = run_cluster(&cfg);
     let b = run_cluster(&cfg);
@@ -152,6 +163,92 @@ fn cluster_runs_are_deterministic() {
     for (ta, tb) in a.grant_trace.iter().zip(&b.grant_trace) {
         for (ga, gb) in ta.granted_w.iter().zip(&tb.granted_w) {
             assert_eq!(ga.to_bits(), gb.to_bits());
+        }
+        for (ca, cb) in ta.comm_s.iter().zip(&tb.comm_s) {
+            assert_eq!(ca.to_bits(), cb.to_bits(), "exchange pricing must be pure");
+        }
+    }
+}
+
+/// Workload/cluster edge cases around the exchange phase.
+mod comm_edges {
+    use super::*;
+
+    fn base(nodes: Vec<NodeSpec>, comm: CommConfig) -> ClusterConfig {
+        ClusterConfig {
+            nodes,
+            iters: 4,
+            arbiter: ArbiterConfig {
+                budget_w: 480.0,
+                min_cap_w: 40.0,
+                max_cap_w: 130.0,
+                policy: Policy::ProgressFeedback { gain: 1.0 },
+            },
+            shape: WorkloadShape::default(),
+            daemon_period: DEFAULT_DAEMON_PERIOD,
+            comm,
+        }
+    }
+
+    fn halo(bytes_per_unit: f64) -> CommConfig {
+        CommConfig {
+            alpha_s: 2e-6,
+            nic_bw: 1.25e9,
+            power_coupling: 0.5,
+            pattern: CommPattern::HaloExchange { bytes_per_unit },
+            topology: Topology::FlatSwitch,
+        }
+    }
+
+    /// A zero-node cluster is a configuration error, rejected loudly at
+    /// validation rather than producing a vacuous outcome.
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_cluster_is_rejected() {
+        base(vec![], halo(1.0)).validate();
+    }
+
+    /// Same for a zero-node decomposition: the weight ramp refuses to
+    /// produce an empty roster.
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_ramp_is_rejected() {
+        ramp_weights(0, 1.0, 2.0);
+    }
+
+    /// A single rank has nobody to exchange with: the halo pattern
+    /// produces no flows and the run equals its ideal-barrier twin
+    /// bit for bit, bytes and all.
+    #[test]
+    fn single_node_cluster_has_no_exchange() {
+        let nodes = vec![NodeSpec::new(Preset::Reference, 1.7)];
+        let wired = run_cluster(&base(nodes.clone(), halo(64.0 * 1024.0 * 1024.0)));
+        let ideal = run_cluster(&base(nodes, CommConfig::none()));
+        assert_eq!(wired.total_bytes(), 0.0);
+        assert_eq!(wired.mean_comm_s(), 0.0);
+        assert_eq!(wired.makespan_s.to_bits(), ideal.makespan_s.to_bits());
+        assert_eq!(wired.energy_j.to_bits(), ideal.energy_j.to_bits());
+    }
+
+    /// Zero-byte messages must reproduce the ideal-barrier makespan
+    /// *exactly* — the acceptance criterion that guards PR-2 behaviour.
+    /// Grants must match bitwise too: the comm-aware controller's
+    /// damping factor is exactly 1.0 when `comm_s == 0`.
+    #[test]
+    fn zero_byte_halo_is_bit_identical_to_the_ideal_barrier() {
+        let nodes: Vec<NodeSpec> = ramp_weights(5, 1.0, 2.2)
+            .into_iter()
+            .map(|w| NodeSpec::new(Preset::Reference, w))
+            .collect();
+        let zeroed = run_cluster(&base(nodes.clone(), halo(0.0)));
+        let ideal = run_cluster(&base(nodes, CommConfig::none()));
+        assert_eq!(zeroed.makespan_s.to_bits(), ideal.makespan_s.to_bits());
+        assert_eq!(zeroed.energy_j.to_bits(), ideal.energy_j.to_bits());
+        assert_eq!(zeroed.total_bytes(), 0.0);
+        for (tz, ti) in zeroed.grant_trace.iter().zip(&ideal.grant_trace) {
+            for (gz, gi) in tz.granted_w.iter().zip(&ti.granted_w) {
+                assert_eq!(gz.to_bits(), gi.to_bits(), "round {}", tz.round);
+            }
         }
     }
 }
