@@ -10,7 +10,10 @@
 //!
 //! Environment knobs:
 //!
-//! - `CRITERION_SAMPLES` — timed samples per bench (default 3);
+//! - `CRITERION_SAMPLES` — timed samples per bench (default 3). When
+//!   set it is authoritative: in-bench `sample_size` calls are ignored,
+//!   so the bench-regression gate can raise the count for a stable
+//!   min-of-samples floor;
 //! - `CRITERION_JSON` — when set to a path, each bench also appends one
 //!   JSON line `{"name","median_s","mean_s","min_s","samples"}` to that
 //!   file — the machine-readable feed `scripts/bench_snapshot.sh` and
@@ -184,17 +187,21 @@ fn fmt_s(s: f64) -> String {
 /// The harness entry point.
 pub struct Criterion {
     default_samples: usize,
+    samples_forced: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        // Keep smoke runs quick; CRITERION_SAMPLES overrides.
-        let samples = std::env::var("CRITERION_SAMPLES")
+        // Keep smoke runs quick; CRITERION_SAMPLES overrides — and when
+        // set it is authoritative, winning over in-bench `sample_size`
+        // calls, so operators (the bench-regression check) can raise the
+        // sample count past a group's smoke-run setting.
+        let env = std::env::var("CRITERION_SAMPLES")
             .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(3);
+            .and_then(|s| s.parse().ok());
         Self {
-            default_samples: samples,
+            default_samples: env.unwrap_or(3),
+            samples_forced: env.is_some(),
         }
     }
 }
@@ -239,8 +246,11 @@ impl BenchmarkGroup<'_> {
     /// Set the number of timed samples per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         // Criterion floors at 10; the stub keeps runs short instead, but
-        // still scales down when callers ask for fewer samples.
-        self.samples = n.min(self.samples.max(1)).max(1);
+        // still scales down when callers ask for fewer samples. An
+        // explicit CRITERION_SAMPLES wins outright.
+        if !self._c.samples_forced {
+            self.samples = n.min(self.samples.max(1)).max(1);
+        }
         self
     }
 

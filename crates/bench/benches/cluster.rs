@@ -10,6 +10,9 @@ use cluster::{
     NodeTelemetry, Policy, PowerArbiter, Preset, Topology, WorkloadShape, DEFAULT_DAEMON_PERIOD,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
+use simnode::config::NodeConfig;
+use simnode::node::{CoreWork, Node, WorkPacket};
+use simnode::time::SEC;
 use std::hint::black_box;
 
 /// A small imbalanced cluster, sized so one run is bench-friendly.
@@ -123,5 +126,32 @@ fn bench_cluster(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cluster);
+/// The event-horizon fast path in isolation: 3 s of capped compute on a
+/// full 24-core node, advanced with `step_until` (macro-stepping between
+/// RAPL periods). The `micro` bench's `node/step_1s` covers the exact
+/// single-quantum path; the ratio between the two is the headline win of
+/// the macro-quantum stepping.
+fn bench_simnode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simnode");
+    g.sample_size(10);
+    g.bench_function("step_until_3s", |b| {
+        b.iter(|| {
+            let mut node = Node::new(NodeConfig::default());
+            node.set_package_cap(Some(80.0)).expect("cap writable");
+            for core in 0..node.cores() {
+                // ~4 s of work at fmax: never completes inside the run, so
+                // the node macro-steps whole RAPL periods end to end.
+                let packet = WorkPacket::new(3.3e9 * 4.0, 2.0e6, 8.0e9);
+                node.assign(core, CoreWork::Compute(packet.into()));
+            }
+            while node.now() < 3 * SEC {
+                node.step_until(3 * SEC);
+            }
+            black_box(node.now())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cluster, bench_simnode);
 criterion_main!(benches);

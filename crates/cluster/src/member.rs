@@ -184,9 +184,15 @@ impl ClusterNode {
         self.grant.set(Some(cap_w));
     }
 
-    /// Advance one quantum, ticking the daemon when its period elapses.
-    fn advance_quantum(&mut self) {
-        self.node.step();
+    /// Advance toward `target` in one [`Node::step_until`] segment — to the
+    /// earliest of `target`, the next daemon tick, or a core event — then
+    /// tick the daemon if its period elapsed. Daemon ticks land on exactly
+    /// the quantum boundaries the fixed-quantum reference put them on;
+    /// between them the node macro-steps event-free stretches in closed
+    /// form. Callers loop, re-examining node state after each segment.
+    fn advance_toward(&mut self, target: Nanos) {
+        let deadline = target.min(self.next_tick).max(self.node.now() + 1);
+        self.node.step_until(deadline);
         let now = self.node.now();
         while now >= self.next_tick {
             self.daemon.on_tick(&mut self.node, now);
@@ -203,7 +209,7 @@ impl ClusterNode {
         }
         let t0 = self.node.now();
         while !(0..self.node.cores()).all(|c| self.node.is_available(c)) {
-            self.advance_quantum();
+            self.advance_toward(Nanos::MAX);
         }
         self.last_compute_s = secs(self.node.now() - t0);
         self.last_compute_s
@@ -219,7 +225,7 @@ impl ClusterNode {
             self.node.assign(c, CoreWork::Spin);
         }
         while self.node.now() < barrier_at {
-            self.advance_quantum();
+            self.advance_toward(barrier_at);
         }
         for c in 0..self.node.cores() {
             self.node.assign(c, CoreWork::Idle);
@@ -340,7 +346,7 @@ mod tests {
     fn telemetry_dropout_suppresses_the_report() {
         let plan = FaultPlan::new(11).telemetry_dropout(FaultWindow::new(0, 3600 * SEC));
         let cfg = NodeConfig {
-            faults: Some(plan),
+            faults: Some(std::sync::Arc::new(plan)),
             ..simnode::presets::reference()
         };
         let mut m = member(cfg);

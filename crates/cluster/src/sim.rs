@@ -25,6 +25,7 @@ use progress::imbalance::{self, ImbalanceReport};
 use simnode::config::NodeConfig;
 use simnode::faults::FaultPlan;
 use simnode::time::{from_secs, secs, Nanos};
+use std::sync::Arc;
 
 use crate::arbiter::{ArbiterConfig, GrantTick, NodeTelemetry, PowerArbiter};
 use crate::comm::{self, CommConfig};
@@ -63,8 +64,10 @@ pub struct NodeSpec {
     pub preset: Preset,
     /// Work multiplier for this rank.
     pub weight: f64,
-    /// Fault plan for this node's MSR layer (PR-1 fault injection).
-    pub faults: Option<FaultPlan>,
+    /// Fault plan for this node's MSR layer (PR-1 fault injection),
+    /// `Arc`-shared so cloning a spec (or a whole sweep of them) never
+    /// deep-copies the plan.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl NodeSpec {
@@ -78,8 +81,8 @@ impl NodeSpec {
     }
 
     /// Attach a fault plan.
-    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
-        self.faults = Some(plan);
+    pub fn with_faults(mut self, plan: impl Into<Arc<FaultPlan>>) -> Self {
+        self.faults = Some(plan.into());
         self
     }
 }

@@ -39,7 +39,12 @@ pub struct AlphaAblation {
 
 /// Fit α on measured Fig. 4 points for one application and compare the
 /// error against the paper's fixed α = 2.
-pub fn alpha_ablation(app: AppId, cfg: &fig4::Config) -> AlphaAblation {
+///
+/// Returns `None` when fewer than two caps produce an informative
+/// (>2 % of `r_max`) measured delta — a one-point fit is meaningless.
+/// AMG at `--quick` durations is the practical case: its near-zero
+/// measured deltas all fall under the noise floor.
+pub fn alpha_ablation(app: AppId, cfg: &fig4::Config) -> Option<AlphaAblation> {
     let series = fig4::run_app_series(app, cfg);
     let data: Vec<(f64, f64)> = series
         .points
@@ -47,11 +52,9 @@ pub fn alpha_ablation(app: AppId, cfg: &fig4::Config) -> AlphaAblation {
         .filter(|p| p.measured_delta > 0.02 * p.r_max)
         .map(|p| (p.corecap_w, p.measured_delta))
         .collect();
-    assert!(
-        data.len() >= 2,
-        "{}: need at least two informative caps",
-        series.app
-    );
+    if data.len() < 2 {
+        return None;
+    }
     let (alpha_fit, sse_fitted) = powermodel::fit::fit_alpha(&series.model, &data);
     let fitted = ProgressModel {
         alpha: alpha_fit,
@@ -66,14 +69,14 @@ pub fn alpha_ablation(app: AppId, cfg: &fig4::Config) -> AlphaAblation {
         pred_fit.push(fitted.predict_delta_at_corecap(cap));
         meas.push(m);
     }
-    AlphaAblation {
+    Some(AlphaAblation {
         app: series.app,
         mape_fixed: powermodel::error::mean_absolute_pct_error(&pred_fixed, &meas),
         sse_fixed,
         alpha_fit,
         mape_fitted: powermodel::error::mean_absolute_pct_error(&pred_fit, &meas),
         sse_fitted,
-    }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -265,13 +268,22 @@ pub fn tables(cfg: &fig4::Config) -> Vec<TextTable> {
         ],
     );
     for app in [AppId::QmcpackDmc, AppId::Lammps, AppId::Amg] {
-        let a = alpha_ablation(app, cfg);
-        t.row(vec![
-            a.app.to_string(),
-            f(a.mape_fixed, 1),
-            f(a.alpha_fit, 2),
-            f(a.mape_fitted, 1),
-        ]);
+        match alpha_ablation(app, cfg) {
+            Some(a) => t.row(vec![
+                a.app.to_string(),
+                f(a.mape_fixed, 1),
+                f(a.alpha_fit, 2),
+                f(a.mape_fitted, 1),
+            ]),
+            // Too few informative caps to fit at this scale (AMG under
+            // --quick): report the row as unavailable instead of dying.
+            None => t.row(vec![
+                app.registry_name().into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        };
     }
     out.push(t);
 
@@ -330,7 +342,8 @@ mod tests {
     fn fitted_alpha_does_not_lose_to_fixed_alpha() {
         // The fit minimizes SSE (its objective); MAPE is descriptive and
         // can disagree on noisy data, so the guarantee is on SSE.
-        let a = alpha_ablation(AppId::QmcpackDmc, &fig4::Config::quick());
+        let a = alpha_ablation(AppId::QmcpackDmc, &fig4::Config::quick())
+            .expect("QMCPACK has informative deltas even at quick scale");
         assert!(
             a.sse_fitted <= a.sse_fixed + 1e-12,
             "fit SSE ({:.4}) must be at least as good as fixed ({:.4})",

@@ -1,5 +1,7 @@
 //! Single-run orchestration: node + application + NRM daemon + monitors.
 
+use std::sync::Arc;
+
 use nrm::actuator::ActuatorKind;
 use nrm::daemon::{DaemonSample, NrmDaemon};
 use nrm::resilience::{ResilienceConfig, ResilientDaemon};
@@ -149,8 +151,9 @@ pub struct RunConfig {
     pub lossy_capacity: Option<usize>,
     /// Deterministic fault-injection plan for the node's user-space MSR
     /// interface; `None` (the default) is bit-identical to the seed
-    /// behaviour.
-    pub faults: Option<FaultPlan>,
+    /// behaviour. `Arc`-shared: sweeps clone the `RunConfig` per run
+    /// without deep-copying the plan.
+    pub faults: Option<Arc<FaultPlan>>,
     /// Run the hardened control loop ([`ResilientDaemon`]) instead of the
     /// naive [`NrmDaemon`].
     pub resilience: Option<ResilienceConfig>,
@@ -201,8 +204,8 @@ impl RunConfig {
     }
 
     /// Inject faults at the node's user-space MSR boundary.
-    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
-        self.faults = Some(plan);
+    pub fn with_faults(mut self, plan: impl Into<Arc<FaultPlan>>) -> Self {
+        self.faults = Some(plan.into());
         self
     }
 

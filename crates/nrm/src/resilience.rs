@@ -408,7 +408,7 @@ mod tests {
 
     fn busy_node(faults: Option<FaultPlan>) -> Node {
         let cfg = NodeConfig {
-            faults,
+            faults: faults.map(std::sync::Arc::new),
             ..NodeConfig::default()
         };
         let mut node = Node::new(cfg);

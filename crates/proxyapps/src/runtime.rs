@@ -133,13 +133,19 @@ impl Driver {
     /// Run until every rank is done or simulated time reaches `until`.
     /// `agents` are invoked on their periods (phase-offset by
     /// [`SimAgent::phase`]). Can be called repeatedly to continue a run.
+    ///
+    /// Time advances via [`Node::step_until`]: the driver only needs
+    /// control at its own horizons — the run limit, the earliest agent
+    /// tick, and any core completion/wake (which is exactly when `feed`
+    /// has something to do) — so event-free stretches are macro-stepped
+    /// by the node in closed form.
     pub fn run(&mut self, until: Nanos, agents: &mut [&mut dyn SimAgent]) -> RunRecord {
         let mut next_tick: Vec<Nanos> =
             agents.iter().map(|a| self.node.now() + a.phase()).collect();
 
         loop {
             self.feed();
-            self.release_barrier_if_ready();
+            let released = self.release_barrier_if_ready();
 
             if self.status.iter().all(|s| *s == RankStatus::Done) {
                 return self.record(true);
@@ -148,7 +154,19 @@ impl Driver {
                 return self.record(false);
             }
 
-            self.node.step();
+            // A just-released barrier leaves its cores idle until the next
+            // quantum boundary (matching the fixed-quantum reference), so
+            // force a single-quantum advance before feeding them again.
+            let mut deadline = until;
+            for next in &next_tick {
+                deadline = deadline.min(*next);
+            }
+            if released {
+                deadline = deadline.min(self.node.now() + 1);
+            }
+            let deadline = deadline.max(self.node.now() + 1);
+            self.node.step_until(deadline);
+
             let now = self.node.now();
             for (agent, next) in agents.iter_mut().zip(next_tick.iter_mut()) {
                 if now >= *next {
@@ -201,30 +219,34 @@ impl Driver {
         }
     }
 
-    /// Release the barrier when every live rank has arrived.
-    fn release_barrier_if_ready(&mut self) {
+    /// Release the barrier when every live rank has arrived. Returns true
+    /// if a release happened (the released cores sit idle until the next
+    /// quantum boundary, so the run loop must not macro-skip past it).
+    fn release_barrier_if_ready(&mut self) -> bool {
         let live = self
             .status
             .iter()
             .filter(|s| **s != RankStatus::Done)
             .count();
         if live == 0 {
-            return;
+            return false;
         }
         let waiting = self
             .status
             .iter()
             .filter(|s| **s == RankStatus::AtBarrier)
             .count();
-        if waiting == live {
-            self.barriers += 1;
-            for (rank, s) in self.status.iter_mut().enumerate() {
-                if *s == RankStatus::AtBarrier {
-                    *s = RankStatus::Running;
-                    self.node.assign(rank, CoreWork::Idle);
-                }
+        if waiting != live {
+            return false;
+        }
+        self.barriers += 1;
+        for (rank, s) in self.status.iter_mut().enumerate() {
+            if *s == RankStatus::AtBarrier {
+                *s = RankStatus::Running;
+                self.node.assign(rank, CoreWork::Idle);
             }
         }
+        true
     }
 
     fn record(&self, all_done: bool) -> RunRecord {

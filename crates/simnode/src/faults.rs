@@ -20,6 +20,7 @@
 //! [`MsrDevice::read`]: crate::msr::MsrDevice::read
 
 use std::cell::Cell;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -229,7 +230,10 @@ impl FaultStats {
 /// [`MsrDevice`]: crate::msr::MsrDevice
 #[derive(Debug, Clone)]
 pub struct FaultLayer {
-    plan: FaultPlan,
+    /// Shared with the [`NodeConfig`](crate::config::NodeConfig) (and, in a
+    /// cluster, with every sibling member using the same plan) — the layer
+    /// only ever reads it.
+    plan: Arc<FaultPlan>,
     /// SplitMix64 state; `Cell` because reads are `&self`.
     rng: Cell<u64>,
     /// Frozen energy reading while a stuck window is active.
@@ -242,8 +246,10 @@ pub struct FaultLayer {
 }
 
 impl FaultLayer {
-    /// Build the layer for a validated plan.
-    pub fn new(plan: FaultPlan) -> Self {
+    /// Build the layer for a validated plan. Accepts a bare plan or an
+    /// already-shared `Arc<FaultPlan>` (no deep copy in the latter case).
+    pub fn new(plan: impl Into<Arc<FaultPlan>>) -> Self {
+        let plan = plan.into();
         plan.validate();
         let n = plan.specs.len();
         Self {
@@ -392,6 +398,31 @@ impl FaultLayer {
             _ => None,
         };
         (jump_to, latched)
+    }
+
+    /// Earliest instant strictly after `now` at which [`advance_to`] could
+    /// change state: a fault window opening or closing, or a deferred cap
+    /// write latching. The macro-step fast path must not skip past such a
+    /// boundary — it ends exactly on the first quantum boundary at or after
+    /// it, which is the same quantum on which the exact path fires the
+    /// event.
+    ///
+    /// [`advance_to`]: FaultLayer::advance_to
+    pub(crate) fn next_boundary_after(&self, now: Nanos) -> Option<Nanos> {
+        let mut next: Option<Nanos> = None;
+        let mut consider = |t: Nanos| {
+            if t > now && next.is_none_or(|n| t < n) {
+                next = Some(t);
+            }
+        };
+        for s in &self.plan.specs {
+            consider(s.window.start);
+            consider(s.window.end);
+        }
+        if let Some((_, at)) = self.pending_cap {
+            consider(at);
+        }
+        next
     }
 }
 

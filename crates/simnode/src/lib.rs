@@ -26,7 +26,10 @@
 //!
 //! The node executes *work* supplied by a driver (see the `proxyapps`
 //! crate): each core is assigned [`CoreWork`] and the node is advanced in
-//! fixed quanta via [`Node::step`].
+//! fixed quanta via [`Node::step`], or — the fast path — to a deadline or
+//! the next completion/wake via [`Node::step_until`], which macro-steps
+//! over event-free stretches in closed form (see
+//! [`StepMode`]).
 
 pub mod agent;
 pub mod bandwidth;
@@ -45,16 +48,19 @@ pub mod thermal;
 pub mod time;
 
 pub use agent::SimAgent;
-pub use config::NodeConfig;
+pub use config::{NodeConfig, StepMode};
 pub use counters::{CounterSnapshot, Counters};
 pub use ddcm::DutyCycle;
 pub use faults::{FaultKind, FaultPlan, FaultSpec, FaultWindow};
 pub use freq::{FrequencyLadder, PState};
 pub use msr::{MsrDevice, MsrError};
 pub use node::{CoreWork, Node, StepOutcome, WorkPacket};
+pub use power::PStateTables;
 pub use rapl::RaplController;
 pub use thermal::{ThermalConfig, ThermalState};
 pub use time::{Nanos, MS, NS_PER_SEC, SEC, US};
 
+#[cfg(test)]
+mod difftests;
 #[cfg(test)]
 mod proptests;

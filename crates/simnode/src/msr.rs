@@ -121,10 +121,21 @@ impl MsrDevice {
         }
     }
 
-    /// Install a fault-injection plan. Subsequent user-space accesses are
-    /// filtered through it; hardware-side (`hw_*`) accesses never are.
-    pub fn install_faults(&mut self, plan: FaultPlan) {
+    /// Install a fault-injection plan (a bare [`FaultPlan`] or a shared
+    /// `Arc<FaultPlan>`). Subsequent user-space accesses are filtered
+    /// through it; hardware-side (`hw_*`) accesses never are.
+    pub fn install_faults(&mut self, plan: impl Into<std::sync::Arc<FaultPlan>>) {
         self.faults = Some(FaultLayer::new(plan));
+    }
+
+    /// Earliest instant strictly after `now` at which the installed fault
+    /// layer could change state (window opening/closing, deferred cap
+    /// latching). `None` when no plan is installed or nothing is pending —
+    /// an event horizon for the macro-step fast path.
+    pub fn next_fault_boundary(&self, now: Nanos) -> Option<Nanos> {
+        self.faults
+            .as_ref()
+            .and_then(|fl| fl.next_boundary_after(now))
     }
 
     /// Injection counters, when a fault plan is installed.
@@ -208,8 +219,21 @@ impl MsrDevice {
 
     /// Accumulate `joules` into the wrapping 32-bit energy-status counter.
     pub fn hw_add_energy(&mut self, joules: f64) {
-        let units = self.units();
-        let ticks = (joules / units.energy_j).round() as u64;
+        let ticks = self.energy_ticks(joules);
+        self.hw_add_energy_ticks(ticks);
+    }
+
+    /// `joules` converted to whole energy-status ticks, rounded exactly as
+    /// [`hw_add_energy`](MsrDevice::hw_add_energy) rounds. The macro-step
+    /// fast path uses this to add `k` quanta's worth of identical
+    /// per-quantum ticks in one write, bit-identical to `k` separate
+    /// `hw_add_energy` calls.
+    pub fn energy_ticks(&self, joules: f64) -> u64 {
+        (joules / self.units().energy_j).round() as u64
+    }
+
+    /// Add pre-converted ticks to the wrapping 32-bit energy counter.
+    pub fn hw_add_energy_ticks(&mut self, ticks: u64) {
         let cur = self.hw_read(MSR_PKG_ENERGY_STATUS);
         self.hw_write(MSR_PKG_ENERGY_STATUS, (cur + ticks) & 0xFFFF_FFFF);
     }

@@ -2,14 +2,26 @@
 //!
 //! A [`Node`] owns the cores, the MSR file, the RAPL controller and all
 //! accounting state. A driver assigns [`CoreWork`] to cores and advances
-//! simulated time one quantum at a time with [`Node::step`]; each step
-//! retires work according to the current frequency/duty/uncore settings,
-//! integrates power into the energy counter, and accumulates hardware
-//! counters. RAPL re-evaluates its actuators on its own control period.
+//! simulated time with [`Node::step`] (one quantum) or [`Node::step_until`]
+//! (to a deadline or the next completion/wake, whichever comes first); each
+//! quantum retires work according to the current frequency/duty/uncore
+//! settings, integrates power into the energy counter, and accumulates
+//! hardware counters. RAPL re-evaluates its actuators on its own control
+//! period.
+//!
+//! Between events the per-quantum update is *identical* from quantum to
+//! quantum: while no core completes or wakes, no RAPL period boundary
+//! passes, no fault latches and the thermal throttle holds steady, packet
+//! state decays by the same fraction of remaining work each quantum and
+//! every counter/energy increment is a constant. [`Node::step_until`]
+//! exploits this (under the default [`StepMode::EventHorizon`]) by
+//! computing the number of whole quanta to the nearest such *event
+//! horizon* and applying the k-quantum closed form in one shot, falling
+//! back to the exact single-quantum path within a quantum of any horizon.
 
 use serde::{Deserialize, Serialize};
 
-use crate::config::NodeConfig;
+use crate::config::{NodeConfig, StepMode};
 use crate::counters::Counters;
 use crate::ddcm::DutyCycle;
 use crate::energy::EnergyMeter;
@@ -17,6 +29,7 @@ use crate::msr::{
     decode_perf_ctl, MsrDevice, MsrError, PowerLimit, IA32_APERF, IA32_CLOCK_MODULATION,
     IA32_MPERF, IA32_PERF_CTL, MSR_PKG_POWER_LIMIT,
 };
+use crate::power::PStateTables;
 use crate::rapl::{ActivitySnapshot, Actuation, RaplController};
 use crate::thermal::ThermalState;
 use crate::time::{secs, Nanos};
@@ -126,13 +139,29 @@ pub enum CoreWork {
     Compute(PacketState),
 }
 
-/// Result of one simulation quantum.
+/// Result of one simulation step ([`Node::step`] or [`Node::step_until`]).
+///
+/// The node owns one of these and reuses its buffers across steps, so the
+/// hot loop allocates nothing; callers that need to keep a result across
+/// further steps clone it.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StepOutcome {
-    /// Cores whose packet completed during this quantum (now idle).
+    /// Cores whose packet completed during this step (now idle).
     pub completed: Vec<usize>,
-    /// Cores whose sleep elapsed during this quantum (now idle).
+    /// Cores whose sleep elapsed during this step (now idle).
     pub woke: Vec<usize>,
+}
+
+impl StepOutcome {
+    /// No completion or wake happened.
+    pub fn is_empty(&self) -> bool {
+        self.completed.is_empty() && self.woke.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.completed.clear();
+        self.woke.clear();
+    }
 }
 
 /// Telemetry for the quantum that just executed.
@@ -180,9 +209,15 @@ pub struct Node {
     acc_busy_weight: f64,
     acc_powered: f64,
     acc_bytes: f64,
-    acc_quanta: u32,
+    acc_quanta: u64,
     thermal: Option<ThermalState>,
     next_rapl: Nanos,
+    /// Per-P-state power/frequency lookups (see [`PStateTables`]).
+    tables: PStateTables,
+    /// Reusable step result; cleared at the start of every step.
+    outcome: StepOutcome,
+    /// Reusable per-core packet-decay fractions for the macro step.
+    scratch_rho: Vec<f64>,
 }
 
 impl Node {
@@ -199,11 +234,14 @@ impl Node {
         let retain = cfg.rapl_window.max(crate::time::SEC);
         let mut msr = MsrDevice::new();
         if let Some(plan) = &cfg.faults {
+            // Arc clone: the plan itself is shared, not deep-copied.
             msr.install_faults(plan.clone());
         }
+        let tables = PStateTables::new(&cfg.ladder, &cfg.core_power);
         Self {
             energy: EnergyMeter::new(retain * 2),
             next_rapl: cfg.rapl_period,
+            scratch_rho: vec![0.0; cfg.cores],
             cfg,
             now: 0,
             msr,
@@ -218,6 +256,8 @@ impl Node {
             acc_bytes: 0.0,
             acc_quanta: 0,
             thermal,
+            tables,
+            outcome: StepOutcome::default(),
         }
     }
 
@@ -325,15 +365,331 @@ impl Node {
         matches!(self.cores[core], CoreWork::Idle)
     }
 
-    /// Advance the simulation by one quantum. Returns which cores finished
-    /// packets or woke from sleep.
-    pub fn step(&mut self) -> StepOutcome {
+    /// Advance the simulation by exactly one quantum. Returns which cores
+    /// finished packets or woke from sleep; the returned reference points at
+    /// the node's reusable outcome buffer (clone it to keep it across
+    /// steps).
+    pub fn step(&mut self) -> &StepOutcome {
         // RAPL control decision on period boundaries (before executing).
         if self.now >= self.next_rapl {
             self.rapl_tick();
             self.next_rapl += self.cfg.rapl_period;
         }
+        self.outcome.clear();
+        self.step_quantum();
+        &self.outcome
+    }
 
+    /// Advance the simulation until `deadline`, or until any core completes
+    /// a packet or wakes from sleep, whichever comes first. Time always
+    /// lands on a quantum boundary (the first one at or past `deadline`
+    /// when no event cuts the run short), exactly as a [`Node::step`] loop
+    /// would.
+    ///
+    /// Under [`StepMode::EventHorizon`] (the default) stretches with no
+    /// upcoming event are covered by a closed-form macro-step instead of
+    /// quantum-by-quantum iteration; under [`StepMode::Exact`] this is
+    /// bit-identical to calling [`Node::step`] in a loop and stopping on
+    /// the first non-empty outcome.
+    pub fn step_until(&mut self, deadline: Nanos) -> &StepOutcome {
+        self.outcome.clear();
+        while self.now < deadline && self.outcome.is_empty() {
+            if self.now >= self.next_rapl {
+                self.rapl_tick();
+                self.next_rapl += self.cfg.rapl_period;
+            }
+            let k = match self.cfg.step_mode {
+                StepMode::Exact => 1,
+                StepMode::EventHorizon => self.macro_quanta(deadline),
+            };
+            if k >= 2 {
+                self.macro_step(k);
+            } else {
+                self.step_quantum();
+            }
+        }
+        &self.outcome
+    }
+
+    /// Number of whole quanta until the next *event horizon*: the earliest
+    /// of the caller's deadline, the next RAPL period boundary, a fault
+    /// window opening/closing or deferred cap latching, a sleeping core's
+    /// wake time, and (with a one-quantum safety margin) a computing core's
+    /// predicted completion. A macro-step of this many quanta crosses no
+    /// horizon except possibly on its final quantum boundary — the same
+    /// quantum on which the exact path observes the event.
+    fn macro_quanta(&self, deadline: Nanos) -> u64 {
+        let dt = self.cfg.quantum;
+        let dt_s = secs(dt);
+        let now = self.now;
+        // Quanta from `now` to the first quantum boundary at or past `b`.
+        let quanta_to = |b: Nanos| b.saturating_sub(now).div_ceil(dt);
+
+        let mut k = quanta_to(deadline).min(quanta_to(self.next_rapl));
+        if let Some(b) = self.msr.next_fault_boundary(now) {
+            k = k.min(quanta_to(b));
+        }
+        if k < 2 {
+            return k;
+        }
+
+        // Frequency the quanta will run at (PROCHOT pin included; a throttle
+        // *flip* mid-step is handled by truncation inside macro_step).
+        let mut effective = self.actuation;
+        if let Some(t) = &self.thermal {
+            if t.throttling() {
+                effective.pstate = self.cfg.ladder.min_pstate();
+            }
+        }
+        let f_eff_hz = self.tables.mhz(effective.pstate) * 1e6 * effective.duty.fraction();
+        let pressure: f64 = self
+            .cores
+            .iter()
+            .map(|w| match w {
+                CoreWork::Compute(p) if p.misses_left > 0.0 => p.mem_weight,
+                _ => 0.0,
+            })
+            .sum();
+
+        for work in &self.cores {
+            match work {
+                CoreWork::Idle | CoreWork::Spin => {}
+                CoreWork::Sleep { until } => {
+                    // Land the macro end exactly on the wake quantum.
+                    k = k.min(quanta_to(*until));
+                }
+                CoreWork::Compute(ps) => {
+                    let t_comp = if f_eff_hz > 0.0 {
+                        ps.cycles_left / f_eff_hz
+                    } else {
+                        f64::INFINITY
+                    };
+                    let service = self
+                        .cfg
+                        .uncore
+                        .service_rate(effective.uncore, pressure, ps.mlp);
+                    let t_mem = ps.misses_left * self.cfg.uncore.bytes_per_miss / service;
+                    let t_total = t_comp + t_mem;
+                    // Stop one quantum short of the predicted completion so
+                    // the completion decision itself is always taken by the
+                    // exact single-quantum path (immune to closed-form
+                    // rounding). The `as u64` cast saturates for infinite
+                    // t_total (no completion horizon) and maps NaN to 0
+                    // (forces the exact path).
+                    k = k.min(((t_total / dt_s) as u64).saturating_sub(1));
+                }
+            }
+            if k < 2 {
+                return k;
+            }
+        }
+        k
+    }
+
+    /// Apply `k` quanta in closed form. Caller guarantees (via
+    /// [`Node::macro_quanta`]) that no RAPL boundary, fault boundary, wake
+    /// or completion lies strictly inside the covered span — wakes may land
+    /// exactly on its final quantum. A thermal-throttle flip truncates the
+    /// step at the quantum after the flip, exactly where the exact path
+    /// would first run at the new frequency.
+    fn macro_step(&mut self, k: u64) {
+        let dt = self.cfg.quantum;
+        let dt_s = secs(dt);
+        let start = self.now;
+
+        let mut effective = self.actuation;
+        let throttled0 = self
+            .thermal
+            .as_ref()
+            .map(|t| t.throttling())
+            .unwrap_or(false);
+        if throttled0 {
+            effective.pstate = self.cfg.ladder.min_pstate();
+        }
+        let leak0 = self
+            .thermal
+            .as_ref()
+            .map(|t| t.leak_factor())
+            .unwrap_or(1.0);
+
+        let duty = effective.duty;
+        let duty_frac = duty.fraction();
+        let f_mhz = self.tables.mhz(effective.pstate);
+        let f_eff_hz = f_mhz * 1e6 * duty_frac;
+        let fmax_hz = self.cfg.fmax_mhz() as f64 * 1e6;
+        let uncore_level = effective.uncore;
+        let dyn_full_w = self.tables.dynamic_full(effective.pstate);
+        let static_at_f = self.tables.static_power(effective.pstate);
+
+        let pressure: f64 = self
+            .cores
+            .iter()
+            .map(|w| match w {
+                CoreWork::Compute(p) if p.misses_left > 0.0 => p.mem_weight,
+                _ => 0.0,
+            })
+            .sum();
+
+        // Pass 1: per-quantum constants. While no horizon is crossed every
+        // quantum of the macro step contributes identical increments —
+        // packet state decays multiplicatively, so remaining-work ratios
+        // (and hence utilisations, power and counter deltas) are invariant.
+        let mut core_w0 = 0.0; // interleaved per-core sum, bit-equal to the exact path at leak0
+        let mut core_dyn_w = 0.0; // dynamic-only sum (thermal path)
+        let mut core_static_w = 0.0; // leak-scaled static sum, sans leak factor (thermal path)
+        let mut bytes_q = 0.0;
+        let mut inst_q = 0.0;
+        let mut cycles_q = 0.0;
+        let mut misses_q = 0.0;
+        let mut compute_weight = 0.0;
+        let mut busy_weight = 0.0;
+        let mut powered = 0.0;
+        let mut aperf_q = 0.0;
+        let mut mperf_q = 0.0;
+
+        for (i, work) in self.cores.iter().enumerate() {
+            self.scratch_rho[i] = 0.0;
+            let (activity, static_scale, busy_frac) = match work {
+                CoreWork::Idle => (0.0, 1.0, 0.0),
+                CoreWork::Sleep { .. } => {
+                    inst_q += self.cfg.sleep_inst_per_sec * dt_s;
+                    (0.0, self.cfg.cstate_static_frac, 0.0)
+                }
+                CoreWork::Spin => {
+                    let cyc = f_eff_hz * dt_s;
+                    cycles_q += cyc;
+                    inst_q += self.cfg.spin_ipc * cyc;
+                    (1.0, 1.0, 1.0)
+                }
+                CoreWork::Compute(ps) => {
+                    let t_comp = if f_eff_hz > 0.0 {
+                        ps.cycles_left / f_eff_hz
+                    } else {
+                        f64::INFINITY
+                    };
+                    let service = self.cfg.uncore.service_rate(uncore_level, pressure, ps.mlp);
+                    let t_mem = ps.misses_left * self.cfg.uncore.bytes_per_miss / service;
+                    let t_total = t_comp + t_mem;
+                    debug_assert!(
+                        t_total > dt_s * k as f64,
+                        "macro step may not contain a completion"
+                    );
+                    let rho = dt_s / t_total;
+                    self.scratch_rho[i] = rho;
+                    let u_comp = t_comp / t_total;
+                    let u_mem = t_mem / t_total;
+                    let misses_serviced = ps.misses_left * rho;
+                    bytes_q += misses_serviced * self.cfg.uncore.bytes_per_miss;
+                    inst_q += ps.inst_left * rho;
+                    let busy = (u_comp + u_mem).min(1.0);
+                    cycles_q += f_eff_hz * busy * dt_s;
+                    misses_q += misses_serviced;
+                    let activity = u_comp + u_mem * self.cfg.stall_dyn_frac;
+                    (activity.min(1.0), 1.0, busy)
+                }
+            };
+            let dyn_w = dyn_full_w * duty_frac * activity;
+            core_dyn_w += dyn_w;
+            core_static_w += static_at_f * static_scale;
+            core_w0 += dyn_w + static_at_f * (static_scale * leak0);
+            compute_weight += activity;
+            busy_weight += busy_frac;
+            powered += static_scale.min(1.0_f64).ceil();
+            aperf_q += f_eff_hz * busy_frac * dt_s;
+            mperf_q += fmax_hz * busy_frac * dt_s;
+        }
+
+        let achieved_bw = bytes_q / dt_s;
+        let uncore_w = self.cfg.uncore.power(uncore_level, achieved_bw);
+
+        // Pass 2: energy and thermal. Without a thermal model package power
+        // is constant over the whole span (one meter sample, one tick
+        // batch); with one, leakage drifts with temperature every quantum
+        // and a PROCHOT flip truncates the step.
+        let energy_unit = self.msr.units().energy_j;
+        let executed;
+        let mut energy_ticks: u64;
+        let core_w_last;
+        if let Some(t) = &mut self.thermal {
+            energy_ticks = 0;
+            let mut core_w_i = core_dyn_w + core_static_w * leak0;
+            let mut done = 0;
+            for i in 0..k {
+                core_w_i = core_dyn_w + core_static_w * t.leak_factor();
+                let pkg_w = core_w_i + uncore_w;
+                let e = pkg_w * dt_s;
+                self.energy.record(start + (i + 1) * dt, e);
+                energy_ticks += (e / energy_unit).round() as u64;
+                t.step(pkg_w, dt_s);
+                done = i + 1;
+                if t.throttling() != throttled0 {
+                    break;
+                }
+            }
+            executed = done;
+            core_w_last = core_w_i;
+        } else {
+            executed = k;
+            core_w_last = core_w0;
+            let e_q = (core_w0 + uncore_w) * dt_s;
+            self.energy.record(start + k * dt, e_q * k as f64);
+            energy_ticks = (e_q / energy_unit).round() as u64 * k;
+        }
+
+        // Pass 3: apply the k-quantum closed form with the span actually
+        // executed. Over j quanta the remaining-work factor telescopes to
+        // (t_total - j·dt) / t_total, i.e. state shrinks by rho·j.
+        let kf = executed as f64;
+        let end = start + executed * dt;
+        for (i, work) in self.cores.iter_mut().enumerate() {
+            match work {
+                CoreWork::Idle | CoreWork::Spin => {}
+                CoreWork::Sleep { until } => {
+                    if *until <= end {
+                        self.outcome.woke.push(i);
+                        *work = CoreWork::Idle;
+                    }
+                }
+                CoreWork::Compute(ps) => {
+                    let frac_k = self.scratch_rho[i] * kf;
+                    ps.cycles_left -= ps.cycles_left * frac_k;
+                    ps.misses_left -= ps.misses_left * frac_k;
+                    ps.inst_left -= ps.inst_left * frac_k;
+                }
+            }
+        }
+        self.counters.instructions += inst_q * kf;
+        self.counters.cycles += cycles_q * kf;
+        self.counters.l3_misses += misses_q * kf;
+
+        self.now = end;
+        self.msr.hw_add_energy_ticks(energy_ticks);
+        self.msr.advance_to(end);
+        let ap = self.msr.hw_read(IA32_APERF);
+        self.msr
+            .hw_write(IA32_APERF, ap + aperf_q.round() as u64 * executed);
+        let mp = self.msr.hw_read(IA32_MPERF);
+        self.msr
+            .hw_write(IA32_MPERF, mp + mperf_q.round() as u64 * executed);
+
+        self.telemetry = QuantumTelemetry {
+            package_w: core_w_last + uncore_w,
+            core_w: core_w_last,
+            uncore_w,
+            effective_mhz: f_mhz * duty_frac,
+            achieved_bw,
+        };
+
+        self.acc_compute_weight += compute_weight * kf;
+        self.acc_busy_weight += busy_weight * kf;
+        self.acc_powered += powered * kf;
+        self.acc_bytes += bytes_q * kf;
+        self.acc_quanta += executed;
+    }
+
+    /// Execute exactly one quantum, appending to `self.outcome`. This is
+    /// the reference path: [`StepMode::Exact`] runs nothing else.
+    fn step_quantum(&mut self) {
         let dt = self.cfg.quantum;
         let dt_s = secs(dt);
         let end = self.now + dt;
@@ -353,10 +709,13 @@ impl Node {
             .unwrap_or(1.0);
 
         let duty = effective.duty;
-        let f_mhz = self.cfg.ladder.mhz(effective.pstate) as f64;
-        let f_eff_hz = f_mhz * 1e6 * duty.fraction();
+        let duty_frac = duty.fraction();
+        let f_mhz = self.tables.mhz(effective.pstate);
+        let f_eff_hz = f_mhz * 1e6 * duty_frac;
         let fmax_hz = self.cfg.fmax_mhz() as f64 * 1e6;
         let uncore_level = effective.uncore;
+        let dyn_full_w = self.tables.dynamic_full(effective.pstate);
+        let static_at_f = self.tables.static_power(effective.pstate);
 
         // Memory pressure: workload-intrinsic weights of in-flight packets
         // still holding misses.
@@ -369,7 +728,6 @@ impl Node {
             })
             .sum();
 
-        let mut outcome = StepOutcome::default();
         let mut core_w = 0.0;
         let mut bytes_moved = 0.0;
         let mut compute_weight = 0.0;
@@ -384,7 +742,7 @@ impl Node {
                 CoreWork::Sleep { until } => {
                     self.counters.instructions += self.cfg.sleep_inst_per_sec * dt_s;
                     if *until <= end {
-                        outcome.woke.push(i);
+                        self.outcome.woke.push(i);
                         *work = CoreWork::Idle;
                     }
                     (0.0, self.cfg.cstate_static_frac, 0.0)
@@ -421,7 +779,7 @@ impl Node {
                     self.counters.l3_misses += misses_serviced;
 
                     if t_total <= dt_s {
-                        outcome.completed.push(i);
+                        self.outcome.completed.push(i);
                         *work = CoreWork::Idle;
                     } else {
                         ps.cycles_left -= ps.cycles_left * frac_of_packet;
@@ -435,9 +793,7 @@ impl Node {
             };
 
             core_w +=
-                self.cfg
-                    .core_power
-                    .core_power(f_mhz, duty, activity, static_scale * leak_factor);
+                dyn_full_w * duty_frac * activity + static_at_f * (static_scale * leak_factor);
             compute_weight += activity;
             busy_weight += busy_frac;
             powered += static_scale.min(1.0_f64).ceil(); // 1 if powered, else C-state counts fractionally
@@ -466,7 +822,7 @@ impl Node {
             package_w: pkg_w,
             core_w,
             uncore_w,
-            effective_mhz: f_mhz * duty.fraction(),
+            effective_mhz: f_mhz * duty_frac,
             achieved_bw,
         };
 
@@ -475,8 +831,6 @@ impl Node {
         self.acc_powered += powered;
         self.acc_bytes += bytes_moved;
         self.acc_quanta += 1;
-
-        outcome
     }
 
     /// One RAPL control decision based on activity accumulated since the
@@ -503,7 +857,9 @@ impl Node {
         let avg = self
             .energy
             .average_power(window.min(self.cfg.rapl_window * 4));
-        let mut act = self.rapl.control(&self.cfg, &self.msr, &snapshot, avg);
+        let mut act = self
+            .rapl
+            .control(&self.cfg, &self.msr, &self.tables, &snapshot, avg);
 
         // Honour user P-state / duty requests: hardware takes the minimum of
         // the OS request and RAPL's constraint, like real `IA32_PERF_CTL`
@@ -526,7 +882,7 @@ mod tests {
     use crate::time::{MS, SEC};
 
     fn run_quanta(node: &mut Node, n: usize) -> Vec<StepOutcome> {
-        (0..n).map(|_| node.step()).collect()
+        (0..n).map(|_| node.step().clone()).collect()
     }
 
     fn compute_packet(ms_at_fmax: f64) -> WorkPacket {

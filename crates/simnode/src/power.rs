@@ -17,6 +17,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::ddcm::DutyCycle;
+use crate::freq::{FrequencyLadder, PState};
 
 /// Parameters for the per-core power model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -110,6 +111,53 @@ impl CorePowerConfig {
         );
         assert!(self.c_dyn > 0.0 && self.leak_per_volt >= 0.0);
         assert!(self.v_curve_exp > 0.0, "voltage curve exponent positive");
+    }
+}
+
+/// Per-P-state lookup tables for the quantities the step hot path and the
+/// RAPL controller's actuator search recompute constantly: frequency as a
+/// float, full-duty/full-activity dynamic power, and static (leakage) power.
+///
+/// The voltage curve behind [`CorePowerConfig::dynamic_full`] and
+/// [`CorePowerConfig::static_power`] costs a `powf` per evaluation; the
+/// ladder is tiny and immutable, so evaluating each rung once at node
+/// construction removes transcendental math from the per-quantum loop
+/// entirely. Table entries are the exact `f64`s the direct computation
+/// produces, so switching to the tables is bit-neutral.
+#[derive(Debug, Clone)]
+pub struct PStateTables {
+    mhz: Vec<f64>,
+    dynamic_full: Vec<f64>,
+    static_w: Vec<f64>,
+}
+
+impl PStateTables {
+    /// Evaluate the power model at every rung of `ladder`.
+    pub fn new(ladder: &FrequencyLadder, power: &CorePowerConfig) -> Self {
+        let mhz: Vec<f64> = ladder.iter().map(|p| ladder.mhz(p) as f64).collect();
+        let dynamic_full = mhz.iter().map(|&f| power.dynamic_full(f)).collect();
+        let static_w = mhz.iter().map(|&f| power.static_power(f)).collect();
+        Self {
+            mhz,
+            dynamic_full,
+            static_w,
+        }
+    }
+
+    /// Frequency of `p` in MHz, as `f64` (same value as
+    /// `ladder.mhz(p) as f64`).
+    pub fn mhz(&self, p: PState) -> f64 {
+        self.mhz[p.0]
+    }
+
+    /// [`CorePowerConfig::dynamic_full`] at `p`.
+    pub fn dynamic_full(&self, p: PState) -> f64 {
+        self.dynamic_full[p.0]
+    }
+
+    /// [`CorePowerConfig::static_power`] at `p`.
+    pub fn static_power(&self, p: PState) -> f64 {
+        self.static_w[p.0]
     }
 }
 

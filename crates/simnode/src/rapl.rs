@@ -31,6 +31,7 @@ use crate::config::NodeConfig;
 use crate::ddcm::DutyCycle;
 use crate::freq::PState;
 use crate::msr::{MsrDevice, PowerLimit, MSR_PKG_POWER_LIMIT};
+use crate::power::PStateTables;
 
 /// Aggregate activity observed over the last control period, used by the
 /// controller to estimate core/uncore power demand.
@@ -108,12 +109,14 @@ impl RaplController {
 
     /// Make a control decision for the next period.
     ///
-    /// `avg_power` is the measured rolling-average package power over the
-    /// programmed RAPL window.
+    /// `tables` must be built from `cfg`'s ladder and power model (the node
+    /// owns one); `avg_power` is the measured rolling-average package power
+    /// over the programmed RAPL window.
     pub fn control(
         &mut self,
         cfg: &NodeConfig,
         msr: &MsrDevice,
+        tables: &PStateTables,
         activity: &ActivitySnapshot,
         avg_power: f64,
     ) -> Actuation {
@@ -146,9 +149,8 @@ impl RaplController {
 
         // Demand estimation at full throttle ("what would each domain draw
         // if unconstrained right now?").
-        let fmin = cfg.ladder.fmin_mhz() as f64;
-        let fmax = cfg.fmax_mhz() as f64;
-        let core_demand = self.est_core_power(cfg, fmax, DutyCycle::FULL, activity);
+        let core_demand =
+            est_core_power(tables, cfg.ladder.max_pstate(), DutyCycle::FULL, activity);
         // Traffic achieved under a throttled uncore under-reports what the
         // cores would consume unthrottled; scale it back by the bandwidth
         // ratio of the level currently in force.
@@ -171,8 +173,7 @@ impl RaplController {
         let mut pstate = cfg.ladder.min_pstate();
         let mut fits = false;
         for p in cfg.ladder.iter().rev() {
-            let f = cfg.ladder.mhz(p) as f64;
-            if self.est_core_power(cfg, f, DutyCycle::FULL, activity) <= core_budget {
+            if est_core_power(tables, p, DutyCycle::FULL, activity) <= core_budget {
                 pstate = p;
                 fits = true;
                 break;
@@ -185,12 +186,14 @@ impl RaplController {
         } else {
             DutyCycle::all()
                 .rev()
-                .find(|&d| self.est_core_power(cfg, fmin, d, activity) <= core_budget)
+                .find(|&d| {
+                    est_core_power(tables, cfg.ladder.min_pstate(), d, activity) <= core_budget
+                })
                 .unwrap_or(DutyCycle::MIN)
         };
 
         // Core surplus (quantization slack) flows to the uncore.
-        let core_est = self.est_core_power(cfg, cfg.ladder.mhz(pstate) as f64, duty, activity);
+        let core_est = est_core_power(tables, pstate, duty, activity);
         let uncore_budget = uncore_budget0 + (core_budget - core_est).max(0.0);
 
         // Uncore: highest level fitting the uncore budget, assuming traffic
@@ -212,22 +215,21 @@ impl RaplController {
             uncore,
         }
     }
+}
 
-    /// Estimated aggregate core power at frequency `f_mhz` / duty `duty`.
-    /// Deliberately pessimistic: unhalted (busy) cores are budgeted at
-    /// full dynamic activity, because RAPL must hold the cap even if their
-    /// stall time turns into compute within the averaging window.
-    fn est_core_power(
-        &self,
-        cfg: &NodeConfig,
-        f_mhz: f64,
-        duty: DutyCycle,
-        activity: &ActivitySnapshot,
-    ) -> f64 {
-        let dyn_p = cfg.core_power.dynamic(f_mhz, duty, 1.0) * activity.busy_weight;
-        let static_p = cfg.core_power.static_power(f_mhz) * activity.powered_cores;
-        dyn_p + static_p
-    }
+/// Estimated aggregate core power at P-state `p` / duty `duty`.
+/// Deliberately pessimistic: unhalted (busy) cores are budgeted at
+/// full dynamic activity, because RAPL must hold the cap even if their
+/// stall time turns into compute within the averaging window.
+fn est_core_power(
+    tables: &PStateTables,
+    p: PState,
+    duty: DutyCycle,
+    activity: &ActivitySnapshot,
+) -> f64 {
+    let dyn_p = tables.dynamic_full(p) * duty.fraction() * activity.busy_weight;
+    let static_p = tables.static_power(p) * activity.powered_cores;
+    dyn_p + static_p
 }
 
 impl Default for RaplController {
@@ -278,9 +280,10 @@ mod tests {
     #[test]
     fn uncapped_runs_flat_out() {
         let cfg = NodeConfig::default();
+        let tables = PStateTables::new(&cfg.ladder, &cfg.core_power);
         let msr = MsrDevice::new();
         let mut r = RaplController::new();
-        let a = r.control(&cfg, &msr, &compute_bound(24), 150.0);
+        let a = r.control(&cfg, &msr, &tables, &compute_bound(24), 150.0);
         assert_eq!(a.pstate, cfg.ladder.max_pstate());
         assert_eq!(a.duty, DutyCycle::FULL);
         assert_eq!(a.uncore, cfg.uncore.max_level());
@@ -291,11 +294,12 @@ mod tests {
         // Paper Fig. 2: under the same cap, RAPL runs compute-bound codes at
         // a higher frequency than memory-bound ones.
         let cfg = NodeConfig::default();
+        let tables = PStateTables::new(&cfg.ladder, &cfg.core_power);
         let msr = capped_msr(90.0);
         let mut r1 = RaplController::new();
         let mut r2 = RaplController::new();
-        let a_compute = r1.control(&cfg, &msr, &compute_bound(24), 90.0);
-        let a_memory = r2.control(&cfg, &msr, &memory_bound(24), 90.0);
+        let a_compute = r1.control(&cfg, &msr, &tables, &compute_bound(24), 90.0);
+        let a_memory = r2.control(&cfg, &msr, &tables, &memory_bound(24), 90.0);
         let f_c = cfg.ladder.mhz(a_compute.pstate);
         let f_m = cfg.ladder.mhz(a_memory.pstate);
         assert!(
@@ -309,9 +313,10 @@ mod tests {
         // Below ~25 W of core budget even f_min exceeds the allocation
         // (24 cores x ~1.05 W), so clock modulation must engage.
         let cfg = NodeConfig::default();
+        let tables = PStateTables::new(&cfg.ladder, &cfg.core_power);
         let msr = capped_msr(25.0);
         let mut r = RaplController::new();
-        let a = r.control(&cfg, &msr, &compute_bound(24), 25.0);
+        let a = r.control(&cfg, &msr, &tables, &compute_bound(24), 25.0);
         assert_eq!(a.pstate, cfg.ladder.min_pstate());
         assert!(!a.duty.is_full(), "expected duty cycling under a 25 W cap");
     }
@@ -319,9 +324,10 @@ mod tests {
     #[test]
     fn stringent_cap_throttles_uncore_for_streaming() {
         let cfg = NodeConfig::default();
+        let tables = PStateTables::new(&cfg.ladder, &cfg.core_power);
         let msr = capped_msr(50.0);
         let mut r = RaplController::new();
-        let a = r.control(&cfg, &msr, &memory_bound(24), 50.0);
+        let a = r.control(&cfg, &msr, &tables, &memory_bound(24), 50.0);
         assert!(
             a.uncore < cfg.uncore.max_level(),
             "expected uncore throttling for a streaming workload at 50 W"
@@ -334,10 +340,11 @@ mod tests {
         // compute-bound code, but never so far that bandwidth becomes the
         // constraint for its tiny traffic.
         let cfg = NodeConfig::default();
+        let tables = PStateTables::new(&cfg.ladder, &cfg.core_power);
         let msr = capped_msr(120.0);
         let mut r = RaplController::new();
         let act = compute_bound(24);
-        let a = r.control(&cfg, &msr, &act, 120.0);
+        let a = r.control(&cfg, &msr, &tables, &act, 120.0);
         assert!(
             cfg.uncore.total_bw(a.uncore) > 4.0 * act.achieved_bw,
             "uncore bandwidth at level {:?} would constrain a 3 GB/s code",
@@ -349,13 +356,14 @@ mod tests {
     #[test]
     fn feedback_bias_pulls_budget_down_when_over_cap() {
         let cfg = NodeConfig::default();
+        let tables = PStateTables::new(&cfg.ladder, &cfg.core_power);
         let msr = capped_msr(80.0);
         let mut r = RaplController::new();
-        let a1 = r.control(&cfg, &msr, &compute_bound(24), 80.0);
+        let a1 = r.control(&cfg, &msr, &tables, &compute_bound(24), 80.0);
         // Report sustained overshoot; chosen frequency must not increase.
         let mut last = a1.pstate;
         for _ in 0..20 {
-            let a = r.control(&cfg, &msr, &compute_bound(24), 95.0);
+            let a = r.control(&cfg, &msr, &tables, &compute_bound(24), 95.0);
             assert!(a.pstate <= last);
             last = a.pstate;
         }

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Profile the simulation hot path.
+#
+# With `perf` on the PATH this records the chosen bench binary and prints
+# the symbol-level breakdown (plus a flamegraph SVG when the inferno or
+# flamegraph tools are installed). Without `perf` it falls back to the
+# criterion-stub timing breakdown: the macro-step fast path
+# (simnode/step_until_3s, cluster/*) side by side with the exact
+# single-quantum reference (node/step_1s from the micro bench), which is
+# the ratio the event-horizon stepping optimises.
+#
+# Usage: scripts/profile.sh [bench-name]
+#
+#   bench-name   bench target to profile under perf (default: cluster)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bench="${1:-cluster}"
+
+if command -v perf >/dev/null 2>&1; then
+    echo "== perf profile of bench '$bench'"
+    cargo bench -q -p powerprog-bench --bench "$bench" --no-run
+    # Find the freshest bench binary for the target.
+    bin="$(ls -t target/release/deps/"${bench}"-* 2>/dev/null |
+        grep -v '\.d$' | head -n1)"
+    if [[ -z "$bin" ]]; then
+        echo "profile.sh: no bench binary for '$bench'" >&2
+        exit 1
+    fi
+    out="target/profile"
+    mkdir -p "$out"
+    perf record -g --output="$out/perf.data" -- \
+        env CRITERION_SAMPLES="${CRITERION_SAMPLES:-5}" "$bin" --bench
+    perf report --input="$out/perf.data" --stdio --percent-limit 1 |
+        head -n 60
+    if command -v inferno-collapse-perf >/dev/null 2>&1 &&
+        command -v inferno-flamegraph >/dev/null 2>&1; then
+        perf script --input="$out/perf.data" |
+            inferno-collapse-perf |
+            inferno-flamegraph >"$out/flamegraph.svg"
+        echo "wrote $out/flamegraph.svg"
+    elif command -v stackcollapse-perf.pl >/dev/null 2>&1 &&
+        command -v flamegraph.pl >/dev/null 2>&1; then
+        perf script --input="$out/perf.data" |
+            stackcollapse-perf.pl |
+            flamegraph.pl >"$out/flamegraph.svg"
+        echo "wrote $out/flamegraph.svg"
+    else
+        echo "(no flamegraph tooling found; perf.data kept in $out/)"
+    fi
+    exit 0
+fi
+
+echo "== no perf on PATH: criterion timing breakdown instead"
+echo
+echo "-- event-horizon fast path (macro-quantum stepping)"
+CRITERION_SAMPLES="${CRITERION_SAMPLES:-5}" \
+    cargo bench -q -p powerprog-bench --bench cluster
+echo
+echo "-- exact single-quantum reference (node/step_1s) and subsystem costs"
+CRITERION_SAMPLES="${CRITERION_SAMPLES:-5}" \
+    cargo bench -q -p powerprog-bench --bench micro
+echo
+echo "step_until_3s simulates 3 s; node/step_1s simulates 1 s: divide the"
+echo "step_until median by 3 to compare per-simulated-second cost."
