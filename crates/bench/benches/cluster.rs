@@ -6,8 +6,9 @@
 //! simulation.
 
 use cluster::{
-    exchange, run_cluster, ArbiterConfig, ClusterConfig, CommConfig, CommPattern, NodeSpec,
-    NodeTelemetry, Policy, PowerArbiter, Preset, Topology, WorkloadShape, DEFAULT_DAEMON_PERIOD,
+    exchange, ramp_weights, run_cluster, ArbiterConfig, ClusterConfig, CommConfig, CommPattern,
+    HierarchyConfig, NodeSpec, NodeTelemetry, Policy, PowerArbiter, Preset, Topology,
+    WorkloadShape, DEFAULT_DAEMON_PERIOD,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 use simnode::config::NodeConfig;
@@ -45,6 +46,40 @@ fn bench_config(policy: Policy) -> ClusterConfig {
                 uplink_bw: 2.5e9,
             },
         },
+        hierarchy: None,
+    }
+}
+
+/// The ISSUE-5 comparison workload: an imbalanced 16-node, 4-rack BSP
+/// cluster, run under flat vs. hierarchical progress-feedback.
+fn rack_tree_config(hierarchy: Option<HierarchyConfig>) -> ClusterConfig {
+    ClusterConfig {
+        nodes: ramp_weights(16, 1.0, 2.6)
+            .into_iter()
+            .map(|w| NodeSpec::new(Preset::Reference, w))
+            .collect(),
+        iters: 3,
+        arbiter: ArbiterConfig {
+            budget_w: 1040.0,
+            min_cap_w: 40.0,
+            max_cap_w: 130.0,
+            policy: Policy::ProgressFeedback { gain: 1.0 },
+        },
+        shape: WorkloadShape::default(),
+        daemon_period: DEFAULT_DAEMON_PERIOD,
+        comm: CommConfig {
+            alpha_s: 2e-6,
+            nic_bw: 1.25e9,
+            power_coupling: 0.5,
+            pattern: CommPattern::HaloExchange {
+                bytes_per_unit: 8.0 * 1024.0 * 1024.0,
+            },
+            topology: Topology::RackTree {
+                nodes_per_rack: 4,
+                uplink_bw: 2.5e9,
+            },
+        },
+        hierarchy,
     }
 }
 
@@ -62,6 +97,30 @@ fn bench_cluster(c: &mut Criterion) {
         b.iter(|| {
             let out = run_cluster(black_box(&feedback));
             assert!(out.min_budget_slack_w() >= -1e-6);
+            black_box(out)
+        })
+    });
+
+    // Flat vs. hierarchical arbitration on the same imbalanced 16-node,
+    // 4-rack workload: what the extra arbiter level costs per run.
+    let flat16 = rack_tree_config(None);
+    g.bench_function("flat_16n_3it", |b| {
+        b.iter(|| black_box(run_cluster(black_box(&flat16))))
+    });
+
+    let hier16 = rack_tree_config(Some(HierarchyConfig {
+        racks: vec![4; 4],
+        outer_period: 2,
+        inner_period: 1,
+        rack_policy: Policy::ProgressFeedback { gain: 1.0 },
+        rack_clamps: None,
+    }));
+    g.bench_function("hier_16n_3it", |b| {
+        b.iter(|| {
+            let out = run_cluster(black_box(&hier16));
+            assert!(out.min_budget_slack_w() >= -1e-6);
+            let rack = out.rack_trace.as_ref().expect("rack trace");
+            assert!(rack.min_slack_w() >= -1e-6);
             black_box(out)
         })
     });

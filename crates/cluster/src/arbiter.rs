@@ -1,4 +1,4 @@
-//! The global power-budget arbiter.
+//! The power-budget arbiter API and its flat implementation.
 //!
 //! A cluster holds one fixed power budget (machine-room breaker, PUE
 //! contract, job allocation) and must divide it across nodes. Medhat et
@@ -6,42 +6,51 @@
 //! Clusters") show that shifting a fixed budget toward critical-path
 //! ranks recovers performance lost to imbalance; Cerf et al. argue the
 //! actuation should be a feedback controller on an online progress
-//! signal. [`PowerArbiter`] implements both on top of this repo's
-//! progress stack:
+//! signal. The [`BudgetArbiter`] trait captures the contract every
+//! budget divider satisfies — redistribute from telemetry, expose the
+//! grants and the conservation trace, and accept a re-targeted budget
+//! from a *parent* arbiter — so arbiters compose into trees: the flat
+//! [`PowerArbiter`] here grants nodes directly, and
+//! [`crate::hierarchy::RackArbiter`] nests flat arbiters under a
+//! rack-level division of the same machine budget.
+//!
+//! Division policies (shared by every level through
+//! [`crate::policy::Allocator`]):
 //!
 //! - [`Policy::UniformStatic`] — the application-agnostic baseline:
 //!   `budget / n` once, never revisited;
 //! - [`Policy::DemandProportional`] — each epoch, watts in proportion to
-//!   each node's measured power draw (demand), so idle-ish nodes yield
-//!   headroom;
+//!   each child's measured power draw (demand), so idle-ish children
+//!   yield headroom;
 //! - [`Policy::ProgressFeedback`] — a proportional controller on the
-//!   per-node iteration times: nodes ahead of the barrier (below-mean
-//!   compute time) donate watts, the critical-path node (identified with
-//!   [`progress::imbalance::analyze`]) receives them, equalizing arrival
-//!   times at the barrier.
+//!   per-child iteration times: children ahead of the barrier donate
+//!   watts, the critical path receives them, equalizing arrival times.
 //!
 //! Two invariants hold after every redistribution, checked on every tick
-//! and recorded in the [`GrantTick`] trace: granted caps sum to at most
-//! the global budget, and every grant respects the per-node `[min, max]`
-//! clamp. Nodes whose telemetry dropped out (the PR-1 fault layer) keep
-//! their last grant and are excluded from redistribution until they
-//! report again.
+//! and recorded in the [`GrantTrace`]: granted caps sum to at most the
+//! budget, and every grant respects its `[min, max]` clamp. Children
+//! whose telemetry dropped out (the PR-1 fault layer) keep their last
+//! grant and are excluded from redistribution until they report again.
 
 use serde::{Deserialize, Serialize};
 
-/// Tolerance for floating-point invariant checks, W.
-const EPS_W: f64 = 1e-6;
+use crate::error::{ensure, ConfigError};
+use crate::policy::{self, Allocator};
 
-/// Budget-division policy.
+/// Tolerance for floating-point invariant checks, W.
+pub(crate) const EPS_W: f64 = 1e-6;
+
+/// Budget-division policy (the serde-facing configuration enum; its
+/// executable form is [`Policy::allocator`]).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Policy {
     /// `budget / n` for everyone, never redistributed.
     UniformStatic,
-    /// Watts in proportion to each node's measured power draw.
+    /// Watts in proportion to each child's measured power draw.
     DemandProportional,
-    /// Proportional feedback on per-node iteration times: steal watts
-    /// from ahead-of-barrier nodes for the critical-path node. The error
-    /// term is scaled by each rank's compute fraction
+    /// Proportional feedback on per-child iteration times: steal watts
+    /// from ahead-of-barrier children for the critical path. The error
+    /// term is scaled by each child's compute fraction
     /// ([`NodeTelemetry::compute_fraction`]), so a rank that is slow
     /// because it is waiting on the wire — not because it is capped —
     /// stops being funded.
@@ -66,7 +75,7 @@ impl Policy {
 /// Arbiter tuning.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ArbiterConfig {
-    /// Cluster-wide power budget, W.
+    /// Budget to divide, W.
     pub budget_w: f64,
     /// Lowest cap the arbiter will ever grant a node, W (RAPL floors and
     /// safe-mode margins live below this).
@@ -78,26 +87,35 @@ pub struct ArbiterConfig {
 }
 
 impl ArbiterConfig {
-    /// Validate internal consistency.
-    ///
-    /// # Panics
-    /// Panics on non-positive budget, an empty/inverted clamp range, or a
-    /// negative feedback gain.
-    pub fn validate(&self) {
-        assert!(self.budget_w > 0.0, "budget must be positive");
-        assert!(
+    /// Validate internal consistency: positive budget, a non-empty
+    /// `0 < min ≤ max` clamp range, and a non-negative feedback gain.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        ensure(self.budget_w > 0.0, "ArbiterConfig.budget_w", || {
+            format!("budget {} W must be positive", self.budget_w)
+        })?;
+        ensure(
             self.min_cap_w > 0.0 && self.min_cap_w <= self.max_cap_w,
-            "need 0 < min_cap_w <= max_cap_w"
-        );
+            "ArbiterConfig.min_cap_w",
+            || {
+                format!(
+                    "need 0 < min_cap_w ({} W) <= max_cap_w ({} W)",
+                    self.min_cap_w, self.max_cap_w
+                )
+            },
+        )?;
         if let Policy::ProgressFeedback { gain } = self.policy {
-            assert!(gain >= 0.0, "gain must be non-negative");
+            ensure(gain >= 0.0, "Policy::ProgressFeedback.gain", || {
+                format!("gain {gain} must be non-negative")
+            })?;
         }
+        Ok(())
     }
 }
 
 /// What one node's monitoring stack delivered for the last epoch.
 /// A node that could not measure (telemetry dropout) reports `None`
-/// instead and is excluded from redistribution.
+/// instead and is excluded from redistribution. The same shape carries a
+/// *rack's* aggregated epoch in the hierarchy (sums over its members).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NodeTelemetry {
     /// Compute-phase time this epoch (excluding exchange and wait), s.
@@ -141,24 +159,26 @@ impl NodeTelemetry {
 }
 
 /// One row of the budget-conservation trace: the grants in force after a
-/// redistribution round.
+/// redistribution round. The policy that produced the row lives on the
+/// enclosing [`GrantTrace`], recorded once per trace rather than
+/// duplicated per tick.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GrantTick {
     /// Redistribution round (0 = first barrier).
     pub round: usize,
-    /// Cap granted to each node, W.
+    /// Cap granted to each child, W.
     pub granted_w: Vec<f64>,
-    /// Whether each node's telemetry arrived this round.
+    /// Whether each child's telemetry arrived this round.
     pub reporting: Vec<bool>,
     /// Sum of granted caps, W.
     pub total_w: f64,
-    /// The global budget, W.
+    /// The budget being divided, W.
     pub budget_w: f64,
-    /// Per-node compute-phase time reported this round, s (NaN for a
-    /// silent node).
+    /// Per-child compute-phase time reported this round, s (NaN for a
+    /// silent child).
     pub compute_s: Vec<f64>,
-    /// Per-node exchange-phase wire time reported this round, s (NaN for
-    /// a silent node).
+    /// Per-child exchange-phase wire time reported this round, s (NaN
+    /// for a silent child).
     pub comm_s: Vec<f64>,
 }
 
@@ -169,13 +189,130 @@ impl GrantTick {
     }
 }
 
-/// The cluster-wide budget arbiter.
+/// A budget-conservation trace: the policy name (once — every tick of a
+/// trace is produced by the same policy) plus one [`GrantTick`] per
+/// redistribution round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrantTrace {
+    policy: &'static str,
+    ticks: Vec<GrantTick>,
+}
+
+impl GrantTrace {
+    /// An empty trace for `policy`.
+    pub fn new(policy: &'static str) -> Self {
+        Self {
+            policy,
+            ticks: Vec::new(),
+        }
+    }
+
+    /// The policy that produced every tick of this trace.
+    pub fn policy(&self) -> &'static str {
+        self.policy
+    }
+
+    /// The recorded ticks, in round order.
+    pub fn ticks(&self) -> &[GrantTick] {
+        &self.ticks
+    }
+
+    /// Number of recorded ticks.
+    pub fn len(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ticks.is_empty()
+    }
+
+    /// Smallest budget slack across the trace, W (non-negative iff
+    /// conservation held on every tick; `+∞` for an empty trace).
+    pub fn min_slack_w(&self) -> f64 {
+        self.ticks
+            .iter()
+            .map(GrantTick::slack_w)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Append the tick for one redistribution round.
+    pub(crate) fn record(
+        &mut self,
+        round: usize,
+        grants: &[f64],
+        reports: &[Option<NodeTelemetry>],
+        budget_w: f64,
+    ) {
+        let phase = |f: fn(&NodeTelemetry) -> f64| -> Vec<f64> {
+            reports
+                .iter()
+                .map(|r| r.as_ref().map(f).unwrap_or(f64::NAN))
+                .collect()
+        };
+        self.ticks.push(GrantTick {
+            round,
+            granted_w: grants.to_vec(),
+            reporting: reports.iter().map(|r| r.is_some()).collect(),
+            total_w: grants.iter().sum(),
+            budget_w,
+            compute_s: phase(|t| t.compute_s),
+            comm_s: phase(|t| t.comm_s),
+        });
+    }
+}
+
+/// The composable arbiter contract: anything that divides a (re-)settable
+/// power budget across leaf nodes from their telemetry. Implemented by
+/// the flat [`PowerArbiter`] and the hierarchical
+/// [`crate::hierarchy::RackArbiter`]; because a parent can re-target a
+/// child's budget each outer epoch via [`BudgetArbiter::set_budget`],
+/// arbiters nest into trees of arbitrary fan-out.
+pub trait BudgetArbiter {
+    /// Number of leaf nodes this arbiter grants to.
+    fn node_count(&self) -> usize;
+
+    /// Redistribute the budget from the latest telemetry; returns the new
+    /// leaf grants. `reports[i] = None` means leaf `i`'s telemetry dropped
+    /// out: it keeps its last grant and is excluded from this round.
+    fn redistribute(&mut self, reports: &[Option<NodeTelemetry>]) -> &[f64];
+
+    /// Leaf caps currently in force, W.
+    fn grants(&self) -> &[f64];
+
+    /// The leaf-level budget-conservation trace, one tick per
+    /// redistribution round.
+    fn trace(&self) -> &GrantTrace;
+
+    /// The budget this arbiter divides, W.
+    fn budget(&self) -> f64;
+
+    /// Re-target the arbiter at a new budget — the parent re-splitting
+    /// this child's pot at an outer epoch. Grants in force are re-fitted
+    /// into the new budget immediately (shrunk toward the floors or grown
+    /// into clamp headroom); setting the current budget is a no-op, so a
+    /// static parent never perturbs its children.
+    fn set_budget(&mut self, budget_w: f64);
+
+    /// The upper-level (rack) conservation trace, for arbiters that have
+    /// one.
+    fn rack_trace(&self) -> Option<&GrantTrace> {
+        None
+    }
+}
+
+/// The flat budget arbiter: divides its budget across nodes directly.
 #[derive(Debug, Clone)]
 pub struct PowerArbiter {
     cfg: ArbiterConfig,
     grants: Vec<f64>,
+    /// Per-node clamp floors/ceilings (uniform for the flat arbiter, but
+    /// materialized as slices for the shared [`policy`] engine).
+    min_v: Vec<f64>,
+    max_v: Vec<f64>,
+    alloc: Allocator,
     round: usize,
-    trace: Vec<GrantTick>,
+    trace: GrantTrace,
 }
 
 impl PowerArbiter {
@@ -183,10 +320,11 @@ impl PowerArbiter {
     /// (clamped to `[min, max]`) regardless of policy.
     ///
     /// # Panics
-    /// Panics when `n` is zero or the budget cannot fund `n` nodes at
-    /// `min_cap_w` (no feasible allocation exists).
+    /// Panics when the configuration is invalid, `n` is zero, or the
+    /// budget cannot fund `n` nodes at `min_cap_w` (no feasible
+    /// allocation exists).
     pub fn new(cfg: ArbiterConfig, n: usize) -> Self {
-        cfg.validate();
+        cfg.validate().unwrap_or_else(|e| panic!("{e}"));
         assert!(n > 0, "need at least one node");
         assert!(
             cfg.budget_w >= cfg.min_cap_w * n as f64 - EPS_W,
@@ -198,9 +336,12 @@ impl PowerArbiter {
         let uniform = (cfg.budget_w / n as f64).clamp(cfg.min_cap_w, cfg.max_cap_w);
         let arb = Self {
             grants: vec![uniform; n],
+            min_v: vec![cfg.min_cap_w; n],
+            max_v: vec![cfg.max_cap_w; n],
+            alloc: cfg.policy.allocator(),
             cfg,
             round: 0,
-            trace: Vec::new(),
+            trace: GrantTrace::new(cfg.policy.name()),
         };
         arb.assert_invariants();
         arb
@@ -217,7 +358,7 @@ impl PowerArbiter {
     }
 
     /// The budget-conservation trace, one entry per redistribution round.
-    pub fn trace(&self) -> &[GrantTick] {
+    pub fn trace(&self) -> &GrantTrace {
         &self.trace
     }
 
@@ -231,130 +372,43 @@ impl PowerArbiter {
     /// the latter is a bug, not an operating condition.
     pub fn redistribute(&mut self, reports: &[Option<NodeTelemetry>]) -> &[f64] {
         assert_eq!(reports.len(), self.grants.len(), "report arity mismatch");
-        let reporting: Vec<usize> = (0..reports.len())
-            .filter(|&i| reports[i].is_some())
-            .collect();
-        if !reporting.is_empty() {
-            self.rebalance(reports, &reporting);
-        }
-        self.record(reports);
+        policy::rebalance(
+            self.alloc,
+            self.cfg.budget_w,
+            &mut self.grants,
+            &self.min_v,
+            &self.max_v,
+            reports,
+        );
+        self.trace
+            .record(self.round, &self.grants, reports, self.cfg.budget_w);
+        self.round += 1;
         self.assert_invariants();
         &self.grants
     }
 
-    /// Compute new grants for the reporting nodes; frozen (silent) nodes
-    /// keep their last grant and reduce the distributable pool.
-    fn rebalance(&mut self, reports: &[Option<NodeTelemetry>], reporting: &[usize]) {
-        let min = self.cfg.min_cap_w;
-        let max = self.cfg.max_cap_w;
-        let frozen: Vec<usize> = (0..self.grants.len())
-            .filter(|i| !reporting.contains(i))
-            .collect();
-        let mut pool = self.cfg.budget_w - frozen.iter().map(|&i| self.grants[i]).sum::<f64>();
-
-        // A silent node keeps its cap only while the rest of the cluster
-        // can still meet the per-node floor; otherwise frozen grants are
-        // clipped toward the floor to restore feasibility.
-        let need = min * reporting.len() as f64 - pool;
-        if need > 0.0 && !frozen.is_empty() {
-            let available: f64 = frozen.iter().map(|&i| self.grants[i] - min).sum();
-            let scale = if available > 0.0 {
-                (1.0 - need / available).max(0.0)
-            } else {
-                0.0
-            };
-            for &i in &frozen {
-                self.grants[i] = min + (self.grants[i] - min) * scale;
-            }
-            pool = self.cfg.budget_w - frozen.iter().map(|&i| self.grants[i]).sum::<f64>();
+    /// Re-target the arbiter at `budget_w`, re-fitting the grants in
+    /// force (see [`BudgetArbiter::set_budget`]).
+    ///
+    /// # Panics
+    /// Panics when the new budget cannot fund the node count at the
+    /// grant floor.
+    pub fn set_budget(&mut self, budget_w: f64) {
+        if budget_w.to_bits() == self.cfg.budget_w.to_bits() {
+            return; // bit-exact no-op: a static parent never perturbs us
         }
-
-        let desired: Vec<f64> = match self.cfg.policy {
-            Policy::UniformStatic => return, // grants are immutable by design
-            Policy::DemandProportional => {
-                let demand: Vec<f64> = reporting
-                    .iter()
-                    .map(|&i| reports[i].expect("reporting").power_w.max(0.0))
-                    .collect();
-                let total: f64 = demand.iter().sum();
-                if total <= 0.0 {
-                    vec![pool / reporting.len() as f64; reporting.len()]
-                } else {
-                    demand.iter().map(|d| pool * d / total).collect()
-                }
-            }
-            Policy::ProgressFeedback { gain } => {
-                let times: Vec<f64> = reporting
-                    .iter()
-                    .map(|&i| reports[i].expect("reporting").compute_s.max(0.0))
-                    .collect();
-                // Per-iteration compute times are per-node costs under a
-                // shared barrier, so the imbalance algebra applies as-is:
-                // critical rank = longest time, wait fraction = barrier
-                // waste. `analyze` also rejects NaNs for us.
-                match progress::imbalance::analyze(&times) {
-                    Ok(rep) => {
-                        let mean_t: f64 = times.iter().sum::<f64>() / times.len() as f64;
-                        if mean_t <= 0.0 {
-                            reporting.iter().map(|&i| self.grants[i]).collect()
-                        } else {
-                            reporting
-                                .iter()
-                                .zip(&times)
-                                .map(|(&i, &t)| {
-                                    // Behind the barrier mean (the critical
-                                    // path, rep.critical_rank) ⇒ positive
-                                    // error ⇒ more watts; ahead ⇒ donate.
-                                    let err = (t - mean_t) / mean_t;
-                                    debug_assert!(
-                                        t < times[rep.critical_rank] + EPS_W || err >= -EPS_W,
-                                        "critical node must not donate"
-                                    );
-                                    // Comm-aware damping: a rank that is
-                                    // slow because it is waiting on the
-                                    // wire cannot convert watts into
-                                    // barrier arrival time, so its error
-                                    // (boost *or* donation) is scaled by
-                                    // its compute fraction. With no
-                                    // exchange phase the fraction is
-                                    // exactly 1.0 and this reduces to the
-                                    // PR-2 controller bit for bit.
-                                    let frac = reports[i].expect("reporting").compute_fraction();
-                                    self.grants[i] * (1.0 + gain * err * frac)
-                                })
-                                .collect()
-                        }
-                    }
-                    // Degenerate telemetry (no usable times): hold grants.
-                    Err(_) => reporting.iter().map(|&i| self.grants[i]).collect(),
-                }
-            }
-        };
-
-        let filled = waterfill(&desired, pool, min, max);
-        for (&i, g) in reporting.iter().zip(filled) {
-            self.grants[i] = g;
-        }
-    }
-
-    fn record(&mut self, reports: &[Option<NodeTelemetry>]) {
-        let total_w = self.grants.iter().sum();
-        let phase = |f: fn(&NodeTelemetry) -> f64| -> Vec<f64> {
-            reports
-                .iter()
-                .map(|r| r.as_ref().map(f).unwrap_or(f64::NAN))
-                .collect()
-        };
-        self.trace.push(GrantTick {
-            round: self.round,
-            granted_w: self.grants.clone(),
-            reporting: reports.iter().map(|r| r.is_some()).collect(),
-            total_w,
-            budget_w: self.cfg.budget_w,
-            compute_s: phase(|t| t.compute_s),
-            comm_s: phase(|t| t.comm_s),
-        });
-        self.round += 1;
+        let n = self.grants.len();
+        assert!(
+            budget_w >= self.cfg.min_cap_w * n as f64 - EPS_W,
+            "budget {} W cannot fund {} nodes at the {} W floor",
+            budget_w,
+            n,
+            self.cfg.min_cap_w
+        );
+        self.cfg.budget_w = budget_w;
+        let refit = policy::waterfill(&self.grants, budget_w, &self.min_v, &self.max_v);
+        self.grants.copy_from_slice(&refit);
+        self.assert_invariants();
     }
 
     /// The hard invariants: Σ grants ≤ budget and every grant clamped.
@@ -377,35 +431,30 @@ impl PowerArbiter {
     }
 }
 
-/// Deterministic clamped proportional fill: clamp `desired` to
-/// `[min, max]`, then scale the above-floor portions down to fit `pool`,
-/// or push leftover pool into the remaining headroom (proportionally, so
-/// nobody exceeds `max`). The result always satisfies Σ ≤ pool and the
-/// per-node clamps, provided `pool ≥ len·min`.
-fn waterfill(desired: &[f64], pool: f64, min: f64, max: f64) -> Vec<f64> {
-    let n = desired.len() as f64;
-    let mut out: Vec<f64> = desired.iter().map(|d| d.clamp(min, max)).collect();
-    let sum: f64 = out.iter().sum();
-    if sum > pool {
-        // Scale the above-floor portion to exactly fit the pool.
-        let above: f64 = out.iter().map(|g| g - min).sum();
-        let target = (pool - min * n).max(0.0);
-        let s = if above > 0.0 { target / above } else { 0.0 };
-        for g in &mut out {
-            *g = min + (*g - min) * s;
-        }
-    } else {
-        // Distribute the leftover into headroom, proportionally.
-        let leftover = pool - sum;
-        let headroom: f64 = out.iter().map(|g| max - g).sum();
-        if leftover > 0.0 && headroom > 0.0 {
-            let s = (leftover / headroom).min(1.0);
-            for g in &mut out {
-                *g += (max - *g) * s;
-            }
-        }
+impl BudgetArbiter for PowerArbiter {
+    fn node_count(&self) -> usize {
+        self.grants.len()
     }
-    out
+
+    fn redistribute(&mut self, reports: &[Option<NodeTelemetry>]) -> &[f64] {
+        PowerArbiter::redistribute(self, reports)
+    }
+
+    fn grants(&self) -> &[f64] {
+        PowerArbiter::grants(self)
+    }
+
+    fn trace(&self) -> &GrantTrace {
+        PowerArbiter::trace(self)
+    }
+
+    fn budget(&self) -> f64 {
+        self.cfg.budget_w
+    }
+
+    fn set_budget(&mut self, budget_w: f64) {
+        PowerArbiter::set_budget(self, budget_w)
+    }
 }
 
 #[cfg(test)]
@@ -507,8 +556,8 @@ mod tests {
             compute.grants()
         );
         // The trace records the per-phase split for the policy analysis.
-        assert_eq!(wire.trace()[0].comm_s[3], 1.5);
-        assert_eq!(wire.trace()[0].compute_s[3], 2.5);
+        assert_eq!(wire.trace().ticks()[0].comm_s[3], 1.5);
+        assert_eq!(wire.trace().ticks()[0].compute_s[3], 2.5);
     }
 
     #[test]
@@ -562,7 +611,7 @@ mod tests {
             report(1.2, 90.0),
         ]);
         assert_eq!(a.grants()[1], held, "silent node's cap must freeze");
-        assert!(!a.trace()[1].reporting[1]);
+        assert!(!a.trace().ticks()[1].reporting[1]);
         let total: f64 = a.grants().iter().sum();
         assert!(total <= 400.0 + 1e-6);
     }
@@ -574,29 +623,63 @@ mod tests {
         a.redistribute(&[None, None]);
         assert_eq!(a.grants(), before.as_slice());
         assert_eq!(a.trace().len(), 1);
-        assert!(a.trace()[0].slack_w() >= -1e-6);
+        assert!(a.trace().min_slack_w() >= -1e-6);
     }
 
     #[test]
-    fn waterfill_fits_pool_and_clamps() {
-        let out = waterfill(&[500.0, 10.0, 80.0], 240.0, 40.0, 120.0);
-        let sum: f64 = out.iter().sum();
-        assert!(sum <= 240.0 + 1e-9, "{out:?}");
-        for g in &out {
-            assert!((40.0..=120.0).contains(g), "{out:?}");
-        }
-        // The starved entry sits at the floor, the greedy one above it.
-        assert!(out[0] > out[1]);
+    fn trace_records_the_policy_once() {
+        let mut a = PowerArbiter::new(cfg(Policy::DemandProportional), 2);
+        a.redistribute(&[report(1.0, 80.0), report(1.0, 90.0)]);
+        a.redistribute(&[report(1.0, 80.0), report(1.0, 90.0)]);
+        assert_eq!(a.trace().policy(), "demand-proportional");
+        assert_eq!(a.trace().len(), 2);
     }
 
     #[test]
-    fn waterfill_spreads_leftover_without_exceeding_max() {
-        let out = waterfill(&[50.0, 50.0], 400.0, 40.0, 120.0);
-        for g in &out {
-            assert!(*g <= 120.0 + 1e-9);
+    fn set_budget_refits_the_grants_and_same_budget_is_a_noop() {
+        let mut a = PowerArbiter::new(cfg(Policy::ProgressFeedback { gain: 1.0 }), 4);
+        a.redistribute(&[
+            report(0.5, 100.0),
+            report(1.0, 100.0),
+            report(1.0, 100.0),
+            report(2.5, 100.0),
+        ]);
+        let before = a.grants().to_vec();
+        a.set_budget(400.0); // bit-identical budget: nothing moves
+        assert_eq!(a.grants(), before.as_slice());
+
+        a.set_budget(200.0); // halved pot: grants shrink to fit
+        let total: f64 = a.grants().iter().sum();
+        assert!(total <= 200.0 + 1e-6, "refit must respect the new budget");
+        for &g in a.grants() {
+            assert!((40.0 - 1e-6..=120.0 + 1e-6).contains(&g));
         }
-        // Headroom is funded evenly from the oversized pool.
-        assert!((out[0] - 120.0).abs() < 1e-9 && (out[1] - 120.0).abs() < 1e-9);
+        assert_eq!(BudgetArbiter::budget(&a), 200.0);
+
+        a.set_budget(480.0); // grown pot: grants expand into headroom
+        let total: f64 = a.grants().iter().sum();
+        assert!(total > 400.0, "refit should use the new headroom");
+        assert!(total <= 480.0 + 1e-6);
+    }
+
+    #[test]
+    fn validate_reports_the_offending_field() {
+        let bad = ArbiterConfig {
+            budget_w: -5.0,
+            ..cfg(Policy::UniformStatic)
+        };
+        let e = bad.validate().unwrap_err();
+        assert_eq!(e.what, "ArbiterConfig.budget_w");
+        let bad = ArbiterConfig {
+            min_cap_w: 150.0,
+            ..cfg(Policy::UniformStatic)
+        };
+        assert!(bad.validate().is_err());
+        let bad = cfg(Policy::ProgressFeedback { gain: -1.0 });
+        assert_eq!(
+            bad.validate().unwrap_err().what,
+            "Policy::ProgressFeedback.gain"
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::{ensure, ConfigError};
 use crate::topology::{LinkId, Topology};
 
 /// Exponent mapping a rank's work *volume* (its weight) to its halo
@@ -94,36 +95,39 @@ impl CommConfig {
         }
     }
 
-    /// Validate the model parameters.
-    ///
-    /// # Panics
-    /// Panics on negative latency, non-positive NIC bandwidth, a coupling
-    /// outside [0, 1], negative message sizes, or an invalid topology.
-    pub fn validate(&self) {
-        assert!(
+    /// Validate the model parameters: non-negative latency, positive NIC
+    /// bandwidth, a coupling in [0, 1], non-negative message sizes, and
+    /// a valid topology.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        ensure(
             self.alpha_s.is_finite() && self.alpha_s >= 0.0,
-            "alpha_s must be finite non-negative"
-        );
-        assert!(
+            "CommConfig.alpha_s",
+            || format!("latency {} s must be finite non-negative", self.alpha_s),
+        )?;
+        ensure(
             self.nic_bw.is_finite() && self.nic_bw > 0.0,
-            "nic_bw must be finite positive"
-        );
-        assert!(
+            "CommConfig.nic_bw",
+            || format!("bandwidth {} bytes/s must be finite positive", self.nic_bw),
+        )?;
+        ensure(
             (0.0..=1.0).contains(&self.power_coupling),
-            "power_coupling must be in [0, 1]"
-        );
+            "CommConfig.power_coupling",
+            || format!("coupling {} must be in [0, 1]", self.power_coupling),
+        )?;
         match self.pattern {
             CommPattern::None => {}
-            CommPattern::AllReduce { payload_bytes } => assert!(
+            CommPattern::AllReduce { payload_bytes } => ensure(
                 payload_bytes.is_finite() && payload_bytes >= 0.0,
-                "payload_bytes must be finite non-negative"
-            ),
-            CommPattern::HaloExchange { bytes_per_unit } => assert!(
+                "CommPattern::AllReduce.payload_bytes",
+                || format!("{payload_bytes} bytes must be finite non-negative"),
+            )?,
+            CommPattern::HaloExchange { bytes_per_unit } => ensure(
                 bytes_per_unit.is_finite() && bytes_per_unit >= 0.0,
-                "bytes_per_unit must be finite non-negative"
-            ),
+                "CommPattern::HaloExchange.bytes_per_unit",
+                || format!("{bytes_per_unit} bytes must be finite non-negative"),
+            )?,
         }
-        self.topology.validate();
+        self.topology.validate()
     }
 }
 
@@ -275,7 +279,7 @@ pub fn exchange(
     weights: &[f64],
     drain: &[f64],
 ) -> ExchangeOutcome {
-    cfg.validate();
+    cfg.validate().unwrap_or_else(|e| panic!("{e}"));
     let n = ready_s.len();
     assert_eq!(weights.len(), n, "weights arity mismatch");
     assert_eq!(drain.len(), n, "drain arity mismatch");

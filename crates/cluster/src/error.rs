@@ -1,0 +1,73 @@
+//! Configuration-validation errors for the cluster layer.
+//!
+//! The cluster crate's configuration structs used to `assert!` their
+//! internal consistency, which turns an operator typo (a budget that
+//! cannot fund the floor, an inverted clamp range) into a panic backtrace.
+//! [`ConfigError`] carries the same constraint as data so callers — the
+//! `repro` CLI in particular — can print *which* field broke *which*
+//! invariant and exit cleanly; the simulation entry points still treat an
+//! invalid configuration as fatal, but through an explicit `Result`.
+
+use std::fmt;
+
+/// A configuration constraint that failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigError {
+    /// The configuration object (and field) that failed, e.g.
+    /// `"ArbiterConfig.budget_w"`.
+    pub what: &'static str,
+    /// The constraint that does not hold, with the offending values.
+    pub why: String,
+}
+
+impl ConfigError {
+    /// Build an error for `what` explaining `why`.
+    pub fn new(what: &'static str, why: impl Into<String>) -> Self {
+        Self {
+            what,
+            why: why.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {}: {}", self.what, self.why)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Shorthand used by the validators: fail `what` unless `cond` holds.
+pub(crate) fn ensure(
+    cond: bool,
+    what: &'static str,
+    why: impl FnOnce() -> String,
+) -> Result<(), ConfigError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(ConfigError::new(what, why()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field_and_the_constraint() {
+        let e = ConfigError::new("ArbiterConfig.budget_w", "-3 W must be positive");
+        assert_eq!(
+            e.to_string(),
+            "invalid ArbiterConfig.budget_w: -3 W must be positive"
+        );
+    }
+
+    #[test]
+    fn ensure_passes_through_on_success() {
+        assert!(ensure(true, "x", || unreachable!()).is_ok());
+        let e = ensure(false, "x", || "broken".to_string()).unwrap_err();
+        assert_eq!(e.what, "x");
+    }
+}

@@ -13,7 +13,13 @@
 //!   ([`grant::GrantCell`] / [`grant::GrantSchedule`]);
 //! - [`arbiter::PowerArbiter`] — the global budget divider with three
 //!   policies (uniform-static, demand-proportional, progress-feedback)
-//!   and hard Σ ≤ budget / per-node clamp invariants;
+//!   and hard Σ ≤ budget / per-node clamp invariants, behind the
+//!   [`arbiter::BudgetArbiter`] trait so arbiters compose into trees;
+//! - [`hierarchy::RackArbiter`] — the two-level arbiter tree (machine →
+//!   rack → node) with independent inner/outer control periods,
+//!   upward-aggregated telemetry and downward-flowing sub-budgets;
+//! - [`policy`] — the shared allocation engine (waterfill + clamps +
+//!   dropout freezing) both arbiter levels dispatch through;
 //! - [`workload`] — per-rank iteration costs and the imbalanced ramp;
 //! - [`comm`] / [`topology`] — the exchange-phase cost model: alpha-beta
 //!   link pricing with per-link fair-share contention over a flat switch
@@ -32,16 +38,24 @@
 
 pub mod arbiter;
 pub mod comm;
+pub mod error;
 pub mod grant;
+pub mod hierarchy;
 pub mod member;
+pub mod policy;
 pub mod sim;
 pub mod topology;
 pub mod workload;
 
-pub use arbiter::{ArbiterConfig, GrantTick, NodeTelemetry, Policy, PowerArbiter};
+pub use arbiter::{
+    ArbiterConfig, BudgetArbiter, GrantTick, GrantTrace, NodeTelemetry, Policy, PowerArbiter,
+};
 pub use comm::{exchange, CommConfig, CommPattern, ExchangeOutcome, Flow, NodePhase};
+pub use error::ConfigError;
 pub use grant::{GrantCell, GrantSchedule};
+pub use hierarchy::{HierarchyConfig, RackArbiter};
 pub use member::{ClusterNode, DEFAULT_DAEMON_PERIOD};
+pub use policy::Allocator;
 pub use sim::{run_cluster, ClusterConfig, ClusterOutcome, IterationRecord, NodeSpec, Preset};
 pub use topology::{LinkId, Topology};
 pub use workload::{ramp_weights, WorkloadShape};

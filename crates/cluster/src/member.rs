@@ -42,6 +42,10 @@ fn cluster_resilience() -> ResilienceConfig {
 pub struct ClusterNode {
     /// Cluster-wide rank of this member.
     pub id: usize,
+    /// Which rack the member lives in (0 for a flat cluster; set by the
+    /// driver from [`crate::hierarchy::HierarchyConfig`] when the
+    /// arbitration is hierarchical).
+    rack: usize,
     node: Node,
     daemon: ResilientDaemon,
     grant: GrantCell,
@@ -89,6 +93,7 @@ impl ClusterNode {
         let node = Node::new(cfg);
         let mut member = Self {
             id,
+            rack: 0,
             node,
             daemon,
             grant,
@@ -111,6 +116,17 @@ impl ClusterNode {
             .sensor
             .sample(&member.node, now, MIN_PLAUSIBLE_W, MAX_PLAUSIBLE_W);
         member
+    }
+
+    /// Place the member in a rack of the arbitration hierarchy.
+    pub fn with_rack(mut self, rack: usize) -> Self {
+        self.rack = rack;
+        self
+    }
+
+    /// Which rack the member lives in (0 for a flat cluster).
+    pub fn rack(&self) -> usize {
+        self.rack
     }
 
     /// The member's local clock, ns.

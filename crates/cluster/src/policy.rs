@@ -1,0 +1,336 @@
+//! The budget-division strategy objects and the shared redistribution
+//! engine.
+//!
+//! [`Policy`] stays the serde-facing configuration enum; an [`Allocator`]
+//! is its executable counterpart: it computes each reporting child's
+//! *desired* grant from the latest telemetry, and nothing else. All the
+//! invariant-bearing machinery — freezing silent children, clipping
+//! frozen grants to restore feasibility, clamping and waterfilling the
+//! desired grants into the pool — lives in the crate-private `rebalance`
+//! engine, which both the
+//! flat [`crate::arbiter::PowerArbiter`] (children = nodes) and the
+//! hierarchical [`crate::hierarchy::RackArbiter`] (children = racks) call.
+//! One engine, two levels: the sum-≤-budget and per-child clamp
+//! invariants cannot drift apart between them.
+//!
+//! Clamps are per-child slices rather than scalars because the two levels
+//! need different shapes: every node of a flat arbiter shares one
+//! `[min, max]`, while a rack's sub-budget clamp scales with the rack's
+//! size (and can be tightened per rack by the operator).
+
+use crate::arbiter::{NodeTelemetry, Policy};
+
+/// The executable form of a [`Policy`]: computes desired grants for the
+/// reporting children. Construct with [`Policy::allocator`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Allocator {
+    /// Never move a grant ([`Policy::UniformStatic`]).
+    Hold,
+    /// Watts in proportion to measured draw
+    /// ([`Policy::DemandProportional`]).
+    DemandShare,
+    /// Proportional feedback on compute times, damped by each child's
+    /// compute fraction ([`Policy::ProgressFeedback`]).
+    Feedback {
+        /// Controller gain (see [`Policy::ProgressFeedback`]).
+        gain: f64,
+    },
+}
+
+impl Policy {
+    /// The strategy object executing this policy.
+    pub fn allocator(self) -> Allocator {
+        match self {
+            Policy::UniformStatic => Allocator::Hold,
+            Policy::DemandProportional => Allocator::DemandShare,
+            Policy::ProgressFeedback { gain } => Allocator::Feedback { gain },
+        }
+    }
+}
+
+impl Allocator {
+    /// Desired grants for the reporting children, parallel to `grants`.
+    /// `None` means "hold every grant exactly" (the immutable-by-design
+    /// uniform-static policy); the engine then skips the waterfill
+    /// entirely, so held grants are preserved bit for bit.
+    ///
+    /// `grants` and `telemetry` carry only the *reporting* children, in
+    /// child order; `pool` is the watts available to them after frozen
+    /// children kept theirs.
+    pub fn desired(
+        &self,
+        grants: &[f64],
+        telemetry: &[NodeTelemetry],
+        pool: f64,
+    ) -> Option<Vec<f64>> {
+        debug_assert_eq!(grants.len(), telemetry.len(), "strategy input arity");
+        match *self {
+            Allocator::Hold => None,
+            Allocator::DemandShare => {
+                let demand: Vec<f64> = telemetry.iter().map(|t| t.power_w.max(0.0)).collect();
+                let total: f64 = demand.iter().sum();
+                if total <= 0.0 {
+                    Some(vec![pool / grants.len() as f64; grants.len()])
+                } else {
+                    Some(demand.iter().map(|d| pool * d / total).collect())
+                }
+            }
+            Allocator::Feedback { gain } => {
+                let times: Vec<f64> = telemetry.iter().map(|t| t.compute_s.max(0.0)).collect();
+                // Per-child compute times under a shared barrier, so the
+                // imbalance algebra applies as-is: critical child =
+                // longest time. `analyze` also rejects NaNs for us.
+                match progress::imbalance::analyze(&times) {
+                    Ok(rep) => {
+                        let mean_t: f64 = times.iter().sum::<f64>() / times.len() as f64;
+                        if mean_t <= 0.0 {
+                            Some(grants.to_vec())
+                        } else {
+                            Some(
+                                grants
+                                    .iter()
+                                    .zip(&times)
+                                    .zip(telemetry)
+                                    .map(|((&g, &t), tel)| {
+                                        // Behind the barrier mean (the
+                                        // critical path) ⇒ positive error
+                                        // ⇒ more watts; ahead ⇒ donate.
+                                        let err = (t - mean_t) / mean_t;
+                                        debug_assert!(
+                                            t < times[rep.critical_rank] + 1e-6 || err >= -1e-6,
+                                            "critical child must not donate"
+                                        );
+                                        // Comm-aware damping: a child that
+                                        // is slow because it is waiting on
+                                        // the wire cannot convert watts
+                                        // into barrier arrival time, so its
+                                        // error (boost *or* donation) is
+                                        // scaled by its compute fraction.
+                                        g * (1.0 + gain * err * tel.compute_fraction())
+                                    })
+                                    .collect(),
+                            )
+                        }
+                    }
+                    // Degenerate telemetry (no usable times): keep the
+                    // current grants as the desire and let the waterfill
+                    // renormalize them into the pool.
+                    Err(_) => Some(grants.to_vec()),
+                }
+            }
+        }
+    }
+}
+
+/// One redistribution round over `grants.len()` children sharing
+/// `budget`: freeze silent children at their last grant, clip frozen
+/// grants toward their floors if feasibility demands it, ask `alloc` for
+/// the reporting children's desired grants, and waterfill those into the
+/// remaining pool under the per-child `[min, max]` clamps.
+///
+/// Postcondition (the level-independent invariant): `Σ grants ≤ budget`
+/// and `min[i] ≤ grants[i] ≤ max[i]` for every child, provided they held
+/// on entry and `budget ≥ Σ min`.
+pub(crate) fn rebalance(
+    alloc: Allocator,
+    budget: f64,
+    grants: &mut [f64],
+    min: &[f64],
+    max: &[f64],
+    reports: &[Option<NodeTelemetry>],
+) {
+    debug_assert_eq!(grants.len(), reports.len(), "engine input arity");
+    debug_assert_eq!(grants.len(), min.len());
+    debug_assert_eq!(grants.len(), max.len());
+    let reporting: Vec<usize> = (0..reports.len())
+        .filter(|&i| reports[i].is_some())
+        .collect();
+    if reporting.is_empty() {
+        return;
+    }
+    let frozen: Vec<usize> = (0..grants.len())
+        .filter(|i| !reporting.contains(i))
+        .collect();
+    let mut pool = budget - frozen.iter().map(|&i| grants[i]).sum::<f64>();
+
+    // A silent child keeps its grant only while the rest can still meet
+    // their floors; otherwise frozen grants are clipped toward the floor
+    // to restore feasibility.
+    let need = reporting.iter().map(|&i| min[i]).sum::<f64>() - pool;
+    if need > 0.0 && !frozen.is_empty() {
+        let available: f64 = frozen.iter().map(|&i| grants[i] - min[i]).sum();
+        let scale = if available > 0.0 {
+            (1.0 - need / available).max(0.0)
+        } else {
+            0.0
+        };
+        for &i in &frozen {
+            grants[i] = min[i] + (grants[i] - min[i]) * scale;
+        }
+        pool = budget - frozen.iter().map(|&i| grants[i]).sum::<f64>();
+    }
+
+    let cur: Vec<f64> = reporting.iter().map(|&i| grants[i]).collect();
+    let tel: Vec<NodeTelemetry> = reporting
+        .iter()
+        .map(|&i| reports[i].expect("reporting"))
+        .collect();
+    let Some(desired) = alloc.desired(&cur, &tel, pool) else {
+        return; // grants are immutable by design
+    };
+    let r_min: Vec<f64> = reporting.iter().map(|&i| min[i]).collect();
+    let r_max: Vec<f64> = reporting.iter().map(|&i| max[i]).collect();
+    let filled = waterfill(&desired, pool, &r_min, &r_max);
+    for (&i, g) in reporting.iter().zip(filled) {
+        grants[i] = g;
+    }
+}
+
+/// Deterministic clamped proportional fill: clamp `desired` into the
+/// per-child `[min, max]` ranges, then scale the above-floor portions
+/// down to fit `pool`, or push leftover pool into the remaining headroom
+/// (proportionally, so nobody exceeds its max). The result always
+/// satisfies Σ ≤ pool and the per-child clamps, provided `pool ≥ Σ min`.
+///
+/// A single child is special-cased to receive exactly
+/// `pool.clamp(min, max)`: the scaling algebra would only reconstruct
+/// that value through rounding, and the exactness is what keeps a
+/// one-rack arbiter tree bitwise identical to the flat arbiter.
+pub(crate) fn waterfill(desired: &[f64], pool: f64, min: &[f64], max: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(desired.len(), min.len());
+    debug_assert_eq!(desired.len(), max.len());
+    if let (&[_], &[lo], &[hi]) = (desired, min, max) {
+        return vec![pool.clamp(lo, hi)];
+    }
+    let mut out: Vec<f64> = desired
+        .iter()
+        .zip(min.iter().zip(max))
+        .map(|(d, (&lo, &hi))| d.clamp(lo, hi))
+        .collect();
+    let sum: f64 = out.iter().sum();
+    if sum > pool {
+        // Scale the above-floor portion to exactly fit the pool.
+        let above: f64 = out.iter().zip(min).map(|(g, &lo)| g - lo).sum();
+        let target = (pool - min.iter().sum::<f64>()).max(0.0);
+        let s = if above > 0.0 { target / above } else { 0.0 };
+        for (g, &lo) in out.iter_mut().zip(min) {
+            *g = lo + (*g - lo) * s;
+        }
+    } else {
+        // Distribute the leftover into headroom, proportionally.
+        let leftover = pool - sum;
+        let headroom: f64 = out.iter().zip(max).map(|(g, &hi)| hi - g).sum();
+        if leftover > 0.0 && headroom > 0.0 {
+            let s = (leftover / headroom).min(1.0);
+            for (g, &hi) in out.iter_mut().zip(max) {
+                *g += (hi - *g) * s;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize, v: f64) -> Vec<f64> {
+        vec![v; n]
+    }
+
+    #[test]
+    fn waterfill_fits_pool_and_clamps() {
+        let out = waterfill(
+            &[500.0, 10.0, 80.0],
+            240.0,
+            &uniform(3, 40.0),
+            &uniform(3, 120.0),
+        );
+        let sum: f64 = out.iter().sum();
+        assert!(sum <= 240.0 + 1e-9, "{out:?}");
+        for g in &out {
+            assert!((40.0..=120.0).contains(g), "{out:?}");
+        }
+        // The starved entry sits at the floor, the greedy one above it.
+        assert!(out[0] > out[1]);
+    }
+
+    #[test]
+    fn waterfill_spreads_leftover_without_exceeding_max() {
+        let out = waterfill(&[50.0, 50.0], 400.0, &uniform(2, 40.0), &uniform(2, 120.0));
+        for g in &out {
+            assert!(*g <= 120.0 + 1e-9);
+        }
+        // Headroom is funded evenly from the oversized pool.
+        assert!((out[0] - 120.0).abs() < 1e-9 && (out[1] - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waterfill_honours_per_child_clamps() {
+        // Child 1 has a private ceiling well under the shared one.
+        let out = waterfill(&[200.0, 200.0], 260.0, &[40.0, 40.0], &[200.0, 60.0]);
+        assert!(out[1] <= 60.0 + 1e-9, "{out:?}");
+        assert!(out.iter().sum::<f64>() <= 260.0 + 1e-9);
+    }
+
+    #[test]
+    fn single_child_takes_exactly_the_clamped_pool() {
+        let out = waterfill(&[73.2], 500.0, &[40.0], &[130.0]);
+        assert_eq!(out[0].to_bits(), 130.0f64.to_bits());
+        let out = waterfill(&[999.0], 88.5, &[40.0], &[130.0]);
+        assert_eq!(out[0].to_bits(), 88.5f64.to_bits());
+    }
+
+    #[test]
+    fn hold_allocator_never_produces_desires() {
+        let t = NodeTelemetry::compute_only(1.0, 1.0, 90.0);
+        assert_eq!(Allocator::Hold.desired(&[80.0], &[t], 100.0), None);
+    }
+
+    #[test]
+    fn demand_share_is_proportional_and_survives_zero_demand() {
+        let alloc = Policy::DemandProportional.allocator();
+        let tel = [
+            NodeTelemetry::compute_only(1.0, 1.0, 120.0),
+            NodeTelemetry::compute_only(1.0, 1.0, 60.0),
+        ];
+        let d = alloc.desired(&[80.0, 80.0], &tel, 180.0).expect("moves");
+        assert!((d[0] - 120.0).abs() < 1e-9 && (d[1] - 60.0).abs() < 1e-9);
+        let dark = [
+            NodeTelemetry::compute_only(1.0, 1.0, 0.0),
+            NodeTelemetry::compute_only(1.0, 1.0, 0.0),
+        ];
+        let d = alloc.desired(&[80.0, 80.0], &dark, 180.0).expect("moves");
+        assert_eq!(d, vec![90.0, 90.0]);
+    }
+
+    #[test]
+    fn feedback_boosts_the_critical_child() {
+        let alloc = Policy::ProgressFeedback { gain: 1.0 }.allocator();
+        let tel = [
+            NodeTelemetry::compute_only(0.5, 2.0, 90.0),
+            NodeTelemetry::compute_only(1.5, 1.0 / 1.5, 90.0),
+        ];
+        let d = alloc.desired(&[100.0, 100.0], &tel, 200.0).expect("moves");
+        assert!(d[1] > 100.0 && d[0] < 100.0, "{d:?}");
+    }
+
+    #[test]
+    fn engine_freezes_silent_children_and_keeps_the_sum_bounded() {
+        let mut grants = vec![100.0, 100.0, 100.0];
+        let min = uniform(3, 40.0);
+        let max = uniform(3, 130.0);
+        let t = |s: f64| Some(NodeTelemetry::compute_only(s, 1.0 / s, 90.0));
+        rebalance(
+            Policy::ProgressFeedback { gain: 1.0 }.allocator(),
+            300.0,
+            &mut grants,
+            &min,
+            &max,
+            &[t(1.0), None, t(2.0)],
+        );
+        assert_eq!(grants[1], 100.0, "silent child must freeze");
+        assert!(grants.iter().sum::<f64>() <= 300.0 + 1e-6);
+        assert!(grants[2] > grants[0], "critical child earns more");
+    }
+}

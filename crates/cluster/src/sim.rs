@@ -27,8 +27,10 @@ use simnode::faults::FaultPlan;
 use simnode::time::{from_secs, secs, Nanos};
 use std::sync::Arc;
 
-use crate::arbiter::{ArbiterConfig, GrantTick, NodeTelemetry, PowerArbiter};
+use crate::arbiter::{ArbiterConfig, BudgetArbiter, GrantTrace, NodeTelemetry, PowerArbiter};
 use crate::comm::{self, CommConfig};
+use crate::error::{ensure, ConfigError};
+use crate::hierarchy::{HierarchyConfig, RackArbiter};
 use crate::member::ClusterNode;
 use crate::workload::WorkloadShape;
 
@@ -103,22 +105,47 @@ pub struct ClusterConfig {
     pub comm: CommConfig,
     /// NRM daemon control period on every member, ns.
     pub daemon_period: Nanos,
+    /// Two-level (machine → rack → node) arbitration instead of the flat
+    /// arbiter; `None` keeps the single global pot.
+    pub hierarchy: Option<HierarchyConfig>,
 }
 
 impl ClusterConfig {
-    /// Validate the composite configuration.
+    /// Validate the composite configuration: a non-empty cluster, at
+    /// least one iteration, and consistent arbiter / comm / hierarchy
+    /// sub-configurations.
     ///
     /// # Panics
-    /// Panics on an empty cluster, zero iterations, or an invalid
-    /// arbiter/preset configuration.
-    pub fn validate(&self) {
-        assert!(!self.nodes.is_empty(), "cluster needs at least one node");
-        assert!(self.iters > 0, "need at least one iteration");
-        self.arbiter.validate();
-        self.comm.validate();
+    /// Panics on an invalid node preset (those validators live in
+    /// `simnode` and still assert).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        ensure(!self.nodes.is_empty(), "ClusterConfig.nodes", || {
+            "cluster needs at least one node".into()
+        })?;
+        ensure(self.iters > 0, "ClusterConfig.iters", || {
+            "need at least one iteration".into()
+        })?;
+        self.arbiter.validate()?;
+        ensure(
+            self.arbiter.budget_w >= self.arbiter.min_cap_w * self.nodes.len() as f64 - 1e-9,
+            "ClusterConfig.arbiter",
+            || {
+                format!(
+                    "budget {} W cannot fund {} nodes at the {} W floor",
+                    self.arbiter.budget_w,
+                    self.nodes.len(),
+                    self.arbiter.min_cap_w
+                )
+            },
+        )?;
+        self.comm.validate()?;
+        if let Some(h) = &self.hierarchy {
+            h.validate(&self.arbiter, self.nodes.len())?;
+        }
         for spec in &self.nodes {
             spec.preset.config().validate();
         }
+        Ok(())
     }
 }
 
@@ -157,8 +184,11 @@ pub struct ClusterOutcome {
     pub energy_j: f64,
     /// Per-iteration records.
     pub iterations: Vec<IterationRecord>,
-    /// The arbiter's budget-conservation trace, one tick per barrier.
-    pub grant_trace: Vec<GrantTick>,
+    /// The (leaf-level) budget-conservation trace, one tick per barrier.
+    pub grant_trace: GrantTrace,
+    /// The rack-level conservation trace, one tick per outer epoch
+    /// (`None` under flat arbitration).
+    pub rack_trace: Option<GrantTrace>,
     /// Final grants in force, W.
     pub final_grants_w: Vec<f64>,
 }
@@ -207,18 +237,16 @@ impl ClusterOutcome {
         self.iterations.iter().map(|i| i.bytes).sum()
     }
 
-    /// Smallest budget slack observed across the whole trace, W
+    /// Smallest budget slack observed across the whole leaf trace, W
     /// (non-negative iff conservation held on every tick).
     pub fn min_budget_slack_w(&self) -> f64 {
-        self.grant_trace
-            .iter()
-            .map(GrantTick::slack_w)
-            .fold(f64::INFINITY, f64::min)
+        self.grant_trace.min_slack_w()
     }
 
     /// Node-ticks excluded from redistribution (telemetry dropouts).
     pub fn excluded_node_ticks(&self) -> usize {
         self.grant_trace
+            .ticks()
             .iter()
             .map(|t| t.reporting.iter().filter(|r| !**r).count())
             .sum()
@@ -250,9 +278,27 @@ fn mean(it: impl Iterator<Item = f64>) -> f64 {
 /// # Panics
 /// Panics on an invalid configuration or an arbiter invariant violation.
 pub fn run_cluster(cfg: &ClusterConfig) -> ClusterOutcome {
-    cfg.validate();
+    cfg.validate().unwrap_or_else(|e| panic!("{e}"));
     let n = cfg.nodes.len();
-    let mut arbiter = PowerArbiter::new(cfg.arbiter, n);
+    let mut arbiter: Box<dyn BudgetArbiter> = match &cfg.hierarchy {
+        Some(h) => Box::new(RackArbiter::new(cfg.arbiter, h.clone())),
+        None => Box::new(PowerArbiter::new(cfg.arbiter, n)),
+    };
+    let rack_of = |id: usize| -> usize {
+        match &cfg.hierarchy {
+            None => 0,
+            Some(h) => {
+                let mut start = 0;
+                for (r, &k) in h.racks.iter().enumerate() {
+                    if id < start + k {
+                        return r;
+                    }
+                    start += k;
+                }
+                unreachable!("validate() pinned the rack sum to the node count")
+            }
+        }
+    };
 
     let mut members: Vec<ClusterNode> = cfg
         .nodes
@@ -263,7 +309,8 @@ pub fn run_cluster(cfg: &ClusterConfig) -> ClusterOutcome {
                 faults: spec.faults.clone(),
                 ..spec.preset.config()
             };
-            let mut m = ClusterNode::new(id, node_cfg, spec.weight, cfg.shape, cfg.daemon_period);
+            let mut m = ClusterNode::new(id, node_cfg, spec.weight, cfg.shape, cfg.daemon_period)
+                .with_rack(rack_of(id));
             m.set_grant(arbiter.grants()[id]);
             m
         })
@@ -342,7 +389,8 @@ pub fn run_cluster(cfg: &ClusterConfig) -> ClusterOutcome {
         energy_j,
         iterations,
         final_grants_w: arbiter.grants().to_vec(),
-        grant_trace: arbiter.trace().to_vec(),
+        rack_trace: arbiter.rack_trace().cloned(),
+        grant_trace: arbiter.trace().clone(),
     }
 }
 
@@ -369,6 +417,7 @@ mod tests {
             shape: WorkloadShape::default(),
             comm: CommConfig::none(),
             daemon_period: DEFAULT_DAEMON_PERIOD,
+            hierarchy: None,
         }
     }
 
@@ -441,13 +490,36 @@ mod tests {
         assert!(out.mean_comm_s() > 0.0);
         assert!(out.total_bytes() > 0.0);
         // The phase split reaches the arbiter's trace.
-        for tick in &out.grant_trace {
+        for tick in out.grant_trace.ticks() {
             for (i, &c) in tick.comm_s.iter().enumerate() {
                 if tick.reporting[i] {
                     assert!(c > 0.0, "reporting node {i} must carry wire time");
                 }
             }
         }
+    }
+
+    #[test]
+    fn hierarchical_run_traces_both_levels_and_tags_racks() {
+        let mut cfg = small_cfg(Policy::ProgressFeedback { gain: 1.0 });
+        cfg.nodes.push(NodeSpec::new(Preset::Reference, 1.0));
+        cfg.arbiter.budget_w = 320.0;
+        cfg.hierarchy = Some(HierarchyConfig {
+            racks: vec![2, 2],
+            outer_period: 1,
+            inner_period: 1,
+            rack_policy: Policy::ProgressFeedback { gain: 1.0 },
+            rack_clamps: None,
+        });
+        let out = run_cluster(&cfg);
+        assert_eq!(out.grant_trace.len(), 3, "one leaf tick per barrier");
+        let rack = out.rack_trace.as_ref().expect("hierarchy traces racks");
+        assert_eq!(rack.len(), 3, "outer period 1 fires every barrier");
+        assert!(out.min_budget_slack_w() >= -1e-6, "leaf conservation");
+        assert!(rack.min_slack_w() >= -1e-6, "rack conservation");
+        // Flat runs leave the rack level untraced.
+        let flat = run_cluster(&small_cfg(Policy::UniformStatic));
+        assert!(flat.rack_trace.is_none());
     }
 
     #[test]
@@ -458,7 +530,12 @@ mod tests {
         let zero = run_cluster(&cfg);
         assert_eq!(ideal.makespan_s.to_bits(), zero.makespan_s.to_bits());
         assert_eq!(ideal.energy_j.to_bits(), zero.energy_j.to_bits());
-        for (a, b) in ideal.grant_trace.iter().zip(&zero.grant_trace) {
+        for (a, b) in ideal
+            .grant_trace
+            .ticks()
+            .iter()
+            .zip(zero.grant_trace.ticks())
+        {
             for (ga, gb) in a.granted_w.iter().zip(&b.granted_w) {
                 assert_eq!(ga.to_bits(), gb.to_bits());
             }

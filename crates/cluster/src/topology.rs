@@ -8,7 +8,8 @@
 //!   contended resources are the per-node NIC injection/ejection links,
 //!   so congestion is purely endpoint congestion;
 //! - [`Topology::RackTree`] — a 2-level fat-tree sketch matching the
-//!   future hierarchical-arbiter layout: nodes are grouped into racks of
+//!   hierarchical-arbiter layout ([`crate::hierarchy`]): nodes are
+//!   grouped into racks of
 //!   `nodes_per_rack`, intra-rack traffic stays on the rack switch
 //!   (non-blocking), and inter-rack traffic additionally crosses the
 //!   source rack's uplink and the destination rack's downlink, which all
@@ -20,6 +21,8 @@
 //! resources.
 
 use serde::{Deserialize, Serialize};
+
+use crate::error::{ensure, ConfigError};
 
 /// A directional contended resource in the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -49,22 +52,26 @@ pub enum Topology {
 }
 
 impl Topology {
-    /// Validate the topology parameters.
-    ///
-    /// # Panics
-    /// Panics on a zero-node rack or a non-positive uplink bandwidth.
-    pub fn validate(&self) {
+    /// Validate the topology parameters: racks must be non-empty and the
+    /// uplink bandwidth finite positive.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if let Topology::RackTree {
             nodes_per_rack,
             uplink_bw,
         } = self
         {
-            assert!(*nodes_per_rack > 0, "racks need at least one node");
-            assert!(
+            ensure(
+                *nodes_per_rack > 0,
+                "Topology::RackTree.nodes_per_rack",
+                || "racks need at least one node".into(),
+            )?;
+            ensure(
                 uplink_bw.is_finite() && *uplink_bw > 0.0,
-                "uplink bandwidth must be finite positive"
-            );
+                "Topology::RackTree.uplink_bw",
+                || format!("uplink bandwidth {uplink_bw} bytes/s must be finite positive"),
+            )?;
         }
+        Ok(())
     }
 
     /// Which rack a node lives in (nodes are packed in rank order).
@@ -150,12 +157,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one node")]
     fn zero_node_rack_rejected() {
-        Topology::RackTree {
+        let err = Topology::RackTree {
             nodes_per_rack: 0,
             uplink_bw: 1.0e9,
         }
-        .validate();
+        .validate()
+        .unwrap_err();
+        assert_eq!(err.what, "Topology::RackTree.nodes_per_rack");
+        assert!(Topology::FlatSwitch.validate().is_ok());
     }
 }

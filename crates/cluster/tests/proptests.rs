@@ -21,8 +21,8 @@
 //! - **monotonicity** — throttling a NIC never speeds anyone up.
 
 use cluster::{
-    exchange, ArbiterConfig, CommConfig, CommPattern, LinkId, NodeTelemetry, Policy, PowerArbiter,
-    Topology,
+    exchange, ArbiterConfig, CommConfig, CommPattern, HierarchyConfig, LinkId, NodeTelemetry,
+    Policy, PowerArbiter, RackArbiter, Topology,
 };
 use proptest::prelude::*;
 
@@ -89,7 +89,7 @@ proptest! {
         for reports in &rounds {
             arb.redistribute(reports);
         }
-        for tick in arb.trace() {
+        for tick in arb.trace().ticks() {
             prop_assert!(
                 tick.total_w <= tick.budget_w + 1e-6,
                 "round {}: granted {} W over the {} W budget",
@@ -170,6 +170,92 @@ proptest! {
         partial[silent] = None;
         arb.redistribute(&partial);
         prop_assert_eq!(arb.grants()[silent].to_bits(), frozen.to_bits());
+    }
+
+    /// A tree of one rack holding every node is grant-for-grant bitwise
+    /// identical to the flat arbiter under the same telemetry stream
+    /// (the hierarchy degenerates exactly, for every policy, through
+    /// arbitrary dropout patterns and outer periods).
+    #[test]
+    fn single_rack_tree_equals_the_flat_arbiter(
+        scn in scenario(),
+        outer_period in 1usize..5,
+    ) {
+        let (cfg, rounds) = scn;
+        let n = rounds[0].len();
+        // Stay inside the clamp-feasible band: past n·max both arbiters
+        // saturate everyone, but through differently-rounded arithmetic.
+        let cfg = ArbiterConfig {
+            budget_w: cfg.budget_w.min(cfg.max_cap_w * n as f64),
+            ..cfg
+        };
+        let mut flat = PowerArbiter::new(cfg, n);
+        let mut tree = RackArbiter::new(cfg, HierarchyConfig {
+            racks: vec![n],
+            outer_period,
+            inner_period: 1,
+            rack_policy: cfg.policy,
+            rack_clamps: None,
+        });
+        for (round, reports) in rounds.iter().enumerate() {
+            let a = flat.redistribute(reports).to_vec();
+            let b = tree.redistribute(reports).to_vec();
+            for i in 0..n {
+                prop_assert_eq!(
+                    a[i].to_bits(), b[i].to_bits(),
+                    "round {}: node {} diverges ({} vs {})",
+                    round, i, a[i], b[i]
+                );
+            }
+        }
+    }
+
+    /// Dropout behavior lifts to the rack level: a rack whose members
+    /// all go silent keeps its sub-budget frozen verbatim, however the
+    /// reporting racks are rebalanced around it.
+    #[test]
+    fn silent_rack_keeps_its_sub_budget(
+        n_racks in 2usize..5,
+        per_rack in 1usize..4,
+        silent_pick in 0usize..5,
+        gain in 0.2f64..1.5,
+        rounds in 2usize..8,
+    ) {
+        let silent_rack = silent_pick % n_racks;
+        let n = n_racks * per_rack;
+        let cfg = ArbiterConfig {
+            // Generous budget: freezing never needs the feasibility clip.
+            budget_w: 120.0 * n as f64,
+            min_cap_w: 40.0,
+            max_cap_w: 160.0,
+            policy: Policy::ProgressFeedback { gain },
+        };
+        let mut tree = RackArbiter::new(cfg, HierarchyConfig {
+            racks: vec![per_rack; n_racks],
+            outer_period: 2,
+            inner_period: 1,
+            rack_policy: Policy::ProgressFeedback { gain },
+            rack_clamps: None,
+        });
+        let frozen = tree.sub_budgets()[silent_rack];
+        for r in 0..rounds {
+            let reports: Vec<_> = (0..n)
+                .map(|i| {
+                    (i / per_rack != silent_rack).then(|| NodeTelemetry::compute_only(
+                        1.0 + (i + r) as f64 * 0.17,
+                        1.0,
+                        100.0,
+                    ))
+                })
+                .collect();
+            tree.redistribute(&reports);
+            prop_assert_eq!(
+                tree.sub_budgets()[silent_rack].to_bits(),
+                frozen.to_bits(),
+                "round {}: silent rack's pot moved",
+                r
+            );
+        }
     }
 }
 

@@ -2,8 +2,12 @@
 //!
 //! ```text
 //! repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|cluster]
-//!       [--quick] [--out DIR]
+//!       [--quick] [--out DIR] [--budget W]
 //! ```
+//!
+//! `--budget W` overrides the machine-level power budget of the cluster
+//! artefacts; an infeasible value is reported as a configuration error
+//! (which field, which constraint) instead of a panic backtrace.
 //!
 //! Prints each artefact as an aligned text table; with `--out DIR` also
 //! writes one CSV per artefact (plus raw series for the figures).
@@ -12,8 +16,8 @@ use std::fs;
 use std::path::PathBuf;
 
 use powerprog_core::experiments::{
-    ablations, candle_ext, cluster, faults, fig1, fig2, fig3, fig4, fig5, table1, table6,
-    tables2to5,
+    ablations, candle_ext, cluster, faults, fig1, fig2, fig3, fig4, fig5, hierarchy, table1,
+    table6, tables2to5,
 };
 use powerprog_core::report::TextTable;
 
@@ -21,12 +25,14 @@ struct Opts {
     what: Vec<String>,
     quick: bool,
     out: Option<PathBuf>,
+    budget_w: Option<f64>,
 }
 
 fn parse_args() -> Opts {
     let mut what = Vec::new();
     let mut quick = false;
     let mut out = None;
+    let mut budget_w = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -38,9 +44,16 @@ fn parse_args() -> Opts {
                 });
                 out = Some(PathBuf::from(dir));
             }
+            "--budget" => {
+                let w = args.next().and_then(|v| v.parse::<f64>().ok());
+                budget_w = Some(w.unwrap_or_else(|| {
+                    eprintln!("--budget requires a wattage");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|cluster]... [--quick] [--out DIR]"
+                    "usage: repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|cluster]... [--quick] [--out DIR] [--budget W]"
                 );
                 std::process::exit(0);
             }
@@ -50,7 +63,22 @@ fn parse_args() -> Opts {
     if what.is_empty() {
         what.push("all".to_string());
     }
-    Opts { what, quick, out }
+    Opts {
+        what,
+        quick,
+        out,
+        budget_w,
+    }
+}
+
+/// Reject an invalid cluster configuration with context (which field,
+/// which constraint) instead of a panic backtrace from deep inside the
+/// run. Exit code 2 marks an operator error, not a simulator bug.
+fn check_config(what: &str, cfg: &::cluster::ClusterConfig) {
+    if let Err(e) = cfg.validate() {
+        eprintln!("repro {what}: {e}");
+        std::process::exit(2);
+    }
 }
 
 fn emit(t: &TextTable, out: &Option<PathBuf>, name: &str) {
@@ -195,14 +223,42 @@ fn main() {
         );
     }
     if wants("cluster") {
-        let cfg = if opts.quick {
+        let mut cfg = if opts.quick {
             cluster::Config::quick()
         } else {
             cluster::Config::default()
         };
+        if let Some(w) = opts.budget_w {
+            cfg.budget_w = w;
+        }
+        check_config("cluster", &cfg.cluster_config(cfg.policies()[0]));
         let r = cluster::run(&cfg);
         emit(&r.table(), &opts.out, "cluster_policies");
         emit(&r.budget_trace_table(), &opts.out, "cluster_budget_trace");
+
+        let mut hcfg = if opts.quick {
+            hierarchy::Config::quick()
+        } else {
+            hierarchy::Config::default()
+        };
+        if let Some(w) = opts.budget_w {
+            hcfg.budget_w = w;
+        }
+        for v in hcfg.variants() {
+            check_config("cluster", &hcfg.cluster_config(v.policy, v.hierarchy));
+        }
+        let h = hierarchy::run(&hcfg);
+        emit(&h.table(), &opts.out, "cluster_hierarchy");
+        emit(
+            &h.rack_trace_table(),
+            &opts.out,
+            "cluster_hierarchy_rack_trace",
+        );
+        emit(
+            &h.node_trace_table(),
+            &opts.out,
+            "cluster_hierarchy_node_trace",
+        );
     }
     if wants("ablations") {
         let cfg = if opts.quick {

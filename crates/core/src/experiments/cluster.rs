@@ -143,6 +143,7 @@ impl Config {
             shape: WorkloadShape::default(),
             daemon_period: DEFAULT_DAEMON_PERIOD,
             comm: self.comm,
+            hierarchy: None,
         }
     }
 
@@ -254,7 +255,7 @@ impl Cluster {
             }
         };
         for c in &self.cells {
-            for tick in &c.outcome.grant_trace {
+            for tick in c.outcome.grant_trace.ticks() {
                 let min_g = tick.granted_w.iter().cloned().fold(f64::INFINITY, f64::min);
                 let max_g = tick
                     .granted_w

@@ -14,6 +14,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod hierarchy;
 pub mod table1;
 pub mod table6;
 pub mod tables2to5;

@@ -70,28 +70,44 @@ impl TextTable {
         out
     }
 
-    /// Render as CSV (headers + rows).
+    /// Render as CSV (headers + rows). Fields are written straight into
+    /// one pre-sized buffer — no per-row join strings, no per-cell
+    /// escape copies for the common unquoted case.
     pub fn to_csv(&self) -> String {
-        let escape = |s: &str| -> String {
+        fn push_field(out: &mut String, s: &str) {
             if s.contains(',') || s.contains('"') || s.contains('\n') {
-                format!("\"{}\"", s.replace('"', "\"\""))
+                out.push('"');
+                for ch in s.chars() {
+                    if ch == '"' {
+                        out.push('"');
+                    }
+                    out.push(ch);
+                }
+                out.push('"');
             } else {
-                s.to_string()
+                out.push_str(s);
             }
-        };
-        let mut out = String::new();
-        out.push_str(
-            &self
-                .headers
-                .iter()
-                .map(|h| escape(h))
-                .collect::<Vec<_>>()
-                .join(","),
-        );
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        }
+        fn push_row(out: &mut String, cells: &[String]) {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_field(out, c);
+            }
             out.push('\n');
+        }
+        let text: usize = self.headers.iter().map(String::len).sum::<usize>()
+            + self
+                .rows
+                .iter()
+                .flat_map(|r| r.iter().map(String::len))
+                .sum::<usize>();
+        let separators = (self.rows.len() + 1) * self.headers.len();
+        let mut out = String::with_capacity(text + separators);
+        push_row(&mut out, &self.headers);
+        for row in &self.rows {
+            push_row(&mut out, row);
         }
         out
     }

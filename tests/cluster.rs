@@ -10,6 +10,7 @@ use cluster::{
     Policy, Preset, Topology, WorkloadShape, DEFAULT_DAEMON_PERIOD,
 };
 use powerprog_core::experiments::cluster as experiment;
+use powerprog_core::experiments::hierarchy;
 use simnode::faults::{FaultPlan, FaultWindow};
 use simnode::time::SEC;
 
@@ -40,7 +41,7 @@ fn progress_aware_beats_uniform_static_under_the_same_budget() {
 
     // Budget conservation, asserted tick by tick for every policy.
     for cell in &r.cells {
-        for tick in &cell.outcome.grant_trace {
+        for tick in cell.outcome.grant_trace.ticks() {
             let total: f64 = tick.granted_w.iter().sum();
             assert!(
                 total <= cfg.budget_w + 1e-6,
@@ -59,6 +60,54 @@ fn progress_aware_beats_uniform_static_under_the_same_budget() {
                 );
             }
         }
+    }
+}
+
+/// The hierarchical acceptance scenario: on the imbalanced 16-node,
+/// 4-rack workload, the rack-tree progress-feedback arbiter strictly
+/// beats uniform-static makespan, with Σ ≤ budget holding at *both*
+/// levels (leaf grants vs. machine budget, rack sub-budgets vs. machine
+/// budget) on every tick.
+#[test]
+fn hierarchical_feedback_beats_uniform_static_with_two_level_conservation() {
+    let cfg = hierarchy::Config::quick();
+    let r = hierarchy::run(&cfg);
+    let uniform = &r.cell("uniform-static").expect("baseline ran").outcome;
+    let hier = &r.cell("hier-feedback").expect("tree ran").outcome;
+
+    assert!(
+        hier.makespan_s < uniform.makespan_s,
+        "rack-tree feedback must strictly beat uniform-static: {:.2} s vs {:.2} s",
+        hier.makespan_s,
+        uniform.makespan_s
+    );
+
+    // Leaf level: every barrier tick of every variant.
+    for cell in &r.cells {
+        for tick in cell.outcome.grant_trace.ticks() {
+            let total: f64 = tick.granted_w.iter().sum();
+            assert!(
+                total <= cfg.budget_w + 1e-6,
+                "{} round {}: leaves granted {:.2} W over the {:.0} W budget",
+                cell.name,
+                tick.round,
+                total,
+                cfg.budget_w
+            );
+        }
+    }
+    // Rack level: every outer epoch of every hierarchical variant.
+    let rack = hier.rack_trace.as_ref().expect("tree traces the racks");
+    assert!(!rack.is_empty());
+    for tick in rack.ticks() {
+        let total: f64 = tick.granted_w.iter().sum();
+        assert!(
+            total <= cfg.budget_w + 1e-6,
+            "round {}: racks granted {:.2} W over the {:.0} W budget",
+            tick.round,
+            total,
+            cfg.budget_w
+        );
     }
 }
 
@@ -88,10 +137,12 @@ fn telemetry_dropout_freezes_the_grant_until_the_node_reports_again() {
         shape: WorkloadShape::default(),
         daemon_period: DEFAULT_DAEMON_PERIOD,
         comm: CommConfig::none(),
+        hierarchy: None,
     });
 
     let silent_rounds: Vec<usize> = out
         .grant_trace
+        .ticks()
         .iter()
         .filter(|t| !t.reporting[victim])
         .map(|t| t.round)
@@ -101,7 +152,7 @@ fn telemetry_dropout_freezes_the_grant_until_the_node_reports_again() {
         "the dropout window must actually silence the victim"
     );
     assert!(
-        out.grant_trace.iter().any(|t| t.reporting[victim]),
+        out.grant_trace.ticks().iter().any(|t| t.reporting[victim]),
         "the victim must report again after the window closes"
     );
 
@@ -112,8 +163,8 @@ fn telemetry_dropout_freezes_the_grant_until_the_node_reports_again() {
         if round == 0 {
             continue;
         }
-        let prev = out.grant_trace[round - 1].granted_w[victim];
-        let cur = out.grant_trace[round].granted_w[victim];
+        let prev = out.grant_trace.ticks()[round - 1].granted_w[victim];
+        let cur = out.grant_trace.ticks()[round].granted_w[victim];
         assert_eq!(
             cur.to_bits(),
             prev.to_bits(),
@@ -154,13 +205,14 @@ fn cluster_runs_are_deterministic() {
             },
             topology: Topology::FlatSwitch,
         },
+        hierarchy: None,
     };
     let a = run_cluster(&cfg);
     let b = run_cluster(&cfg);
     assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits());
     assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
     assert_eq!(a.grant_trace.len(), b.grant_trace.len());
-    for (ta, tb) in a.grant_trace.iter().zip(&b.grant_trace) {
+    for (ta, tb) in a.grant_trace.ticks().iter().zip(b.grant_trace.ticks()) {
         for (ga, gb) in ta.granted_w.iter().zip(&tb.granted_w) {
             assert_eq!(ga.to_bits(), gb.to_bits());
         }
@@ -187,6 +239,7 @@ mod comm_edges {
             shape: WorkloadShape::default(),
             daemon_period: DEFAULT_DAEMON_PERIOD,
             comm,
+            hierarchy: None,
         }
     }
 
@@ -200,12 +253,26 @@ mod comm_edges {
         }
     }
 
-    /// A zero-node cluster is a configuration error, rejected loudly at
-    /// validation rather than producing a vacuous outcome.
+    /// A zero-node cluster is a configuration error, rejected with the
+    /// offending field named rather than producing a vacuous outcome.
     #[test]
-    #[should_panic(expected = "at least one node")]
     fn zero_node_cluster_is_rejected() {
-        base(vec![], halo(1.0)).validate();
+        let err = base(vec![], halo(1.0)).validate().unwrap_err();
+        assert_eq!(err.what, "ClusterConfig.nodes");
+        assert!(err.to_string().contains("at least one node"));
+    }
+
+    /// A budget below `n * min_cap` has no feasible allocation; the
+    /// validator names the arbiter config instead of letting the run
+    /// panic deep inside `PowerArbiter::new`.
+    #[test]
+    fn infeasible_budget_is_rejected_by_validate() {
+        let nodes = vec![NodeSpec::new(Preset::Reference, 1.0); 4];
+        let mut cfg = base(nodes, halo(1.0));
+        cfg.arbiter.budget_w = 100.0; // 4 nodes at a 40 W floor need 160 W
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(err.what, "ClusterConfig.arbiter");
+        assert!(err.to_string().contains("cannot fund"));
     }
 
     /// Same for a zero-node decomposition: the weight ramp refuses to
@@ -245,7 +312,12 @@ mod comm_edges {
         assert_eq!(zeroed.makespan_s.to_bits(), ideal.makespan_s.to_bits());
         assert_eq!(zeroed.energy_j.to_bits(), ideal.energy_j.to_bits());
         assert_eq!(zeroed.total_bytes(), 0.0);
-        for (tz, ti) in zeroed.grant_trace.iter().zip(&ideal.grant_trace) {
+        for (tz, ti) in zeroed
+            .grant_trace
+            .ticks()
+            .iter()
+            .zip(ideal.grant_trace.ticks())
+        {
             for (gz, gi) in tz.granted_w.iter().zip(&ti.granted_w) {
                 assert_eq!(gz.to_bits(), gi.to_bits(), "round {}", tz.round);
             }
