@@ -1,0 +1,372 @@
+//! The member-side grant client: timeouts, jittered backoff, and
+//! hold-last-grant degradation.
+//!
+//! [`GrantClient`] is the bridge between a cluster member and the
+//! daemon: it pushes telemetry upstream and implements
+//! [`cluster::GrantSource`], so [`cluster::ClusterNode::pull_grant`]
+//! works identically whether grants come from an in-process arbiter
+//! slice or over a lossy wire. Degradation is the design center, per
+//! Cerf et al.'s assumption that the runtime outlives its transport:
+//!
+//! - **disconnected** → the member keeps the last grant it saw (a stale
+//!   cap is safe — the daemon froze the same value bitwise) and the
+//!   client reconnects under seeded jittered exponential backoff
+//!   ([`nrm::Backoff`], the same curve the resilient NRM daemon uses
+//!   for actuator re-probes);
+//! - **shed** ([`Msg::Busy`]) → the client honours the daemon's
+//!   `retry_after` hint and mutes telemetry, never retries hot;
+//! - **NACKed** → the offending report is dropped, not resent: the
+//!   next epoch produces fresher telemetry anyway.
+
+use cluster::GrantSource;
+use nrm::Backoff;
+
+use crate::proto::Msg;
+use crate::wire::{Wire, WireError};
+
+/// Client-side counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Successful (re)connections, first connect included.
+    pub connects: u64,
+    /// Link losses observed.
+    pub disconnects: u64,
+    /// Reports suppressed while muted or down (hold-last-grant ticks).
+    pub held: u64,
+    /// [`Msg::Busy`] sheds honoured.
+    pub busy: u64,
+    /// [`Msg::Nack`] rejections observed.
+    pub nacked: u64,
+}
+
+enum Link {
+    Up(Box<dyn Wire>),
+    /// Waiting `retry_in` more polls before redialing.
+    Down {
+        /// Polls left before the next connection attempt.
+        retry_in: u32,
+    },
+}
+
+/// A telemetry producer / grant consumer for one node.
+pub struct GrantClient {
+    node: u32,
+    link: Link,
+    /// Produces a fresh wire to the daemon, or `None` while the daemon
+    /// is unreachable (each call is one connection attempt).
+    connector: Box<dyn FnMut() -> Option<Box<dyn Wire>> + Send>,
+    backoff: Backoff,
+    /// Newest grant seen, W; held across outages.
+    last_grant: Option<f64>,
+    /// Daemon tick of the newest grant.
+    last_tick: u64,
+    /// Telemetry sequence — advances only when a report is actually
+    /// sent, so a recovered run's seq stream aligns with an uncrashed
+    /// reference regardless of how long the outage lasted.
+    seq: u64,
+    /// Local poll counter (the client's clock).
+    polls: u64,
+    /// Busy-shed mute: no telemetry until this local poll.
+    muted_until: u64,
+    stats: ClientStats,
+}
+
+impl GrantClient {
+    /// Build a client for `node`. `connector` dials the daemon (or
+    /// hands over a pre-connected test pipe); `backoff_cap` and `seed`
+    /// shape the reconnect schedule.
+    pub fn new(
+        node: u32,
+        connector: Box<dyn FnMut() -> Option<Box<dyn Wire>> + Send>,
+        backoff_cap: u32,
+        seed: u64,
+    ) -> Self {
+        let mut c = Self {
+            node,
+            link: Link::Down { retry_in: 0 },
+            connector,
+            backoff: Backoff::new(backoff_cap, seed),
+            last_grant: None,
+            last_tick: 0,
+            seq: 0,
+            polls: 0,
+            muted_until: 0,
+            stats: ClientStats::default(),
+        };
+        c.try_connect();
+        c
+    }
+
+    fn try_connect(&mut self) {
+        match (self.connector)() {
+            Some(mut wire) => {
+                // Introduce ourselves; the daemon answers with the
+                // current grant so the cap recovers without waiting a
+                // full telemetry round.
+                if wire.send(&Msg::Hello { node: self.node }).is_ok() {
+                    self.link = Link::Up(wire);
+                    self.backoff.reset();
+                    self.stats.connects += 1;
+                    // Settle for one poll before resuming telemetry: the
+                    // Hello grant gets a round trip to land, and a
+                    // recovering daemon sees at most one report per
+                    // control period — which keeps a recovered run's
+                    // round structure aligned with an uncrashed one.
+                    self.muted_until = self.polls + 1;
+                } else {
+                    self.note_down();
+                }
+            }
+            None => self.note_down(),
+        }
+    }
+
+    fn note_down(&mut self) {
+        self.stats.disconnects += u64::from(matches!(self.link, Link::Up(_)));
+        self.link = Link::Down {
+            retry_in: self.backoff.record_failure(),
+        };
+    }
+
+    /// One client tick: drain inbound grants, run the reconnect state
+    /// machine. Call once per control period (the load generator calls
+    /// it once per simulated tick).
+    pub fn advance(&mut self) {
+        self.polls += 1;
+        match &mut self.link {
+            Link::Up(wire) => loop {
+                match wire.poll() {
+                    Ok(Some(msg)) => match msg {
+                        Msg::Grant { tick, watts, .. } => {
+                            self.last_grant = Some(watts);
+                            self.last_tick = tick;
+                        }
+                        Msg::Busy { retry_after } => {
+                            self.stats.busy += 1;
+                            self.muted_until = self.polls + retry_after as u64;
+                        }
+                        Msg::Nack { .. } => {
+                            self.stats.nacked += 1;
+                        }
+                        // Client-only messages from a confused peer.
+                        Msg::Hello { .. } | Msg::Heartbeat { .. } | Msg::Telemetry { .. } => {}
+                    },
+                    Ok(None) => break,
+                    Err(WireError::Disconnected) | Err(WireError::Corrupt(_)) => {
+                        self.note_down();
+                        break;
+                    }
+                }
+            },
+            Link::Down { retry_in } => {
+                if *retry_in == 0 {
+                    self.try_connect();
+                } else {
+                    *retry_in -= 1;
+                }
+            }
+        }
+    }
+
+    /// Offer this epoch's telemetry. Returns the seq it was sent under,
+    /// or `None` when held back (down, muted, or send failure) — the
+    /// member then simply keeps its current cap.
+    pub fn send_report(&mut self, report: &cluster::NodeTelemetry) -> Option<u64> {
+        if self.polls < self.muted_until {
+            self.stats.held += 1;
+            return None;
+        }
+        let Link::Up(wire) = &mut self.link else {
+            self.stats.held += 1;
+            return None;
+        };
+        let seq = self.seq + 1;
+        let msg = Msg::Telemetry {
+            node: self.node,
+            seq,
+            report: *report,
+        };
+        match wire.send(&msg) {
+            Ok(()) => {
+                self.seq = seq;
+                Some(seq)
+            }
+            Err(_) => {
+                self.note_down();
+                self.stats.held += 1;
+                None
+            }
+        }
+    }
+
+    /// Keep the lease alive on an epoch without telemetry.
+    pub fn heartbeat(&mut self) {
+        if let Link::Up(wire) = &mut self.link {
+            if wire.send(&Msg::Heartbeat { node: self.node }).is_err() {
+                self.note_down();
+            }
+        }
+    }
+
+    /// Whether the link is currently up.
+    pub fn connected(&self) -> bool {
+        matches!(self.link, Link::Up(_))
+    }
+
+    /// Newest grant seen, W (held across outages).
+    pub fn last_grant(&self) -> Option<f64> {
+        self.last_grant
+    }
+
+    /// Daemon tick of the newest grant.
+    pub fn last_grant_tick(&self) -> u64 {
+        self.last_tick
+    }
+
+    /// The seq the next successful [`GrantClient::send_report`] will
+    /// consume — lets a driver generate telemetry keyed to it.
+    pub fn next_seq(&self) -> u64 {
+        self.seq + 1
+    }
+
+    /// Client counters.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+}
+
+impl GrantSource for GrantClient {
+    fn poll_grant(&mut self, _node: usize) -> Option<f64> {
+        self.advance();
+        self.last_grant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::Msg;
+    use crate::wire::PipeWire;
+    use cluster::NodeTelemetry;
+
+    /// A connector that hands out pre-made pipes, one per call.
+    fn pipe_connector(
+        mut pipes: Vec<Option<PipeWire>>,
+    ) -> Box<dyn FnMut() -> Option<Box<dyn Wire>> + Send> {
+        pipes.reverse();
+        Box::new(move || pipes.pop().flatten().map(|p| Box::new(p) as Box<dyn Wire>))
+    }
+
+    fn report() -> NodeTelemetry {
+        NodeTelemetry::compute_only(1.0, 1.0, 95.0)
+    }
+
+    #[test]
+    fn connects_says_hello_and_tracks_grants() {
+        let (client_end, mut server_end) = PipeWire::pair();
+        let mut c = GrantClient::new(3, pipe_connector(vec![Some(client_end)]), 32, 1);
+        assert!(c.connected());
+        assert_eq!(server_end.poll().unwrap(), Some(Msg::Hello { node: 3 }));
+
+        server_end
+            .send(&Msg::Grant {
+                node: 3,
+                seq: 0,
+                tick: 7,
+                watts: 88.5,
+            })
+            .unwrap();
+        c.advance();
+        assert_eq!(c.last_grant(), Some(88.5));
+        assert_eq!(c.last_grant_tick(), 7);
+
+        let seq = c.send_report(&report()).unwrap();
+        assert_eq!(seq, 1);
+        assert!(matches!(
+            server_end.poll().unwrap(),
+            Some(Msg::Telemetry {
+                node: 3,
+                seq: 1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn holds_last_grant_and_seq_across_an_outage() {
+        let (a, server_a) = PipeWire::pair();
+        let (b, mut server_b) = PipeWire::pair();
+        let mut c = GrantClient::new(0, pipe_connector(vec![Some(a), None, Some(b)]), 4, 9);
+        // Deliver a grant, then kill the first pipe.
+        let mut sa = server_a;
+        sa.poll().unwrap(); // consume Hello
+        sa.send(&Msg::Grant {
+            node: 0,
+            seq: 0,
+            tick: 1,
+            watts: 77.0,
+        })
+        .unwrap();
+        c.advance();
+        assert_eq!(c.last_grant(), Some(77.0));
+        sa.hang_up();
+
+        // The outage: grant held, telemetry suppressed, seq frozen.
+        c.advance();
+        assert!(!c.connected());
+        assert_eq!(c.last_grant(), Some(77.0), "hold-last-grant");
+        assert_eq!(c.send_report(&report()), None);
+        assert!(c.stats().held >= 1);
+
+        // Backoff eventually redials: attempt 1 fails (None), attempt 2
+        // lands on the second pipe and re-Hellos.
+        for _ in 0..64 {
+            c.advance();
+            if c.connected() {
+                break;
+            }
+        }
+        assert!(c.connected(), "client must reconnect through backoff");
+        assert_eq!(server_b.poll().unwrap(), Some(Msg::Hello { node: 0 }));
+        // One settle poll after the redial, then telemetry resumes.
+        assert_eq!(c.send_report(&report()), None, "settling after redial");
+        c.advance();
+        // Seq resumes where it left off — nothing was consumed while down.
+        assert_eq!(c.send_report(&report()), Some(1));
+        assert!(c.stats().connects >= 2);
+        assert_eq!(c.stats().disconnects, 1);
+    }
+
+    #[test]
+    fn busy_shed_mutes_telemetry_for_the_hinted_window() {
+        let (client_end, mut server_end) = PipeWire::pair();
+        let mut c = GrantClient::new(0, pipe_connector(vec![Some(client_end)]), 32, 5);
+        server_end.poll().unwrap(); // Hello
+        server_end.send(&Msg::Busy { retry_after: 3 }).unwrap();
+        c.advance();
+        assert_eq!(c.stats().busy, 1);
+        assert_eq!(c.send_report(&report()), None, "muted after shed");
+        c.advance();
+        c.advance();
+        assert_eq!(c.send_report(&report()), None, "still muted");
+        c.advance();
+        assert!(c.send_report(&report()).is_some(), "mute expires");
+    }
+
+    #[test]
+    fn poll_grant_is_the_grant_source_bridge() {
+        let (client_end, mut server_end) = PipeWire::pair();
+        let mut c = GrantClient::new(2, pipe_connector(vec![Some(client_end)]), 32, 2);
+        server_end.poll().unwrap();
+        server_end
+            .send(&Msg::Grant {
+                node: 2,
+                seq: 1,
+                tick: 4,
+                watts: 64.25,
+            })
+            .unwrap();
+        let src: &mut dyn GrantSource = &mut c;
+        assert_eq!(src.poll_grant(2), Some(64.25));
+    }
+}

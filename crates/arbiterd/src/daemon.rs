@@ -1,0 +1,302 @@
+//! The long-running daemon: an [`ArbiterService`] behind a TCP listener.
+//!
+//! Plain threads over `std::net`, no async runtime: an accept thread
+//! spawns one reader per connection, every reader funnels messages into
+//! the shared service under a mutex, and a ticker thread drives
+//! [`ArbiterService::tick`] on a fixed period, routing each grant back
+//! through the connection that most recently said Hello for that node.
+//! The service object is the single source of truth; the threads are
+//! plumbing, so every robustness property lives in the deterministic
+//! core where the tests can reach it.
+//!
+//! [`Daemon::kill`] is deliberately abrupt — it drops the listener and
+//! lets connections die without any state flush — because the crash
+//! story the chaos tests exercise is `kill -9`, not a polite shutdown:
+//! durability must come from the write-ahead snapshots alone.
+
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::proto::Msg;
+use crate::service::{ArbiterService, ServiceStats};
+use crate::wire::{TcpWire, Wire, WireError};
+
+/// Route table: node id → the wire of its most recent Hello.
+type Routes = Arc<Mutex<HashMap<u32, Arc<Mutex<TcpWire>>>>>;
+
+/// A running daemon and its control handle.
+pub struct Daemon {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    service: Arc<Mutex<ArbiterService>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Serve `service` on `listener`, ticking every `tick_period`.
+    pub fn spawn(
+        listener: TcpListener,
+        service: ArbiterService,
+        tick_period: Duration,
+    ) -> std::io::Result<Daemon> {
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let service = Arc::new(Mutex::new(service));
+        let routes: Routes = Arc::new(Mutex::new(HashMap::new()));
+        let mut threads = Vec::new();
+
+        // Ticker: the arbitration heartbeat.
+        {
+            let stop = stop.clone();
+            let service = service.clone();
+            let routes = routes.clone();
+            threads.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(tick_period);
+                    let replies = service.lock().unwrap().tick();
+                    route_replies(&routes, &replies);
+                }
+            }));
+        }
+
+        // Acceptor: one reader thread per connection.
+        {
+            let stop = stop.clone();
+            let service = service.clone();
+            let routes = routes.clone();
+            threads.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            spawn_reader(stream, stop.clone(), service.clone(), routes.clone());
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }));
+        }
+
+        Ok(Daemon {
+            addr,
+            stop,
+            service,
+            threads,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time copy of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.service.lock().unwrap().stats()
+    }
+
+    /// Current grants, W.
+    pub fn grants(&self) -> Vec<f64> {
+        self.service.lock().unwrap().grants().to_vec()
+    }
+
+    /// Simulated `kill -9`: stop every thread without flushing anything
+    /// beyond what the write-ahead snapshots already persisted.
+    pub fn kill(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            t.join().ok();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            t.join().ok();
+        }
+    }
+}
+
+fn route_replies(routes: &Routes, replies: &[Msg]) {
+    if replies.is_empty() {
+        return;
+    }
+    let table = routes.lock().unwrap();
+    for msg in replies {
+        let Msg::Grant { node, .. } = msg else {
+            continue;
+        };
+        if let Some(wire) = table.get(node) {
+            // A dead route is cleaned up by its reader thread; a failed
+            // send here just means the client reconnects and re-Hellos.
+            wire.lock().unwrap().send(msg).ok();
+        }
+    }
+}
+
+fn spawn_reader(
+    stream: TcpStream,
+    stop: Arc<AtomicBool>,
+    service: Arc<Mutex<ArbiterService>>,
+    routes: Routes,
+) {
+    std::thread::spawn(move || {
+        let Ok(wire) = TcpWire::new(stream) else {
+            return;
+        };
+        let wire = Arc::new(Mutex::new(wire));
+        let mut my_nodes: Vec<u32> = Vec::new();
+        'conn: while !stop.load(Ordering::SeqCst) {
+            let polled = wire.lock().unwrap().poll();
+            match polled {
+                Ok(Some(msg)) => {
+                    if let Msg::Hello { node } = msg {
+                        routes.lock().unwrap().insert(node, wire.clone());
+                        if !my_nodes.contains(&node) {
+                            my_nodes.push(node);
+                        }
+                    }
+                    let replies = service.lock().unwrap().ingest(msg);
+                    let mut w = wire.lock().unwrap();
+                    for r in &replies {
+                        if w.send(r).is_err() {
+                            break 'conn;
+                        }
+                    }
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(1)),
+                Err(WireError::Disconnected) | Err(WireError::Corrupt(_)) => break,
+            }
+        }
+        // Drop our routes so grants stop chasing a dead socket.
+        let mut table = routes.lock().unwrap();
+        for node in my_nodes {
+            if table.get(&node).is_some_and(|w| Arc::ptr_eq(w, &wire)) {
+                table.remove(&node);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::GrantClient;
+    use crate::service::ServiceConfig;
+    use cluster::{ArbiterConfig, BudgetArbiter, NodeTelemetry, Policy, PowerArbiter};
+
+    fn service(n: usize) -> ArbiterService {
+        let arbiter: Box<dyn BudgetArbiter> = Box::new(PowerArbiter::new(
+            ArbiterConfig {
+                budget_w: 100.0 * n as f64,
+                min_cap_w: 40.0,
+                max_cap_w: 130.0,
+                policy: Policy::ProgressFeedback { gain: 1.0 },
+            },
+            n,
+        ));
+        ArbiterService::new(
+            arbiter,
+            ServiceConfig {
+                snapshot_every: 0,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    fn tcp_connector(addr: SocketAddr) -> Box<dyn FnMut() -> Option<Box<dyn Wire>> + Send> {
+        Box::new(move || {
+            TcpStream::connect_timeout(&addr, Duration::from_millis(250))
+                .ok()
+                .and_then(|s| TcpWire::new(s).ok())
+                .map(|w| Box::new(w) as Box<dyn Wire>)
+        })
+    }
+
+    #[test]
+    fn grants_flow_over_real_sockets() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let daemon = Daemon::spawn(listener, service(2), Duration::from_millis(5)).unwrap();
+
+        let mut clients: Vec<GrantClient> = (0..2u32)
+            .map(|i| GrantClient::new(i, tcp_connector(daemon.addr()), 32, i as u64))
+            .collect();
+
+        // Everyone reports until a joint round funds the critical path
+        // (node 1): one-shot sends can land in different ticks, so keep
+        // the telemetry flowing.
+        let times = [0.5, 2.0];
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            for (i, c) in clients.iter_mut().enumerate() {
+                c.advance();
+                c.send_report(&NodeTelemetry::compute_only(times[i], 1.0 / times[i], 95.0));
+            }
+            if let (Some(g0), Some(g1)) = (clients[0].last_grant(), clients[1].last_grant()) {
+                if g1 > g0 {
+                    assert!(g0 + g1 <= 200.0 + 1e-6);
+                    break;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "critical node must be funded over the wire: {:?} vs {:?}",
+                clients[0].last_grant(),
+                clients[1].last_grant()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        daemon.kill();
+    }
+
+    #[test]
+    fn client_survives_a_daemon_kill_and_redials() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let daemon = Daemon::spawn(listener, service(1), Duration::from_millis(5)).unwrap();
+        let addr = daemon.addr();
+        let mut c = GrantClient::new(0, tcp_connector(addr), 8, 3);
+        c.send_report(&NodeTelemetry::compute_only(1.0, 1.0, 90.0));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while c.last_grant().is_none() && std::time::Instant::now() < deadline {
+            c.advance();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let held = c.last_grant().expect("grant before the crash");
+
+        daemon.kill();
+        // The outage: sends fail, the grant holds.
+        for _ in 0..20 {
+            c.advance();
+            c.send_report(&NodeTelemetry::compute_only(1.0, 1.0, 90.0));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(c.last_grant(), Some(held), "hold-last-grant through crash");
+
+        // Restart on the same port; the client redials through backoff.
+        let listener = match TcpListener::bind(addr) {
+            Ok(l) => l,
+            // The OS may hold the port in TIME_WAIT; don't fail the test
+            // on environment noise.
+            Err(_) => return,
+        };
+        let daemon2 = Daemon::spawn(listener, service(1), Duration::from_millis(5)).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !c.connected() && std::time::Instant::now() < deadline {
+            c.advance();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(c.connected(), "client must redial the restarted daemon");
+        assert!(c.stats().connects >= 2);
+        daemon2.kill();
+    }
+}

@@ -1,0 +1,459 @@
+//! Deterministic load generator: thousands of simulated telemetry
+//! producers against one [`ArbiterService`], with seeded transport
+//! faults and an optional mid-run daemon crash.
+//!
+//! Everything is in-process and lockstep — clients, "network", and
+//! service advance one tick at a time over [`PipeWire`] pairs — so a
+//! run is a pure function of its configuration: the same seed gives the
+//! same sheds, the same reconnect schedule, the same grants, bit for
+//! bit. That determinism is what lets the chaos acceptance test demand
+//! *bitwise* equality between a crashed-and-recovered run and an
+//! uncrashed reference instead of hand-waving tolerances.
+//!
+//! The crash model mirrors `kill -9` at a tick boundary: every server
+//! endpoint hangs up, the service object is dropped on the floor
+//! (no flush), and a fresh service restores from the write-ahead
+//! snapshot. Clients notice only through their wires dying.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use cluster::{ArbiterConfig, BudgetArbiter, NodeTelemetry, Policy, PowerArbiter};
+
+use crate::client::GrantClient;
+use crate::proto::Msg;
+use crate::service::{ArbiterService, ServiceConfig, ServiceStats};
+use crate::wire::{FaultyWire, PipeWire, Wire, WireFaultPlan};
+
+/// Transport-fault knobs for the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct FaultKnobs {
+    /// Per-message drop probability.
+    pub drop_prob: f64,
+    /// Per-message duplication probability.
+    pub dup_prob: f64,
+    /// Per-message delay probability.
+    pub delay_prob: f64,
+    /// Maximum delay, polls.
+    pub max_delay_polls: u64,
+    /// Partition `(start_tick, end_tick)` applied to every `stride`-th
+    /// client (`None` = no partitions).
+    pub partition: Option<(u64, u64, usize)>,
+}
+
+impl FaultKnobs {
+    /// The chaos-test default: drops, dups, delays, and a partition
+    /// hitting every 7th client.
+    pub fn hostile() -> Self {
+        Self {
+            drop_prob: 0.05,
+            dup_prob: 0.02,
+            delay_prob: 0.10,
+            max_delay_polls: 3,
+            partition: Some((20, 35, 7)),
+        }
+    }
+}
+
+/// One load-generation scenario.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Simulated telemetry producers (= arbiter nodes).
+    pub clients: usize,
+    /// Lockstep ticks to run.
+    pub ticks: u64,
+    /// Master seed: telemetry content, fault schedules, backoff jitter.
+    pub seed: u64,
+    /// Cluster budget per client, W (total budget = `clients ×` this).
+    pub budget_per_client_w: f64,
+    /// Per-node grant floor, W.
+    pub min_cap_w: f64,
+    /// Per-node grant ceiling, W.
+    pub max_cap_w: f64,
+    /// Service tuning (queue depth, leases, snapshot cadence, …).
+    pub service: ServiceConfig,
+    /// Transport faults (`None` = clean wires).
+    pub faults: Option<FaultKnobs>,
+    /// Kill the daemon at the start of this tick and restore it from
+    /// the snapshot.
+    pub crash_at: Option<u64>,
+    /// Snapshot location (required for `crash_at`; `None` disables
+    /// snapshotting).
+    pub snapshot_path: Option<PathBuf>,
+    /// Send telemetry every N ticks (heartbeats in between).
+    pub report_every: u64,
+    /// Reconnect backoff cap, ticks.
+    pub backoff_cap: u32,
+    /// Use one shared jitter seed for every client's backoff so a
+    /// crashed cohort reconnects in lockstep — required by the bitwise
+    /// recovery comparison, unrealistic for throughput runs.
+    pub lockstep_backoff: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            clients: 64,
+            ticks: 60,
+            seed: 1,
+            budget_per_client_w: 100.0,
+            min_cap_w: 40.0,
+            max_cap_w: 130.0,
+            service: ServiceConfig::default(),
+            faults: None,
+            crash_at: None,
+            snapshot_path: None,
+            report_every: 1,
+            backoff_cap: 8,
+            lockstep_backoff: false,
+        }
+    }
+}
+
+/// What a run did, in aggregate and grant-for-grant.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Clients simulated.
+    pub clients: usize,
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Total budget, W.
+    pub budget_w: f64,
+    /// Σ grants ≤ budget held at every observed tick.
+    pub invariant_ok: bool,
+    /// Largest Σ grants observed, W.
+    pub max_sum_grants_w: f64,
+    /// Service counters (summed across a crash).
+    pub service: ServiceStats,
+    /// Σ successful client (re)connections beyond each client's first.
+    pub reconnects: u64,
+    /// Σ reports held back client-side (hold-last-grant ticks).
+    pub held_reports: u64,
+    /// Σ Busy sheds observed client-side.
+    pub busy_seen: u64,
+    /// Ticks from the crash until every client held a fresh post-crash
+    /// grant (`None`: no crash, or recovery incomplete at run end).
+    pub recovery_ticks: Option<u64>,
+    /// Times a disconnected client's held grant changed (must be 0).
+    pub hold_violations: u64,
+    /// Per-node grant log: seq → granted watts bits. The bitwise
+    /// fingerprint recovery runs are compared on.
+    pub grant_log: Vec<BTreeMap<u64, u64>>,
+}
+
+impl LoadgenReport {
+    /// Largest seq granted to every node (0 when some node got none).
+    pub fn min_granted_seq(&self) -> u64 {
+        self.grant_log
+            .iter()
+            .map(|m| m.keys().next_back().copied().unwrap_or(0))
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Synthetic telemetry, a pure function of `(seed, node, seq)` — keyed
+/// by the client's own sequence, *not* wall time, so a client that
+/// paused through an outage resumes producing exactly the reports the
+/// uncrashed reference produced under the same seqs.
+pub fn synth_telemetry(seed: u64, node: u32, seq: u64) -> NodeTelemetry {
+    let h = mix(seed, ((node as u64) << 32) ^ seq);
+    let compute_s = 0.5 + 2.0 * unit(h);
+    NodeTelemetry {
+        compute_s,
+        comm_s: 0.2 * unit(mix(h, 1)),
+        slack_s: 0.3 * unit(mix(h, 2)),
+        rate: 1.0 / compute_s,
+        power_w: 60.0 + 60.0 * unit(mix(h, 3)),
+    }
+}
+
+/// Server ends waiting to be "accepted" by the driver.
+type Registry = Arc<Mutex<Vec<(u32, PipeWire)>>>;
+
+fn make_service(cfg: &LoadgenConfig) -> ArbiterService {
+    let arbiter: Box<dyn BudgetArbiter> = Box::new(PowerArbiter::new(
+        ArbiterConfig {
+            budget_w: cfg.budget_per_client_w * cfg.clients as f64,
+            min_cap_w: cfg.min_cap_w,
+            max_cap_w: cfg.max_cap_w,
+            policy: Policy::ProgressFeedback { gain: 1.0 },
+        },
+        cfg.clients,
+    ));
+    let svc = ArbiterService::new(arbiter, cfg.service.clone());
+    match &cfg.snapshot_path {
+        Some(p) => svc.with_snapshot_path(p.clone()),
+        None => svc,
+    }
+}
+
+fn make_client(cfg: &LoadgenConfig, node: u32, registry: &Registry) -> GrantClient {
+    let registry = registry.clone();
+    let knobs = cfg.faults.clone();
+    let seed = cfg.seed;
+    let mut attempt = 0u64;
+    let connector = Box::new(move || {
+        attempt += 1;
+        let (client_end, server_end) = PipeWire::pair();
+        registry.lock().unwrap().push((node, server_end));
+        let plan = match &knobs {
+            None => WireFaultPlan::clean(0),
+            Some(k) => {
+                let mut plan = WireFaultPlan {
+                    seed: mix(seed, ((node as u64) << 24) ^ attempt),
+                    drop_prob: k.drop_prob,
+                    dup_prob: k.dup_prob,
+                    delay_prob: k.delay_prob,
+                    max_delay_polls: k.max_delay_polls,
+                    partitions: Vec::new(),
+                };
+                if let Some((start, end, stride)) = k.partition {
+                    if stride > 0 && (node as usize).is_multiple_of(stride) {
+                        plan = plan.partition(simnode::faults::FaultWindow::new(start, end));
+                    }
+                }
+                plan
+            }
+        };
+        Some(Box::new(FaultyWire::new(client_end, plan)) as Box<dyn Wire>)
+    });
+    let jitter_seed = if cfg.lockstep_backoff {
+        cfg.seed
+    } else {
+        mix(cfg.seed, 0x00C1_1E47 ^ node as u64)
+    };
+    GrantClient::new(node, connector, cfg.backoff_cap, jitter_seed)
+}
+
+/// Run the scenario to completion.
+///
+/// # Panics
+/// Panics when `crash_at` is set without a `snapshot_path`, or when the
+/// post-crash snapshot cannot be restored — both are harness bugs, not
+/// operating conditions.
+pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
+    assert!(
+        cfg.crash_at.is_none() || cfg.snapshot_path.is_some(),
+        "a crash scenario needs a snapshot path to recover from"
+    );
+    // A stale snapshot from a previous run must not leak into this one.
+    if let Some(p) = &cfg.snapshot_path {
+        std::fs::remove_file(p).ok();
+    }
+
+    let registry: Registry = Arc::new(Mutex::new(Vec::new()));
+    let mut service = make_service(cfg);
+    let mut clients: Vec<GrantClient> = (0..cfg.clients as u32)
+        .map(|i| make_client(cfg, i, &registry))
+        .collect();
+
+    let budget_w = cfg.budget_per_client_w * cfg.clients as f64;
+    // node → server wire of its latest Hello (BTreeMap: deterministic
+    // iteration order, unlike HashMap).
+    let mut conns: BTreeMap<u32, PipeWire> = BTreeMap::new();
+    let mut grant_log: Vec<BTreeMap<u64, u64>> = vec![BTreeMap::new(); cfg.clients];
+
+    let mut invariant_ok = true;
+    let mut max_sum = 0.0f64;
+    let mut pre_crash_stats = ServiceStats::default();
+    let mut hold_violations = 0u64;
+    let mut recovery_ticks = None;
+    let mut awaiting_recovery: Vec<bool> = Vec::new();
+    let mut last_seen_grant: Vec<Option<f64>> = vec![None; cfg.clients];
+
+    for t in 1..=cfg.ticks {
+        // kill -9 at the tick boundary: wires die, state on the floor,
+        // a fresh service adopts the write-ahead snapshot.
+        if cfg.crash_at == Some(t) {
+            for (_, wire) in conns.iter() {
+                wire.hang_up();
+            }
+            for (_, wire) in registry.lock().unwrap().drain(..) {
+                wire.hang_up();
+            }
+            conns.clear();
+            pre_crash_stats = service.stats();
+            service = make_service(cfg);
+            assert!(
+                service.restore(),
+                "the write-ahead snapshot must be adoptable after a crash"
+            );
+            awaiting_recovery = vec![true; cfg.clients];
+        }
+
+        // Accept pending connections (latest Hello wins the route).
+        for (node, wire) in registry.lock().unwrap().drain(..) {
+            conns.insert(node, wire);
+        }
+
+        // Clients: drain inbound, run reconnect state machines, then
+        // produce this tick's traffic.
+        for (i, c) in clients.iter_mut().enumerate() {
+            let was_connected = c.connected();
+            let held_before = c.last_grant();
+            c.advance();
+            if !was_connected && !c.connected() && held_before != c.last_grant() {
+                hold_violations += 1;
+            }
+            if t.is_multiple_of(cfg.report_every) {
+                let rep = synth_telemetry(cfg.seed, i as u32, c.next_seq());
+                c.send_report(&rep);
+            } else {
+                c.heartbeat();
+            }
+        }
+
+        // Server: ingest everything that arrived, reply in place.
+        let mut immediate: Vec<(u32, Vec<Msg>)> = Vec::new();
+        for (&node, wire) in conns.iter_mut() {
+            while let Ok(Some(msg)) = wire.poll() {
+                let replies = service.ingest(msg);
+                if !replies.is_empty() {
+                    immediate.push((node, replies));
+                }
+            }
+        }
+        for (node, replies) in immediate {
+            if let Some(wire) = conns.get_mut(&node) {
+                for r in &replies {
+                    wire.send(r).ok();
+                }
+            }
+        }
+
+        // The arbitration tick, then grant routing + logging.
+        let replies = service.tick();
+        for msg in &replies {
+            let Msg::Grant {
+                node, seq, watts, ..
+            } = msg
+            else {
+                continue;
+            };
+            if *seq > 0 {
+                grant_log[*node as usize].insert(*seq, watts.to_bits());
+                if let Some(flag) = awaiting_recovery.get_mut(*node as usize) {
+                    *flag = false;
+                }
+            }
+            if let Some(wire) = conns.get_mut(node) {
+                wire.send(msg).ok();
+            }
+        }
+
+        // The headline invariant, observed from outside every tick.
+        let sum: f64 = service.grants().iter().sum();
+        max_sum = max_sum.max(sum);
+        if sum > budget_w + 1e-6 {
+            invariant_ok = false;
+        }
+
+        if recovery_ticks.is_none()
+            && cfg.crash_at.is_some_and(|c| t >= c)
+            && !awaiting_recovery.is_empty()
+            && awaiting_recovery.iter().all(|w| !w)
+        {
+            recovery_ticks = Some(t - cfg.crash_at.unwrap());
+        }
+
+        for (i, c) in clients.iter().enumerate() {
+            last_seen_grant[i] = c.last_grant();
+        }
+    }
+    let _ = last_seen_grant;
+
+    let mut stats = service.stats();
+    stats.shed += pre_crash_stats.shed;
+    stats.rate_limited += pre_crash_stats.rate_limited;
+    stats.nacked += pre_crash_stats.nacked;
+    stats.duplicates += pre_crash_stats.duplicates;
+    stats.leases_expired += pre_crash_stats.leases_expired;
+    stats.rounds += pre_crash_stats.rounds;
+    stats.snapshots += pre_crash_stats.snapshots;
+
+    LoadgenReport {
+        clients: cfg.clients,
+        ticks: cfg.ticks,
+        budget_w,
+        invariant_ok,
+        max_sum_grants_w: max_sum,
+        service: stats,
+        reconnects: clients
+            .iter()
+            .map(|c| c.stats().connects.saturating_sub(1))
+            .sum(),
+        held_reports: clients.iter().map(|c| c.stats().held).sum(),
+        busy_seen: clients.iter().map(|c| c.stats().busy).sum(),
+        recovery_ticks,
+        hold_violations,
+        grant_log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(clients: usize, ticks: u64) -> LoadgenConfig {
+        LoadgenConfig {
+            clients,
+            ticks,
+            service: ServiceConfig {
+                snapshot_every: 0,
+                ..ServiceConfig::default()
+            },
+            ..LoadgenConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_run_grants_everyone_and_conserves_budget() {
+        let r = run_loadgen(&quick(16, 20));
+        assert!(r.invariant_ok);
+        assert!(r.max_sum_grants_w <= r.budget_w + 1e-6);
+        assert!(r.min_granted_seq() >= 15, "steady traffic grants steadily");
+        assert_eq!(r.reconnects, 0);
+        assert_eq!(r.hold_violations, 0);
+    }
+
+    #[test]
+    fn same_seed_same_run_bit_for_bit() {
+        let cfg = LoadgenConfig {
+            faults: Some(FaultKnobs::hostile()),
+            ..quick(12, 30)
+        };
+        let a = run_loadgen(&cfg);
+        let b = run_loadgen(&cfg);
+        assert_eq!(a.grant_log, b.grant_log);
+        assert_eq!(a.service, b.service);
+        let c = run_loadgen(&LoadgenConfig { seed: 2, ..cfg });
+        assert_ne!(a.grant_log, c.grant_log, "seeds must matter");
+    }
+
+    #[test]
+    fn faulty_wires_still_conserve_the_budget() {
+        let r = run_loadgen(&LoadgenConfig {
+            faults: Some(FaultKnobs::hostile()),
+            ..quick(21, 50)
+        });
+        assert!(r.invariant_ok);
+        assert_eq!(r.hold_violations, 0);
+        // The partitioned clients went silent long enough to lose their
+        // leases; expiry must have reclaimed watts, not leaked them.
+        assert!(r.service.leases_expired > 0, "{:?}", r.service);
+        assert!(r.max_sum_grants_w <= r.budget_w + 1e-6);
+    }
+}

@@ -1,0 +1,368 @@
+//! The framed wire protocol between telemetry producers and the daemon.
+//!
+//! Frames are length-prefixed (`u32` little-endian byte count, then the
+//! payload) so they survive arbitrary TCP segmentation; the payload is a
+//! one-byte tag followed by fixed-width little-endian fields. All watts
+//! and seconds travel as raw `f64` bits ([`f64::to_bits`]), never as
+//! decimal text — the chaos acceptance criterion is *bitwise* grant
+//! equality between the daemon path and the in-process arbiter, and a
+//! round-trip through formatting would forfeit it.
+//!
+//! The protocol is deliberately version-tagged and paranoid on decode:
+//! a daemon that parses attacker-shaped bytes with `unwrap` is a daemon
+//! that dies to a single corrupt frame, so every decode path returns
+//! [`ProtoError`] and the frame scanner bounds allocation with
+//! [`MAX_FRAME`].
+
+use cluster::NodeTelemetry;
+
+/// Cap on a single frame's payload, bytes. The largest legitimate
+/// message is `Telemetry` at 53 bytes; anything claiming more is a
+/// corrupt or hostile length prefix and is rejected before allocation.
+pub const MAX_FRAME: usize = 256;
+
+/// Decoding failure: the frame is structurally broken. The connection
+/// that produced it is dropped, not the daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized(usize),
+    /// Unknown message tag.
+    BadTag(u8),
+    /// The payload is shorter or longer than its tag demands.
+    BadLength {
+        /// Message tag.
+        tag: u8,
+        /// Payload bytes actually present.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Oversized(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+            ProtoError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            ProtoError::BadLength { tag, got } => {
+                write!(f, "tag {tag:#04x} payload has {got} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Every message either side of the wire can carry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Client → daemon: (re)introduce node `node`. Renews the lease and
+    /// solicits an immediate [`Msg::Grant`] so a reconnecting client
+    /// recovers its cap without waiting a full arbiter tick.
+    Hello {
+        /// Cluster-wide node id.
+        node: u32,
+    },
+    /// Client → daemon: keep the lease alive without fresh telemetry.
+    Heartbeat {
+        /// Cluster-wide node id.
+        node: u32,
+    },
+    /// Client → daemon: one epoch's telemetry. `seq` is the client's own
+    /// monotone counter, echoed back on the matching grant so recovery
+    /// runs can be compared grant-for-grant.
+    Telemetry {
+        /// Cluster-wide node id.
+        node: u32,
+        /// Client-side sequence number.
+        seq: u64,
+        /// The report itself.
+        report: NodeTelemetry,
+    },
+    /// Daemon → client: the current grant for `node`.
+    Grant {
+        /// Cluster-wide node id.
+        node: u32,
+        /// Sequence of the telemetry this grant answers (0 for grants
+        /// pushed outside a telemetry round, e.g. on Hello).
+        seq: u64,
+        /// Daemon tick that produced the grant.
+        tick: u64,
+        /// Granted cap, W.
+        watts: f64,
+    },
+    /// Daemon → client: load shed. The ingress queue is full or the
+    /// client is over its rate; retry after `retry_after` ticks.
+    Busy {
+        /// Ticks to back off before retrying.
+        retry_after: u32,
+    },
+    /// Daemon → client: the telemetry was malformed and dropped. The
+    /// lease survives; the client keeps its last grant.
+    Nack {
+        /// Which seq was rejected.
+        seq: u64,
+    },
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_HEARTBEAT: u8 = 2;
+const TAG_TELEMETRY: u8 = 3;
+const TAG_GRANT: u8 = 4;
+const TAG_BUSY: u8 = 5;
+const TAG_NACK: u8 = 6;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn get_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().unwrap())
+}
+
+fn get_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().unwrap())
+}
+
+fn get_f64(b: &[u8]) -> f64 {
+    f64::from_bits(get_u64(b))
+}
+
+impl Msg {
+    /// Serialize into a complete frame (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(64);
+        match self {
+            Msg::Hello { node } => {
+                p.push(TAG_HELLO);
+                put_u32(&mut p, *node);
+            }
+            Msg::Heartbeat { node } => {
+                p.push(TAG_HEARTBEAT);
+                put_u32(&mut p, *node);
+            }
+            Msg::Telemetry { node, seq, report } => {
+                p.push(TAG_TELEMETRY);
+                put_u32(&mut p, *node);
+                put_u64(&mut p, *seq);
+                put_f64(&mut p, report.compute_s);
+                put_f64(&mut p, report.comm_s);
+                put_f64(&mut p, report.slack_s);
+                put_f64(&mut p, report.rate);
+                put_f64(&mut p, report.power_w);
+            }
+            Msg::Grant {
+                node,
+                seq,
+                tick,
+                watts,
+            } => {
+                p.push(TAG_GRANT);
+                put_u32(&mut p, *node);
+                put_u64(&mut p, *seq);
+                put_u64(&mut p, *tick);
+                put_f64(&mut p, *watts);
+            }
+            Msg::Busy { retry_after } => {
+                p.push(TAG_BUSY);
+                put_u32(&mut p, *retry_after);
+            }
+            Msg::Nack { seq } => {
+                p.push(TAG_NACK);
+                put_u64(&mut p, *seq);
+            }
+        }
+        let mut frame = Vec::with_capacity(4 + p.len());
+        put_u32(&mut frame, p.len() as u32);
+        frame.extend_from_slice(&p);
+        frame
+    }
+
+    /// Parse one frame payload (the bytes after the length prefix).
+    pub fn decode(payload: &[u8]) -> Result<Msg, ProtoError> {
+        let (&tag, body) = payload
+            .split_first()
+            .ok_or(ProtoError::BadLength { tag: 0, got: 0 })?;
+        let need = |n: usize| -> Result<(), ProtoError> {
+            if body.len() == n {
+                Ok(())
+            } else {
+                Err(ProtoError::BadLength {
+                    tag,
+                    got: body.len(),
+                })
+            }
+        };
+        match tag {
+            TAG_HELLO => {
+                need(4)?;
+                Ok(Msg::Hello {
+                    node: get_u32(body),
+                })
+            }
+            TAG_HEARTBEAT => {
+                need(4)?;
+                Ok(Msg::Heartbeat {
+                    node: get_u32(body),
+                })
+            }
+            TAG_TELEMETRY => {
+                need(4 + 8 + 5 * 8)?;
+                Ok(Msg::Telemetry {
+                    node: get_u32(body),
+                    seq: get_u64(&body[4..]),
+                    report: NodeTelemetry {
+                        compute_s: get_f64(&body[12..]),
+                        comm_s: get_f64(&body[20..]),
+                        slack_s: get_f64(&body[28..]),
+                        rate: get_f64(&body[36..]),
+                        power_w: get_f64(&body[44..]),
+                    },
+                })
+            }
+            TAG_GRANT => {
+                need(4 + 8 + 8 + 8)?;
+                Ok(Msg::Grant {
+                    node: get_u32(body),
+                    seq: get_u64(&body[4..]),
+                    tick: get_u64(&body[12..]),
+                    watts: get_f64(&body[20..]),
+                })
+            }
+            TAG_BUSY => {
+                need(4)?;
+                Ok(Msg::Busy {
+                    retry_after: get_u32(body),
+                })
+            }
+            TAG_NACK => {
+                need(8)?;
+                Ok(Msg::Nack { seq: get_u64(body) })
+            }
+            other => Err(ProtoError::BadTag(other)),
+        }
+    }
+}
+
+/// Scan `buf` for complete frames, removing consumed bytes. Returns the
+/// decoded messages in arrival order; a structurally broken frame aborts
+/// the scan with the error (the caller drops the connection).
+pub fn drain_frames(buf: &mut Vec<u8>) -> Result<Vec<Msg>, ProtoError> {
+    let mut msgs = Vec::new();
+    let mut at = 0usize;
+    while buf.len() - at >= 4 {
+        let len = get_u32(&buf[at..]) as usize;
+        if len > MAX_FRAME {
+            return Err(ProtoError::Oversized(len));
+        }
+        if buf.len() - at - 4 < len {
+            break;
+        }
+        msgs.push(Msg::decode(&buf[at + 4..at + 4 + len])?);
+        at += 4 + len;
+    }
+    buf.drain(..at);
+    Ok(msgs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> NodeTelemetry {
+        NodeTelemetry {
+            compute_s: 1.25,
+            comm_s: 0.125,
+            slack_s: 0.5,
+            rate: 0.8,
+            power_w: 97.3,
+        }
+    }
+
+    #[test]
+    fn every_message_round_trips_bitwise() {
+        let msgs = [
+            Msg::Hello { node: 7 },
+            Msg::Heartbeat { node: 0 },
+            Msg::Telemetry {
+                node: 3,
+                seq: 41,
+                report: sample_report(),
+            },
+            Msg::Grant {
+                node: 3,
+                seq: 41,
+                tick: 9,
+                watts: 88.125,
+            },
+            Msg::Busy { retry_after: 4 },
+            Msg::Nack { seq: 41 },
+        ];
+        for m in msgs {
+            let frame = m.encode();
+            let got = Msg::decode(&frame[4..]).unwrap();
+            assert_eq!(got, m);
+        }
+    }
+
+    #[test]
+    fn grants_preserve_exact_f64_bits() {
+        // A value with no short decimal representation.
+        let w = f64::from_bits(0x3FF7_3ABC_DEF0_1234);
+        let m = Msg::Grant {
+            node: 0,
+            seq: 1,
+            tick: 1,
+            watts: w,
+        };
+        let frame = m.encode();
+        match Msg::decode(&frame[4..]).unwrap() {
+            Msg::Grant { watts, .. } => assert_eq!(watts.to_bits(), w.to_bits()),
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_handles_split_and_coalesced_frames() {
+        let a = Msg::Hello { node: 1 }.encode();
+        let b = Msg::Heartbeat { node: 2 }.encode();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&a);
+        buf.extend_from_slice(&b[..3]); // partial second frame
+        let msgs = drain_frames(&mut buf).unwrap();
+        assert_eq!(msgs, vec![Msg::Hello { node: 1 }]);
+        buf.extend_from_slice(&b[3..]);
+        let msgs = drain_frames(&mut buf).unwrap();
+        assert_eq!(msgs, vec![Msg::Heartbeat { node: 2 }]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_allocation() {
+        let mut buf = u32::MAX.to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            drain_frames(&mut buf),
+            Err(ProtoError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_tags_and_short_payloads_are_errors() {
+        assert_eq!(
+            Msg::decode(&[0xEE, 0, 0, 0, 0]),
+            Err(ProtoError::BadTag(0xEE))
+        );
+        assert!(matches!(
+            Msg::decode(&[TAG_GRANT, 1, 2]),
+            Err(ProtoError::BadLength { .. })
+        ));
+    }
+}

@@ -1,0 +1,458 @@
+//! Transports: in-process pipes for deterministic tests, non-blocking
+//! TCP for deployment, and a seeded fault wrapper for chaos runs.
+//!
+//! Everything speaks [`Wire`]: non-blocking `send`/`poll` over the
+//! framed protocol in [`crate::proto`]. The daemon's service loop and
+//! the load generator only ever see this trait, so the same code path
+//! is exercised whether messages cross a `VecDeque`, a socket, or a
+//! deliberately lossy [`FaultyWire`] — which is what makes the
+//! fault-free daemon path bit-comparable to the in-process arbiter.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use simnode::faults::FaultWindow;
+
+use crate::proto::{drain_frames, Msg};
+
+/// Transport failure, as seen by one endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The peer is gone (socket closed, pipe dropped, partition treated
+    /// as fatal by a higher layer).
+    Disconnected,
+    /// The byte stream is unparseable; the connection must be dropped.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Disconnected => write!(f, "peer disconnected"),
+            WireError::Corrupt(why) => write!(f, "corrupt stream: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A non-blocking, framed, bidirectional message channel.
+pub trait Wire: Send {
+    /// Queue `msg` for the peer. An error means the connection is dead.
+    fn send(&mut self, msg: &Msg) -> Result<(), WireError>;
+    /// One received message, or `None` when nothing is pending.
+    fn poll(&mut self) -> Result<Option<Msg>, WireError>;
+}
+
+/// Shared state of one in-process pipe direction.
+type Lane = Arc<Mutex<VecDeque<Vec<u8>>>>;
+
+/// In-process transport: two frame queues and a liveness flag. Fully
+/// deterministic — no threads, no clocks — which is what the snapshot
+/// round-trip and chaos tests need to compare runs bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct PipeWire {
+    tx: Lane,
+    rx: Lane,
+    alive: Arc<AtomicBool>,
+}
+
+impl PipeWire {
+    /// A connected pair of endpoints.
+    pub fn pair() -> (PipeWire, PipeWire) {
+        let a: Lane = Arc::new(Mutex::new(VecDeque::new()));
+        let b: Lane = Arc::new(Mutex::new(VecDeque::new()));
+        let alive = Arc::new(AtomicBool::new(true));
+        (
+            PipeWire {
+                tx: a.clone(),
+                rx: b.clone(),
+                alive: alive.clone(),
+            },
+            PipeWire {
+                tx: b,
+                rx: a,
+                alive,
+            },
+        )
+    }
+
+    /// Sever both directions: every later `send`/`poll` on either
+    /// endpoint reports [`WireError::Disconnected`] (the daemon-crash
+    /// primitive in the chaos tests).
+    pub fn hang_up(&self) {
+        self.alive.store(false, Ordering::SeqCst);
+    }
+}
+
+impl Wire for PipeWire {
+    fn send(&mut self, msg: &Msg) -> Result<(), WireError> {
+        if !self.alive.load(Ordering::SeqCst) {
+            return Err(WireError::Disconnected);
+        }
+        self.tx.lock().unwrap().push_back(msg.encode());
+        Ok(())
+    }
+
+    fn poll(&mut self) -> Result<Option<Msg>, WireError> {
+        let frame = self.rx.lock().unwrap().pop_front();
+        match frame {
+            Some(f) => Msg::decode(&f[4..])
+                .map(Some)
+                .map_err(|e| WireError::Corrupt(e.to_string())),
+            None if !self.alive.load(Ordering::SeqCst) => Err(WireError::Disconnected),
+            None => Ok(None),
+        }
+    }
+}
+
+/// A framed wire over a non-blocking [`TcpStream`].
+#[derive(Debug)]
+pub struct TcpWire {
+    stream: TcpStream,
+    /// Bytes read but not yet framed.
+    inbuf: Vec<u8>,
+    /// Decoded messages waiting for `poll`.
+    pending: VecDeque<Msg>,
+}
+
+impl TcpWire {
+    /// Wrap a connected stream (switched to non-blocking mode here).
+    pub fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            stream,
+            inbuf: Vec::new(),
+            pending: VecDeque::new(),
+        })
+    }
+}
+
+impl Wire for TcpWire {
+    fn send(&mut self, msg: &Msg) -> Result<(), WireError> {
+        // Frames are tiny (≤ 60 bytes) so a full socket buffer clears in
+        // microseconds; spin on WouldBlock rather than growing an
+        // unbounded outbound queue — bounded buffering is the point.
+        let frame = msg.encode();
+        let mut at = 0;
+        while at < frame.len() {
+            match self.stream.write(&frame[at..]) {
+                Ok(0) => return Err(WireError::Disconnected),
+                Ok(n) => at += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::yield_now();
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return Err(WireError::Disconnected),
+            }
+        }
+        Ok(())
+    }
+
+    fn poll(&mut self) -> Result<Option<Msg>, WireError> {
+        if let Some(m) = self.pending.pop_front() {
+            return Ok(Some(m));
+        }
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(WireError::Disconnected),
+                Ok(n) => self.inbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return Err(WireError::Disconnected),
+            }
+        }
+        let msgs = drain_frames(&mut self.inbuf).map_err(|e| WireError::Corrupt(e.to_string()))?;
+        self.pending.extend(msgs);
+        Ok(self.pending.pop_front())
+    }
+}
+
+/// Seeded fault injection for a wrapped wire, reusing PR 1's
+/// [`FaultWindow`] machinery with the wire's own poll counter as the
+/// clock. Sends are dropped, duplicated, or delayed by whole polls;
+/// partition windows silence the wire in both directions without
+/// reporting a disconnect (the peer just looks dead, which is exactly
+/// what a lease must handle).
+#[derive(Debug, Clone)]
+pub struct WireFaultPlan {
+    /// SplitMix64 seed for the probabilistic faults.
+    pub seed: u64,
+    /// Per-message drop probability in `[0, 1]`.
+    pub drop_prob: f64,
+    /// Per-message duplication probability in `[0, 1]`.
+    pub dup_prob: f64,
+    /// Per-message delay probability in `[0, 1]`.
+    pub delay_prob: f64,
+    /// Maximum delay, in polls (a delayed message is held back a
+    /// uniformly drawn `1..=max_delay_polls` polls).
+    pub max_delay_polls: u64,
+    /// Both-direction blackout windows over the poll counter.
+    pub partitions: Vec<FaultWindow>,
+}
+
+impl WireFaultPlan {
+    /// No faults at all (the wrapper becomes a pass-through).
+    pub fn clean(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay_polls: 0,
+            partitions: Vec::new(),
+        }
+    }
+
+    /// A moderately hostile default used by the chaos tests: 5 % drops,
+    /// 2 % duplicates, 10 % delays of up to 3 polls.
+    pub fn hostile(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_prob: 0.05,
+            dup_prob: 0.02,
+            delay_prob: 0.10,
+            max_delay_polls: 3,
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Add a partition window over the poll counter.
+    pub fn partition(mut self, window: FaultWindow) -> Self {
+        self.partitions.push(window);
+        self
+    }
+}
+
+/// Counters of what the fault layer actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireFaultStats {
+    /// Messages silently dropped.
+    pub dropped: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Messages held back at least one poll.
+    pub delayed: u64,
+    /// Sends swallowed by an active partition.
+    pub partitioned: u64,
+}
+
+/// The fault-injecting wrapper. Faults apply on the send side (the
+/// injected direction is the client's, mirroring how PR 1 faults the
+/// MSR path the daemon reads through).
+pub struct FaultyWire<W: Wire> {
+    inner: W,
+    plan: WireFaultPlan,
+    rng: u64,
+    /// Monotone fault clock: one tick per `poll` call.
+    polls: u64,
+    /// Messages held back until `release_at ≤ polls`.
+    held: Vec<(u64, Msg)>,
+    stats: WireFaultStats,
+}
+
+impl<W: Wire> FaultyWire<W> {
+    /// Wrap `inner` under `plan`.
+    pub fn new(inner: W, plan: WireFaultPlan) -> Self {
+        Self {
+            rng: plan.seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            inner,
+            plan,
+            polls: 0,
+            held: Vec::new(),
+            stats: WireFaultStats::default(),
+        }
+    }
+
+    /// Injection counters.
+    pub fn stats(&self) -> WireFaultStats {
+        self.stats
+    }
+
+    /// The wrapped wire.
+    pub fn inner(&self) -> &W {
+        &self.inner
+    }
+
+    fn draw(&mut self) -> f64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn hit(&mut self, prob: f64) -> bool {
+        prob >= 1.0 || (prob > 0.0 && self.draw() < prob)
+    }
+
+    fn partitioned(&self) -> bool {
+        self.plan.partitions.iter().any(|w| w.contains(self.polls))
+    }
+}
+
+impl<W: Wire> Wire for FaultyWire<W> {
+    fn send(&mut self, msg: &Msg) -> Result<(), WireError> {
+        if self.partitioned() {
+            self.stats.partitioned += 1;
+            return Ok(()); // swallowed, not an error: the link looks alive
+        }
+        if self.hit(self.plan.drop_prob) {
+            self.stats.dropped += 1;
+            return Ok(());
+        }
+        if self.plan.max_delay_polls > 0 && self.hit(self.plan.delay_prob) {
+            let hold = 1 + (self.draw() * self.plan.max_delay_polls as f64) as u64;
+            self.stats.delayed += 1;
+            self.held.push((self.polls + hold, msg.clone()));
+            return Ok(());
+        }
+        self.inner.send(msg)?;
+        if self.hit(self.plan.dup_prob) {
+            self.stats.duplicated += 1;
+            self.inner.send(msg)?;
+        }
+        Ok(())
+    }
+
+    fn poll(&mut self) -> Result<Option<Msg>, WireError> {
+        self.polls += 1;
+        // Flush messages whose delay expired (in original send order).
+        if !self.held.is_empty() && !self.partitioned() {
+            let due: Vec<Msg> = {
+                let polls = self.polls;
+                let mut due = Vec::new();
+                self.held.retain(|(at, m)| {
+                    if *at <= polls {
+                        due.push(m.clone());
+                        false
+                    } else {
+                        true
+                    }
+                });
+                due
+            };
+            for m in due {
+                self.inner.send(&m)?;
+            }
+        }
+        if self.partitioned() {
+            return Ok(None); // blackout: nothing arrives, no disconnect
+        }
+        self.inner.poll()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_delivers_in_order_and_reports_hangup() {
+        let (mut a, mut b) = PipeWire::pair();
+        a.send(&Msg::Hello { node: 1 }).unwrap();
+        a.send(&Msg::Heartbeat { node: 1 }).unwrap();
+        assert_eq!(b.poll().unwrap(), Some(Msg::Hello { node: 1 }));
+        assert_eq!(b.poll().unwrap(), Some(Msg::Heartbeat { node: 1 }));
+        assert_eq!(b.poll().unwrap(), None);
+        a.hang_up();
+        assert_eq!(b.poll(), Err(WireError::Disconnected));
+        assert_eq!(
+            a.send(&Msg::Hello { node: 1 }),
+            Err(WireError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn clean_fault_plan_is_a_pass_through() {
+        let (a, mut b) = PipeWire::pair();
+        let mut f = FaultyWire::new(a, WireFaultPlan::clean(9));
+        for i in 0..50 {
+            f.send(&Msg::Nack { seq: i }).unwrap();
+        }
+        for i in 0..50 {
+            assert_eq!(b.poll().unwrap(), Some(Msg::Nack { seq: i }));
+        }
+        assert_eq!(f.stats(), WireFaultStats::default());
+    }
+
+    #[test]
+    fn drops_and_dups_follow_the_seed() {
+        let run = |seed: u64| {
+            let (a, mut b) = PipeWire::pair();
+            let mut f = FaultyWire::new(
+                a,
+                WireFaultPlan {
+                    drop_prob: 0.3,
+                    dup_prob: 0.2,
+                    ..WireFaultPlan::clean(seed)
+                },
+            );
+            for i in 0..200 {
+                f.send(&Msg::Nack { seq: i }).unwrap();
+            }
+            let mut got = Vec::new();
+            while let Ok(Some(m)) = b.poll() {
+                got.push(m);
+            }
+            (got, f.stats())
+        };
+        let (got1, stats1) = run(7);
+        let (got2, stats2) = run(7);
+        assert_eq!(got1, got2, "same seed, same fault schedule");
+        assert!(stats1.dropped > 20 && stats1.dropped < 120, "{stats1:?}");
+        assert!(stats1.duplicated > 5, "{stats1:?}");
+        assert_eq!(stats1, stats2);
+        let (got3, _) = run(8);
+        assert_ne!(got1, got3, "different seeds decorrelate");
+    }
+
+    #[test]
+    fn partition_silences_without_disconnecting() {
+        let (a, mut b) = PipeWire::pair();
+        let mut f = FaultyWire::new(a, WireFaultPlan::clean(3).partition(FaultWindow::new(2, 5)));
+        // Poll twice to enter the window at polls=2.
+        assert_eq!(f.poll().unwrap(), None);
+        assert_eq!(f.poll().unwrap(), None);
+        f.send(&Msg::Hello { node: 4 }).unwrap();
+        assert_eq!(b.poll().unwrap(), None, "send swallowed by partition");
+        assert_eq!(f.stats().partitioned, 1);
+        // The peer sends during the window: held invisible, no error.
+        b.send(&Msg::Busy { retry_after: 1 }).unwrap();
+        assert_eq!(f.poll().unwrap(), None);
+        assert_eq!(f.poll().unwrap(), None);
+        // Window over (polls = 5): traffic resumes.
+        assert_eq!(f.poll().unwrap(), Some(Msg::Busy { retry_after: 1 }));
+    }
+
+    #[test]
+    fn delayed_messages_arrive_later_in_order() {
+        let (a, mut b) = PipeWire::pair();
+        let mut f = FaultyWire::new(
+            a,
+            WireFaultPlan {
+                delay_prob: 1.0,
+                max_delay_polls: 2,
+                ..WireFaultPlan::clean(1)
+            },
+        );
+        f.send(&Msg::Nack { seq: 1 }).unwrap();
+        f.send(&Msg::Nack { seq: 2 }).unwrap();
+        assert_eq!(b.poll().unwrap(), None, "both held");
+        let mut got = Vec::new();
+        for _ in 0..6 {
+            let _ = f.poll();
+            while let Ok(Some(m)) = b.poll() {
+                got.push(m);
+            }
+        }
+        assert_eq!(got, vec![Msg::Nack { seq: 1 }, Msg::Nack { seq: 2 }]);
+        assert_eq!(f.stats().delayed, 2);
+    }
+}

@@ -89,13 +89,13 @@ fn bench_cluster(c: &mut Criterion) {
 
     let uniform = bench_config(Policy::UniformStatic);
     g.bench_function("uniform_4n_3it", |b| {
-        b.iter(|| black_box(run_cluster(black_box(&uniform))))
+        b.iter(|| black_box(run_cluster(black_box(&uniform)).unwrap()))
     });
 
     let feedback = bench_config(Policy::ProgressFeedback { gain: 1.0 });
     g.bench_function("feedback_4n_3it", |b| {
         b.iter(|| {
-            let out = run_cluster(black_box(&feedback));
+            let out = run_cluster(black_box(&feedback)).unwrap();
             assert!(out.min_budget_slack_w() >= -1e-6);
             black_box(out)
         })
@@ -105,7 +105,7 @@ fn bench_cluster(c: &mut Criterion) {
     // 4-rack workload: what the extra arbiter level costs per run.
     let flat16 = rack_tree_config(None);
     g.bench_function("flat_16n_3it", |b| {
-        b.iter(|| black_box(run_cluster(black_box(&flat16))))
+        b.iter(|| black_box(run_cluster(black_box(&flat16)).unwrap()))
     });
 
     let hier16 = rack_tree_config(Some(HierarchyConfig {
@@ -117,7 +117,7 @@ fn bench_cluster(c: &mut Criterion) {
     }));
     g.bench_function("hier_16n_3it", |b| {
         b.iter(|| {
-            let out = run_cluster(black_box(&hier16));
+            let out = run_cluster(black_box(&hier16)).unwrap();
             assert!(out.min_budget_slack_w() >= -1e-6);
             let rack = out.rack_trace.as_ref().expect("rack trace");
             assert!(rack.min_slack_w() >= -1e-6);
@@ -147,7 +147,7 @@ fn bench_cluster(c: &mut Criterion) {
         b.iter(|| {
             let mut arb = PowerArbiter::new(cfg, 64);
             for _ in 0..10 {
-                black_box(arb.redistribute(black_box(&reports)));
+                black_box(arb.redistribute(black_box(&reports)).unwrap());
             }
             black_box(arb)
         })
@@ -179,6 +179,31 @@ fn bench_cluster(c: &mut Criterion) {
                 black_box(&weights),
                 black_box(&drain),
             ))
+        })
+    });
+
+    // The daemon service loop at scale: 1000 telemetry producers through
+    // the full ingest → police → lease → redistribute → grant cycle over
+    // clean in-process wires (snapshotting off, so this isolates the
+    // service core from disk). Tracks the per-tick overhead arbiterd
+    // adds on top of the bare redistribution arithmetic above.
+    let lg_cfg = arbiterd::loadgen::LoadgenConfig {
+        clients: 1000,
+        ticks: 10,
+        seed: 5,
+        service: arbiterd::ServiceConfig {
+            snapshot_every: 0,
+            ..arbiterd::ServiceConfig::default()
+        },
+        ..arbiterd::loadgen::LoadgenConfig::default()
+    };
+    g.bench_function("arbiterd_1k_clients", |b| {
+        b.iter(|| {
+            black_box(
+                arbiterd::loadgen::run_loadgen(black_box(&lg_cfg))
+                    .service
+                    .rounds,
+            )
         })
     });
 

@@ -34,7 +34,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::error::{ensure, ConfigError};
+use crate::error::{ensure, ConfigError, TelemetryError};
 use crate::policy::{self, Allocator};
 
 /// Tolerance for floating-point invariant checks, W.
@@ -142,6 +142,27 @@ impl NodeTelemetry {
             rate,
             power_w,
         }
+    }
+
+    /// Check every field is finite and non-negative — the domain the
+    /// division policies assume. A report failing this is an *input*
+    /// problem (a buggy or malicious client of the arbiter daemon, a
+    /// corrupted frame), reported as a recoverable [`TelemetryError`]
+    /// naming `node` rather than an abort.
+    pub fn validate(&self, node: usize) -> Result<(), TelemetryError> {
+        let fields = [
+            ("compute_s", self.compute_s),
+            ("comm_s", self.comm_s),
+            ("slack_s", self.slack_s),
+            ("rate", self.rate),
+            ("power_w", self.power_w),
+        ];
+        for (field, value) in fields {
+            if !value.is_finite() || value < 0.0 {
+                return Err(TelemetryError::Malformed { node, field, value });
+            }
+        }
+        Ok(())
     }
 
     /// Fraction of this node's busy time spent computing (1.0 when the
@@ -262,20 +283,50 @@ impl GrantTrace {
     }
 }
 
+/// Reject a report vector the arbiter cannot act on: wrong arity (a
+/// grant for an unknown node id cannot exist) or a malformed field in
+/// any present report. Shared by both arbiter levels so the rejection
+/// rules cannot drift apart.
+pub(crate) fn validate_reports(
+    expected: usize,
+    reports: &[Option<NodeTelemetry>],
+) -> Result<(), TelemetryError> {
+    if reports.len() != expected {
+        return Err(TelemetryError::Arity {
+            expected,
+            got: reports.len(),
+        });
+    }
+    for (node, report) in reports.iter().enumerate() {
+        if let Some(t) = report {
+            t.validate(node)?;
+        }
+    }
+    Ok(())
+}
+
 /// The composable arbiter contract: anything that divides a (re-)settable
 /// power budget across leaf nodes from their telemetry. Implemented by
 /// the flat [`PowerArbiter`] and the hierarchical
 /// [`crate::hierarchy::RackArbiter`]; because a parent can re-target a
 /// child's budget each outer epoch via [`BudgetArbiter::set_budget`],
-/// arbiters nest into trees of arbitrary fan-out.
-pub trait BudgetArbiter {
+/// arbiters nest into trees of arbitrary fan-out. The contract is also
+/// what the `arbiterd` daemon serves over a socket, which is why
+/// malformed input is a recoverable [`TelemetryError`] (NACK one client,
+/// keep serving) and why crash recovery ([`BudgetArbiter::restore_grants`])
+/// and lease reclamation ([`BudgetArbiter::reclaim`]) are part of the
+/// trait rather than daemon-private hacks.
+pub trait BudgetArbiter: Send {
     /// Number of leaf nodes this arbiter grants to.
     fn node_count(&self) -> usize;
 
     /// Redistribute the budget from the latest telemetry; returns the new
     /// leaf grants. `reports[i] = None` means leaf `i`'s telemetry dropped
     /// out: it keeps its last grant and is excluded from this round.
-    fn redistribute(&mut self, reports: &[Option<NodeTelemetry>]) -> &[f64];
+    /// Malformed input (wrong arity, non-finite or negative fields) is
+    /// rejected with the arbiter state untouched.
+    fn redistribute(&mut self, reports: &[Option<NodeTelemetry>])
+        -> Result<&[f64], TelemetryError>;
 
     /// Leaf caps currently in force, W.
     fn grants(&self) -> &[f64];
@@ -298,6 +349,27 @@ pub trait BudgetArbiter {
     /// one.
     fn rack_trace(&self) -> Option<&GrantTrace> {
         None
+    }
+
+    /// Reclaim a dead leaf's watts: drop its grant to the floor so the
+    /// freed headroom re-funds the survivors at the next redistribution.
+    /// The arbiter daemon calls this when a client's heartbeat lease
+    /// expires — a *silent* client merely freezes (its report turns
+    /// `None`), an *expired* one is defunded. Returns `false` when this
+    /// arbiter cannot reclaim (the default), leaving state untouched.
+    fn reclaim(&mut self, node: usize) -> bool {
+        let _ = node;
+        false
+    }
+
+    /// Overwrite the grants in force from a crash-recovery snapshot.
+    /// Returns `false` (state untouched) when the arbiter cannot restore
+    /// — wrong arity, a grant outside its clamps, Σ over budget, or an
+    /// implementation whose internal state is richer than its grant
+    /// vector (the default).
+    fn restore_grants(&mut self, grants: &[f64]) -> bool {
+        let _ = grants;
+        false
     }
 }
 
@@ -364,14 +436,19 @@ impl PowerArbiter {
 
     /// Redistribute the budget from the latest telemetry; returns the new
     /// grants. `reports[i] = None` means node `i`'s telemetry dropped out:
-    /// it keeps its last grant and is excluded from this round.
+    /// it keeps its last grant and is excluded from this round. Malformed
+    /// input — wrong arity, a negative or non-finite field — is rejected
+    /// with the grants untouched, so one bad report cannot kill a
+    /// long-running arbiter service.
     ///
     /// # Panics
-    /// Panics if the report arity differs from the node count, or if an
-    /// internal invariant (Σ grants ≤ budget, per-node clamps) breaks —
-    /// the latter is a bug, not an operating condition.
-    pub fn redistribute(&mut self, reports: &[Option<NodeTelemetry>]) -> &[f64] {
-        assert_eq!(reports.len(), self.grants.len(), "report arity mismatch");
+    /// Panics if an internal invariant (Σ grants ≤ budget, per-node
+    /// clamps) breaks — a bug, not an operating condition.
+    pub fn redistribute(
+        &mut self,
+        reports: &[Option<NodeTelemetry>],
+    ) -> Result<&[f64], TelemetryError> {
+        validate_reports(self.grants.len(), reports)?;
         policy::rebalance(
             self.alloc,
             self.cfg.budget_w,
@@ -384,7 +461,7 @@ impl PowerArbiter {
             .record(self.round, &self.grants, reports, self.cfg.budget_w);
         self.round += 1;
         self.assert_invariants();
-        &self.grants
+        Ok(&self.grants)
     }
 
     /// Re-target the arbiter at `budget_w`, re-fitting the grants in
@@ -436,7 +513,10 @@ impl BudgetArbiter for PowerArbiter {
         self.grants.len()
     }
 
-    fn redistribute(&mut self, reports: &[Option<NodeTelemetry>]) -> &[f64] {
+    fn redistribute(
+        &mut self,
+        reports: &[Option<NodeTelemetry>],
+    ) -> Result<&[f64], TelemetryError> {
         PowerArbiter::redistribute(self, reports)
     }
 
@@ -454,6 +534,34 @@ impl BudgetArbiter for PowerArbiter {
 
     fn set_budget(&mut self, budget_w: f64) {
         PowerArbiter::set_budget(self, budget_w)
+    }
+
+    fn reclaim(&mut self, node: usize) -> bool {
+        if node >= self.grants.len() {
+            return false;
+        }
+        // Dropping to the floor can only shrink the total, so Σ ≤ budget
+        // is preserved by construction; the freed watts re-enter the pool
+        // at the next redistribution.
+        self.grants[node] = self.cfg.min_cap_w;
+        self.assert_invariants();
+        true
+    }
+
+    fn restore_grants(&mut self, grants: &[f64]) -> bool {
+        if grants.len() != self.grants.len() {
+            return false;
+        }
+        let total: f64 = grants.iter().sum();
+        let clamped = grants
+            .iter()
+            .all(|g| (self.cfg.min_cap_w - EPS_W..=self.cfg.max_cap_w + EPS_W).contains(g));
+        if total > self.cfg.budget_w + EPS_W || !clamped {
+            return false;
+        }
+        self.grants.copy_from_slice(grants);
+        self.assert_invariants();
+        true
     }
 }
 
@@ -497,7 +605,8 @@ mod tests {
             report(4.0, 100.0),
             report(0.5, 80.0),
             report(2.0, 95.0),
-        ]);
+        ])
+        .unwrap();
         assert_eq!(a.grants(), before.as_slice());
         assert_eq!(a.trace().len(), 1);
     }
@@ -512,7 +621,8 @@ mod tests {
             report(1.0, 100.0),
             report(1.0, 100.0),
             report(2.5, 100.0),
-        ]);
+        ])
+        .unwrap();
         let g = a.grants();
         assert!(g[3] > 100.0 + 1.0, "critical node must gain: {:?}", g);
         assert!(g[0] < 100.0 - 1.0, "ahead node must donate: {:?}", g);
@@ -533,19 +643,22 @@ mod tests {
         // Two arbiters, identical compute times for the slow rank — but
         // in `wire`, node 3 additionally spent 1.5 s on the exchange.
         let mut compute = PowerArbiter::new(wide, 4);
-        compute.redistribute(&[
-            report(1.0, 100.0),
-            report(1.0, 100.0),
-            report(1.0, 100.0),
-            report(2.5, 100.0),
-        ]);
+        compute
+            .redistribute(&[
+                report(1.0, 100.0),
+                report(1.0, 100.0),
+                report(1.0, 100.0),
+                report(2.5, 100.0),
+            ])
+            .unwrap();
         let mut wire = PowerArbiter::new(wide, 4);
         wire.redistribute(&[
             report_with_comm(1.0, 0.0, 100.0),
             report_with_comm(1.0, 0.0, 100.0),
             report_with_comm(1.0, 0.0, 100.0),
             report_with_comm(2.5, 1.5, 100.0),
-        ]);
+        ])
+        .unwrap();
         // `analyze` sees the same compute times either way, but the
         // comm-bound rank earns a damped boost: watts cannot speed up the
         // wire.
@@ -566,12 +679,14 @@ mod tests {
         let mut a = PowerArbiter::new(cfg(gain), 3);
         let mut b = PowerArbiter::new(cfg(gain), 3);
         for _ in 0..4 {
-            a.redistribute(&[report(0.8, 90.0), report(1.1, 95.0), report(1.9, 99.0)]);
+            a.redistribute(&[report(0.8, 90.0), report(1.1, 95.0), report(1.9, 99.0)])
+                .unwrap();
             b.redistribute(&[
                 report_with_comm(0.8, 0.0, 90.0),
                 report_with_comm(1.1, 0.0, 95.0),
                 report_with_comm(1.9, 0.0, 99.0),
-            ]);
+            ])
+            .unwrap();
         }
         for (ga, gb) in a.grants().iter().zip(b.grants()) {
             assert_eq!(ga.to_bits(), gb.to_bits(), "zero comm must be exact");
@@ -587,7 +702,8 @@ mod tests {
             ..cfg(Policy::DemandProportional)
         };
         let mut a = PowerArbiter::new(tight, 3);
-        a.redistribute(&[report(1.0, 120.0), report(1.0, 60.0), report(1.0, 60.0)]);
+        a.redistribute(&[report(1.0, 120.0), report(1.0, 60.0), report(1.0, 60.0)])
+            .unwrap();
         let g = a.grants();
         assert!(g[0] > g[1] + 5.0, "double demand must earn more: {:?}", g);
         assert!((g[1] - g[2]).abs() < 1e-9, "equal demand, equal grant");
@@ -601,7 +717,8 @@ mod tests {
             report(1.5, 90.0),
             report(1.0, 90.0),
             report(1.2, 90.0),
-        ]);
+        ])
+        .unwrap();
         let held = a.grants()[1];
         // Node 1 goes silent: its grant must not move.
         a.redistribute(&[
@@ -609,7 +726,8 @@ mod tests {
             None,
             report(3.0, 90.0),
             report(1.2, 90.0),
-        ]);
+        ])
+        .unwrap();
         assert_eq!(a.grants()[1], held, "silent node's cap must freeze");
         assert!(!a.trace().ticks()[1].reporting[1]);
         let total: f64 = a.grants().iter().sum();
@@ -620,7 +738,7 @@ mod tests {
     fn all_silent_round_only_records_the_tick() {
         let mut a = PowerArbiter::new(cfg(Policy::DemandProportional), 2);
         let before = a.grants().to_vec();
-        a.redistribute(&[None, None]);
+        a.redistribute(&[None, None]).unwrap();
         assert_eq!(a.grants(), before.as_slice());
         assert_eq!(a.trace().len(), 1);
         assert!(a.trace().min_slack_w() >= -1e-6);
@@ -629,8 +747,10 @@ mod tests {
     #[test]
     fn trace_records_the_policy_once() {
         let mut a = PowerArbiter::new(cfg(Policy::DemandProportional), 2);
-        a.redistribute(&[report(1.0, 80.0), report(1.0, 90.0)]);
-        a.redistribute(&[report(1.0, 80.0), report(1.0, 90.0)]);
+        a.redistribute(&[report(1.0, 80.0), report(1.0, 90.0)])
+            .unwrap();
+        a.redistribute(&[report(1.0, 80.0), report(1.0, 90.0)])
+            .unwrap();
         assert_eq!(a.trace().policy(), "demand-proportional");
         assert_eq!(a.trace().len(), 2);
     }
@@ -643,7 +763,8 @@ mod tests {
             report(1.0, 100.0),
             report(1.0, 100.0),
             report(2.5, 100.0),
-        ]);
+        ])
+        .unwrap();
         let before = a.grants().to_vec();
         a.set_budget(400.0); // bit-identical budget: nothing moves
         assert_eq!(a.grants(), before.as_slice());
@@ -694,5 +815,106 @@ mod tests {
             },
             4,
         );
+    }
+
+    #[test]
+    fn malformed_telemetry_is_nacked_without_state_change() {
+        let gain = Policy::ProgressFeedback { gain: 1.0 };
+        let mut a = PowerArbiter::new(cfg(gain), 4);
+        let before = a.grants().to_vec();
+
+        // Non-finite power: rejected, grants and trace untouched.
+        let e = a
+            .redistribute(&[
+                report(1.0, f64::NAN),
+                report(1.0, 100.0),
+                report(1.0, 100.0),
+                report(1.0, 100.0),
+            ])
+            .unwrap_err();
+        assert!(matches!(
+            e,
+            TelemetryError::Malformed {
+                node: 0,
+                field: "power_w",
+                ..
+            }
+        ));
+        assert_eq!(a.grants(), before.as_slice());
+        assert_eq!(a.trace().len(), 0, "a NACKed round must not be traced");
+
+        // Negative compute time: same treatment.
+        let e = a
+            .redistribute(&[
+                report(1.0, 100.0),
+                Some(NodeTelemetry::compute_only(-2.0, 1.0, 100.0)),
+                report(1.0, 100.0),
+                report(1.0, 100.0),
+            ])
+            .unwrap_err();
+        assert!(matches!(e, TelemetryError::Malformed { node: 1, .. }));
+
+        // Wrong arity = a grant for an unknown node id cannot exist.
+        let e = a
+            .redistribute(&[report(1.0, 100.0), report(1.0, 100.0)])
+            .unwrap_err();
+        assert_eq!(
+            e,
+            TelemetryError::Arity {
+                expected: 4,
+                got: 2
+            }
+        );
+
+        // The arbiter still works after NACKs: a clean round succeeds.
+        a.redistribute(&[
+            report(0.5, 100.0),
+            report(1.0, 100.0),
+            report(1.0, 100.0),
+            report(2.5, 100.0),
+        ])
+        .unwrap();
+        assert_eq!(a.trace().len(), 1);
+    }
+
+    #[test]
+    fn reclaim_drops_an_expired_node_to_the_floor() {
+        let mut a = PowerArbiter::new(cfg(Policy::ProgressFeedback { gain: 1.0 }), 4);
+        a.redistribute(&[
+            report(0.5, 100.0),
+            report(1.0, 100.0),
+            report(1.0, 100.0),
+            report(2.5, 100.0),
+        ])
+        .unwrap();
+        assert!(a.grants()[3] > 40.0);
+
+        assert!(BudgetArbiter::reclaim(&mut a, 3));
+        assert_eq!(a.grants()[3], 40.0, "reclaimed node sits at the floor");
+        let total: f64 = a.grants().iter().sum();
+        assert!(total <= 400.0 + EPS_W);
+        assert!(!BudgetArbiter::reclaim(&mut a, 99), "unknown id is a no-op");
+    }
+
+    #[test]
+    fn restore_grants_enforces_budget_and_clamps() {
+        let mut a = PowerArbiter::new(cfg(Policy::UniformStatic), 4);
+        let before = a.grants().to_vec();
+
+        // Over budget: refused, state untouched.
+        assert!(!BudgetArbiter::restore_grants(&mut a, &[120.0; 4]));
+        assert_eq!(a.grants(), before.as_slice());
+        // Below the floor: refused.
+        assert!(!BudgetArbiter::restore_grants(
+            &mut a,
+            &[10.0, 100.0, 100.0, 100.0]
+        ));
+        // Wrong arity: refused.
+        assert!(!BudgetArbiter::restore_grants(&mut a, &[100.0; 3]));
+
+        // A conserving snapshot is adopted bitwise.
+        let snap = [90.0, 110.0, 80.0, 120.0];
+        assert!(BudgetArbiter::restore_grants(&mut a, &snap));
+        assert_eq!(a.grants(), snap.as_slice());
     }
 }

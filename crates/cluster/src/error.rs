@@ -1,4 +1,4 @@
-//! Configuration-validation errors for the cluster layer.
+//! Configuration-validation and run-time errors for the cluster layer.
 //!
 //! The cluster crate's configuration structs used to `assert!` their
 //! internal consistency, which turns an operator typo (a budget that
@@ -7,6 +7,15 @@
 //! `repro` CLI in particular — can print *which* field broke *which*
 //! invariant and exit cleanly; the simulation entry points still treat an
 //! invalid configuration as fatal, but through an explicit `Result`.
+//!
+//! [`TelemetryError`] extends the same discipline to the arbiter's data
+//! plane: a malformed report (negative or non-finite power, wrong arity)
+//! is an *operating condition* for a long-running arbiter daemon — one
+//! misbehaving client must be NACKable without taking the service down —
+//! so [`crate::arbiter::BudgetArbiter::redistribute`] rejects it with a
+//! recoverable error. Only genuine internal invariants (Σ grants ≤
+//! budget, per-child clamps) remain hard asserts. [`ClusterError`] is the
+//! top-level union [`crate::sim::run_cluster`] returns.
 
 use std::fmt;
 
@@ -51,6 +60,86 @@ pub(crate) fn ensure(
     }
 }
 
+/// A telemetry report the arbiter refuses to act on. Recoverable by
+/// construction: the arbiter's state is untouched when this is returned,
+/// so the caller (the sim loop, or the arbiter daemon NACKing one bad
+/// client) can drop the offending report and carry on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryError {
+    /// The report vector does not match the arbiter's node count — a
+    /// grant for an unknown node id cannot exist.
+    Arity {
+        /// Nodes the arbiter grants to.
+        expected: usize,
+        /// Reports actually delivered.
+        got: usize,
+    },
+    /// A reported field left its domain (negative or non-finite).
+    Malformed {
+        /// Which node's report is bad.
+        node: usize,
+        /// Which [`crate::arbiter::NodeTelemetry`] field.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryError::Arity { expected, got } => {
+                write!(f, "telemetry arity {got} does not match {expected} nodes")
+            }
+            TelemetryError::Malformed { node, field, value } => {
+                write!(
+                    f,
+                    "node {node} telemetry: {field} = {value} must be finite and non-negative"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}
+
+/// Everything that can stop a cluster run: an invalid configuration, or
+/// telemetry the arbiter rejected mid-run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// The configuration failed validation before the run started.
+    Config(ConfigError),
+    /// The arbiter rejected a telemetry report.
+    Telemetry(TelemetryError),
+    /// A run-time analysis over the telemetry degenerated (e.g. the
+    /// imbalance algebra met a non-finite compute time).
+    Analysis(String),
+}
+
+impl From<ConfigError> for ClusterError {
+    fn from(e: ConfigError) -> Self {
+        ClusterError::Config(e)
+    }
+}
+
+impl From<TelemetryError> for ClusterError {
+    fn from(e: TelemetryError) -> Self {
+        ClusterError::Telemetry(e)
+    }
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Config(e) => e.fmt(f),
+            ClusterError::Telemetry(e) => e.fmt(f),
+            ClusterError::Analysis(why) => write!(f, "degenerate run-time analysis: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +158,33 @@ mod tests {
         assert!(ensure(true, "x", || unreachable!()).is_ok());
         let e = ensure(false, "x", || "broken".to_string()).unwrap_err();
         assert_eq!(e.what, "x");
+    }
+
+    #[test]
+    fn telemetry_errors_render_the_offence() {
+        let e = TelemetryError::Arity {
+            expected: 4,
+            got: 3,
+        };
+        assert_eq!(e.to_string(), "telemetry arity 3 does not match 4 nodes");
+        let e = TelemetryError::Malformed {
+            node: 2,
+            field: "power_w",
+            value: f64::NEG_INFINITY,
+        };
+        assert!(e.to_string().contains("node 2"));
+        assert!(e.to_string().contains("power_w"));
+    }
+
+    #[test]
+    fn cluster_error_wraps_both_sources() {
+        let c: ClusterError = ConfigError::new("x", "y").into();
+        assert!(matches!(c, ClusterError::Config(_)));
+        let t: ClusterError = TelemetryError::Arity {
+            expected: 1,
+            got: 0,
+        }
+        .into();
+        assert!(t.to_string().contains("arity"));
     }
 }

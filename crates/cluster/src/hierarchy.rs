@@ -33,9 +33,10 @@
 use std::ops::Range;
 
 use crate::arbiter::{
-    ArbiterConfig, BudgetArbiter, GrantTrace, NodeTelemetry, Policy, PowerArbiter, EPS_W,
+    validate_reports, ArbiterConfig, BudgetArbiter, GrantTrace, NodeTelemetry, Policy,
+    PowerArbiter, EPS_W,
 };
-use crate::error::{ensure, ConfigError};
+use crate::error::{ensure, ConfigError, TelemetryError};
 use crate::policy::{self, Allocator};
 
 /// Tuning for the rack level of the tree.
@@ -312,17 +313,18 @@ impl RackArbiter {
     /// racks and push sub-budgets down; on an inner-epoch boundary let
     /// each rack's arbiter re-split among its nodes. Returns the leaf
     /// grants (one tick is always recorded, so the leaf trace stays one
-    /// row per barrier, like the flat arbiter's).
+    /// row per barrier, like the flat arbiter's). Malformed input (wrong
+    /// arity, non-finite or negative fields) is rejected with the tree
+    /// untouched — nothing has aggregated upward yet when the check runs.
     ///
     /// # Panics
-    /// Panics on a report arity mismatch or an invariant violation at
-    /// either level (the latter is a bug, not an operating condition).
-    pub fn redistribute(&mut self, reports: &[Option<NodeTelemetry>]) -> &[f64] {
-        assert_eq!(
-            reports.len(),
-            self.leaf_grants.len(),
-            "report arity mismatch"
-        );
+    /// Panics on an invariant violation at either level (a bug, not an
+    /// operating condition).
+    pub fn redistribute(
+        &mut self,
+        reports: &[Option<NodeTelemetry>],
+    ) -> Result<&[f64], TelemetryError> {
+        validate_reports(self.leaf_grants.len(), reports)?;
         // Telemetry aggregates upward into the outer window.
         for (acc, span) in self.acc.iter_mut().zip(&self.spans) {
             for r in reports[span.clone()].iter().flatten() {
@@ -352,10 +354,13 @@ impl RackArbiter {
             self.assert_rack_invariants();
         }
 
-        // Inner epoch: each rack re-splits its sub-budget.
+        // Inner epoch: each rack re-splits its sub-budget. The per-rack
+        // slices were validated above, so child rejection is impossible;
+        // `?` still propagates it rather than unwrapping, keeping this
+        // path panic-free by construction.
         if self.round.is_multiple_of(self.h.inner_period) {
             for (child, span) in self.children.iter_mut().zip(&self.spans) {
-                child.redistribute(&reports[span.clone()]);
+                child.redistribute(&reports[span.clone()])?;
             }
         }
 
@@ -364,7 +369,7 @@ impl RackArbiter {
         }
         self.leaf_trace
             .record(barrier, &self.leaf_grants, reports, self.cfg.budget_w);
-        &self.leaf_grants
+        Ok(&self.leaf_grants)
     }
 
     /// Rack-level invariants: Σ sub-budgets ≤ machine budget, every
@@ -400,7 +405,10 @@ impl BudgetArbiter for RackArbiter {
         self.leaf_grants.len()
     }
 
-    fn redistribute(&mut self, reports: &[Option<NodeTelemetry>]) -> &[f64] {
+    fn redistribute(
+        &mut self,
+        reports: &[Option<NodeTelemetry>],
+    ) -> Result<&[f64], TelemetryError> {
         RackArbiter::redistribute(self, reports)
     }
 
@@ -510,8 +518,8 @@ mod tests {
             assert_eq!(ga.to_bits(), gb.to_bits(), "initial grants must match");
         }
         for reports in &streams {
-            let a = flat.redistribute(reports).to_vec();
-            let b = tree.redistribute(reports).to_vec();
+            let a = flat.redistribute(reports).unwrap().to_vec();
+            let b = tree.redistribute(reports).unwrap().to_vec();
             for (ga, gb) in a.iter().zip(&b) {
                 assert_eq!(ga.to_bits(), gb.to_bits(), "{a:?} vs {b:?}");
             }
@@ -548,7 +556,8 @@ mod tests {
                 report(1.0, 90.0),
                 report(2.0, 95.0),
                 report(2.0, 95.0),
-            ]);
+            ])
+            .unwrap();
         }
         let sub = tree.sub_budgets();
         assert!(
@@ -579,7 +588,8 @@ mod tests {
         // Rack 1 never reports (both members silent): however imbalanced
         // rack 0 looks, rack 1's pot must not move.
         for _ in 0..6 {
-            tree.redistribute(&[report(0.5, 90.0), report(2.5, 95.0), None, None]);
+            tree.redistribute(&[report(0.5, 90.0), report(2.5, 95.0), None, None])
+                .unwrap();
         }
         assert_eq!(
             tree.sub_budgets()[1].to_bits(),
@@ -614,10 +624,10 @@ mod tests {
             report(1.5, 90.0),
             report(2.5, 99.0),
         ];
-        let g0 = tree.redistribute(&reports).to_vec(); // round 1: holds
+        let g0 = tree.redistribute(&reports).unwrap().to_vec(); // round 1: holds
         let initial: Vec<f64> = vec![100.0; 4];
         assert_eq!(g0, initial, "round 1 is not an inner epoch");
-        let g1 = tree.redistribute(&reports).to_vec(); // round 2: fires
+        let g1 = tree.redistribute(&reports).unwrap().to_vec(); // round 2: fires
         assert_ne!(g1, initial, "round 2 must rebalance");
     }
 
@@ -640,7 +650,8 @@ mod tests {
                 report(3.0, 95.0),
                 report(0.5, 90.0),
                 report(0.5, 90.0),
-            ]);
+            ])
+            .unwrap();
         }
         assert!(
             tree.sub_budgets()[0] <= 190.0 + 1e-6,

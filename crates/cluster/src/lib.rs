@@ -51,8 +51,8 @@ pub use arbiter::{
     ArbiterConfig, BudgetArbiter, GrantTick, GrantTrace, NodeTelemetry, Policy, PowerArbiter,
 };
 pub use comm::{exchange, CommConfig, CommPattern, ExchangeOutcome, Flow, NodePhase};
-pub use error::ConfigError;
-pub use grant::{GrantCell, GrantSchedule};
+pub use error::{ClusterError, ConfigError, TelemetryError};
+pub use grant::{GrantCell, GrantSchedule, GrantSource};
 pub use hierarchy::{HierarchyConfig, RackArbiter};
 pub use member::{ClusterNode, DEFAULT_DAEMON_PERIOD};
 pub use policy::Allocator;

@@ -19,7 +19,7 @@ use simnode::node::{CoreWork, Node};
 use simnode::time::{secs, Nanos, SEC};
 
 use crate::arbiter::NodeTelemetry;
-use crate::grant::{GrantCell, GrantSchedule};
+use crate::grant::{GrantCell, GrantSchedule, GrantSource};
 use crate::workload::WorkloadShape;
 
 /// Telemetry plausibility window for the cluster collector, W.
@@ -198,6 +198,16 @@ impl ClusterNode {
     /// real NRM hierarchy).
     pub fn set_grant(&mut self, cap_w: f64) {
         self.grant.set(Some(cap_w));
+    }
+
+    /// Pull the newest grant from `source` (an in-process grant slice, or
+    /// an `arbiterd` client polling its wire). When the source has
+    /// nothing fresh — disconnected client, silent arbiter — the member
+    /// holds its last programmed cap: degradation, not a panic.
+    pub fn pull_grant(&mut self, source: &mut dyn GrantSource) {
+        if let Some(w) = source.poll_grant(self.id) {
+            self.grant.set(Some(w));
+        }
     }
 
     /// Advance toward `target` in one [`Node::step_until`] segment — to the

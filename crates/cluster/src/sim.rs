@@ -29,7 +29,7 @@ use std::sync::Arc;
 
 use crate::arbiter::{ArbiterConfig, BudgetArbiter, GrantTrace, NodeTelemetry, PowerArbiter};
 use crate::comm::{self, CommConfig};
-use crate::error::{ensure, ConfigError};
+use crate::error::{ensure, ClusterError, ConfigError};
 use crate::hierarchy::{HierarchyConfig, RackArbiter};
 use crate::member::ClusterNode;
 use crate::workload::WorkloadShape;
@@ -275,10 +275,12 @@ fn mean(it: impl Iterator<Item = f64>) -> f64 {
 /// (MPI-style polling); members report per-phase telemetry; the arbiter
 /// redistributes and the new grants take effect for the next iteration.
 ///
-/// # Panics
-/// Panics on an invalid configuration or an arbiter invariant violation.
-pub fn run_cluster(cfg: &ClusterConfig) -> ClusterOutcome {
-    cfg.validate().unwrap_or_else(|e| panic!("{e}"));
+/// An invalid configuration, rejected telemetry, or a degenerate
+/// imbalance analysis is reported as a [`ClusterError`] (the `repro` CLI
+/// surfaces it as a clean exit-2 message); only genuine internal
+/// invariant violations (Σ grants ≤ budget) still panic.
+pub fn run_cluster(cfg: &ClusterConfig) -> Result<ClusterOutcome, ClusterError> {
+    cfg.validate()?;
     let n = cfg.nodes.len();
     let mut arbiter: Box<dyn BudgetArbiter> = match &cfg.hierarchy {
         Some(h) => Box::new(RackArbiter::new(cfg.arbiter, h.clone())),
@@ -341,13 +343,14 @@ pub fn run_cluster(cfg: &ClusterConfig) -> ClusterOutcome {
 
         // Barrier: the last flow's landing gates everyone. With no flows
         // every `done_s` equals `ready_s` exactly, so this reduces to the
-        // ideal barrier (max member clock) bit for bit.
+        // ideal barrier (max member clock) bit for bit. Folding from 0
+        // needs no nonempty-witness: clocks are non-negative, and
+        // `validate()` pinned the cluster to at least one member anyway.
         let barrier_at = members
             .iter()
             .zip(&exchange.phases)
             .map(|(m, p)| m.now() + from_secs(p.done_s - p.ready_s))
-            .max()
-            .expect("nonempty");
+            .fold(0, Nanos::max);
         members = members
             .into_par_iter()
             .map(|mut m| {
@@ -363,9 +366,9 @@ pub fn run_cluster(cfg: &ClusterConfig) -> ClusterOutcome {
         let reports: Vec<Option<NodeTelemetry>> =
             members.iter_mut().map(ClusterNode::take_report).collect();
         let compute_s: Vec<f64> = members.iter().map(ClusterNode::last_compute_s).collect();
-        let imbalance =
-            imbalance::analyze(&compute_s).expect("compute times are positive and finite");
-        let grants = arbiter.redistribute(&reports).to_vec();
+        let imbalance = imbalance::analyze(&compute_s)
+            .map_err(|e| ClusterError::Analysis(format!("iteration {round}: {e}")))?;
+        let grants = arbiter.redistribute(&reports)?.to_vec();
         for (m, &g) in members.iter_mut().zip(&grants) {
             m.set_grant(g);
         }
@@ -384,14 +387,14 @@ pub fn run_cluster(cfg: &ClusterConfig) -> ClusterOutcome {
 
     let makespan_s = iterations.last().map(|i| i.barrier_at_s).unwrap_or(0.0);
     let energy_j = members.iter().map(ClusterNode::total_energy).sum();
-    ClusterOutcome {
+    Ok(ClusterOutcome {
         makespan_s,
         energy_j,
         iterations,
         final_grants_w: arbiter.grants().to_vec(),
         rack_trace: arbiter.rack_trace().cloned(),
         grant_trace: arbiter.trace().clone(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -433,7 +436,7 @@ mod tests {
 
     #[test]
     fn barrier_couples_the_members() {
-        let out = run_cluster(&small_cfg(Policy::UniformStatic));
+        let out = run_cluster(&small_cfg(Policy::UniformStatic)).unwrap();
         assert_eq!(out.iterations.len(), 3);
         for it in &out.iterations {
             // The heaviest rank is the critical path every iteration.
@@ -446,7 +449,7 @@ mod tests {
 
     #[test]
     fn budget_is_conserved_on_every_tick() {
-        let out = run_cluster(&small_cfg(Policy::ProgressFeedback { gain: 1.0 }));
+        let out = run_cluster(&small_cfg(Policy::ProgressFeedback { gain: 1.0 })).unwrap();
         assert_eq!(out.grant_trace.len(), 3);
         assert!(
             out.min_budget_slack_w() >= -1e-6,
@@ -457,7 +460,7 @@ mod tests {
 
     #[test]
     fn feedback_shifts_watts_toward_the_heavy_rank() {
-        let out = run_cluster(&small_cfg(Policy::ProgressFeedback { gain: 1.0 }));
+        let out = run_cluster(&small_cfg(Policy::ProgressFeedback { gain: 1.0 })).unwrap();
         let g = &out.final_grants_w;
         assert!(
             g[2] > g[0] + 5.0,
@@ -467,7 +470,7 @@ mod tests {
 
     #[test]
     fn ideal_barrier_reports_zero_comm_everywhere() {
-        let out = run_cluster(&small_cfg(Policy::UniformStatic));
+        let out = run_cluster(&small_cfg(Policy::UniformStatic)).unwrap();
         assert_eq!(out.mean_comm_s(), 0.0);
         assert_eq!(out.total_bytes(), 0.0);
         for it in &out.iterations {
@@ -477,10 +480,10 @@ mod tests {
 
     #[test]
     fn halo_exchange_stretches_the_makespan_and_reports_phases() {
-        let ideal = run_cluster(&small_cfg(Policy::UniformStatic));
+        let ideal = run_cluster(&small_cfg(Policy::UniformStatic)).unwrap();
         let mut cfg = small_cfg(Policy::UniformStatic);
         cfg.comm = halo_comm(64.0 * 1024.0 * 1024.0);
-        let out = run_cluster(&cfg);
+        let out = run_cluster(&cfg).unwrap();
         assert!(
             out.makespan_s > ideal.makespan_s,
             "paying for the wire must cost wall-clock: {:.3} vs {:.3}",
@@ -511,23 +514,23 @@ mod tests {
             rack_policy: Policy::ProgressFeedback { gain: 1.0 },
             rack_clamps: None,
         });
-        let out = run_cluster(&cfg);
+        let out = run_cluster(&cfg).unwrap();
         assert_eq!(out.grant_trace.len(), 3, "one leaf tick per barrier");
         let rack = out.rack_trace.as_ref().expect("hierarchy traces racks");
         assert_eq!(rack.len(), 3, "outer period 1 fires every barrier");
         assert!(out.min_budget_slack_w() >= -1e-6, "leaf conservation");
         assert!(rack.min_slack_w() >= -1e-6, "rack conservation");
         // Flat runs leave the rack level untraced.
-        let flat = run_cluster(&small_cfg(Policy::UniformStatic));
+        let flat = run_cluster(&small_cfg(Policy::UniformStatic)).unwrap();
         assert!(flat.rack_trace.is_none());
     }
 
     #[test]
     fn zero_byte_messages_reproduce_the_ideal_barrier_bit_for_bit() {
-        let ideal = run_cluster(&small_cfg(Policy::ProgressFeedback { gain: 1.0 }));
+        let ideal = run_cluster(&small_cfg(Policy::ProgressFeedback { gain: 1.0 })).unwrap();
         let mut cfg = small_cfg(Policy::ProgressFeedback { gain: 1.0 });
         cfg.comm = halo_comm(0.0);
-        let zero = run_cluster(&cfg);
+        let zero = run_cluster(&cfg).unwrap();
         assert_eq!(ideal.makespan_s.to_bits(), zero.makespan_s.to_bits());
         assert_eq!(ideal.energy_j.to_bits(), zero.energy_j.to_bits());
         for (a, b) in ideal

@@ -87,7 +87,7 @@ proptest! {
         let n = rounds[0].len();
         let mut arb = PowerArbiter::new(cfg, n);
         for reports in &rounds {
-            arb.redistribute(reports);
+            arb.redistribute(reports).unwrap();
         }
         for tick in arb.trace().ticks() {
             prop_assert!(
@@ -107,7 +107,7 @@ proptest! {
         let n = rounds[0].len();
         let mut arb = PowerArbiter::new(cfg, n);
         for reports in &rounds {
-            for &g in arb.redistribute(reports) {
+            for &g in arb.redistribute(reports).unwrap() {
                 prop_assert!(
                     g >= cfg.min_cap_w - 1e-6 && g <= cfg.max_cap_w + 1e-6,
                     "grant {g} W outside [{}, {}] W",
@@ -129,9 +129,9 @@ proptest! {
         for reports in &rounds {
             // A cloned mid-stream arbiter must agree with both originals.
             let mut c = a.clone();
-            let ga = a.redistribute(reports).to_vec();
-            let gb = b.redistribute(reports).to_vec();
-            let gc = c.redistribute(reports).to_vec();
+            let ga = a.redistribute(reports).unwrap().to_vec();
+            let gb = b.redistribute(reports).unwrap().to_vec();
+            let gc = c.redistribute(reports).unwrap().to_vec();
             for i in 0..n {
                 prop_assert_eq!(ga[i].to_bits(), gb[i].to_bits(), "replay divergence");
                 prop_assert_eq!(ga[i].to_bits(), gc[i].to_bits(), "clone divergence");
@@ -164,11 +164,11 @@ proptest! {
                 100.0,
             )))
             .collect();
-        arb.redistribute(&all);
+        arb.redistribute(&all).unwrap();
         let frozen = arb.grants()[silent];
         let mut partial = all;
         partial[silent] = None;
-        arb.redistribute(&partial);
+        arb.redistribute(&partial).unwrap();
         prop_assert_eq!(arb.grants()[silent].to_bits(), frozen.to_bits());
     }
 
@@ -198,8 +198,8 @@ proptest! {
             rack_clamps: None,
         });
         for (round, reports) in rounds.iter().enumerate() {
-            let a = flat.redistribute(reports).to_vec();
-            let b = tree.redistribute(reports).to_vec();
+            let a = flat.redistribute(reports).unwrap().to_vec();
+            let b = tree.redistribute(reports).unwrap().to_vec();
             for i in 0..n {
                 prop_assert_eq!(
                     a[i].to_bits(), b[i].to_bits(),
@@ -248,7 +248,7 @@ proptest! {
                     ))
                 })
                 .collect();
-            tree.redistribute(&reports);
+            tree.redistribute(&reports).unwrap();
             prop_assert_eq!(
                 tree.sub_budgets()[silent_rack].to_bits(),
                 frozen.to_bits(),

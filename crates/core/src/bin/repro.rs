@@ -1,8 +1,14 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|cluster]
-//!       [--quick] [--out DIR] [--budget W]
+//! repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|cluster|loadgen]
+//!       [--quick] [--out DIR] [--budget W] [--seed N]
+//!
+//! `loadgen` (not part of `all`) stress-drives the `arbiterd` daemon
+//! with thousands of simulated telemetry producers across clean,
+//! overload, hostile-wire, and crash/recovery scenarios; `--seed N`
+//! reseeds the whole run (telemetry, fault schedules, backoff jitter),
+//! which is how the CI soak sweeps fresh chaos every iteration.
 //! ```
 //!
 //! `--budget W` overrides the machine-level power budget of the cluster
@@ -16,8 +22,8 @@ use std::fs;
 use std::path::PathBuf;
 
 use powerprog_core::experiments::{
-    ablations, candle_ext, cluster, faults, fig1, fig2, fig3, fig4, fig5, hierarchy, table1,
-    table6, tables2to5,
+    ablations, candle_ext, cluster, faults, fig1, fig2, fig3, fig4, fig5, hierarchy, loadgen,
+    table1, table6, tables2to5,
 };
 use powerprog_core::report::TextTable;
 
@@ -26,6 +32,7 @@ struct Opts {
     quick: bool,
     out: Option<PathBuf>,
     budget_w: Option<f64>,
+    seed: Option<u64>,
 }
 
 fn parse_args() -> Opts {
@@ -33,6 +40,7 @@ fn parse_args() -> Opts {
     let mut quick = false;
     let mut out = None;
     let mut budget_w = None;
+    let mut seed = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -51,9 +59,16 @@ fn parse_args() -> Opts {
                     std::process::exit(2);
                 }));
             }
+            "--seed" => {
+                let s = args.next().and_then(|v| v.parse::<u64>().ok());
+                seed = Some(s.unwrap_or_else(|| {
+                    eprintln!("--seed requires an integer");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|cluster]... [--quick] [--out DIR] [--budget W]"
+                    "usage: repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|cluster|loadgen]... [--quick] [--out DIR] [--budget W] [--seed N]"
                 );
                 std::process::exit(0);
             }
@@ -68,6 +83,7 @@ fn parse_args() -> Opts {
         quick,
         out,
         budget_w,
+        seed,
     }
 }
 
@@ -232,7 +248,10 @@ fn main() {
             cfg.budget_w = w;
         }
         check_config("cluster", &cfg.cluster_config(cfg.policies()[0]));
-        let r = cluster::run(&cfg);
+        let r = cluster::run(&cfg).unwrap_or_else(|e| {
+            eprintln!("repro cluster: {e}");
+            std::process::exit(2);
+        });
         emit(&r.table(), &opts.out, "cluster_policies");
         emit(&r.budget_trace_table(), &opts.out, "cluster_budget_trace");
 
@@ -247,7 +266,10 @@ fn main() {
         for v in hcfg.variants() {
             check_config("cluster", &hcfg.cluster_config(v.policy, v.hierarchy));
         }
-        let h = hierarchy::run(&hcfg);
+        let h = hierarchy::run(&hcfg).unwrap_or_else(|e| {
+            eprintln!("repro cluster: {e}");
+            std::process::exit(2);
+        });
         emit(&h.table(), &opts.out, "cluster_hierarchy");
         emit(
             &h.rack_trace_table(),
@@ -259,6 +281,18 @@ fn main() {
             &opts.out,
             "cluster_hierarchy_node_trace",
         );
+    }
+    // Not a paper artefact, so not part of `all`: run only when asked.
+    if opts.what.iter().any(|w| w == "loadgen") {
+        let mut cfg = if opts.quick {
+            loadgen::Config::quick()
+        } else {
+            loadgen::Config::default()
+        };
+        if let Some(s) = opts.seed {
+            cfg.seed = s;
+        }
+        emit(&loadgen::run(&cfg).table(), &opts.out, "loadgen");
     }
     if wants("ablations") {
         let cfg = if opts.quick {

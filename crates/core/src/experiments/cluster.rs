@@ -28,8 +28,9 @@
 //! is wire time that watts cannot buy back.
 
 use cluster::{
-    ramp_weights, run_cluster, ArbiterConfig, ClusterConfig, ClusterOutcome, CommConfig,
-    CommPattern, NodeSpec, Policy, Preset, Topology, WorkloadShape, DEFAULT_DAEMON_PERIOD,
+    ramp_weights, run_cluster, ArbiterConfig, ClusterConfig, ClusterError, ClusterOutcome,
+    CommConfig, CommPattern, NodeSpec, Policy, Preset, Topology, WorkloadShape,
+    DEFAULT_DAEMON_PERIOD,
 };
 
 use crate::report::{f, TextTable};
@@ -173,15 +174,21 @@ pub struct Cluster {
     pub cells: Vec<PolicyCell>,
 }
 
-/// Run the experiment: the same cluster under each policy.
-pub fn run(cfg: &Config) -> Cluster {
+/// Run the experiment: the same cluster under each policy. Fails only
+/// when a generated [`ClusterConfig`] is rejected by [`run_cluster`];
+/// the `repro` CLI surfaces that as an exit-2 configuration error.
+pub fn run(cfg: &Config) -> Result<Cluster, ClusterError> {
     let jobs: Vec<Policy> = cfg.policies().to_vec();
     let cfg2 = cfg.clone();
-    let cells = par_map(jobs, move |policy| PolicyCell {
-        policy: policy.name(),
-        outcome: run_cluster(&cfg2.cluster_config(policy)),
-    });
-    Cluster { cells }
+    let cells = par_map(jobs, move |policy| {
+        Ok(PolicyCell {
+            policy: policy.name(),
+            outcome: run_cluster(&cfg2.cluster_config(policy))?,
+        })
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, ClusterError>>()?;
+    Ok(Cluster { cells })
 }
 
 impl Cluster {
@@ -286,7 +293,7 @@ mod tests {
 
     #[test]
     fn progress_feedback_beats_uniform_static_makespan() {
-        let r = run(&Config::quick());
+        let r = run(&Config::quick()).unwrap();
         assert_eq!(r.cells.len(), 3);
         let uniform = r.cell("uniform-static").expect("baseline ran");
         let feedback = r.cell("progress-feedback").expect("feedback ran");
@@ -307,7 +314,7 @@ mod tests {
 
     #[test]
     fn every_policy_conserves_the_budget() {
-        let r = run(&Config::quick());
+        let r = run(&Config::quick()).unwrap();
         for c in &r.cells {
             assert!(
                 c.outcome.min_budget_slack_w() >= -1e-6,
@@ -320,8 +327,8 @@ mod tests {
 
     #[test]
     fn exchange_phase_is_priced_and_measurably_shifts_the_policy_gap() {
-        let wire = run(&Config::quick());
-        let ideal = run(&Config::quick().ideal_barrier());
+        let wire = run(&Config::quick()).unwrap();
+        let ideal = run(&Config::quick().ideal_barrier()).unwrap();
         // The default halo workload actually moves bytes and the policy
         // table's per-phase split sees them: a visible but non-dominant
         // exchange phase on every policy.
@@ -367,7 +374,7 @@ mod tests {
 
     #[test]
     fn feedback_reduces_barrier_waste() {
-        let r = run(&Config::quick());
+        let r = run(&Config::quick()).unwrap();
         let uniform = r.cell("uniform-static").unwrap();
         let feedback = r.cell("progress-feedback").unwrap();
         assert!(

@@ -25,9 +25,9 @@
 //! conservation is visible per level, not just at the leaves.
 
 use cluster::{
-    ramp_weights, run_cluster, ArbiterConfig, ClusterConfig, ClusterOutcome, CommConfig,
-    CommPattern, GrantTrace, HierarchyConfig, NodeSpec, Policy, Preset, Topology, WorkloadShape,
-    DEFAULT_DAEMON_PERIOD,
+    ramp_weights, run_cluster, ArbiterConfig, ClusterConfig, ClusterError, ClusterOutcome,
+    CommConfig, CommPattern, GrantTrace, HierarchyConfig, NodeSpec, Policy, Preset, Topology,
+    WorkloadShape, DEFAULT_DAEMON_PERIOD,
 };
 
 use crate::report::{f, TextTable};
@@ -242,14 +242,20 @@ pub fn mean_churn_w(trace: &GrantTrace) -> f64 {
 }
 
 /// Run the experiment: the same cluster under each arbitration variant.
-pub fn run(cfg: &Config) -> Hierarchy {
+/// Fails only when a generated [`ClusterConfig`] is rejected by
+/// [`run_cluster`]; the `repro` CLI surfaces that as an exit-2 error.
+pub fn run(cfg: &Config) -> Result<Hierarchy, ClusterError> {
     let jobs = cfg.variants();
     let cfg2 = cfg.clone();
-    let cells = par_map(jobs, move |v| VariantCell {
-        name: v.name,
-        outcome: run_cluster(&cfg2.cluster_config(v.policy, v.hierarchy)),
-    });
-    Hierarchy { cells }
+    let cells = par_map(jobs, move |v| {
+        Ok(VariantCell {
+            name: v.name,
+            outcome: run_cluster(&cfg2.cluster_config(v.policy, v.hierarchy))?,
+        })
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, ClusterError>>()?;
+    Ok(Hierarchy { cells })
 }
 
 impl Hierarchy {
@@ -392,7 +398,7 @@ mod tests {
 
     #[test]
     fn hierarchical_feedback_beats_uniform_static_makespan() {
-        let r = run(&Config::quick());
+        let r = run(&Config::quick()).unwrap();
         assert_eq!(r.cells.len(), 4);
         let uniform = r.cell("uniform-static").expect("baseline ran");
         let hier = r.cell("hier-feedback").expect("tree ran");
@@ -406,7 +412,7 @@ mod tests {
 
     #[test]
     fn budget_is_conserved_at_both_levels_on_every_tick() {
-        let r = run(&Config::quick());
+        let r = run(&Config::quick()).unwrap();
         for c in &r.cells {
             assert!(
                 c.outcome.min_budget_slack_w() >= -1e-6,
@@ -431,7 +437,7 @@ mod tests {
     #[test]
     fn outer_period_sets_the_rack_trace_cadence() {
         let cfg = Config::quick();
-        let r = run(&cfg);
+        let r = run(&cfg).unwrap();
         let fast = r.cell("hier-feedback").unwrap();
         let slow = r.cell("hier-slow-outer").unwrap();
         let ticks = |c: &VariantCell| c.outcome.rack_trace.as_ref().unwrap().len();
@@ -447,7 +453,7 @@ mod tests {
 
     #[test]
     fn slower_outer_loop_moves_fewer_watts() {
-        let r = run(&Config::quick());
+        let r = run(&Config::quick()).unwrap();
         let fast = r.cell("hier-feedback").unwrap();
         let slow = r.cell("hier-slow-outer").unwrap();
         // Half the outer epochs → at most as much cumulative rack-level

@@ -1,0 +1,240 @@
+//! Daemon load generation: `repro loadgen`.
+//!
+//! Not a paper artefact — an operational stress harness for the
+//! `arbiterd` daemon added alongside the cluster layer. Four scenarios
+//! run the same simulated telemetry cohort through increasingly hostile
+//! conditions and report what the service's robustness machinery did:
+//!
+//! | scenario  | wires                         | service                |
+//! |-----------|-------------------------------|------------------------|
+//! | clean     | lossless                      | defaults               |
+//! | overload  | lossless                      | shallow queue + tight rate limit |
+//! | hostile   | drops/dups/delays + partition | defaults               |
+//! | crash     | hostile                       | defaults, `kill -9` mid-run + snapshot restore |
+//!
+//! Every scenario must end with Σ grants ≤ budget and zero
+//! hold-last-grant violations — the table's `invariant` column is a
+//! hard pass/fail, not a statistic.
+
+use arbiterd::loadgen::{run_loadgen, FaultKnobs, LoadgenConfig, LoadgenReport};
+use arbiterd::ServiceConfig;
+
+use crate::report::TextTable;
+
+/// Load-generation scale knobs.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Simulated telemetry producers per scenario.
+    pub clients: usize,
+    /// Lockstep ticks per scenario.
+    pub ticks: u64,
+    /// Master seed (telemetry, fault schedules, backoff jitter).
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            clients: 2000,
+            ticks: 120,
+            seed: 12,
+        }
+    }
+}
+
+impl Config {
+    /// A scale suitable for tests and smoke runs.
+    pub fn quick() -> Self {
+        Self {
+            clients: 64,
+            ticks: 40,
+            seed: 12,
+        }
+    }
+}
+
+/// One scenario's outcome.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Scenario name (see the module table).
+    pub scenario: &'static str,
+    /// The generator's full report.
+    pub report: LoadgenReport,
+}
+
+/// All scenarios' outcomes.
+#[derive(Debug, Clone)]
+pub struct Loadgen {
+    /// One row per scenario, in escalation order.
+    pub cells: Vec<Cell>,
+}
+
+fn base(cfg: &Config) -> LoadgenConfig {
+    LoadgenConfig {
+        clients: cfg.clients,
+        ticks: cfg.ticks,
+        seed: cfg.seed,
+        ..LoadgenConfig::default()
+    }
+}
+
+fn hostile_faults(cfg: &Config) -> FaultKnobs {
+    FaultKnobs {
+        // Partition every 9th client for a window long enough to expire
+        // its lease (poll units track ticks closely here).
+        partition: Some((cfg.ticks / 4, cfg.ticks / 2, 9)),
+        ..FaultKnobs::hostile()
+    }
+}
+
+/// Run the four scenarios.
+pub fn run(cfg: &Config) -> Loadgen {
+    let mut cells = Vec::new();
+
+    cells.push(Cell {
+        scenario: "clean",
+        report: run_loadgen(&LoadgenConfig {
+            service: ServiceConfig {
+                snapshot_every: 0,
+                ..ServiceConfig::default()
+            },
+            ..base(cfg)
+        }),
+    });
+
+    cells.push(Cell {
+        scenario: "overload",
+        report: run_loadgen(&LoadgenConfig {
+            service: ServiceConfig {
+                queue_depth: (cfg.clients / 4).max(1),
+                rate_capacity: 2.0,
+                rate_refill: 0.5,
+                snapshot_every: 0,
+                ..ServiceConfig::default()
+            },
+            ..base(cfg)
+        }),
+    });
+
+    cells.push(Cell {
+        scenario: "hostile",
+        report: run_loadgen(&LoadgenConfig {
+            faults: Some(hostile_faults(cfg)),
+            service: ServiceConfig {
+                snapshot_every: 0,
+                ..ServiceConfig::default()
+            },
+            ..base(cfg)
+        }),
+    });
+
+    let snap = std::env::temp_dir().join(format!(
+        "arbiterd-loadgen-{}-{}.snap",
+        std::process::id(),
+        cfg.seed
+    ));
+    cells.push(Cell {
+        scenario: "crash",
+        report: run_loadgen(&LoadgenConfig {
+            faults: Some(hostile_faults(cfg)),
+            crash_at: Some((cfg.ticks / 2).max(1)),
+            snapshot_path: Some(snap.clone()),
+            ..base(cfg)
+        }),
+    });
+    std::fs::remove_file(&snap).ok();
+
+    Loadgen { cells }
+}
+
+impl Loadgen {
+    /// Render the scenario table (also the CSV emitted by `--out`).
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "arbiterd load generation — robustness counters per scenario",
+            &[
+                "scenario",
+                "clients",
+                "ticks",
+                "rounds",
+                "shed",
+                "rate_limited",
+                "nacked",
+                "leases_expired",
+                "reconnects",
+                "recovery_ticks",
+                "max_sum_w",
+                "budget_w",
+                "invariant",
+            ],
+        );
+        for c in &self.cells {
+            let r = &c.report;
+            t.row(vec![
+                c.scenario.to_string(),
+                r.clients.to_string(),
+                r.ticks.to_string(),
+                r.service.rounds.to_string(),
+                r.service.shed.to_string(),
+                r.service.rate_limited.to_string(),
+                r.service.nacked.to_string(),
+                r.service.leases_expired.to_string(),
+                r.reconnects.to_string(),
+                r.recovery_ticks
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "-".to_string()),
+                format!("{:.1}", r.max_sum_grants_w),
+                format!("{:.1}", r.budget_w),
+                if r.invariant_ok && r.hold_violations == 0 {
+                    "ok".to_string()
+                } else {
+                    "VIOLATED".to_string()
+                },
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_hold_the_invariant_at_quick_scale() {
+        let r = run(&Config::quick());
+        assert_eq!(r.cells.len(), 4);
+        for c in &r.cells {
+            assert!(c.report.invariant_ok, "{} broke Σ ≤ budget", c.scenario);
+            assert_eq!(
+                c.report.hold_violations, 0,
+                "{} broke hold-last-grant",
+                c.scenario
+            );
+        }
+        let by_name = |n: &str| {
+            &r.cells
+                .iter()
+                .find(|c| c.scenario == n)
+                .expect("scenario present")
+                .report
+        };
+        assert!(
+            by_name("overload").service.shed + by_name("overload").service.rate_limited > 0,
+            "the overload scenario must actually shed"
+        );
+        assert!(
+            by_name("crash").recovery_ticks.is_some(),
+            "the crash scenario must recover"
+        );
+        assert!(by_name("crash").reconnects >= 64);
+    }
+
+    #[test]
+    fn table_rows_match_scenarios() {
+        let r = run(&Config::quick());
+        let t = r.table();
+        assert_eq!(t.len(), 4);
+        assert!(t.to_csv().contains("recovery_ticks"));
+    }
+}

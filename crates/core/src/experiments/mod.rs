@@ -15,6 +15,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod hierarchy;
+pub mod loadgen;
 pub mod table1;
 pub mod table6;
 pub mod tables2to5;

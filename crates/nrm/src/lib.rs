@@ -18,6 +18,7 @@
 //!   progress (§VI.3).
 
 pub mod actuator;
+pub mod backoff;
 pub mod composition;
 pub mod daemon;
 pub mod job;
@@ -26,6 +27,7 @@ pub mod resilience;
 pub mod scheme;
 
 pub use actuator::{Actuator, ActuatorKind};
+pub use backoff::Backoff;
 pub use composition::CompositeProgress;
 pub use daemon::NrmDaemon;
 pub use job::{JobPolicy, JobPowerManager, ManagedNode, NodeStatus};

@@ -346,8 +346,10 @@ impl SimAgent for ResilientDaemon {
                     self.primary_failures = 0;
                 } else {
                     self.primary_failures += 1;
-                    self.primary_probe_in =
-                        (1u32 << self.primary_failures.min(16)).min(self.cfg.backoff_cap_ticks);
+                    self.primary_probe_in = crate::backoff::delay_after(
+                        self.primary_failures,
+                        self.cfg.backoff_cap_ticks,
+                    );
                 }
             }
             if ok {

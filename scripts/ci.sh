@@ -2,9 +2,17 @@
 # CI gate: formatting, lints, docs, vendored-dependency audit, build,
 # tests, and (optionally) the bench-regression check.
 #
-# Usage: scripts/ci.sh [--no-test] [--bench-check] [--help]
+# Usage: scripts/ci.sh [--no-test] [--bench-check] [--soak] [--help]
 #
 #   --no-test      skip the test suite and bench smoke run (lints+build)
+#   --soak         run ~60 s (SOAK_SECONDS overrides) of seeded chaos
+#                  load generation against the arbiter daemon: every run
+#                  drives clean/overload/hostile/crash scenarios —
+#                  lossy+partitioned wires and one kill-9/snapshot
+#                  restore each — under a fresh seed. Fails on any
+#                  panic, deadlock (via timeout), or Σ-grants>budget /
+#                  hold-last-grant breach (the table's invariant
+#                  column).
 #   --bench-check  additionally compare fresh cluster-bench minima
 #                  against the committed BENCH_cluster.json baseline and
 #                  fail on regressions beyond BENCH_TOLERANCE (default
@@ -27,10 +35,12 @@ usage() {
 
 run_tests=1
 bench_check=0
+soak=0
 for arg in "$@"; do
     case "$arg" in
     --no-test) run_tests=0 ;;
     --bench-check) bench_check=1 ;;
+    --soak) soak=1 ;;
     -h | --help)
         usage
         exit 0
@@ -64,6 +74,29 @@ if [[ "$run_tests" -eq 1 ]]; then
     cargo test --workspace --release -q
     echo "== cluster bench (test mode)"
     cargo bench -q -p powerprog-bench --bench cluster -- --test
+fi
+
+if [[ "$soak" -eq 1 ]]; then
+    budget="${SOAK_SECONDS:-60}"
+    echo "== soak (${budget} s of seeded chaos loadgen)"
+    cargo build -q --release -p powerprog-core
+    deadline=$((SECONDS + budget))
+    seed=1
+    while ((SECONDS < deadline)); do
+        # timeout converts a deadlocked run into a hard failure; a panic
+        # already exits nonzero on its own.
+        out="$(timeout 120 target/release/repro loadgen --seed "$seed")" || {
+            echo "ci.sh: soak run with seed $seed panicked, hung, or failed" >&2
+            exit 1
+        }
+        if grep -q "VIOLATED" <<<"$out"; then
+            echo "ci.sh: soak run with seed $seed breached an invariant" >&2
+            echo "$out" >&2
+            exit 1
+        fi
+        seed=$((seed + 1))
+    done
+    echo "soak passed: $((seed - 1)) chaos runs, every invariant held"
 fi
 
 if [[ "$bench_check" -eq 1 ]]; then

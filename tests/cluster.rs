@@ -21,7 +21,7 @@ use simnode::time::SEC;
 #[test]
 fn progress_aware_beats_uniform_static_under_the_same_budget() {
     let cfg = experiment::Config::quick();
-    let r = experiment::run(&cfg);
+    let r = experiment::run(&cfg).unwrap();
     let uniform = &r.cell("uniform-static").expect("baseline ran").outcome;
     let feedback = &r.cell("progress-feedback").expect("feedback ran").outcome;
 
@@ -71,7 +71,7 @@ fn progress_aware_beats_uniform_static_under_the_same_budget() {
 #[test]
 fn hierarchical_feedback_beats_uniform_static_with_two_level_conservation() {
     let cfg = hierarchy::Config::quick();
-    let r = hierarchy::run(&cfg);
+    let r = hierarchy::run(&cfg).unwrap();
     let uniform = &r.cell("uniform-static").expect("baseline ran").outcome;
     let hier = &r.cell("hier-feedback").expect("tree ran").outcome;
 
@@ -138,7 +138,8 @@ fn telemetry_dropout_freezes_the_grant_until_the_node_reports_again() {
         daemon_period: DEFAULT_DAEMON_PERIOD,
         comm: CommConfig::none(),
         hierarchy: None,
-    });
+    })
+    .unwrap();
 
     let silent_rounds: Vec<usize> = out
         .grant_trace
@@ -207,8 +208,8 @@ fn cluster_runs_are_deterministic() {
         },
         hierarchy: None,
     };
-    let a = run_cluster(&cfg);
-    let b = run_cluster(&cfg);
+    let a = run_cluster(&cfg).unwrap();
+    let b = run_cluster(&cfg).unwrap();
     assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits());
     assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
     assert_eq!(a.grant_trace.len(), b.grant_trace.len());
@@ -289,8 +290,8 @@ mod comm_edges {
     #[test]
     fn single_node_cluster_has_no_exchange() {
         let nodes = vec![NodeSpec::new(Preset::Reference, 1.7)];
-        let wired = run_cluster(&base(nodes.clone(), halo(64.0 * 1024.0 * 1024.0)));
-        let ideal = run_cluster(&base(nodes, CommConfig::none()));
+        let wired = run_cluster(&base(nodes.clone(), halo(64.0 * 1024.0 * 1024.0))).unwrap();
+        let ideal = run_cluster(&base(nodes, CommConfig::none())).unwrap();
         assert_eq!(wired.total_bytes(), 0.0);
         assert_eq!(wired.mean_comm_s(), 0.0);
         assert_eq!(wired.makespan_s.to_bits(), ideal.makespan_s.to_bits());
@@ -307,8 +308,8 @@ mod comm_edges {
             .into_iter()
             .map(|w| NodeSpec::new(Preset::Reference, w))
             .collect();
-        let zeroed = run_cluster(&base(nodes.clone(), halo(0.0)));
-        let ideal = run_cluster(&base(nodes, CommConfig::none()));
+        let zeroed = run_cluster(&base(nodes.clone(), halo(0.0))).unwrap();
+        let ideal = run_cluster(&base(nodes, CommConfig::none())).unwrap();
         assert_eq!(zeroed.makespan_s.to_bits(), ideal.makespan_s.to_bits());
         assert_eq!(zeroed.energy_j.to_bits(), ideal.energy_j.to_bits());
         assert_eq!(zeroed.total_bytes(), 0.0);
