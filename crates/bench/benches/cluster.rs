@@ -182,6 +182,21 @@ fn bench_cluster(c: &mut Criterion) {
         })
     });
 
+    // The batch scheduler end to end: a 64-job, 4-tenant trace admitted
+    // onto a 64-node machine under a 4.8 kW envelope with eco-aware
+    // backfill — every event ticking each running job's arbiter through
+    // the machine partition. Tracks the cost of the whole discrete-event
+    // scheduling loop, not just one redistribution.
+    let sched_cfg = sched::SchedConfig::default();
+    g.bench_function("sched_64jobs", |b| {
+        b.iter(|| {
+            let out =
+                sched::simulate(black_box(&sched_cfg), sched::SchedPolicy::EcoBackfill).unwrap();
+            assert!(out.min_envelope_slack_w >= -1e-6);
+            black_box(out)
+        })
+    });
+
     // The daemon service loop at scale: 1000 telemetry producers through
     // the full ingest → police → lease → redistribute → grant cycle over
     // clean in-process wires (snapshotting off, so this isolates the

@@ -378,10 +378,14 @@ pub trait BudgetArbiter: Send {
 pub struct PowerArbiter {
     cfg: ArbiterConfig,
     grants: Vec<f64>,
-    /// Per-node clamp floors/ceilings (uniform for the flat arbiter, but
-    /// materialized as slices for the shared [`policy`] engine).
+    /// Per-node clamp floors/ceilings: uniform `[min_cap, max_cap]` from
+    /// the config unless a node's ceiling was tightened below the shared
+    /// one by [`PowerArbiter::with_node_ceilings`] (thermal headroom).
     min_v: Vec<f64>,
     max_v: Vec<f64>,
+    /// Per-node useful-progress weights for the feedback policy (`None`
+    /// keeps the bit-exact iteration-time mode).
+    weights: Option<Vec<f64>>,
     alloc: Allocator,
     round: usize,
     trace: GrantTrace,
@@ -410,6 +414,7 @@ impl PowerArbiter {
             grants: vec![uniform; n],
             min_v: vec![cfg.min_cap_w; n],
             max_v: vec![cfg.max_cap_w; n],
+            weights: None,
             alloc: cfg.policy.allocator(),
             cfg,
             round: 0,
@@ -417,6 +422,67 @@ impl PowerArbiter {
         };
         arb.assert_invariants();
         arb
+    }
+
+    /// Tighten individual nodes' grant ceilings below the shared
+    /// `max_cap_w` — the thermal-headroom clamp: a node whose cooling can
+    /// only dissipate `ceilings[i]` W in steady state (see
+    /// [`simnode::thermal::ThermalConfig::sustainable_power_w`]) must not
+    /// be granted more, because PROCHOT would claw the excess back while
+    /// the watts stayed charged to this arbiter's budget. A ceiling at or
+    /// above `max_cap_w` (or `+∞` for "no thermal limit") leaves that
+    /// node's clamp — and therefore every grant downstream — bitwise
+    /// untouched; a ceiling below the floor pins the node at the floor
+    /// (the arbiter never grants below `min_cap_w`). Grants in force are
+    /// re-fitted immediately, freeing clamped-off watts for the others.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch or a NaN ceiling.
+    pub fn with_node_ceilings(mut self, ceilings: &[f64]) -> Self {
+        assert_eq!(
+            ceilings.len(),
+            self.grants.len(),
+            "one ceiling per node required"
+        );
+        let mut changed = false;
+        for (i, &c) in ceilings.iter().enumerate() {
+            assert!(!c.is_nan(), "node {i} ceiling must not be NaN");
+            let tightened = c.clamp(self.cfg.min_cap_w, self.cfg.max_cap_w);
+            if tightened < self.max_v[i] {
+                self.max_v[i] = tightened;
+                changed = true;
+            }
+        }
+        if changed {
+            let refit =
+                policy::waterfill(&self.grants, self.cfg.budget_w, &self.min_v, &self.max_v);
+            self.grants.copy_from_slice(&refit);
+        }
+        self.assert_invariants();
+        self
+    }
+
+    /// Attach per-node useful-progress weights (see
+    /// [`crate::policy::registry_progress_weights`]): the feedback policy
+    /// then equalizes weighted science rates instead of raw iteration
+    /// times. Without weights the time mode is preserved bit for bit.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch or a non-positive/non-finite weight.
+    pub fn with_progress_weights(mut self, weights: Vec<f64>) -> Self {
+        assert_eq!(
+            weights.len(),
+            self.grants.len(),
+            "one weight per node required"
+        );
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(
+                w.is_finite() && w > 0.0,
+                "node {i} weight {w} must be positive and finite"
+            );
+        }
+        self.weights = Some(weights);
+        self
     }
 
     /// The arbiter configuration.
@@ -456,6 +522,7 @@ impl PowerArbiter {
             &self.min_v,
             &self.max_v,
             reports,
+            self.weights.as_deref(),
         );
         self.trace
             .record(self.round, &self.grants, reports, self.cfg.budget_w);
@@ -488,7 +555,9 @@ impl PowerArbiter {
         self.assert_invariants();
     }
 
-    /// The hard invariants: Σ grants ≤ budget and every grant clamped.
+    /// The hard invariants: Σ grants ≤ budget and every grant inside its
+    /// per-node clamp (which a thermal ceiling may have tightened below
+    /// the shared `[min_cap, max_cap]`).
     fn assert_invariants(&self) {
         let total: f64 = self.grants.iter().sum();
         assert!(
@@ -499,10 +568,10 @@ impl PowerArbiter {
         );
         for (i, &g) in self.grants.iter().enumerate() {
             assert!(
-                (self.cfg.min_cap_w - EPS_W..=self.cfg.max_cap_w + EPS_W).contains(&g),
+                (self.min_v[i] - EPS_W..=self.max_v[i] + EPS_W).contains(&g),
                 "node {i} grant {g} W outside [{}, {}] W",
-                self.cfg.min_cap_w,
-                self.cfg.max_cap_w
+                self.min_v[i],
+                self.max_v[i]
             );
         }
     }
@@ -555,7 +624,8 @@ impl BudgetArbiter for PowerArbiter {
         let total: f64 = grants.iter().sum();
         let clamped = grants
             .iter()
-            .all(|g| (self.cfg.min_cap_w - EPS_W..=self.cfg.max_cap_w + EPS_W).contains(g));
+            .zip(self.min_v.iter().zip(&self.max_v))
+            .all(|(g, (&lo, &hi))| (lo - EPS_W..=hi + EPS_W).contains(g));
         if total > self.cfg.budget_w + EPS_W || !clamped {
             return false;
         }
@@ -894,6 +964,151 @@ mod tests {
         let total: f64 = a.grants().iter().sum();
         assert!(total <= 400.0 + EPS_W);
         assert!(!BudgetArbiter::reclaim(&mut a, 99), "unknown id is a no-op");
+    }
+
+    #[test]
+    fn node_ceiling_caps_the_grant_and_frees_watts_for_the_others() {
+        // A generous pool: without ceilings everyone would saturate at
+        // the shared 120 W max.
+        let rich = ArbiterConfig {
+            budget_w: 480.0,
+            ..cfg(Policy::ProgressFeedback { gain: 1.0 })
+        };
+        let mut a = PowerArbiter::new(rich, 4).with_node_ceilings(&[
+            f64::INFINITY,
+            90.0,
+            f64::INFINITY,
+            f64::INFINITY,
+        ]);
+        // Node 1 is the critical path — exactly the node the feedback
+        // policy wants to boost — but its cooling caps it at 90 W.
+        for _ in 0..5 {
+            a.redistribute(&[
+                report(1.0, 100.0),
+                report(2.5, 90.0),
+                report(1.0, 100.0),
+                report(1.0, 100.0),
+            ])
+            .unwrap();
+            assert!(
+                a.grants()[1] <= 90.0 + EPS_W,
+                "thermal ceiling must hold: {:?}",
+                a.grants()
+            );
+        }
+        // The clamped-off watts are not wasted: some other node sits
+        // above the uniform split.
+        assert!(
+            a.grants().iter().any(|&g| g > 120.0 - 1.0),
+            "{:?}",
+            a.grants()
+        );
+        let total: f64 = a.grants().iter().sum();
+        assert!(total <= 480.0 + EPS_W);
+    }
+
+    #[test]
+    fn infinite_ceilings_change_nothing_bitwise() {
+        let c = cfg(Policy::ProgressFeedback { gain: 1.0 });
+        let mut plain = PowerArbiter::new(c, 4);
+        let mut ceiled = PowerArbiter::new(c, 4).with_node_ceilings(&[f64::INFINITY; 4]);
+        for _ in 0..3 {
+            let r = [
+                report(0.5, 100.0),
+                report(1.0, 100.0),
+                report(1.0, 100.0),
+                report(2.5, 100.0),
+            ];
+            plain.redistribute(&r).unwrap();
+            ceiled.redistribute(&r).unwrap();
+        }
+        for (a, b) in plain.grants().iter().zip(ceiled.grants()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "no-limit ceilings must be exact");
+        }
+    }
+
+    #[test]
+    fn ceiling_below_the_floor_pins_the_node_at_the_floor() {
+        let mut a = PowerArbiter::new(cfg(Policy::DemandProportional), 4).with_node_ceilings(&[
+            10.0,
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::INFINITY,
+        ]);
+        a.redistribute(&[
+            report(1.0, 100.0),
+            report(1.0, 100.0),
+            report(1.0, 100.0),
+            report(1.0, 100.0),
+        ])
+        .unwrap();
+        assert_eq!(a.grants()[0], 40.0, "floor wins over the ceiling");
+    }
+
+    #[test]
+    fn progress_weights_fund_the_low_yield_node() {
+        // Four nodes, perfectly balanced iteration times and rates, but
+        // running registry apps whose metrics carry different science
+        // yield: LAMMPS (1.0), AMG (0.5), QMCPACK (1.0), URBAN (0.25).
+        let w = crate::policy::registry_progress_weights(&["LAMMPS", "AMG", "QMCPACK", "URBAN"])
+            .unwrap();
+        // A tight pool (well under 4·max) keeps the controller in its
+        // linear region; with a generous one every boosted node would
+        // saturate at the shared ceiling and the ordering would vanish.
+        let c = ArbiterConfig {
+            budget_w: 280.0,
+            ..cfg(Policy::ProgressFeedback { gain: 1.0 })
+        };
+        let balanced = [
+            report(1.0, 100.0),
+            report(1.0, 100.0),
+            report(1.0, 100.0),
+            report(1.0, 100.0),
+        ];
+        // Unweighted: balanced times mean nothing moves.
+        let mut plain = PowerArbiter::new(c, 4);
+        plain.redistribute(&balanced).unwrap();
+        let g = plain.grants();
+        assert!((g[0] - g[3]).abs() < 1e-9, "time mode holds: {g:?}");
+        // Weighted: the lowest-yield node (URBAN) earns the most watts,
+        // the full-yield nodes donate, and the ordering follows yield.
+        let mut weighted = PowerArbiter::new(c, 4).with_progress_weights(w);
+        weighted.redistribute(&balanced).unwrap();
+        let g = weighted.grants();
+        assert!(
+            g[3] > g[1] && g[1] > g[0],
+            "useful-progress mode funds low yield: {g:?}"
+        );
+        assert_eq!(g[0].to_bits(), g[2].to_bits(), "equal yield, equal grant");
+        let total: f64 = g.iter().sum();
+        assert!(total <= 280.0 + EPS_W);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn non_positive_weights_rejected() {
+        let _ =
+            PowerArbiter::new(cfg(Policy::UniformStatic), 2).with_progress_weights(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn restore_respects_tightened_ceilings() {
+        let mut a = PowerArbiter::new(cfg(Policy::UniformStatic), 4).with_node_ceilings(&[
+            90.0,
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::INFINITY,
+        ]);
+        // A snapshot putting node 0 above its thermal ceiling is refused
+        // even though it is inside the shared clamp range.
+        assert!(!BudgetArbiter::restore_grants(
+            &mut a,
+            &[110.0, 90.0, 90.0, 90.0]
+        ));
+        assert!(BudgetArbiter::restore_grants(
+            &mut a,
+            &[85.0, 105.0, 105.0, 105.0]
+        ));
     }
 
     #[test]

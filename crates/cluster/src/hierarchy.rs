@@ -345,6 +345,7 @@ impl RackArbiter {
                 &self.rack_min,
                 &self.rack_max,
                 &rack_reports,
+                None,
             );
             self.rack_trace
                 .record(barrier, &self.sub_budgets, &rack_reports, self.cfg.budget_w);

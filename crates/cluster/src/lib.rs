@@ -19,7 +19,11 @@
 //!   rack → node) with independent inner/outer control periods,
 //!   upward-aggregated telemetry and downward-flowing sub-budgets;
 //! - [`policy`] — the shared allocation engine (waterfill + clamps +
-//!   dropout freezing) both arbiter levels dispatch through;
+//!   dropout freezing) both arbiter levels dispatch through, plus the
+//!   registry-derived useful-progress weights;
+//! - [`partition::MachinePartition`] — many per-job arbiters under one
+//!   machine envelope (the batch scheduler's substrate), with
+//!   Σ(job budgets) ≤ envelope asserted after every mutation;
 //! - [`workload`] — per-rank iteration costs and the imbalanced ramp;
 //! - [`comm`] / [`topology`] — the exchange-phase cost model: alpha-beta
 //!   link pricing with per-link fair-share contention over a flat switch
@@ -42,6 +46,7 @@ pub mod error;
 pub mod grant;
 pub mod hierarchy;
 pub mod member;
+pub mod partition;
 pub mod policy;
 pub mod sim;
 pub mod topology;
@@ -55,7 +60,8 @@ pub use error::{ClusterError, ConfigError, TelemetryError};
 pub use grant::{GrantCell, GrantSchedule, GrantSource};
 pub use hierarchy::{HierarchyConfig, RackArbiter};
 pub use member::{ClusterNode, DEFAULT_DAEMON_PERIOD};
-pub use policy::Allocator;
+pub use partition::MachinePartition;
+pub use policy::{progress_weight, registry_progress_weights, Allocator};
 pub use sim::{run_cluster, ClusterConfig, ClusterOutcome, IterationRecord, NodeSpec, Preset};
 pub use topology::{LinkId, Topology};
 pub use workload::{ramp_weights, WorkloadShape};

@@ -19,6 +19,7 @@
 //! size (and can be tightened per rack by the operator).
 
 use crate::arbiter::{NodeTelemetry, Policy};
+use crate::error::ConfigError;
 
 /// The executable form of a [`Policy`]: computes desired grants for the
 /// reporting children. Construct with [`Policy::allocator`].
@@ -56,12 +57,18 @@ impl Allocator {
     ///
     /// `grants` and `telemetry` carry only the *reporting* children, in
     /// child order; `pool` is the watts available to them after frozen
-    /// children kept theirs.
+    /// children kept theirs. `weights`, when present (parallel to
+    /// `grants`), gives each child's useful-progress weight — how much
+    /// science one unit of its reported `rate` is worth (see
+    /// [`registry_progress_weights`]) — and switches the feedback policy
+    /// from equalizing iteration *times* to equalizing weighted
+    /// *useful-progress rates*.
     pub fn desired(
         &self,
         grants: &[f64],
         telemetry: &[NodeTelemetry],
         pool: f64,
+        weights: Option<&[f64]>,
     ) -> Option<Vec<f64>> {
         debug_assert_eq!(grants.len(), telemetry.len(), "strategy input arity");
         match *self {
@@ -74,6 +81,42 @@ impl Allocator {
                 } else {
                     Some(demand.iter().map(|d| pool * d / total).collect())
                 }
+            }
+            Allocator::Feedback { gain } if weights.is_some() => {
+                // Useful-progress mode: the error term compares each
+                // child's *science rate* u = rate × weight against the
+                // mean, so a node running a low-yield workload (its rate
+                // counts for less science) reads as behind and is funded
+                // until yields equalize — the registry's "does the metric
+                // relate to science?" semantics, not raw iteration time.
+                let w = weights.expect("guarded by the match arm");
+                debug_assert_eq!(w.len(), grants.len(), "weight arity");
+                let useful: Vec<f64> = telemetry
+                    .iter()
+                    .zip(w)
+                    .map(|(t, &wi)| t.rate * wi)
+                    .collect();
+                let mean_u: f64 = useful.iter().sum::<f64>() / useful.len() as f64;
+                if mean_u <= 0.0 || !mean_u.is_finite() {
+                    // Degenerate rates: hold the desires, let the
+                    // waterfill renormalize them into the pool.
+                    return Some(grants.to_vec());
+                }
+                Some(
+                    grants
+                        .iter()
+                        .zip(&useful)
+                        .zip(telemetry)
+                        .map(|((&g, &u), tel)| {
+                            // Below the mean useful rate ⇒ positive error
+                            // ⇒ more watts; above ⇒ donate. Same
+                            // comm-aware damping as the time mode: watts
+                            // cannot speed up the wire.
+                            let err = (mean_u - u) / mean_u;
+                            g * (1.0 + gain * err * tel.compute_fraction())
+                        })
+                        .collect(),
+                )
             }
             Allocator::Feedback { gain } => {
                 let times: Vec<f64> = telemetry.iter().map(|t| t.compute_s.max(0.0)).collect();
@@ -138,6 +181,7 @@ pub(crate) fn rebalance(
     min: &[f64],
     max: &[f64],
     reports: &[Option<NodeTelemetry>],
+    weights: Option<&[f64]>,
 ) {
     debug_assert_eq!(grants.len(), reports.len(), "engine input arity");
     debug_assert_eq!(grants.len(), min.len());
@@ -175,7 +219,8 @@ pub(crate) fn rebalance(
         .iter()
         .map(|&i| reports[i].expect("reporting"))
         .collect();
-    let Some(desired) = alloc.desired(&cur, &tel, pool) else {
+    let r_w: Option<Vec<f64>> = weights.map(|w| reporting.iter().map(|&i| w[i]).collect());
+    let Some(desired) = alloc.desired(&cur, &tel, pool, r_w.as_deref()) else {
         return; // grants are immutable by design
     };
     let r_min: Vec<f64> = reporting.iter().map(|&i| min[i]).collect();
@@ -228,6 +273,42 @@ pub(crate) fn waterfill(desired: &[f64], pool: f64, min: &[f64], max: &[f64]) ->
         }
     }
     out
+}
+
+/// The useful-progress weight of one registry application: how much
+/// science a unit of its online rate metric is worth, derived from the
+/// paper's Table IV/V semantics. An app with no online metric at all
+/// (the paper's category-3 applications) is worth 0.25 — its "rate" is a
+/// proxy at best; an app whose metric does not relate to science (AMG's
+/// CG iterations, CANDLE's epochs) is worth 0.5; an app whose metric is
+/// the science (LAMMPS atom-steps, QMCPACK blocks) is worth 1.0.
+pub fn progress_weight(rec: &progress::registry::AppRecord) -> f64 {
+    if rec.metric.is_none() {
+        0.25
+    } else if rec.answers.relates_to_science == Some(true) {
+        1.0
+    } else {
+        0.5
+    }
+}
+
+/// Per-node useful-progress weights for a cluster running `apps` (one
+/// registry application name per node, case-insensitive), for
+/// [`crate::PowerArbiter::with_progress_weights`]. Unknown names are a
+/// [`ConfigError`] naming the offending entry.
+pub fn registry_progress_weights(apps: &[&str]) -> Result<Vec<f64>, ConfigError> {
+    apps.iter()
+        .map(|name| {
+            progress::registry::lookup(name)
+                .map(progress_weight)
+                .ok_or_else(|| {
+                    ConfigError::new(
+                        "registry_progress_weights.apps",
+                        format!("application {name:?} is not in the paper's registry"),
+                    )
+                })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -284,7 +365,7 @@ mod tests {
     #[test]
     fn hold_allocator_never_produces_desires() {
         let t = NodeTelemetry::compute_only(1.0, 1.0, 90.0);
-        assert_eq!(Allocator::Hold.desired(&[80.0], &[t], 100.0), None);
+        assert_eq!(Allocator::Hold.desired(&[80.0], &[t], 100.0, None), None);
     }
 
     #[test]
@@ -294,13 +375,17 @@ mod tests {
             NodeTelemetry::compute_only(1.0, 1.0, 120.0),
             NodeTelemetry::compute_only(1.0, 1.0, 60.0),
         ];
-        let d = alloc.desired(&[80.0, 80.0], &tel, 180.0).expect("moves");
+        let d = alloc
+            .desired(&[80.0, 80.0], &tel, 180.0, None)
+            .expect("moves");
         assert!((d[0] - 120.0).abs() < 1e-9 && (d[1] - 60.0).abs() < 1e-9);
         let dark = [
             NodeTelemetry::compute_only(1.0, 1.0, 0.0),
             NodeTelemetry::compute_only(1.0, 1.0, 0.0),
         ];
-        let d = alloc.desired(&[80.0, 80.0], &dark, 180.0).expect("moves");
+        let d = alloc
+            .desired(&[80.0, 80.0], &dark, 180.0, None)
+            .expect("moves");
         assert_eq!(d, vec![90.0, 90.0]);
     }
 
@@ -311,8 +396,43 @@ mod tests {
             NodeTelemetry::compute_only(0.5, 2.0, 90.0),
             NodeTelemetry::compute_only(1.5, 1.0 / 1.5, 90.0),
         ];
-        let d = alloc.desired(&[100.0, 100.0], &tel, 200.0).expect("moves");
+        let d = alloc
+            .desired(&[100.0, 100.0], &tel, 200.0, None)
+            .expect("moves");
         assert!(d[1] > 100.0 && d[0] < 100.0, "{d:?}");
+    }
+
+    #[test]
+    fn weighted_feedback_funds_the_low_yield_child() {
+        // Equal iteration times and rates: the time mode sees perfect
+        // balance and holds. With weights, the 0.5-weight child's science
+        // rate is half the mean, so it reads as behind and is funded.
+        let alloc = Policy::ProgressFeedback { gain: 1.0 }.allocator();
+        let tel = [
+            NodeTelemetry::compute_only(1.0, 1.0, 90.0),
+            NodeTelemetry::compute_only(1.0, 1.0, 90.0),
+        ];
+        let flat = alloc
+            .desired(&[100.0, 100.0], &tel, 200.0, None)
+            .expect("moves");
+        assert!(
+            (flat[0] - flat[1]).abs() < 1e-9,
+            "time mode holds: {flat:?}"
+        );
+        let d = alloc
+            .desired(&[100.0, 100.0], &tel, 200.0, Some(&[1.0, 0.5]))
+            .expect("moves");
+        assert!(d[1] > 100.0 && d[0] < 100.0, "{d:?}");
+    }
+
+    #[test]
+    fn registry_weights_follow_the_table_iv_semantics() {
+        // LAMMPS's metric is the science (1.0); AMG's CG iterations are
+        // not (0.5); URBAN has no online metric at all (0.25).
+        let w = registry_progress_weights(&["LAMMPS", "AMG", "QMCPACK", "URBAN"]).unwrap();
+        assert_eq!(w, vec![1.0, 0.5, 1.0, 0.25]);
+        let e = registry_progress_weights(&["NoSuchApp"]).unwrap_err();
+        assert!(e.why.contains("NoSuchApp"), "{e}");
     }
 
     #[test]
@@ -328,6 +448,7 @@ mod tests {
             &min,
             &max,
             &[t(1.0), None, t(2.0)],
+            None,
         );
         assert_eq!(grants[1], 100.0, "silent child must freeze");
         assert!(grants.iter().sum::<f64>() <= 300.0 + 1e-6);

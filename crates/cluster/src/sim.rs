@@ -56,6 +56,20 @@ impl Preset {
             Preset::PoorCooling => simnode::presets::poor_cooling(),
         }
     }
+
+    /// The highest package power this preset's cooling can sustain
+    /// without tripping PROCHOT, or `+∞` for presets without a thermal
+    /// model (see [`simnode::thermal::ThermalConfig::sustainable_power_w`]).
+    /// The arbiter clamps the node's grant ceiling here: watts granted
+    /// above it would be clawed back by the throttle while still being
+    /// charged against the cluster budget.
+    pub fn thermal_ceiling_w(self) -> f64 {
+        self.config()
+            .thermal
+            .as_ref()
+            .map(|t| t.sustainable_power_w())
+            .unwrap_or(f64::INFINITY)
+    }
 }
 
 /// One node's place in the cluster: hardware variant, share of the
@@ -282,9 +296,21 @@ fn mean(it: impl Iterator<Item = f64>) -> f64 {
 pub fn run_cluster(cfg: &ClusterConfig) -> Result<ClusterOutcome, ClusterError> {
     cfg.validate()?;
     let n = cfg.nodes.len();
+    // Thermal-headroom clamps: a node whose cooling cannot dissipate the
+    // shared max cap gets its grant ceiling tightened to what it can
+    // actually spend (∞ for presets without a thermal model, which keeps
+    // thermally unconstrained clusters bitwise unchanged). Flat
+    // arbitration only: the rack tree's per-rack clamps scale with rack
+    // size, not per-node cooling, so the hierarchy keeps the shared
+    // ceiling for now.
+    let ceilings: Vec<f64> = cfg
+        .nodes
+        .iter()
+        .map(|s| s.preset.thermal_ceiling_w())
+        .collect();
     let mut arbiter: Box<dyn BudgetArbiter> = match &cfg.hierarchy {
         Some(h) => Box::new(RackArbiter::new(cfg.arbiter, h.clone())),
-        None => Box::new(PowerArbiter::new(cfg.arbiter, n)),
+        None => Box::new(PowerArbiter::new(cfg.arbiter, n).with_node_ceilings(&ceilings)),
     };
     let rack_of = |id: usize| -> usize {
         match &cfg.hierarchy {
@@ -523,6 +549,45 @@ mod tests {
         // Flat runs leave the rack level untraced.
         let flat = run_cluster(&small_cfg(Policy::UniformStatic)).unwrap();
         assert!(flat.rack_trace.is_none());
+    }
+
+    #[test]
+    fn poor_cooling_node_is_clamped_to_its_thermal_ceiling() {
+        // A generous budget that would otherwise let every node saturate
+        // at the 130 W shared max — but the PoorCooling node can only
+        // dissipate ~115.6 W in steady state, so the arbiter must never
+        // grant it more (PROCHOT would claw the excess back).
+        let mut cfg = small_cfg(Policy::ProgressFeedback { gain: 1.0 });
+        cfg.nodes[2] = NodeSpec::new(Preset::PoorCooling, 2.0);
+        cfg.arbiter.budget_w = 390.0;
+        let ceiling = Preset::PoorCooling.thermal_ceiling_w();
+        assert!(
+            ceiling < cfg.arbiter.max_cap_w,
+            "preset must be thermally constrained: {ceiling} W"
+        );
+        let out = run_cluster(&cfg).unwrap();
+        for tick in out.grant_trace.ticks() {
+            assert!(
+                tick.granted_w[2] <= ceiling + 1e-6,
+                "round {}: grant {} W above the {ceiling:.1} W ceiling",
+                tick.round,
+                tick.granted_w[2]
+            );
+        }
+        // The clamped-off watts fund the unconstrained nodes instead:
+        // they end above the constrained node's ceiling.
+        assert!(
+            out.final_grants_w[0] > ceiling && out.final_grants_w[1] > ceiling,
+            "freed headroom must reach the others: {:?}",
+            out.final_grants_w
+        );
+        assert!(out.min_budget_slack_w() >= -1e-6);
+    }
+
+    #[test]
+    fn reference_nodes_have_no_thermal_ceiling() {
+        assert_eq!(Preset::Reference.thermal_ceiling_w(), f64::INFINITY);
+        assert_eq!(Preset::Leaky(10.0).thermal_ceiling_w(), f64::INFINITY);
     }
 
     #[test]

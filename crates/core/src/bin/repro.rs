@@ -1,8 +1,12 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|cluster|loadgen]
+//! repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|cluster|sched|loadgen]
 //!       [--quick] [--out DIR] [--budget W] [--seed N]
+//!
+//! `sched` schedules a seeded multi-tenant batch queue under a machine
+//! power envelope and compares the eco-mode-aware admission policies;
+//! `--seed N` reseeds its arrival trace.
 //!
 //! `loadgen` (not part of `all`) stress-drives the `arbiterd` daemon
 //! with thousands of simulated telemetry producers across clean,
@@ -23,7 +27,7 @@ use std::path::PathBuf;
 
 use powerprog_core::experiments::{
     ablations, candle_ext, cluster, faults, fig1, fig2, fig3, fig4, fig5, hierarchy, loadgen,
-    table1, table6, tables2to5,
+    sched, table1, table6, tables2to5,
 };
 use powerprog_core::report::TextTable;
 
@@ -68,7 +72,7 @@ fn parse_args() -> Opts {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|cluster|loadgen]... [--quick] [--out DIR] [--budget W] [--seed N]"
+                    "usage: repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|cluster|sched|loadgen]... [--quick] [--out DIR] [--budget W] [--seed N]"
                 );
                 std::process::exit(0);
             }
@@ -281,6 +285,27 @@ fn main() {
             &opts.out,
             "cluster_hierarchy_node_trace",
         );
+    }
+    if wants("sched") {
+        let mut cfg = if opts.quick {
+            sched::Config::quick()
+        } else {
+            sched::Config::default()
+        };
+        if let Some(s) = opts.seed {
+            cfg = cfg.with_seed(s);
+        }
+        if let Err(e) = cfg.sched.validate() {
+            eprintln!("repro sched: {e}");
+            std::process::exit(2);
+        }
+        let r = sched::run(&cfg).unwrap_or_else(|e| {
+            eprintln!("repro sched: {e}");
+            std::process::exit(2);
+        });
+        emit(&r.table(), &opts.out, "sched_policies");
+        emit(&r.tenant_table(), &opts.out, "sched_tenants");
+        emit(&r.job_table(), &opts.out, "sched_jobs");
     }
     // Not a paper artefact, so not part of `all`: run only when asked.
     if opts.what.iter().any(|w| w == "loadgen") {

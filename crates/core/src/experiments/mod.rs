@@ -16,6 +16,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod hierarchy;
 pub mod loadgen;
+pub mod sched;
 pub mod table1;
 pub mod table6;
 pub mod tables2to5;

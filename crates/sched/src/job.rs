@@ -1,0 +1,200 @@
+//! The batch job model: what a tenant submits to the queue.
+//!
+//! A job is a node count, a runtime estimate (at the machine's full
+//! per-node cap), a workload class the power predictor can characterize,
+//! and — the eco-mode lever from Angelelli et al. — an optional *slack
+//! declaration*: the relative slowdown the tenant consents to in
+//! exchange for earlier admission under a tight power envelope.
+
+use serde::{Deserialize, Serialize};
+
+use cluster::error::ConfigError;
+
+/// Scheduler-wide job identifier.
+pub type JobId = u32;
+
+/// The workload classes the predictor can characterize, each mapped to
+/// one of the paper's Table VI applications (β from the registry, the
+/// uncapped package draw from the paper's testbed measurements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadClass {
+    /// Compute-bound molecular dynamics (LAMMPS, β = 1.00).
+    ComputeBound,
+    /// Compute-heavy Monte Carlo (QMCPACK, β = 0.84).
+    MonteCarlo,
+    /// Memory-bandwidth-bound solver (AMG, β = 0.52).
+    Solver,
+    /// Memory-streaming (STREAM, β = 0.37): caps barely slow it.
+    Streaming,
+}
+
+impl WorkloadClass {
+    /// All classes, in a fixed order (trace generation indexes this).
+    pub const ALL: [WorkloadClass; 4] = [
+        WorkloadClass::ComputeBound,
+        WorkloadClass::MonteCarlo,
+        WorkloadClass::Solver,
+        WorkloadClass::Streaming,
+    ];
+
+    /// The registry application this class is calibrated from.
+    pub fn app_name(self) -> &'static str {
+        match self {
+            WorkloadClass::ComputeBound => "LAMMPS",
+            WorkloadClass::MonteCarlo => "QMCPACK",
+            WorkloadClass::Solver => "AMG",
+            WorkloadClass::Streaming => "STREAM",
+        }
+    }
+
+    /// Short key for tables and CSVs.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadClass::ComputeBound => "compute",
+            WorkloadClass::MonteCarlo => "montecarlo",
+            WorkloadClass::Solver => "solver",
+            WorkloadClass::Streaming => "streaming",
+        }
+    }
+
+    /// Compute-boundedness β, from the paper's Table VI via the
+    /// application registry.
+    ///
+    /// # Panics
+    /// Panics if the registry loses the app or its β — a build-time data
+    /// regression, not an operating condition.
+    pub fn beta(self) -> f64 {
+        progress::registry::lookup(self.app_name())
+            .and_then(|r| r.beta_paper)
+            .unwrap_or_else(|| panic!("registry must carry beta for {}", self.app_name()))
+    }
+
+    /// Uncapped per-node package draw, W (the paper's testbed
+    /// measurements for the class's reference application).
+    pub fn uncapped_node_power_w(self) -> f64 {
+        match self {
+            WorkloadClass::ComputeBound => 155.0,
+            WorkloadClass::MonteCarlo => 148.0,
+            WorkloadClass::Solver => 120.0,
+            WorkloadClass::Streaming => 119.0,
+        }
+    }
+}
+
+/// One submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Scheduler-wide id (also the [`cluster::MachinePartition`] key).
+    pub id: JobId,
+    /// Which tenant submitted it (index into the tenant roster).
+    pub tenant: usize,
+    /// Nodes requested.
+    pub nodes: usize,
+    /// Runtime estimate when every node runs at the machine's full
+    /// per-node cap, s.
+    pub runtime_s: f64,
+    /// Workload class (drives the power predictor).
+    pub class: WorkloadClass,
+    /// Eco-mode declaration: the relative slowdown the tenant tolerates
+    /// (0.2 = "20 % longer is fine"). Zero means rigid — the job only
+    /// runs at the full cap.
+    pub eco_slack: f64,
+    /// Submission time, s from trace start.
+    pub arrival_s: f64,
+}
+
+impl JobSpec {
+    /// Whether this job declared eco-mode slack.
+    pub fn is_eco(&self) -> bool {
+        self.eco_slack > 0.0
+    }
+
+    /// Validate the submission: positive node count and runtime, finite
+    /// non-negative slack and arrival.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let bad = |what: &'static str, why: String| Err(ConfigError::new(what, why));
+        if self.nodes == 0 {
+            return bad(
+                "JobSpec.nodes",
+                format!("job {} requests zero nodes", self.id),
+            );
+        }
+        if !(self.runtime_s.is_finite() && self.runtime_s > 0.0) {
+            return bad(
+                "JobSpec.runtime_s",
+                format!(
+                    "job {} runtime {} s must be positive",
+                    self.id, self.runtime_s
+                ),
+            );
+        }
+        if !(self.eco_slack.is_finite() && self.eco_slack >= 0.0) {
+            return bad(
+                "JobSpec.eco_slack",
+                format!(
+                    "job {} slack {} must be non-negative",
+                    self.id, self.eco_slack
+                ),
+            );
+        }
+        if !(self.arrival_s.is_finite() && self.arrival_s >= 0.0) {
+            return bad(
+                "JobSpec.arrival_s",
+                format!(
+                    "job {} arrival {} s must be non-negative",
+                    self.id, self.arrival_s
+                ),
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn betas_come_from_the_registry() {
+        assert_eq!(WorkloadClass::ComputeBound.beta(), 1.00);
+        assert_eq!(WorkloadClass::MonteCarlo.beta(), 0.84);
+        assert_eq!(WorkloadClass::Solver.beta(), 0.52);
+        assert_eq!(WorkloadClass::Streaming.beta(), 0.37);
+    }
+
+    #[test]
+    fn validation_names_the_offending_field() {
+        let ok = JobSpec {
+            id: 1,
+            tenant: 0,
+            nodes: 4,
+            runtime_s: 100.0,
+            class: WorkloadClass::MonteCarlo,
+            eco_slack: 0.2,
+            arrival_s: 5.0,
+        };
+        ok.validate().unwrap();
+        assert!(ok.is_eco());
+        let e = JobSpec { nodes: 0, ..ok }.validate().unwrap_err();
+        assert_eq!(e.what, "JobSpec.nodes");
+        let e = JobSpec {
+            runtime_s: -1.0,
+            ..ok
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(e.what, "JobSpec.runtime_s");
+        let e = JobSpec {
+            eco_slack: f64::NAN,
+            ..ok
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(e.what, "JobSpec.eco_slack");
+        assert!(!JobSpec {
+            eco_slack: 0.0,
+            ..ok
+        }
+        .is_eco());
+    }
+}

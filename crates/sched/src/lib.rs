@@ -1,0 +1,45 @@
+//! Multi-tenant eco-mode batch scheduling under a machine power
+//! envelope.
+//!
+//! The arbiter stack (`cluster`) answers "how do I divide one job's
+//! budget across its nodes?". This crate answers the question one level
+//! up: **which jobs run at all, and at what power?** A seeded trace of
+//! heterogeneous batch jobs ([`trace`]) — each with a node count, a
+//! runtime estimate, a characterizable workload class, and optionally an
+//! *eco-mode slack declaration* ("20 % longer is fine") — is fed through
+//! a power-aware admission controller:
+//!
+//! - a Storlie-style per-job power **predictor** ([`predictor`]) built
+//!   from the paper's own progress model (β per class from the app
+//!   registry) answers, for any per-node cap, what the job will draw and
+//!   how much slower it runs;
+//! - **admission** ([`admission`]) is EASY backfill over *two*
+//!   dimensions — free nodes and free watts — with a head-of-queue
+//!   reservation so nothing starves;
+//! - eco-aware policies ([`policy`]) run slack-declaring jobs at the
+//!   lowest cap their declaration tolerates (the predictor's inverse
+//!   query), shrinking their envelope charge so more tenants fit;
+//! - each running job's node set is handed to the existing
+//!   [`cluster::BudgetArbiter`] stack through a
+//!   [`cluster::MachinePartition`], which re-asserts the machine
+//!   invariant Σ(job grants) ≤ envelope on every tick.
+//!
+//! The [`engine`] drives all of it as a deterministic discrete-event
+//! simulation, and [`metrics`] turns the per-job records into makespan,
+//! energy (busy + idle), bounded slowdown, and per-tenant Jain fairness
+//! — the numbers `repro sched` tabulates.
+
+pub mod admission;
+pub mod engine;
+pub mod job;
+pub mod metrics;
+pub mod policy;
+pub mod predictor;
+pub mod trace;
+
+pub use engine::{simulate, MachineConfig, SchedConfig};
+pub use job::{JobId, JobSpec, WorkloadClass};
+pub use metrics::{JobRecord, ScheduleOutcome, TenantReport};
+pub use policy::SchedPolicy;
+pub use predictor::{PowerPredictor, PredictorConfig};
+pub use trace::TraceConfig;

@@ -1,0 +1,251 @@
+//! Schedule outcome metrics: makespan, energy, bounded slowdown, and
+//! per-tenant fairness.
+
+use serde::{Deserialize, Serialize};
+
+use crate::job::{JobId, WorkloadClass};
+use crate::policy::SchedPolicy;
+
+/// Bounded-slowdown runtime floor, s: jobs shorter than this are not
+/// allowed to dominate the slowdown statistic (Feitelson's convention).
+pub const BSLD_TAU_S: f64 = 10.0;
+
+/// What happened to one job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Scheduler job id.
+    pub id: JobId,
+    /// Submitting tenant.
+    pub tenant: usize,
+    /// Nodes it ran on.
+    pub nodes: usize,
+    /// Workload class.
+    pub class: WorkloadClass,
+    /// Whether it declared eco-mode slack.
+    pub eco: bool,
+    /// Per-node cap it was admitted at, W.
+    pub cap_w: f64,
+    /// Whole-job power charged against the envelope, W.
+    pub power_w: f64,
+    /// Runtime estimate at the full cap, s.
+    pub runtime_est_s: f64,
+    /// Submission time, s.
+    pub arrival_s: f64,
+    /// Start time, s.
+    pub start_s: f64,
+    /// Completion time, s.
+    pub end_s: f64,
+}
+
+impl JobRecord {
+    /// Queue wait, s.
+    pub fn wait_s(&self) -> f64 {
+        self.start_s - self.arrival_s
+    }
+
+    /// Actual runtime (at the admitted cap), s.
+    pub fn run_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+
+    /// Energy the job consumed: committed power × runtime, J.
+    pub fn energy_j(&self) -> f64 {
+        self.power_w * self.run_s()
+    }
+
+    /// Bounded slowdown: `max(1, (wait + run) / max(run, τ))` with
+    /// τ = [`BSLD_TAU_S`].
+    pub fn bounded_slowdown(&self) -> f64 {
+        let denom = self.run_s().max(BSLD_TAU_S);
+        ((self.wait_s() + self.run_s()) / denom).max(1.0)
+    }
+}
+
+/// Per-tenant aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// Tenant index.
+    pub tenant: usize,
+    /// Jobs the tenant completed.
+    pub jobs: usize,
+    /// Mean queue wait, s.
+    pub mean_wait_s: f64,
+    /// Mean bounded slowdown (the fairness currency).
+    pub mean_bsld: f64,
+    /// Node-seconds of machine time consumed.
+    pub node_seconds: f64,
+    /// Energy consumed by the tenant's jobs, J.
+    pub energy_j: f64,
+}
+
+/// The full outcome of one simulated schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleOutcome {
+    /// Policy that produced it.
+    pub policy: SchedPolicy,
+    /// Per-job records, in job-id order.
+    pub jobs: Vec<JobRecord>,
+    /// Completion time of the last job, s.
+    pub makespan_s: f64,
+    /// Σ over jobs of committed power × runtime, J.
+    pub job_energy_j: f64,
+    /// Idle-node energy: idle node-seconds × idle draw, J.
+    pub idle_energy_j: f64,
+    /// Mean bounded slowdown over all jobs.
+    pub mean_bsld: f64,
+    /// Worst bounded slowdown over all jobs.
+    pub max_bsld: f64,
+    /// Jain fairness index over per-tenant mean bounded slowdowns,
+    /// in (0, 1]; 1 means every tenant saw the same service quality.
+    pub jain_fairness: f64,
+    /// Busy node-seconds / (machine nodes × makespan), in [0, 1].
+    pub utilization: f64,
+    /// Smallest envelope slack the admission controller ever left, W —
+    /// non-negative iff Σ(admitted power) ≤ envelope held at every event.
+    pub min_envelope_slack_w: f64,
+    /// Per-tenant aggregates, in tenant order.
+    pub tenants: Vec<TenantReport>,
+}
+
+impl ScheduleOutcome {
+    /// Machine energy over the schedule: job energy plus idle energy, J.
+    pub fn total_energy_j(&self) -> f64 {
+        self.job_energy_j + self.idle_energy_j
+    }
+
+    /// Build the aggregate statistics from per-job records.
+    ///
+    /// `machine_nodes` sizes the utilization denominator; `tenants` is
+    /// the tenant roster size (tenants with no jobs get an empty row).
+    pub fn from_records(
+        policy: SchedPolicy,
+        jobs: Vec<JobRecord>,
+        machine_nodes: usize,
+        tenants: usize,
+        idle_energy_j: f64,
+        min_envelope_slack_w: f64,
+    ) -> Self {
+        let makespan_s = jobs.iter().map(|j| j.end_s).fold(0.0, f64::max);
+        let job_energy_j = jobs.iter().map(JobRecord::energy_j).sum();
+        let n = jobs.len().max(1) as f64;
+        let mean_bsld = jobs.iter().map(JobRecord::bounded_slowdown).sum::<f64>() / n;
+        let max_bsld = jobs
+            .iter()
+            .map(JobRecord::bounded_slowdown)
+            .fold(1.0, f64::max);
+        let busy_node_s: f64 = jobs.iter().map(|j| j.nodes as f64 * j.run_s()).sum();
+        let utilization = if makespan_s > 0.0 {
+            busy_node_s / (machine_nodes as f64 * makespan_s)
+        } else {
+            0.0
+        };
+        let tenant_rows: Vec<TenantReport> = (0..tenants)
+            .map(|t| {
+                let mine: Vec<&JobRecord> = jobs.iter().filter(|j| j.tenant == t).collect();
+                let k = mine.len().max(1) as f64;
+                TenantReport {
+                    tenant: t,
+                    jobs: mine.len(),
+                    mean_wait_s: mine.iter().map(|j| j.wait_s()).sum::<f64>() / k,
+                    mean_bsld: mine.iter().map(|j| j.bounded_slowdown()).sum::<f64>() / k,
+                    node_seconds: mine.iter().map(|j| j.nodes as f64 * j.run_s()).sum(),
+                    energy_j: mine.iter().map(|j| j.energy_j()).sum(),
+                }
+            })
+            .collect();
+        let jain_fairness = jain(
+            &tenant_rows
+                .iter()
+                .filter(|t| t.jobs > 0)
+                .map(|t| t.mean_bsld)
+                .collect::<Vec<_>>(),
+        );
+        Self {
+            policy,
+            jobs,
+            makespan_s,
+            job_energy_j,
+            idle_energy_j,
+            mean_bsld,
+            max_bsld,
+            jain_fairness,
+            utilization,
+            min_envelope_slack_w,
+            tenants: tenant_rows,
+        }
+    }
+}
+
+/// Jain's fairness index over a set of non-negative service metrics:
+/// `(Σx)² / (n · Σx²)`, 1 when all equal, → 1/n when one value
+/// dominates. Empty or all-zero input reads as perfectly fair.
+pub fn jain(xs: &[f64]) -> f64 {
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if xs.is_empty() || sq == 0.0 {
+        1.0
+    } else {
+        (sum * sum) / (xs.len() as f64 * sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: JobId, tenant: usize, arrival: f64, start: f64, end: f64) -> JobRecord {
+        JobRecord {
+            id,
+            tenant,
+            nodes: 2,
+            class: WorkloadClass::ComputeBound,
+            eco: false,
+            cap_w: 130.0,
+            power_w: 260.0,
+            runtime_est_s: end - start,
+            arrival_s: arrival,
+            start_s: start,
+            end_s: end,
+        }
+    }
+
+    #[test]
+    fn bounded_slowdown_floors_short_jobs() {
+        // 100 s wait on a 1 s job reads against the τ = 10 s floor, not
+        // the 1 s runtime.
+        let j = rec(0, 0, 0.0, 100.0, 101.0);
+        assert!((j.bounded_slowdown() - 10.1).abs() < 1e-9);
+        // No wait means slowdown exactly 1.
+        assert_eq!(rec(1, 0, 5.0, 5.0, 200.0).bounded_slowdown(), 1.0);
+    }
+
+    #[test]
+    fn jain_index_brackets() {
+        assert_eq!(jain(&[2.0, 2.0, 2.0]), 1.0);
+        let skewed = jain(&[10.0, 0.0, 0.0]);
+        assert!((skewed - 1.0 / 3.0).abs() < 1e-12, "{skewed}");
+        assert_eq!(jain(&[]), 1.0);
+    }
+
+    #[test]
+    fn outcome_aggregates_are_consistent() {
+        let jobs = vec![
+            rec(0, 0, 0.0, 0.0, 100.0),
+            rec(1, 1, 0.0, 50.0, 150.0),
+            rec(2, 0, 10.0, 100.0, 300.0),
+        ];
+        let out = ScheduleOutcome::from_records(SchedPolicy::FcfsBackfill, jobs, 8, 3, 500.0, 40.0);
+        assert_eq!(out.makespan_s, 300.0);
+        // 260 W × (100 + 100 + 200) s.
+        assert!((out.job_energy_j - 260.0 * 400.0).abs() < 1e-9);
+        assert!((out.total_energy_j() - (260.0 * 400.0 + 500.0)).abs() < 1e-9);
+        // 2 nodes × 400 s busy over 8 × 300 available.
+        assert!((out.utilization - 800.0 / 2400.0).abs() < 1e-12);
+        assert_eq!(out.tenants.len(), 3);
+        assert_eq!(out.tenants[0].jobs, 2);
+        assert_eq!(out.tenants[2].jobs, 0);
+        // The empty tenant is excluded from the fairness index.
+        assert!(out.jain_fairness > 0.0 && out.jain_fairness <= 1.0);
+        assert_eq!(out.min_envelope_slack_w, 40.0);
+    }
+}

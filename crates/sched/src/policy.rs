@@ -1,0 +1,68 @@
+//! The scheduling policies under comparison.
+
+use serde::{Deserialize, Serialize};
+
+/// How the queue is ordered and whether eco-mode declarations are
+/// honoured. All three share the same EASY-backfill admission machinery
+/// (head-of-queue reservation, backfill only when the reservation is
+/// not delayed) over both dimensions — free nodes *and* free watts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedPolicy {
+    /// The baseline: arrival order, every job admitted at the full
+    /// per-node cap. Eco declarations are ignored — this is what a
+    /// power-unaware site does with the same queue.
+    FcfsBackfill,
+    /// Arrival order, but a slack-declaring job is admitted at the
+    /// lowest cap its declaration tolerates (the predictor's inverse
+    /// query), so its predicted draw shrinks and more tenants fit under
+    /// the envelope — Angelelli-style eco-mode.
+    EcoBackfill,
+    /// Eco-aware, but the queue is ordered by each tenant's accumulated
+    /// node-seconds (least-served first, arrival-stable) instead of pure
+    /// arrival order, trading a little makespan for per-tenant fairness.
+    FairShare,
+}
+
+impl SchedPolicy {
+    /// All policies, in report order (the baseline first).
+    pub const ALL: [SchedPolicy; 3] = [
+        SchedPolicy::FcfsBackfill,
+        SchedPolicy::EcoBackfill,
+        SchedPolicy::FairShare,
+    ];
+
+    /// Display name (table/CSV key).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedPolicy::FcfsBackfill => "fcfs-backfill",
+            SchedPolicy::EcoBackfill => "eco-backfill",
+            SchedPolicy::FairShare => "fair-share",
+        }
+    }
+
+    /// Whether eco-mode slack declarations shrink admission caps.
+    pub fn eco_aware(self) -> bool {
+        !matches!(self, SchedPolicy::FcfsBackfill)
+    }
+
+    /// Whether the queue is re-ordered by tenant fair-share.
+    pub fn fair_ordered(self) -> bool {
+        matches!(self, SchedPolicy::FairShare)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_flags_are_distinct() {
+        let names: Vec<_> = SchedPolicy::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["fcfs-backfill", "eco-backfill", "fair-share"]);
+        assert!(!SchedPolicy::FcfsBackfill.eco_aware());
+        assert!(SchedPolicy::EcoBackfill.eco_aware());
+        assert!(SchedPolicy::FairShare.eco_aware());
+        assert!(SchedPolicy::FairShare.fair_ordered());
+        assert!(!SchedPolicy::EcoBackfill.fair_ordered());
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests for the power-aware admission controller: the
+//! invariants that make it safe to schedule against a machine-room
+//! breaker. For arbitrary (bounded) machines, traces and policies:
+//!
+//! - **envelope conservation** — Σ(admitted job power) ≤ envelope at
+//!   every event of the schedule (the engine tracks the minimum slack it
+//!   ever saw; it must be non-negative), and every per-job charge fits
+//!   the envelope alone;
+//! - **bounded wait / no starvation** — every job in the trace starts at
+//!   or after its arrival, completes, and the queue fully drains: the
+//!   EASY reservation guarantees the head of the queue cannot be
+//!   overtaken forever;
+//! - **determinism** — the same `(config, policy)` pair yields a
+//!   bit-identical schedule on replay;
+//! - **eco caps only shrink** — an eco-aware policy never runs any job
+//!   *above* the cap the baseline would give it.
+
+use proptest::prelude::*;
+use sched::{simulate, MachineConfig, SchedConfig, SchedPolicy, TraceConfig};
+
+/// A bounded machine + trace that always passes `SchedConfig::validate`:
+/// the envelope is drawn above the largest job's cap-floor power.
+fn scenario() -> impl Strategy<Value = SchedConfig> {
+    (
+        (
+            8usize..33, // machine nodes
+            1usize..9,  // trace nodes_max (≤ machine nodes by construction)
+            4usize..25, // jobs
+            1usize..5,  // tenants
+        ),
+        (
+            0.0f64..60.0, // mean interarrival
+            0.0f64..1.0,  // eco fraction
+            0.4f64..1.0,  // envelope as a fraction of nodes_max × max_cap
+        ),
+        (any::<u64>(), any::<u64>()), // trace seed, telemetry seed
+    )
+        .prop_map(
+            |((nodes, nodes_max, jobs, tenants), (gap, eco, frac), (seed, tseed))| {
+                let nodes_max = nodes_max.min(nodes);
+                let max_cap_w = 130.0;
+                let min_cap_w = 40.0;
+                // Anywhere from "one big job barely fits" up to "several
+                // fit": always ≥ the validate() floor of nodes_max × min.
+                let envelope_w =
+                    (nodes_max as f64 * max_cap_w * frac).max(nodes_max as f64 * min_cap_w);
+                SchedConfig {
+                    machine: MachineConfig {
+                        nodes,
+                        envelope_w,
+                        idle_node_w: 12.0,
+                        gain: 0.8,
+                        telemetry_seed: tseed,
+                    },
+                    trace: TraceConfig {
+                        seed,
+                        jobs,
+                        tenants,
+                        mean_interarrival_s: gap,
+                        nodes_min: 1,
+                        nodes_max,
+                        runtime_min_s: 30.0,
+                        runtime_max_s: 300.0,
+                        eco_fraction: eco,
+                        slack_min: 0.05,
+                        slack_max: 0.40,
+                    },
+                    predictor: sched::PredictorConfig {
+                        min_cap_w,
+                        max_cap_w,
+                        margin: 1.05,
+                    },
+                }
+            },
+        )
+}
+
+fn policies() -> impl Strategy<Value = SchedPolicy> {
+    prop_oneof![
+        Just(SchedPolicy::FcfsBackfill),
+        Just(SchedPolicy::EcoBackfill),
+        Just(SchedPolicy::FairShare),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    /// The admission invariant: at every event of the schedule the sum
+    /// of admitted jobs' predicted power stayed within the envelope, and
+    /// no single job was ever charged more than the whole envelope.
+    #[test]
+    fn admitted_power_never_exceeds_the_envelope(
+        cfg in scenario(),
+        policy in policies(),
+    ) {
+        let out = simulate(&cfg, policy).unwrap();
+        prop_assert!(
+            out.min_envelope_slack_w >= -1e-6,
+            "{}: envelope overshot by {} W",
+            policy.name(),
+            -out.min_envelope_slack_w
+        );
+        for j in &out.jobs {
+            prop_assert!(
+                j.power_w <= cfg.machine.envelope_w + 1e-6,
+                "job {} charged {} W against a {} W envelope",
+                j.id, j.power_w, cfg.machine.envelope_w
+            );
+            prop_assert!(
+                j.cap_w <= cfg.predictor.max_cap_w + 1e-9
+                    && j.cap_w >= cfg.predictor.min_cap_w - 1e-9,
+                "job {} cap {} W outside the machine's cap range",
+                j.id, j.cap_w
+            );
+        }
+    }
+
+    /// Bounded wait: every submitted job starts (at or after arrival)
+    /// and completes — the EASY reservation prevents starvation for
+    /// every policy, trace shape and envelope tightness.
+    #[test]
+    fn every_job_starts_and_completes(
+        cfg in scenario(),
+        policy in policies(),
+    ) {
+        let out = simulate(&cfg, policy).unwrap();
+        prop_assert_eq!(out.jobs.len(), cfg.trace.jobs, "queue did not drain");
+        for (i, j) in out.jobs.iter().enumerate() {
+            prop_assert_eq!(j.id as usize, i, "records are in job order");
+            prop_assert!(
+                j.start_s >= j.arrival_s - 1e-9,
+                "job {} started {} s before arriving at {} s",
+                j.id, j.start_s, j.arrival_s
+            );
+            prop_assert!(j.end_s > j.start_s, "job {} never ran", j.id);
+            prop_assert!(j.bounded_slowdown() >= 1.0);
+        }
+    }
+
+    /// The whole schedule is a pure function of (config, policy):
+    /// replaying produces a bit-identical outcome.
+    #[test]
+    fn schedules_replay_bit_identically(
+        cfg in scenario(),
+        policy in policies(),
+    ) {
+        let a = simulate(&cfg, policy).unwrap();
+        let b = simulate(&cfg, policy).unwrap();
+        prop_assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits());
+        prop_assert_eq!(a.job_energy_j.to_bits(), b.job_energy_j.to_bits());
+        prop_assert_eq!(a.idle_energy_j.to_bits(), b.idle_energy_j.to_bits());
+        for (ja, jb) in a.jobs.iter().zip(&b.jobs) {
+            prop_assert_eq!(ja.start_s.to_bits(), jb.start_s.to_bits());
+            prop_assert_eq!(ja.end_s.to_bits(), jb.end_s.to_bits());
+            prop_assert_eq!(ja.cap_w.to_bits(), jb.cap_w.to_bits());
+        }
+    }
+
+    /// Eco-awareness only ever *lowers* caps relative to the baseline:
+    /// job-for-job, the eco policy's admitted cap is ≤ FCFS's.
+    #[test]
+    fn eco_policies_never_raise_a_cap(cfg in scenario()) {
+        let base = simulate(&cfg, SchedPolicy::FcfsBackfill).unwrap();
+        let eco = simulate(&cfg, SchedPolicy::EcoBackfill).unwrap();
+        for (b, e) in base.jobs.iter().zip(&eco.jobs) {
+            prop_assert_eq!(b.id, e.id);
+            prop_assert!(
+                e.cap_w <= b.cap_w + 1e-9,
+                "job {}: eco cap {} W above baseline {} W",
+                b.id, e.cap_w, b.cap_w
+            );
+        }
+    }
+}

@@ -64,6 +64,16 @@ impl ThermalConfig {
     pub fn steady_state_c(&self, power_w: f64) -> f64 {
         self.ambient_c + self.r_th_c_per_w * power_w
     }
+
+    /// The highest package power this cooling solution can sustain
+    /// without ever asserting PROCHOT: the power whose steady-state
+    /// temperature sits at the bottom of the hysteresis band
+    /// (`throttle_c - hysteresis_c`). Granting a node more than this is
+    /// wasted — the thermal throttle claws the excess back — which is
+    /// why the cluster arbiter clamps a node's grant ceiling here.
+    pub fn sustainable_power_w(&self) -> f64 {
+        (self.throttle_c - self.hysteresis_c - self.ambient_c) / self.r_th_c_per_w
+    }
 }
 
 /// Thermal state integrated by the node.

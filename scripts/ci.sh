@@ -74,6 +74,18 @@ if [[ "$run_tests" -eq 1 ]]; then
     cargo test --workspace --release -q
     echo "== cluster bench (test mode)"
     cargo bench -q -p powerprog-bench --bench cluster -- --test
+    echo "== repro sched determinism (same seed, bit-identical CSVs)"
+    # The scheduler's whole pipeline — trace, admission, arbiter ticks —
+    # must replay bit for bit under a fixed seed; diff catches any drift.
+    sched_a="$(mktemp -d)"
+    sched_b="$(mktemp -d)"
+    target/release/repro sched --quick --seed 11 --out "$sched_a" >/dev/null
+    target/release/repro sched --quick --seed 11 --out "$sched_b" >/dev/null
+    diff -r "$sched_a" "$sched_b" || {
+        echo "ci.sh: repro sched is not deterministic under a fixed seed" >&2
+        exit 1
+    }
+    rm -rf "$sched_a" "$sched_b"
 fi
 
 if [[ "$soak" -eq 1 ]]; then
