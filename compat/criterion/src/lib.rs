@@ -184,6 +184,22 @@ fn fmt_s(s: f64) -> String {
     }
 }
 
+/// Whether `name` passes the `CRITERION_FILTER` substring filter (real
+/// criterion takes the filter as a CLI argument; the stub reads the
+/// environment so wrapper scripts can pass it through `cargo bench`
+/// without argument plumbing). Empty/unset runs everything.
+fn passes_filter(name: &str) -> bool {
+    matches_filter(name, std::env::var("CRITERION_FILTER").ok().as_deref())
+}
+
+/// The pure predicate behind [`passes_filter`].
+fn matches_filter(name: &str, filter: Option<&str>) -> bool {
+    match filter {
+        Some(f) if !f.is_empty() => name.contains(f),
+        _ => true,
+    }
+}
+
 /// The harness entry point.
 pub struct Criterion {
     default_samples: usize,
@@ -223,12 +239,16 @@ impl Criterion {
         id: impl IntoBenchmarkId,
         mut f: F,
     ) -> &mut Self {
+        let id = id.into_id();
+        if !passes_filter(&id) {
+            return self;
+        }
         let mut b = Bencher {
             samples: self.default_samples,
             last_per_iter_s: Vec::new(),
         };
         f(&mut b);
-        report("", &id.into_id(), &b, None);
+        report("", &id, &b, None);
         self
     }
 }
@@ -266,12 +286,16 @@ impl BenchmarkGroup<'_> {
         id: impl IntoBenchmarkId,
         mut f: F,
     ) -> &mut Self {
+        let id = id.into_id();
+        if !passes_filter(&format!("{}/{}", self.name, id)) {
+            return self;
+        }
         let mut b = Bencher {
             samples: self.samples,
             last_per_iter_s: Vec::new(),
         };
         f(&mut b);
-        report(&self.name, &id.into_id(), &b, self.throughput);
+        report(&self.name, &id, &b, self.throughput);
         self
     }
 
@@ -282,6 +306,9 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
+        if !passes_filter(&format!("{}/{}", self.name, id.id)) {
+            return self;
+        }
         let mut b = Bencher {
             samples: self.samples,
             last_per_iter_s: Vec::new(),
@@ -349,6 +376,22 @@ mod tests {
         assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
         assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
         assert_eq!(median(&[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benches() {
+        // Exercise the pure predicate: mutating CRITERION_FILTER here
+        // would race the other tests in this binary, which run benches.
+        assert!(matches_filter("cluster/hier_4096n_halo", None));
+        assert!(matches_filter(
+            "cluster/hier_4096n_halo",
+            Some("hier_4096n")
+        ));
+        assert!(!matches_filter("cluster/flat_1024n", Some("hier_4096n")));
+        assert!(
+            matches_filter("cluster/flat_1024n", Some("")),
+            "empty runs all"
+        );
     }
 
     #[test]

@@ -83,6 +83,52 @@ fn rack_tree_config(hierarchy: Option<HierarchyConfig>) -> ClusterConfig {
     }
 }
 
+/// The extreme-scale shapes: a thousand-node (and up) ramp at one tenth
+/// the per-unit kernel work — the regime where per-node allocation or a
+/// full waterfill per control tick stops being noise — stepped under a
+/// 10 ms daemon period so the control plane stays active within the
+/// shortened iterations.
+fn scale_config(n: usize, hierarchy: bool, halo: bool) -> ClusterConfig {
+    ClusterConfig {
+        nodes: ramp_weights(n, 1.0, 2.6)
+            .into_iter()
+            .map(|w| NodeSpec::new(Preset::Reference, w))
+            .collect(),
+        iters: 3,
+        arbiter: ArbiterConfig {
+            budget_w: 65.0 * n as f64,
+            min_cap_w: 40.0,
+            max_cap_w: 130.0,
+            policy: Policy::ProgressFeedback { gain: 1.0 },
+        },
+        shape: WorkloadShape::default().scaled(0.1),
+        comm: if halo {
+            CommConfig {
+                alpha_s: 2e-6,
+                nic_bw: 12.5e9,
+                power_coupling: 0.5,
+                pattern: CommPattern::HaloExchange {
+                    bytes_per_unit: 1024.0 * 1024.0,
+                },
+                topology: Topology::RackTree {
+                    nodes_per_rack: 32,
+                    uplink_bw: 25.0e9,
+                },
+            }
+        } else {
+            CommConfig::none()
+        },
+        daemon_period: 10 * simnode::time::MS,
+        hierarchy: hierarchy.then(|| HierarchyConfig {
+            racks: vec![32; n / 32],
+            outer_period: 2,
+            inner_period: 1,
+            rack_policy: Policy::ProgressFeedback { gain: 1.0 },
+            rack_clamps: None,
+        }),
+    }
+}
+
 fn bench_cluster(c: &mut Criterion) {
     let mut g = c.benchmark_group("cluster");
     g.sample_size(10);
@@ -121,6 +167,33 @@ fn bench_cluster(c: &mut Criterion) {
             assert!(out.min_budget_slack_w() >= -1e-6);
             let rack = out.rack_trace.as_ref().expect("rack trace");
             assert!(rack.min_slack_w() >= -1e-6);
+            black_box(out)
+        })
+    });
+
+    // Extreme scale: the sharded engine at 1024 flat / 1024 hierarchical
+    // / 4096 hierarchical-with-halo nodes. The 4096-node halo bench is
+    // the acceptance headline — a 3-iteration halo workload must stay
+    // interactive (< 1 s median) for scale sweeps to be usable.
+    let flat1024 = scale_config(1024, false, false);
+    g.bench_function("flat_1024n", |b| {
+        b.iter(|| black_box(run_cluster(black_box(&flat1024)).unwrap()))
+    });
+
+    let hier1024 = scale_config(1024, true, false);
+    g.bench_function("hier_1024n", |b| {
+        b.iter(|| {
+            let out = run_cluster(black_box(&hier1024)).unwrap();
+            assert!(out.min_budget_slack_w() >= -1e-6);
+            black_box(out)
+        })
+    });
+
+    let hier4096 = scale_config(4096, true, true);
+    g.bench_function("hier_4096n_halo", |b| {
+        b.iter(|| {
+            let out = run_cluster(black_box(&hier4096)).unwrap();
+            assert!(out.min_budget_slack_w() >= -1e-6);
             black_box(out)
         })
     });

@@ -35,7 +35,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{ensure, ConfigError, TelemetryError};
-use crate::policy::{self, Allocator};
+use crate::policy::{self, Allocator, RebalanceScratch};
 
 /// Tolerance for floating-point invariant checks, W.
 pub(crate) const EPS_W: f64 = 1e-6;
@@ -389,6 +389,13 @@ pub struct PowerArbiter {
     alloc: Allocator,
     round: usize,
     trace: GrantTrace,
+    /// Whether redistribution rounds are recorded into the trace. The
+    /// rack tree's per-rack children run with this off: their traces
+    /// duplicate the tree's own leaf trace, and at thousands of nodes the
+    /// per-tick `Vec` clones are pure overhead.
+    tracing: bool,
+    /// Reusable redistribution working memory (see [`RebalanceScratch`]).
+    scratch: RebalanceScratch,
 }
 
 impl PowerArbiter {
@@ -419,6 +426,8 @@ impl PowerArbiter {
             cfg,
             round: 0,
             trace: GrantTrace::new(cfg.policy.name()),
+            tracing: true,
+            scratch: RebalanceScratch::default(),
         };
         arb.assert_invariants();
         arb
@@ -485,6 +494,17 @@ impl PowerArbiter {
         self
     }
 
+    /// Disable (or re-enable) trace recording. Grants, invariants and the
+    /// redistribution arithmetic are bitwise unaffected; only the
+    /// per-round [`GrantTrace`] bookkeeping — four `Vec` clones per tick —
+    /// is skipped. [`crate::hierarchy::RackArbiter`] builds its per-rack
+    /// children with tracing off (the tree records its own leaf trace),
+    /// and the scale benches run untraced.
+    pub fn with_tracing(mut self, tracing: bool) -> Self {
+        self.tracing = tracing;
+        self
+    }
+
     /// The arbiter configuration.
     pub fn config(&self) -> &ArbiterConfig {
         &self.cfg
@@ -523,9 +543,12 @@ impl PowerArbiter {
             &self.max_v,
             reports,
             self.weights.as_deref(),
+            &mut self.scratch,
         );
-        self.trace
-            .record(self.round, &self.grants, reports, self.cfg.budget_w);
+        if self.tracing {
+            self.trace
+                .record(self.round, &self.grants, reports, self.cfg.budget_w);
+        }
         self.round += 1;
         self.assert_invariants();
         Ok(&self.grants)
@@ -823,6 +846,28 @@ mod tests {
             .unwrap();
         assert_eq!(a.trace().policy(), "demand-proportional");
         assert_eq!(a.trace().len(), 2);
+    }
+
+    #[test]
+    fn untraced_arbiter_grants_are_bit_identical() {
+        let gain = Policy::ProgressFeedback { gain: 1.0 };
+        let mut traced = PowerArbiter::new(cfg(gain), 4);
+        let mut silent = PowerArbiter::new(cfg(gain), 4).with_tracing(false);
+        for _ in 0..3 {
+            let r = [
+                report(0.5, 100.0),
+                report(1.0, 100.0),
+                None,
+                report(2.5, 100.0),
+            ];
+            traced.redistribute(&r).unwrap();
+            silent.redistribute(&r).unwrap();
+        }
+        for (a, b) in traced.grants().iter().zip(silent.grants()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "tracing must not touch grants");
+        }
+        assert_eq!(traced.trace().len(), 3);
+        assert_eq!(silent.trace().len(), 0, "untraced arbiter records nothing");
     }
 
     #[test]

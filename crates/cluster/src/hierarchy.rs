@@ -37,7 +37,7 @@ use crate::arbiter::{
     PowerArbiter, EPS_W,
 };
 use crate::error::{ensure, ConfigError, TelemetryError};
-use crate::policy::{self, Allocator};
+use crate::policy::{self, Allocator, IncrementalFill, RebalanceScratch};
 
 /// Tuning for the rack level of the tree.
 #[derive(Debug, Clone, PartialEq)]
@@ -228,6 +228,27 @@ pub struct RackArbiter {
     leaf_grants: Vec<f64>,
     leaf_trace: GrantTrace,
     rack_trace: GrantTrace,
+    /// Incremental rack-level waterfill: caches each rack's clamped
+    /// desired sub-budget and the fill sums, re-solving from deltas.
+    rack_fill: IncrementalFill,
+    /// Each rack's last desired sub-budget (bitwise), so a rack whose
+    /// desire did not move is never re-clamped or re-summed. NaN until
+    /// the first outer epoch marks every rack dirty.
+    last_desired: Vec<f64>,
+    /// Fallback engine scratch for windows with silent racks (the frozen
+    /// semantics need the general reporting-subset path).
+    rack_scratch: RebalanceScratch,
+    /// Reused outer-epoch buffers (no per-epoch allocation).
+    rack_reports: Vec<Option<NodeTelemetry>>,
+    rack_tel: Vec<NodeTelemetry>,
+    fill_tmp: Vec<f64>,
+    fill_desired: Vec<f64>,
+    /// Which racks were re-split at the current barrier (reused).
+    stepped: Vec<bool>,
+    /// Inner-epoch child re-splits skipped because the rack subtree was
+    /// clean (no member telemetry this barrier): the subtree reused its
+    /// cached sub-budget split instead of re-solving.
+    skipped_rack_steps: usize,
 }
 
 impl RackArbiter {
@@ -259,24 +280,39 @@ impl RackArbiter {
             spans.push(start..start + k);
             start += k;
         }
+        // Children run untraced: the tree records the leaf trace itself,
+        // and the duplicate per-rack traces were measurable overhead at
+        // scale (four Vec clones per rack per barrier).
         let children: Vec<PowerArbiter> = hierarchy
             .racks
             .iter()
             .zip(&sub_budgets)
-            .map(|(&k, &b)| PowerArbiter::new(ArbiterConfig { budget_w: b, ..cfg }, k))
+            .map(|(&k, &b)| {
+                PowerArbiter::new(ArbiterConfig { budget_w: b, ..cfg }, k).with_tracing(false)
+            })
             .collect();
         let mut leaf_grants = vec![0.0; n];
         for (child, span) in children.iter().zip(&spans) {
             leaf_grants[span.clone()].copy_from_slice(child.grants());
         }
+        let n_racks = hierarchy.racks.len();
         let arb = Self {
             rack_alloc: hierarchy.rack_policy.allocator(),
+            rack_fill: IncrementalFill::new(&rack_min, &rack_max),
+            last_desired: vec![f64::NAN; n_racks],
+            rack_scratch: RebalanceScratch::default(),
+            rack_reports: Vec::with_capacity(n_racks),
+            rack_tel: Vec::with_capacity(n_racks),
+            fill_tmp: Vec::new(),
+            fill_desired: Vec::new(),
+            stepped: vec![false; n_racks],
+            skipped_rack_steps: 0,
             rack_min,
             rack_max,
             sub_budgets,
             children,
             spans,
-            acc: vec![RackAcc::default(); hierarchy.racks.len()],
+            acc: vec![RackAcc::default(); n_racks],
             round: 0,
             leaf_grants,
             leaf_trace: GrantTrace::new(cfg.policy.name()),
@@ -335,42 +371,101 @@ impl RackArbiter {
         let barrier = self.round - 1;
 
         // Outer epoch: budgets flow downward.
-        if self.round.is_multiple_of(self.h.outer_period) {
-            let rack_reports: Vec<Option<NodeTelemetry>> =
-                self.acc.iter_mut().map(RackAcc::take).collect();
-            policy::rebalance(
-                self.rack_alloc,
+        let outer = self.round.is_multiple_of(self.h.outer_period);
+        if outer {
+            self.rack_reports.clear();
+            self.rack_reports
+                .extend(self.acc.iter_mut().map(RackAcc::take));
+            if self.rack_reports.iter().all(Option::is_some) {
+                // Every rack reported: the incremental fill re-solves
+                // from desire deltas — a rack whose desired sub-budget
+                // did not move bitwise reuses its cached clamped desire
+                // and costs nothing beyond the comparison.
+                self.rack_tel.clear();
+                self.rack_tel
+                    .extend(self.rack_reports.iter().map(|r| r.expect("all report")));
+                let pool = self.cfg.budget_w;
+                if self.rack_alloc.desired_into(
+                    &self.sub_budgets,
+                    &self.rack_tel,
+                    pool,
+                    None,
+                    &mut self.fill_tmp,
+                    &mut self.fill_desired,
+                ) {
+                    for (r, &d) in self.fill_desired.iter().enumerate() {
+                        if d.to_bits() != self.last_desired[r].to_bits() {
+                            self.rack_fill.update(r, d);
+                            self.last_desired[r] = d;
+                        }
+                    }
+                    self.sub_budgets.copy_from_slice(self.rack_fill.solve(pool));
+                }
+            } else {
+                // A silent rack freezes its sub-budget: the general
+                // engine owns those semantics (frozen-pool exclusion,
+                // feasibility clipping), so fall back to the exact path.
+                policy::rebalance(
+                    self.rack_alloc,
+                    self.cfg.budget_w,
+                    &mut self.sub_budgets,
+                    &self.rack_min,
+                    &self.rack_max,
+                    &self.rack_reports,
+                    None,
+                    &mut self.rack_scratch,
+                );
+            }
+            self.rack_trace.record(
+                barrier,
+                &self.sub_budgets,
+                &self.rack_reports,
                 self.cfg.budget_w,
-                &mut self.sub_budgets,
-                &self.rack_min,
-                &self.rack_max,
-                &rack_reports,
-                None,
             );
-            self.rack_trace
-                .record(barrier, &self.sub_budgets, &rack_reports, self.cfg.budget_w);
             for (child, &b) in self.children.iter_mut().zip(&self.sub_budgets) {
                 child.set_budget(b);
             }
             self.assert_rack_invariants();
         }
 
-        // Inner epoch: each rack re-splits its sub-budget. The per-rack
-        // slices were validated above, so child rejection is impossible;
-        // `?` still propagates it rather than unwrapping, keeping this
-        // path panic-free by construction.
-        if self.round.is_multiple_of(self.h.inner_period) {
-            for (child, span) in self.children.iter_mut().zip(&self.spans) {
-                child.redistribute(&reports[span.clone()])?;
+        // Inner epoch: each *dirty* rack re-splits its sub-budget — a
+        // rack none of whose members reported this barrier is clean and
+        // reuses its cached split, bit-identically: with no reports the
+        // engine would have held every grant anyway, and the child's
+        // trace is off, so skipping the call is unobservable. The
+        // per-rack slices were validated above, so child rejection is
+        // impossible; `?` still propagates it rather than unwrapping,
+        // keeping this path panic-free by construction.
+        let inner = self.round.is_multiple_of(self.h.inner_period);
+        self.stepped.iter_mut().for_each(|s| *s = false);
+        if inner {
+            for (r, (child, span)) in self.children.iter_mut().zip(&self.spans).enumerate() {
+                let slice = &reports[span.clone()];
+                if slice.iter().any(Option::is_some) {
+                    child.redistribute(slice)?;
+                    self.stepped[r] = true;
+                } else {
+                    self.skipped_rack_steps += 1;
+                }
             }
         }
 
-        for (child, span) in self.children.iter().zip(&self.spans) {
-            self.leaf_grants[span.clone()].copy_from_slice(child.grants());
+        // Leaf grants only move where a rack re-split (or an outer epoch
+        // re-fitted child budgets); clean subtrees keep their cached span.
+        for (r, (child, span)) in self.children.iter().zip(&self.spans).enumerate() {
+            if outer || self.stepped[r] {
+                self.leaf_grants[span.clone()].copy_from_slice(child.grants());
+            }
         }
         self.leaf_trace
             .record(barrier, &self.leaf_grants, reports, self.cfg.budget_w);
         Ok(&self.leaf_grants)
+    }
+
+    /// Inner-epoch rack re-splits skipped so far because the subtree was
+    /// clean (no member telemetry at that barrier).
+    pub fn skipped_rack_steps(&self) -> usize {
+        self.skipped_rack_steps
     }
 
     /// Rack-level invariants: Σ sub-budgets ≤ machine budget, every
@@ -605,6 +700,98 @@ mod tests {
         // Rack 0 keeps rebalancing internally meanwhile.
         let leaves = BudgetArbiter::grants(&tree);
         assert!(leaves[1] > leaves[0] + 1.0, "rack 0 still rebalances");
+    }
+
+    #[test]
+    fn clean_rack_subtrees_skip_the_inner_resolve_bit_identically() {
+        let mut tree = RackArbiter::new(
+            cfg(Policy::ProgressFeedback { gain: 1.0 }),
+            HierarchyConfig {
+                racks: vec![2, 2],
+                outer_period: 2,
+                inner_period: 1,
+                rack_policy: Policy::ProgressFeedback { gain: 1.0 },
+                rack_clamps: None,
+            },
+        );
+        let frozen: Vec<u64> = BudgetArbiter::grants(&tree)[2..]
+            .iter()
+            .map(|g| g.to_bits())
+            .collect();
+        for _ in 0..6 {
+            tree.redistribute(&[report(0.5, 90.0), report(2.5, 95.0), None, None])
+                .unwrap();
+        }
+        // Every inner epoch the clean rack reuses its cached split
+        // instead of re-solving, and a held grant holds bitwise: the
+        // silent subtree's leaves never move off their initial split.
+        assert_eq!(
+            tree.skipped_rack_steps(),
+            6,
+            "rack 1 was clean at every barrier"
+        );
+        let after: Vec<u64> = BudgetArbiter::grants(&tree)[2..]
+            .iter()
+            .map(|g| g.to_bits())
+            .collect();
+        assert_eq!(after, frozen, "clean subtree's leaf grants must not move");
+        // The barrier trace still records every round.
+        assert_eq!(tree.trace().len(), 6);
+    }
+
+    #[test]
+    fn incremental_outer_solve_matches_the_general_engine() {
+        // All racks report every barrier, so the outer epochs take the
+        // incremental-fill path. A shadow re-runs the same aggregates
+        // through the full engine; sub-budgets must agree to ≤1e-9.
+        let c = cfg(Policy::ProgressFeedback { gain: 1.0 });
+        let h = HierarchyConfig {
+            racks: vec![2, 2, 2],
+            outer_period: 2,
+            inner_period: 1,
+            rack_policy: Policy::ProgressFeedback { gain: 0.8 },
+            rack_clamps: None,
+        };
+        let mut tree = RackArbiter::new(c, h.clone());
+        let (rack_min, rack_max) = h.resolved_clamps(&c);
+        let mut shadow = tree.sub_budgets().to_vec();
+        let mut scratch = RebalanceScratch::default();
+        let mut accs = [RackAcc::default(), RackAcc::default(), RackAcc::default()];
+        for round in 1..=8usize {
+            let reports: Vec<Option<NodeTelemetry>> = (0..6)
+                .map(|i| report(0.4 + 0.3 * ((i + round) % 5) as f64, 88.0 + i as f64))
+                .collect();
+            for (acc, pair) in accs.iter_mut().zip(reports.chunks(2)) {
+                for r in pair.iter().flatten() {
+                    acc.add(r);
+                }
+            }
+            tree.redistribute(&reports).unwrap();
+            if round.is_multiple_of(h.outer_period) {
+                let rack_reports: Vec<Option<NodeTelemetry>> =
+                    accs.iter_mut().map(RackAcc::take).collect();
+                policy::rebalance(
+                    h.rack_policy.allocator(),
+                    c.budget_w,
+                    &mut shadow,
+                    &rack_min,
+                    &rack_max,
+                    &rack_reports,
+                    None,
+                    &mut scratch,
+                );
+                for (got, want) in tree.sub_budgets().iter().zip(&shadow) {
+                    let rel = (got - want).abs() / want.abs().max(1.0);
+                    assert!(rel <= 1e-9, "incremental {got} vs full {want}");
+                }
+            }
+        }
+        assert!(
+            tree.sub_budgets()
+                .iter()
+                .any(|&b| (b - 400.0 / 3.0).abs() > 1.0),
+            "the feedback policy must actually have moved watts"
+        );
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod hierarchy;
 pub mod member;
 pub mod partition;
 pub mod policy;
+pub(crate) mod shard;
 pub mod sim;
 pub mod topology;
 pub mod workload;
@@ -62,6 +63,9 @@ pub use hierarchy::{HierarchyConfig, RackArbiter};
 pub use member::{ClusterNode, DEFAULT_DAEMON_PERIOD};
 pub use partition::MachinePartition;
 pub use policy::{progress_weight, registry_progress_weights, Allocator};
-pub use sim::{run_cluster, ClusterConfig, ClusterOutcome, IterationRecord, NodeSpec, Preset};
+pub use sim::{
+    run_cluster, run_cluster_reference, ClusterConfig, ClusterOutcome, IterationRecord, NodeSpec,
+    Preset,
+};
 pub use topology::{LinkId, Topology};
 pub use workload::{ramp_weights, WorkloadShape};

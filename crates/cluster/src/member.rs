@@ -200,6 +200,31 @@ impl ClusterNode {
         self.grant.set(Some(cap_w));
     }
 
+    /// Store the arbiter's latest grant only when it differs bitwise from
+    /// the cell's current value; returns whether a store happened. The
+    /// daemon re-reads the cell every control tick regardless, so
+    /// skipping a bit-identical store is behaviorally invisible — it just
+    /// spares the atomic write (and cache-line bounce) for the common
+    /// steady-state case where the arbiter held the grant.
+    pub fn set_grant_if_changed(&mut self, cap_w: f64) -> bool {
+        if self.grant.get().map(f64::to_bits) == Some(cap_w.to_bits()) {
+            return false;
+        }
+        self.grant.set(Some(cap_w));
+        true
+    }
+
+    /// Absolute sim-time of this member's next actionable event, capped at
+    /// `horizon`: its next daemon control tick or the node's own next
+    /// scheduled event ([`Node::next_event_hint`]), whichever is first.
+    /// The sharded driver parks members whose next event lies at or past
+    /// the horizon instead of stepping them.
+    pub fn next_event(&self, horizon: Nanos) -> Nanos {
+        self.node
+            .next_event_hint(horizon.min(self.next_tick))
+            .max(self.node.now())
+    }
+
     /// Pull the newest grant from `source` (an in-process grant slice, or
     /// an `arbiterd` client polling its wire). When the source has
     /// nothing fresh — disconnected client, silent arbiter — the member
@@ -299,6 +324,28 @@ mod tests {
         // ~120 ms of compute at fmax; capped at 120 W barely stretches it.
         assert!((0.1..0.5).contains(&t), "iteration took {t:.3} s");
         assert!(m.total_energy() > 0.0);
+    }
+
+    #[test]
+    fn conditional_grant_store_skips_bit_identical_values() {
+        let mut m = member(simnode::presets::reference());
+        assert!(m.set_grant_if_changed(80.0), "first store must land");
+        assert!(!m.set_grant_if_changed(80.0), "bit-identical regrant held");
+        assert!(m.set_grant_if_changed(80.0 + 1e-9), "any bit change stores");
+    }
+
+    #[test]
+    fn next_event_stays_between_now_and_the_horizon() {
+        let mut m = member(simnode::presets::reference());
+        m.set_grant(100.0);
+        m.compute_iteration();
+        let now = m.now();
+        let horizon = now + SEC;
+        let e = m.next_event(horizon);
+        assert!(e >= now, "event in the past: {e} < {now}");
+        assert!(e <= horizon, "event past the horizon: {e} > {horizon}");
+        // A daemon tick is always due within one control period.
+        assert!(e <= now + DEFAULT_DAEMON_PERIOD);
     }
 
     #[test]

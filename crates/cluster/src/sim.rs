@@ -1,4 +1,5 @@
-//! The bulk-synchronous cluster driver.
+//! The cluster driver: sharded event-queue stepping over independent
+//! members.
 //!
 //! [`run_cluster`] instantiates N independent members (heterogeneous
 //! presets allowed) and advances them in compute-phase → exchange-phase
@@ -8,16 +9,23 @@
 //! rate), and the barrier lands when the last flow does — faster ranks
 //! spin (MPI-style polling, full power). A [`PowerArbiter`]
 //! redistributes the global power budget at each barrier from the
-//! telemetry the members report, which now splits each iteration into
+//! telemetry the members report, which splits each iteration into
 //! `compute_s` / `comm_s` / `slack_s` so a progress-aware policy can
 //! distinguish "slow because capped" from "slow because waiting on the
 //! wire". With [`CommConfig::none`] (or zero-byte messages) the exchange
 //! generates no flows and the schedule is bit-identical to the PR-2
-//! ideal barrier. Members step in parallel between barriers (each owns
-//! an independent `simnode` instance, so the simulation is
-//! embarrassingly parallel within an epoch and bitwise deterministic
-//! regardless of thread count; the exchange pricing is single-threaded
-//! pure arithmetic).
+//! ideal barrier.
+//!
+//! Between barriers the members are stepped through `crate::shard`:
+//! contiguous rank shards with preallocated telemetry buffers move
+//! through the thread pool as coarse work items, and within a shard the
+//! spin phase wakes only members short of the barrier, earliest event
+//! first. The simulation is embarrassingly parallel within an epoch and
+//! bitwise deterministic regardless of thread or shard count; the
+//! exchange pricing is single-threaded pure arithmetic. The
+//! pre-sharding bulk-synchronous loop survives as
+//! [`run_cluster_reference`], and the differential suite pins the two
+//! drivers bit-for-bit against each other.
 
 use rayon::prelude::*;
 
@@ -32,6 +40,7 @@ use crate::comm::{self, CommConfig};
 use crate::error::{ensure, ClusterError, ConfigError};
 use crate::hierarchy::{HierarchyConfig, RackArbiter};
 use crate::member::ClusterNode;
+use crate::shard::Shard;
 use crate::workload::WorkloadShape;
 
 /// Named node hardware variants (see [`simnode::presets`]).
@@ -280,21 +289,8 @@ fn mean(it: impl Iterator<Item = f64>) -> f64 {
     }
 }
 
-/// Run the cluster to completion under `cfg`.
-///
-/// Each iteration: all members compute their share in parallel; the comm
-/// model prices the exchange phase from the global view (rendezvous
-/// starts, per-link contention, power-throttled NIC drain rates); the
-/// barrier lands when the last flow does and everyone spins up to it
-/// (MPI-style polling); members report per-phase telemetry; the arbiter
-/// redistributes and the new grants take effect for the next iteration.
-///
-/// An invalid configuration, rejected telemetry, or a degenerate
-/// imbalance analysis is reported as a [`ClusterError`] (the `repro` CLI
-/// surfaces it as a clean exit-2 message); only genuine internal
-/// invariant violations (Σ grants ≤ budget) still panic.
-pub fn run_cluster(cfg: &ClusterConfig) -> Result<ClusterOutcome, ClusterError> {
-    cfg.validate()?;
+/// Build the arbiter and the member fleet for a validated `cfg`.
+fn setup(cfg: &ClusterConfig) -> (Box<dyn BudgetArbiter>, Vec<ClusterNode>) {
     let n = cfg.nodes.len();
     // Thermal-headroom clamps: a node whose cooling cannot dissipate the
     // shared max cap gets its grant ceiling tightened to what it can
@@ -308,7 +304,7 @@ pub fn run_cluster(cfg: &ClusterConfig) -> Result<ClusterOutcome, ClusterError> 
         .iter()
         .map(|s| s.preset.thermal_ceiling_w())
         .collect();
-    let mut arbiter: Box<dyn BudgetArbiter> = match &cfg.hierarchy {
+    let arbiter: Box<dyn BudgetArbiter> = match &cfg.hierarchy {
         Some(h) => Box::new(RackArbiter::new(cfg.arbiter, h.clone())),
         None => Box::new(PowerArbiter::new(cfg.arbiter, n).with_node_ceilings(&ceilings)),
     };
@@ -327,8 +323,7 @@ pub fn run_cluster(cfg: &ClusterConfig) -> Result<ClusterOutcome, ClusterError> 
             }
         }
     };
-
-    let mut members: Vec<ClusterNode> = cfg
+    let members = cfg
         .nodes
         .iter()
         .enumerate()
@@ -343,7 +338,145 @@ pub fn run_cluster(cfg: &ClusterConfig) -> Result<ClusterOutcome, ClusterError> 
             m
         })
         .collect();
+    (arbiter, members)
+}
 
+/// Run the cluster to completion under `cfg`.
+///
+/// Each iteration: all members compute their share in parallel (stepped
+/// as contiguous `crate::shard` work items over the thread pool); the
+/// comm model prices the exchange phase from the global view (rendezvous
+/// starts, per-link contention, power-throttled NIC drain rates); the
+/// barrier lands when the last flow does and everyone short of it spins
+/// up to it (MPI-style polling), earliest next event first; members
+/// report per-phase telemetry into reused shard buffers; the arbiter
+/// redistributes and the new grants take effect for the next iteration
+/// (bit-identical regrants skip the store — the daemon re-reads its cell
+/// every control tick either way).
+///
+/// An invalid configuration, rejected telemetry, or a degenerate
+/// imbalance analysis is reported as a [`ClusterError`] (the `repro` CLI
+/// surfaces it as a clean exit-2 message); only genuine internal
+/// invariant violations (Σ grants ≤ budget) still panic.
+pub fn run_cluster(cfg: &ClusterConfig) -> Result<ClusterOutcome, ClusterError> {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    run_cluster_sharded(cfg, threads)
+}
+
+/// [`run_cluster`] with an explicit shard count. Shard geometry is pure
+/// scheduling — any count yields bitwise identical outcomes (the
+/// differential suite sweeps this) — so the public entry point just
+/// picks the thread count.
+fn run_cluster_sharded(cfg: &ClusterConfig, want: usize) -> Result<ClusterOutcome, ClusterError> {
+    cfg.validate()?;
+    let n = cfg.nodes.len();
+    let (mut arbiter, members) = setup(cfg);
+    let mut shards = Shard::partition(members, want);
+    let weights: Vec<f64> = cfg.nodes.iter().map(|s| s.weight).collect();
+
+    // Rank-ordered gather buffers, allocated once and reused every
+    // iteration (the per-iteration output records still own their data).
+    let mut ready_s = vec![0.0; n];
+    let mut drain = vec![0.0; n];
+    let mut compute_s = vec![0.0; n];
+    let mut reports: Vec<Option<NodeTelemetry>> = vec![None; n];
+
+    let mut iterations = Vec::with_capacity(cfg.iters);
+    for round in 0..cfg.iters {
+        // Compute phase: shards advance their members independently.
+        let coupling = cfg.comm.power_coupling;
+        shards = shards
+            .into_par_iter()
+            .map(|mut s| {
+                s.compute_phase(coupling);
+                s
+            })
+            .collect();
+        for s in &shards {
+            let span = s.span();
+            ready_s[span.clone()].copy_from_slice(&s.ready_s);
+            drain[span.clone()].copy_from_slice(&s.drain);
+            compute_s[span].copy_from_slice(&s.compute_s);
+        }
+
+        // Exchange phase: priced from the global view. The NIC drain
+        // factors reflect each node's power state at the end of its
+        // compute phase — a capped node feeds its injection queue slower.
+        let exchange = comm::exchange(&cfg.comm, &ready_s, &weights, &drain);
+
+        // Barrier: the last flow's landing gates everyone. With no flows
+        // every `done_s` equals `ready_s` exactly, so this reduces to the
+        // ideal barrier (max member clock) bit for bit; the max of
+        // per-shard integer maxima is order-independent.
+        let phases = &exchange.phases;
+        let barrier_at = shards
+            .iter()
+            .map(|s| s.barrier_candidate(&phases[s.span()]))
+            .fold(0, Nanos::max);
+
+        // Spin + telemetry phase: each shard wakes only members short of
+        // the barrier and files reports into its reused buffers.
+        shards = shards
+            .into_par_iter()
+            .map(|mut s| {
+                let span = s.span();
+                s.finish_phase(barrier_at, &phases[span]);
+                s
+            })
+            .collect();
+        for s in &shards {
+            reports[s.span()].copy_from_slice(&s.reports);
+        }
+
+        let imbalance = imbalance::analyze(&compute_s)
+            .map_err(|e| ClusterError::Analysis(format!("iteration {round}: {e}")))?;
+        let grants = arbiter.redistribute(&reports)?;
+        for s in &mut shards {
+            let span = s.span();
+            for (m, &g) in s.members_mut().iter_mut().zip(&grants[span]) {
+                m.set_grant_if_changed(g);
+            }
+        }
+
+        iterations.push(IterationRecord {
+            round,
+            barrier_at_s: secs(barrier_at),
+            compute_s: compute_s.clone(),
+            comm_s: exchange.phases.iter().map(|p| p.comm_s).collect(),
+            slack_s: exchange.phases.iter().map(|p| p.slack_s).collect(),
+            bytes: exchange.total_bytes,
+            imbalance,
+            reporting: reports.iter().map(Option::is_some).collect(),
+        });
+    }
+
+    let makespan_s = iterations.last().map(|i| i.barrier_at_s).unwrap_or(0.0);
+    let energy_j = shards
+        .iter()
+        .flat_map(|s| s.members().iter())
+        .map(ClusterNode::total_energy)
+        .sum();
+    Ok(ClusterOutcome {
+        makespan_s,
+        energy_j,
+        iterations,
+        final_grants_w: arbiter.grants().to_vec(),
+        rack_trace: arbiter.rack_trace().cloned(),
+        grant_trace: arbiter.trace().clone(),
+    })
+}
+
+/// The pre-sharding bulk-synchronous driver, kept as the executable
+/// specification for [`run_cluster`]: every member moves through its own
+/// parallel work item and telemetry is re-collected into fresh vectors
+/// each barrier. The differential suite pins the sharded engine to this
+/// path bit for bit; prefer [`run_cluster`] everywhere else — it runs
+/// the same simulation, just scheduled to scale.
+pub fn run_cluster_reference(cfg: &ClusterConfig) -> Result<ClusterOutcome, ClusterError> {
+    cfg.validate()?;
+    let (mut arbiter, mut members) = setup(cfg);
     let weights: Vec<f64> = cfg.nodes.iter().map(|s| s.weight).collect();
     let mut iterations = Vec::with_capacity(cfg.iters);
     for round in 0..cfg.iters {
@@ -588,6 +721,102 @@ mod tests {
     fn reference_nodes_have_no_thermal_ceiling() {
         assert_eq!(Preset::Reference.thermal_ceiling_w(), f64::INFINITY);
         assert_eq!(Preset::Leaky(10.0).thermal_ceiling_w(), f64::INFINITY);
+    }
+
+    /// Every observable of the two outcomes, compared bitwise.
+    fn assert_outcomes_bit_identical(a: &ClusterOutcome, b: &ClusterOutcome) {
+        assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits(), "makespan");
+        assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits(), "energy");
+        assert_eq!(a.final_grants_w.len(), b.final_grants_w.len());
+        for (x, y) in a.final_grants_w.iter().zip(&b.final_grants_w) {
+            assert_eq!(x.to_bits(), y.to_bits(), "final grants");
+        }
+        assert_eq!(a.iterations.len(), b.iterations.len());
+        for (ia, ib) in a.iterations.iter().zip(&b.iterations) {
+            assert_eq!(ia.barrier_at_s.to_bits(), ib.barrier_at_s.to_bits());
+            assert_eq!(ia.reporting, ib.reporting);
+            for (x, y) in ia.compute_s.iter().zip(&ib.compute_s) {
+                assert_eq!(x.to_bits(), y.to_bits(), "compute_s");
+            }
+            for (x, y) in ia.comm_s.iter().zip(&ib.comm_s) {
+                assert_eq!(x.to_bits(), y.to_bits(), "comm_s");
+            }
+        }
+        assert_eq!(a.grant_trace.len(), b.grant_trace.len());
+        for (ta, tb) in a.grant_trace.ticks().iter().zip(b.grant_trace.ticks()) {
+            for (x, y) in ta.granted_w.iter().zip(&tb.granted_w) {
+                assert_eq!(x.to_bits(), y.to_bits(), "leaf trace grants");
+            }
+        }
+        match (&a.rack_trace, &b.rack_trace) {
+            (None, None) => {}
+            (Some(ra), Some(rb)) => {
+                assert_eq!(ra.len(), rb.len());
+                for (ta, tb) in ra.ticks().iter().zip(rb.ticks()) {
+                    for (x, y) in ta.granted_w.iter().zip(&tb.granted_w) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "rack trace grants");
+                    }
+                }
+            }
+            _ => panic!("one outcome traced racks, the other did not"),
+        }
+    }
+
+    #[test]
+    fn sharded_flat_run_matches_the_reference_bit_for_bit() {
+        // The nastiest flat config the suite has: feedback policy, halo
+        // comm, a thermally clamped node, and a telemetry-dropout fault.
+        use simnode::faults::{FaultPlan, FaultWindow};
+        use simnode::time::SEC;
+        let mut cfg = small_cfg(Policy::ProgressFeedback { gain: 1.0 });
+        cfg.nodes[2] = NodeSpec::new(Preset::PoorCooling, 2.0);
+        cfg.nodes[1] = cfg.nodes[1]
+            .clone()
+            .with_faults(FaultPlan::new(7).telemetry_dropout(FaultWindow::new(SEC / 2, 3 * SEC)));
+        cfg.comm = halo_comm(16.0 * 1024.0 * 1024.0);
+        cfg.iters = 4;
+        let sharded = run_cluster(&cfg).unwrap();
+        let reference = run_cluster_reference(&cfg).unwrap();
+        assert_outcomes_bit_identical(&sharded, &reference);
+    }
+
+    #[test]
+    fn sharded_hierarchical_run_matches_the_reference_bit_for_bit() {
+        let mut cfg = small_cfg(Policy::ProgressFeedback { gain: 1.0 });
+        cfg.nodes.push(NodeSpec::new(Preset::Reference, 1.2));
+        cfg.nodes.push(NodeSpec::new(Preset::Leaky(10.0), 0.8));
+        cfg.nodes.push(NodeSpec::new(Preset::Reference, 1.7));
+        cfg.arbiter.budget_w = 480.0;
+        cfg.hierarchy = Some(HierarchyConfig {
+            racks: vec![2, 2, 2],
+            outer_period: 2,
+            inner_period: 1,
+            rack_policy: Policy::ProgressFeedback { gain: 0.8 },
+            rack_clamps: None,
+        });
+        cfg.comm = halo_comm(8.0 * 1024.0 * 1024.0);
+        cfg.iters = 4;
+        let sharded = run_cluster(&cfg).unwrap();
+        let reference = run_cluster_reference(&cfg).unwrap();
+        assert_outcomes_bit_identical(&sharded, &reference);
+    }
+
+    #[test]
+    fn shard_geometry_never_changes_the_bits() {
+        // 6 members split 1 / 2 / 4 / 6 ways (uneven tail shards
+        // included) must produce identical outcomes regardless of how
+        // many threads the host machine happens to offer.
+        let mut cfg = small_cfg(Policy::ProgressFeedback { gain: 1.0 });
+        cfg.nodes.push(NodeSpec::new(Preset::Reference, 1.2));
+        cfg.nodes.push(NodeSpec::new(Preset::Reference, 0.9));
+        cfg.nodes.push(NodeSpec::new(Preset::Reference, 1.7));
+        cfg.arbiter.budget_w = 480.0;
+        cfg.comm = halo_comm(4.0 * 1024.0 * 1024.0);
+        let one = run_cluster_sharded(&cfg, 1).unwrap();
+        for want in [2, 4, 6] {
+            let many = run_cluster_sharded(&cfg, want).unwrap();
+            assert_outcomes_bit_identical(&one, &many);
+        }
     }
 
     #[test]

@@ -42,6 +42,27 @@ impl Default for WorkloadShape {
 }
 
 impl WorkloadShape {
+    /// This shape with the per-unit *amount* of work scaled by `factor`,
+    /// preserving its compute/memory character (MLP and memory pressure
+    /// are intensive properties and stay put). The extreme-scale benches
+    /// and smokes use small factors to keep thousand-node iterations
+    /// short while still exercising the same kernel regime.
+    ///
+    /// # Panics
+    /// Panics on a non-finite or non-positive factor.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be finite positive"
+        );
+        Self {
+            cycles_per_unit: self.cycles_per_unit * factor,
+            misses_per_unit: self.misses_per_unit * factor,
+            inst_per_unit: self.inst_per_unit * factor,
+            ..*self
+        }
+    }
+
     /// The packet one core executes for one iteration at `weight`.
     ///
     /// # Panics
@@ -103,8 +124,24 @@ mod tests {
     }
 
     #[test]
+    fn scaled_shape_shrinks_work_but_not_character() {
+        let base = WorkloadShape::default();
+        let s = base.scaled(0.1);
+        assert!((s.cycles_per_unit / base.cycles_per_unit - 0.1).abs() < 1e-12);
+        assert!((s.misses_per_unit / base.misses_per_unit - 0.1).abs() < 1e-12);
+        assert_eq!(s.mlp, base.mlp);
+        assert_eq!(s.mem_weight, base.mem_weight);
+    }
+
+    #[test]
     #[should_panic(expected = "finite positive")]
     fn zero_weight_rejected() {
         WorkloadShape::default().packet(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite positive")]
+    fn zero_scale_rejected() {
+        WorkloadShape::default().scaled(0.0);
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|cluster|sched|loadgen]
-//!       [--quick] [--out DIR] [--budget W] [--seed N]
+//!       [--quick] [--out DIR] [--budget W] [--seed N] [--nodes N]
 //!
 //! `sched` schedules a seeded multi-tenant batch queue under a machine
 //! power envelope and compares the eco-mode-aware admission policies;
@@ -18,6 +18,12 @@
 //! `--budget W` overrides the machine-level power budget of the cluster
 //! artefacts; an infeasible value is reported as a configuration error
 //! (which field, which constraint) instead of a panic backtrace.
+//!
+//! `--nodes N` rescales the cluster artefacts to an N-node machine
+//! (budget density held at the default 65 W/node; the hierarchical
+//! variants add racks of the default width, so N must be a multiple of
+//! it). This is the large-sweep knob: the scale-smoke CI tier runs
+//! `repro cluster --quick --nodes 1024` and diffs the CSVs bit for bit.
 //!
 //! Prints each artefact as an aligned text table; with `--out DIR` also
 //! writes one CSV per artefact (plus raw series for the figures).
@@ -37,6 +43,7 @@ struct Opts {
     out: Option<PathBuf>,
     budget_w: Option<f64>,
     seed: Option<u64>,
+    nodes: Option<usize>,
 }
 
 fn parse_args() -> Opts {
@@ -45,6 +52,7 @@ fn parse_args() -> Opts {
     let mut out = None;
     let mut budget_w = None;
     let mut seed = None;
+    let mut nodes = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -70,9 +78,16 @@ fn parse_args() -> Opts {
                     std::process::exit(2);
                 }));
             }
+            "--nodes" => {
+                let n = args.next().and_then(|v| v.parse::<usize>().ok());
+                nodes = Some(n.filter(|&n| n > 0).unwrap_or_else(|| {
+                    eprintln!("--nodes requires a positive node count");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|cluster|sched|loadgen]... [--quick] [--out DIR] [--budget W] [--seed N]"
+                    "usage: repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|cluster|sched|loadgen]... [--quick] [--out DIR] [--budget W] [--seed N] [--nodes N]"
                 );
                 std::process::exit(0);
             }
@@ -88,6 +103,7 @@ fn parse_args() -> Opts {
         out,
         budget_w,
         seed,
+        nodes,
     }
 }
 
@@ -248,6 +264,9 @@ fn main() {
         } else {
             cluster::Config::default()
         };
+        if let Some(n) = opts.nodes {
+            cfg = cfg.with_nodes(n);
+        }
         if let Some(w) = opts.budget_w {
             cfg.budget_w = w;
         }
@@ -264,6 +283,16 @@ fn main() {
         } else {
             hierarchy::Config::default()
         };
+        if let Some(n) = opts.nodes {
+            if !n.is_multiple_of(hcfg.nodes_per_rack) {
+                eprintln!(
+                    "repro cluster: --nodes {n} is not a multiple of the {}-node rack width",
+                    hcfg.nodes_per_rack
+                );
+                std::process::exit(2);
+            }
+            hcfg = hcfg.with_nodes(n);
+        }
         if let Some(w) = opts.budget_w {
             hcfg.budget_w = w;
         }

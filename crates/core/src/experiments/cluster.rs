@@ -111,6 +111,19 @@ impl Config {
         self
     }
 
+    /// Scale the experiment to `n` nodes (the `repro cluster --nodes N`
+    /// knob), holding the per-node budget density so the division
+    /// problem stays exactly as tight as the default's 65 W/node.
+    ///
+    /// # Panics
+    /// Panics when `n` is zero.
+    pub fn with_nodes(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one node");
+        self.budget_w = self.budget_w / self.nodes as f64 * n as f64;
+        self.nodes = n;
+        self
+    }
+
     /// The node roster: an imbalanced work ramp over mostly reference
     /// parts, with one leaky and one low-binned node mixed in (the
     /// variability Rountree et al. observe under power limits).

@@ -113,6 +113,24 @@ impl Config {
         self.racks * self.nodes_per_rack
     }
 
+    /// Scale the experiment to `n` nodes (the `repro cluster --nodes N`
+    /// knob) by adding racks of the configured width, holding the
+    /// per-node budget density of the default configuration.
+    ///
+    /// # Panics
+    /// Panics when `n` is zero or not a multiple of `nodes_per_rack` —
+    /// the CLI validates first and exits 2 instead.
+    pub fn with_nodes(mut self, n: usize) -> Self {
+        assert!(
+            n > 0 && n.is_multiple_of(self.nodes_per_rack),
+            "node count must be a positive multiple of the {}-node rack width",
+            self.nodes_per_rack
+        );
+        self.budget_w = self.budget_w / self.nodes() as f64 * n as f64;
+        self.racks = n / self.nodes_per_rack;
+        self
+    }
+
     /// The node roster: the work ramp is rank-ordered and racks own
     /// contiguous rank spans, so the racks end up with distinctly
     /// different total demand — the imbalance the rack level can see.

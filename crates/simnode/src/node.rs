@@ -411,6 +411,28 @@ impl Node {
         &self.outcome
     }
 
+    /// Absolute sim-time of the node's next *scheduled* event at or before
+    /// `deadline`: the next RAPL period boundary, the next fault window
+    /// edge (opening, closing, or deferred cap latch), or a sleeping
+    /// core's wake — whichever comes first. Compute completions are
+    /// deliberately excluded: they depend on the power cap in force and
+    /// are discovered by stepping, not predicted here. Schedulers use
+    /// this to decide whether a node needs waking before their horizon;
+    /// a node with no event before `deadline` can be left parked without
+    /// changing what any [`Node::step_until`] call will observe.
+    pub fn next_event_hint(&self, deadline: Nanos) -> Nanos {
+        let mut t = deadline.min(self.next_rapl);
+        if let Some(b) = self.msr.next_fault_boundary(self.now) {
+            t = t.min(b);
+        }
+        for work in &self.cores {
+            if let CoreWork::Sleep { until } = work {
+                t = t.min(*until);
+            }
+        }
+        t.max(self.now)
+    }
+
     /// Number of whole quanta until the next *event horizon*: the earliest
     /// of the caller's deadline, the next RAPL period boundary, a fault
     /// window opening/closing or deferred cap latching, a sleeping core's

@@ -120,9 +120,20 @@ if [[ "$bench_check" -eq 1 ]]; then
     fi
     fresh="$(mktemp)"
     trap 'rm -f "$fresh"' EXIT
-    CRITERION_JSON="$fresh" CRITERION_SAMPLES="${CRITERION_SAMPLES:-15}" \
+    # CRITERION_FILTER is explicitly cleared: a filter leaked from the
+    # environment would skip benches, and every skipped bench would read
+    # as GONE below — a confusing way to fail a correct tree.
+    CRITERION_FILTER="" CRITERION_JSON="$fresh" \
+        CRITERION_SAMPLES="${CRITERION_SAMPLES:-15}" \
         cargo bench -q -p powerprog-bench --bench cluster
+    if [[ ! -s "$fresh" ]]; then
+        echo "ci.sh: bench run produced no results — harness problem" >&2
+        exit 1
+    fi
     # Compare per-bench minima: fail when fresh > baseline * (1 + tol).
+    # A bench present in the baseline but absent from the run is GONE
+    # and fails outright: deleting (or renaming) a bench must force a
+    # deliberate re-snapshot, never silently shrink the gate.
     # Both files carry one {"name":...,"min_s":...} object per bench
     # (the baseline wraps them in a JSON array; the field layout is ours,
     # so field-anchored extraction is reliable).
@@ -151,16 +162,22 @@ if [[ "$bench_check" -eq 1 ]]; then
             seen[name] = 1
         }
         END {
+            gone = 0
             for (n in base) {
                 if (!(n in seen)) {
                     printf "GONE  %-48s benched in baseline only\n", n
+                    gone++
                     bad = 1
                 }
+            }
+            if (gone) {
+                printf "%d baseline bench(es) missing from the run — ", gone
+                print "re-snapshot deliberately or restore them"
             }
             exit bad ? 1 : 0
         }
     ' "$baseline" "$fresh" || {
-        echo "ci.sh: bench regression beyond ${BENCH_TOLERANCE:-0.5} (or missing bench)" >&2
+        echo "ci.sh: bench regression beyond ${BENCH_TOLERANCE:-0.5}, or a baseline bench missing from the run" >&2
         exit 1
     }
 fi

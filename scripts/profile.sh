@@ -9,16 +9,29 @@
 # single-quantum reference (node/step_1s from the micro bench), which is
 # the ratio the event-horizon stepping optimises.
 #
-# Usage: scripts/profile.sh [bench-name]
+# Usage: scripts/profile.sh [bench-name] [filter]
+#        scripts/profile.sh [filter]
 #
 #   bench-name   bench target to profile under perf (default: cluster)
+#   filter       substring selecting which benches inside the target run
+#                (CRITERION_FILTER); an argument that names no bench
+#                target is taken as a filter on the default target, so
+#                `scripts/profile.sh hier_4096n` profiles just the
+#                4096-node bench without editing anything.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 bench="${1:-cluster}"
+filter="${2:-}"
+# First argument that isn't a bench target ⇒ it's a filter on `cluster`.
+if [[ -n "${1:-}" && ! -f "crates/bench/benches/${bench}.rs" ]]; then
+    filter="$bench"
+    bench="cluster"
+fi
+export CRITERION_FILTER="$filter"
 
 if command -v perf >/dev/null 2>&1; then
-    echo "== perf profile of bench '$bench'"
+    echo "== perf profile of bench '$bench'${filter:+ (filter: $filter)}"
     cargo bench -q -p powerprog-bench --bench "$bench" --no-run
     # Find the freshest bench binary for the target.
     bin="$(ls -t target/release/deps/"${bench}"-* 2>/dev/null |
@@ -55,11 +68,13 @@ echo "== no perf on PATH: criterion timing breakdown instead"
 echo
 echo "-- event-horizon fast path (macro-quantum stepping)"
 CRITERION_SAMPLES="${CRITERION_SAMPLES:-5}" \
-    cargo bench -q -p powerprog-bench --bench cluster
-echo
-echo "-- exact single-quantum reference (node/step_1s) and subsystem costs"
-CRITERION_SAMPLES="${CRITERION_SAMPLES:-5}" \
-    cargo bench -q -p powerprog-bench --bench micro
-echo
-echo "step_until_3s simulates 3 s; node/step_1s simulates 1 s: divide the"
-echo "step_until median by 3 to compare per-simulated-second cost."
+    cargo bench -q -p powerprog-bench --bench "$bench"
+if [[ -z "$filter" ]]; then
+    echo
+    echo "-- exact single-quantum reference (node/step_1s) and subsystem costs"
+    CRITERION_SAMPLES="${CRITERION_SAMPLES:-5}" \
+        cargo bench -q -p powerprog-bench --bench micro
+    echo
+    echo "step_until_3s simulates 3 s; node/step_1s simulates 1 s: divide the"
+    echo "step_until median by 3 to compare per-simulated-second cost."
+fi
