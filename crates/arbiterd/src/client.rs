@@ -133,38 +133,50 @@ impl GrantClient {
     /// it once per simulated tick).
     pub fn advance(&mut self) {
         self.polls += 1;
-        match &mut self.link {
-            Link::Up(wire) => loop {
-                match wire.poll() {
-                    Ok(Some(msg)) => match msg {
-                        Msg::Grant { tick, watts, .. } => {
-                            self.last_grant = Some(watts);
-                            self.last_tick = tick;
-                        }
-                        Msg::Busy { retry_after } => {
-                            self.stats.busy += 1;
-                            self.muted_until = self.polls + retry_after as u64;
-                        }
-                        Msg::Nack { .. } => {
-                            self.stats.nacked += 1;
-                        }
-                        // Client-only messages from a confused peer.
-                        Msg::Hello { .. } | Msg::Heartbeat { .. } | Msg::Telemetry { .. } => {}
-                    },
-                    Ok(None) => break,
-                    Err(WireError::Disconnected) | Err(WireError::Corrupt(_)) => {
-                        self.note_down();
-                        break;
+        if let Link::Down { retry_in } = &mut self.link {
+            if *retry_in == 0 {
+                self.try_connect();
+            } else {
+                *retry_in -= 1;
+            }
+            return;
+        }
+        while let Link::Up(wire) = &mut self.link {
+            let polled = wire.poll();
+            match polled {
+                // A batch is its members in order — the daemon groups a
+                // tick's replies per connection into one frame.
+                Ok(Some(Msg::Batch(msgs))) => {
+                    for m in msgs {
+                        self.absorb(m);
                     }
                 }
-            },
-            Link::Down { retry_in } => {
-                if *retry_in == 0 {
-                    self.try_connect();
-                } else {
-                    *retry_in -= 1;
+                Ok(Some(msg)) => self.absorb(msg),
+                Ok(None) => break,
+                Err(WireError::Disconnected) | Err(WireError::Corrupt(_)) => {
+                    self.note_down();
+                    break;
                 }
             }
+        }
+    }
+
+    fn absorb(&mut self, msg: Msg) {
+        match msg {
+            Msg::Grant { tick, watts, .. } => {
+                self.last_grant = Some(watts);
+                self.last_tick = tick;
+            }
+            Msg::Busy { retry_after } => {
+                self.stats.busy += 1;
+                self.muted_until = self.polls + retry_after as u64;
+            }
+            Msg::Nack { .. } => {
+                self.stats.nacked += 1;
+            }
+            // Client-only messages from a confused peer; nested batches
+            // never decode off the wire.
+            Msg::Hello { .. } | Msg::Heartbeat { .. } | Msg::Telemetry { .. } | Msg::Batch(_) => {}
         }
     }
 

@@ -1,10 +1,15 @@
 //! The long-running daemon: an [`ArbiterService`] behind a TCP listener.
 //!
 //! Plain threads over `std::net`, no async runtime: an accept thread
-//! spawns one reader per connection, every reader funnels messages into
-//! the shared service under a mutex, and a ticker thread drives
-//! [`ArbiterService::tick`] on a fixed period, routing each grant back
-//! through the connection that most recently said Hello for that node.
+//! spawns one reader per connection, every reader parks on a *blocking*
+//! read (with a timeout so it can notice shutdown) and stages inbound
+//! messages into its own per-connection inbox, and a ticker thread
+//! drives [`ArbiterService::tick`] on a fixed period. The ticker is the
+//! only thread that touches the service: it drains every inbox, takes
+//! the service lock exactly once per tick, ingests the staged traffic,
+//! ticks, and then routes the resulting grants back — grouped into one
+//! [`Msg::Batch`] frame per connection, so a connection multiplexing
+//! many producers costs one syscall per tick instead of one per node.
 //! The service object is the single source of truth; the threads are
 //! plumbing, so every robustness property lives in the deterministic
 //! core where the tests can reach it.
@@ -17,7 +22,7 @@
 use std::collections::HashMap;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -26,14 +31,65 @@ use crate::proto::Msg;
 use crate::service::{ArbiterService, ServiceStats};
 use crate::wire::{TcpWire, Wire, WireError};
 
-/// Route table: node id → the wire of its most recent Hello.
+use nrm::Backoff;
+
+/// Route table: node id → the write half of its most recent Hello.
 type Routes = Arc<Mutex<HashMap<u32, Arc<Mutex<TcpWire>>>>>;
+
+/// Socket/threading knobs, distinct from the deterministic
+/// [`crate::service::ServiceConfig`]: nothing here can change *what* the
+/// service grants, only how promptly bytes move.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Arbitration heartbeat.
+    pub tick_period: Duration,
+    /// How long a reader parks in `read(2)` before re-checking the stop
+    /// flag. Bounds shutdown latency; idle connections cost no CPU.
+    pub read_timeout: Duration,
+    /// How long a send may park before the peer is declared dead.
+    pub write_timeout: Duration,
+    /// Per-connection staged-message cap; overflow drops the newest
+    /// message (producers resend telemetry every tick, so a drop heals
+    /// on the next report, exactly like a lost datagram).
+    pub inbox_depth: usize,
+    /// Cap (in 500 µs quanta) for the acceptor's idle backoff.
+    pub accept_backoff_cap: u32,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            tick_period: Duration::from_millis(5),
+            read_timeout: Duration::from_millis(20),
+            write_timeout: Duration::from_millis(250),
+            inbox_depth: 8192,
+            accept_backoff_cap: 8,
+        }
+    }
+}
+
+/// The acceptor sleeps `quantum × Backoff::record_failure()` when no
+/// connection is pending, so an idle listener decays toward ~4 ms polls
+/// while a connect burst is drained at full speed after one `reset`.
+const ACCEPT_QUANTUM: Duration = Duration::from_micros(500);
+
+/// One live connection as the ticker sees it: the write half for
+/// replies, the staged inbound traffic, and a liveness flag the reader
+/// clears on its way out.
+struct Conn {
+    wire: Arc<Mutex<TcpWire>>,
+    inbox: Arc<Mutex<Vec<Msg>>>,
+    alive: Arc<AtomicBool>,
+}
+
+type Conns = Arc<Mutex<Vec<Conn>>>;
 
 /// A running daemon and its control handle.
 pub struct Daemon {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     service: Arc<Mutex<ArbiterService>>,
+    dropped: Arc<AtomicU64>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -44,40 +100,111 @@ impl Daemon {
         service: ArbiterService,
         tick_period: Duration,
     ) -> std::io::Result<Daemon> {
+        Daemon::spawn_shared(
+            listener,
+            Arc::new(Mutex::new(service)),
+            DaemonConfig {
+                tick_period,
+                ..DaemonConfig::default()
+            },
+        )
+    }
+
+    /// Serve an externally-owned service handle. A sharded deployment
+    /// uses this to keep the coordinator's grip on each shard's service
+    /// while the daemon moves its bytes.
+    pub fn spawn_shared(
+        listener: TcpListener,
+        service: Arc<Mutex<ArbiterService>>,
+        cfg: DaemonConfig,
+    ) -> std::io::Result<Daemon> {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let service = Arc::new(Mutex::new(service));
         let routes: Routes = Arc::new(Mutex::new(HashMap::new()));
+        let conns: Conns = Arc::new(Mutex::new(Vec::new()));
+        let dropped = Arc::new(AtomicU64::new(0));
         let mut threads = Vec::new();
 
-        // Ticker: the arbitration heartbeat.
+        // Ticker: the arbitration heartbeat, and the only service user.
         {
             let stop = stop.clone();
             let service = service.clone();
             let routes = routes.clone();
+            let conns = conns.clone();
+            let tick_period = cfg.tick_period;
             threads.push(std::thread::spawn(move || {
                 while !stop.load(Ordering::SeqCst) {
                     std::thread::sleep(tick_period);
-                    let replies = service.lock().unwrap().tick();
-                    route_replies(&routes, &replies);
+
+                    // Stage: swap each connection's inbox out under its
+                    // own tiny lock; prune connections whose reader left.
+                    let mut staged: Vec<(Arc<Mutex<TcpWire>>, Vec<Msg>)> = Vec::new();
+                    {
+                        let mut table = conns.lock().unwrap();
+                        table.retain(|c| c.alive.load(Ordering::SeqCst));
+                        for c in table.iter() {
+                            let msgs = std::mem::take(&mut *c.inbox.lock().unwrap());
+                            if !msgs.is_empty() {
+                                staged.push((c.wire.clone(), msgs));
+                            }
+                        }
+                    }
+
+                    // The service lock is taken once per tick, not once
+                    // per message: readers never contend on it at all.
+                    let mut immediate: Vec<(Arc<Mutex<TcpWire>>, Vec<Msg>)> = Vec::new();
+                    let grants = {
+                        let mut svc = service.lock().unwrap();
+                        for (wire, msgs) in staged {
+                            let mut replies = Vec::new();
+                            for m in msgs {
+                                replies.extend(svc.ingest(m));
+                            }
+                            if !replies.is_empty() {
+                                immediate.push((wire, replies));
+                            }
+                        }
+                        svc.tick()
+                    };
+
+                    for (wire, replies) in immediate {
+                        send_batched(&wire, replies);
+                    }
+                    route_replies(&routes, &grants);
                 }
             }));
         }
 
-        // Acceptor: one reader thread per connection.
+        // Acceptor: one reader thread per connection, jittered
+        // exponential backoff while the queue is empty.
         {
             let stop = stop.clone();
-            let service = service.clone();
             let routes = routes.clone();
+            let conns = conns.clone();
+            let dropped = dropped.clone();
+            let read_timeout = cfg.read_timeout;
+            let write_timeout = cfg.write_timeout;
+            let inbox_depth = cfg.inbox_depth;
+            let mut backoff = Backoff::new(cfg.accept_backoff_cap.max(1), addr.port() as u64);
             threads.push(std::thread::spawn(move || {
                 while !stop.load(Ordering::SeqCst) {
                     match listener.accept() {
                         Ok((stream, _)) => {
-                            spawn_reader(stream, stop.clone(), service.clone(), routes.clone());
+                            backoff.reset();
+                            spawn_reader(
+                                stream,
+                                stop.clone(),
+                                routes.clone(),
+                                conns.clone(),
+                                dropped.clone(),
+                                read_timeout,
+                                write_timeout,
+                                inbox_depth,
+                            );
                         }
                         Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(2));
+                            std::thread::sleep(ACCEPT_QUANTUM * backoff.record_failure());
                         }
                         Err(_) => break,
                     }
@@ -89,6 +216,7 @@ impl Daemon {
             addr,
             stop,
             service,
+            dropped,
             threads,
         })
     }
@@ -106,6 +234,17 @@ impl Daemon {
     /// Current grants, W.
     pub fn grants(&self) -> Vec<f64> {
         self.service.lock().unwrap().grants().to_vec()
+    }
+
+    /// Messages dropped on inbox overflow since spawn.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::SeqCst)
+    }
+
+    /// The shared service handle (a sharded coordinator holds its own
+    /// clone; this one is for tests and tooling).
+    pub fn service(&self) -> Arc<Mutex<ArbiterService>> {
+        self.service.clone()
     }
 
     /// Simulated `kill -9`: stop every thread without flushing anything
@@ -127,57 +266,110 @@ impl Drop for Daemon {
     }
 }
 
+/// Send `replies` down one wire as a single frame: one message goes as
+/// itself, several are wrapped in a [`Msg::Batch`]. Replies that are
+/// already batches (the service folds a batched ingest's replies) are
+/// flattened first — batches do not nest on the wire.
+fn send_batched(wire: &Arc<Mutex<TcpWire>>, replies: Vec<Msg>) {
+    let mut flat: Vec<Msg> = Vec::with_capacity(replies.len());
+    for r in replies {
+        match r {
+            Msg::Batch(members) => flat.extend(members),
+            m => flat.push(m),
+        }
+    }
+    // A dead route is cleaned up by its reader thread; a failed send
+    // here just means the client reconnects and re-Hellos.
+    let mut w = wire.lock().unwrap();
+    if flat.len() == 1 {
+        w.send(&flat[0]).ok();
+    } else if !flat.is_empty() {
+        w.send(&Msg::Batch(flat)).ok();
+    }
+}
+
+/// Deliver a tick's grants: group by destination wire, one batched
+/// frame per connection.
 fn route_replies(routes: &Routes, replies: &[Msg]) {
     if replies.is_empty() {
         return;
     }
-    let table = routes.lock().unwrap();
-    for msg in replies {
-        let Msg::Grant { node, .. } = msg else {
-            continue;
-        };
-        if let Some(wire) = table.get(node) {
-            // A dead route is cleaned up by its reader thread; a failed
-            // send here just means the client reconnects and re-Hellos.
-            wire.lock().unwrap().send(msg).ok();
+    let mut order: Vec<Arc<Mutex<TcpWire>>> = Vec::new();
+    let mut groups: HashMap<usize, Vec<Msg>> = HashMap::new();
+    {
+        let table = routes.lock().unwrap();
+        for msg in replies {
+            let Msg::Grant { node, .. } = msg else {
+                continue;
+            };
+            let Some(wire) = table.get(node) else {
+                continue;
+            };
+            let key = Arc::as_ptr(wire) as usize;
+            groups
+                .entry(key)
+                .or_insert_with(|| {
+                    order.push(wire.clone());
+                    Vec::new()
+                })
+                .push(msg.clone());
+        }
+    }
+    for wire in order {
+        let key = Arc::as_ptr(&wire) as usize;
+        if let Some(msgs) = groups.remove(&key) {
+            send_batched(&wire, msgs);
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn spawn_reader(
     stream: TcpStream,
     stop: Arc<AtomicBool>,
-    service: Arc<Mutex<ArbiterService>>,
     routes: Routes,
+    conns: Conns,
+    dropped: Arc<AtomicU64>,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    inbox_depth: usize,
 ) {
+    // The reader exclusively owns the blocking read half; the write
+    // half goes behind a mutex shared with the ticker. Timeouts live on
+    // the shared socket, so the split preserves them.
+    let Ok(mut rd) = TcpWire::new_blocking(stream, read_timeout, write_timeout) else {
+        return;
+    };
+    let Ok(wr) = rd.split() else {
+        return;
+    };
+    let wire = Arc::new(Mutex::new(wr));
+    let inbox = Arc::new(Mutex::new(Vec::new()));
+    let alive = Arc::new(AtomicBool::new(true));
+    conns.lock().unwrap().push(Conn {
+        wire: wire.clone(),
+        inbox: inbox.clone(),
+        alive: alive.clone(),
+    });
     std::thread::spawn(move || {
-        let Ok(wire) = TcpWire::new(stream) else {
-            return;
-        };
-        let wire = Arc::new(Mutex::new(wire));
         let mut my_nodes: Vec<u32> = Vec::new();
-        'conn: while !stop.load(Ordering::SeqCst) {
-            let polled = wire.lock().unwrap().poll();
-            match polled {
+        while !stop.load(Ordering::SeqCst) {
+            match rd.poll() {
                 Ok(Some(msg)) => {
-                    if let Msg::Hello { node } = msg {
-                        routes.lock().unwrap().insert(node, wire.clone());
-                        if !my_nodes.contains(&node) {
-                            my_nodes.push(node);
-                        }
-                    }
-                    let replies = service.lock().unwrap().ingest(msg);
-                    let mut w = wire.lock().unwrap();
-                    for r in &replies {
-                        if w.send(r).is_err() {
-                            break 'conn;
-                        }
+                    register_hellos(&msg, &routes, &wire, &mut my_nodes);
+                    let mut q = inbox.lock().unwrap();
+                    if q.len() < inbox_depth {
+                        q.push(msg);
+                    } else {
+                        dropped.fetch_add(1, Ordering::SeqCst);
                     }
                 }
-                Ok(None) => std::thread::sleep(Duration::from_millis(1)),
+                // Read timeout: nothing arrived, loop re-checks stop.
+                Ok(None) => {}
                 Err(WireError::Disconnected) | Err(WireError::Corrupt(_)) => break,
             }
         }
+        alive.store(false, Ordering::SeqCst);
         // Drop our routes so grants stop chasing a dead socket.
         let mut table = routes.lock().unwrap();
         for node in my_nodes {
@@ -186,6 +378,34 @@ fn spawn_reader(
             }
         }
     });
+}
+
+/// Route registration happens on the reader (not the ticker) so a Hello
+/// and the grants it provokes can never race: by the time the staged
+/// Hello is ingested, its route already exists. Batched Hellos count.
+fn register_hellos(
+    msg: &Msg,
+    routes: &Routes,
+    wire: &Arc<Mutex<TcpWire>>,
+    my_nodes: &mut Vec<u32>,
+) {
+    let mut register = |node: u32| {
+        routes.lock().unwrap().insert(node, wire.clone());
+        if !my_nodes.contains(&node) {
+            my_nodes.push(node);
+        }
+    };
+    match msg {
+        Msg::Hello { node } => register(*node),
+        Msg::Batch(members) => {
+            for m in members {
+                if let Msg::Hello { node } = m {
+                    register(*node);
+                }
+            }
+        }
+        _ => {}
+    }
 }
 
 #[cfg(test)]
@@ -269,6 +489,7 @@ mod tests {
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while c.last_grant().is_none() && std::time::Instant::now() < deadline {
             c.advance();
+            c.send_report(&NodeTelemetry::compute_only(1.0, 1.0, 90.0));
             std::thread::sleep(Duration::from_millis(2));
         }
         let held = c.last_grant().expect("grant before the crash");
@@ -298,5 +519,55 @@ mod tests {
         assert!(c.connected(), "client must redial the restarted daemon");
         assert!(c.stats().connects >= 2);
         daemon2.kill();
+    }
+
+    #[test]
+    fn one_connection_multiplexes_many_nodes_with_batched_grants() {
+        // Four producers share one TCP connection: a batched Hello+
+        // telemetry frame up, one batched grant frame back per tick.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let daemon = Daemon::spawn(listener, service(4), Duration::from_millis(5)).unwrap();
+
+        let stream = TcpStream::connect_timeout(&daemon.addr(), Duration::from_millis(250))
+            .expect("connect");
+        let mut wire = TcpWire::new(stream).expect("wire");
+        let hello = Msg::Batch((0..4).map(|node| Msg::Hello { node }).collect());
+        wire.send(&hello).expect("hello batch");
+
+        let mut grants = vec![None::<f64>; 4];
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut seq = 1;
+        while grants.iter().any(Option::is_none) {
+            let report = Msg::Batch(
+                (0..4u32)
+                    .map(|node| Msg::Telemetry {
+                        node,
+                        seq,
+                        report: NodeTelemetry::compute_only(1.0 + node as f64, 1.0, 95.0),
+                    })
+                    .collect(),
+            );
+            seq += 1;
+            wire.send(&report).ok();
+            while let Ok(Some(msg)) = wire.poll() {
+                let members = match msg {
+                    Msg::Batch(ms) => ms,
+                    m => vec![m],
+                };
+                for m in members {
+                    if let Msg::Grant { node, watts, .. } = m {
+                        grants[node as usize] = Some(watts);
+                    }
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "all multiplexed nodes must be granted: {grants:?}"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let sum: f64 = grants.iter().map(|g| g.unwrap()).sum();
+        assert!(sum <= 400.0 + 1e-6, "Σ grants {sum} over budget");
+        daemon.kill();
     }
 }

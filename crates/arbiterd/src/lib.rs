@@ -23,7 +23,13 @@
 //! - [`snapshot`] — atomic (write-temp → fsync → rename) checksummed
 //!   state captures; a restarted daemon resumes with Σ grants ≤ budget
 //!   intact and grants bitwise-unchanged.
-//! - [`daemon`] — the threaded TCP front-end around the service.
+//! - [`daemon`] — the threaded TCP front-end around the service:
+//!   blocking readers staging into per-connection inboxes, one service
+//!   lock per tick, grants batched into one frame per connection.
+//! - [`sharded`] — horizontal scale-out: N shards, each owning a span
+//!   of producers and a rack-style sub-budget, under a coordinator
+//!   that reuses [`cluster::OuterSolver`] so the machine budget splits
+//!   exactly as the in-process rack tree splits it.
 //! - [`client`] — the member side: hold-last-grant degradation,
 //!   jittered exponential reconnect backoff, shed-hint compliance; it
 //!   implements [`cluster::GrantSource`], so cluster members consume
@@ -37,13 +43,18 @@ pub mod daemon;
 pub mod loadgen;
 pub mod proto;
 pub mod service;
+pub mod sharded;
 pub mod snapshot;
 pub mod wire;
 
 pub use client::{ClientStats, GrantClient};
-pub use daemon::Daemon;
-pub use loadgen::{run_loadgen, FaultKnobs, LoadgenConfig, LoadgenReport};
+pub use daemon::{Daemon, DaemonConfig};
+pub use loadgen::{
+    run_concurrent_loadgen, run_loadgen, ConcurrentConfig, ConcurrentReport, FaultKnobs,
+    LoadgenConfig, LoadgenReport,
+};
 pub use proto::Msg;
 pub use service::{ArbiterService, ServiceConfig, ServiceStats};
+pub use sharded::{shard_spans, ShardedDaemon, ShardedService};
 pub use snapshot::Snapshot;
 pub use wire::{FaultyWire, PipeWire, TcpWire, Wire, WireError, WireFaultPlan, WireFaultStats};

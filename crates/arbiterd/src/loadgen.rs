@@ -1,30 +1,55 @@
-//! Deterministic load generator: thousands of simulated telemetry
-//! producers against one [`ArbiterService`], with seeded transport
-//! faults and an optional mid-run daemon crash.
+//! Deterministic load generator: up to 100k simulated telemetry
+//! producers against one or more [`ArbiterService`] shards, with seeded
+//! transport faults and an optional mid-run daemon crash.
 //!
 //! Everything is in-process and lockstep — clients, "network", and
-//! service advance one tick at a time over [`PipeWire`] pairs — so a
+//! services advance one tick at a time over [`PipeWire`] pairs — so a
 //! run is a pure function of its configuration: the same seed gives the
 //! same sheds, the same reconnect schedule, the same grants, bit for
 //! bit. That determinism is what lets the chaos acceptance test demand
 //! *bitwise* equality between a crashed-and-recovered run and an
 //! uncrashed reference instead of hand-waving tolerances.
 //!
-//! The crash model mirrors `kill -9` at a tick boundary: every server
-//! endpoint hangs up, the service object is dropped on the floor
-//! (no flush), and a fresh service restores from the write-ahead
-//! snapshot. Clients notice only through their wires dying.
+//! Two scale levers beyond the original single-service generator:
+//!
+//! - **Sharding** (`shards > 1`): producers split across N
+//!   [`ShardedService`] shards, the machine budget re-split on
+//!   `outer_period` by the rack-level solver. `shards = 1` takes the
+//!   single-service path untouched (bit-identical to the pre-sharding
+//!   generator).
+//! - **Batching** (`batch > 1`): producers multiplex in groups over one
+//!   wire each, sending one [`Msg::Batch`] of telemetry per tick
+//!   instead of one frame per producer. Grants return batched the same
+//!   way. The service treats a batch exactly as its members (tested
+//!   bitwise), so this only changes frame count, never grants.
+//!
+//! The crash model mirrors `kill -9` at a tick boundary: the victim
+//! shard's endpoints hang up, its service object is dropped on the
+//! floor (no flush), and a fresh service restores from the write-ahead
+//! snapshot. `crash_shard` selects one victim; `None` crashes every
+//! shard at once (the single-daemon legacy shape). Clients notice only
+//! through their wires dying.
+//!
+//! [`run_concurrent_loadgen`] is the wall-clock sibling: genuinely
+//! concurrent TCP clients from a thread pool with seeded jitter against
+//! live [`ShardedDaemon`] sockets. It measures throughput and checks
+//! Σ ≤ budget, but makes no bitwise claims — lockstep mode is the
+//! bitwise-reference path.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-use cluster::{ArbiterConfig, BudgetArbiter, NodeTelemetry, Policy, PowerArbiter};
+use cluster::{ArbiterConfig, BudgetArbiter, ConfigError, NodeTelemetry, Policy, PowerArbiter};
+use nrm::Backoff;
 
-use crate::client::GrantClient;
+use crate::client::{ClientStats, GrantClient};
 use crate::proto::Msg;
 use crate::service::{ArbiterService, ServiceConfig, ServiceStats};
-use crate::wire::{FaultyWire, PipeWire, Wire, WireFaultPlan};
+use crate::sharded::{shard_spans, ShardedDaemon, ShardedService};
+use crate::wire::{FaultyWire, PipeWire, TcpWire, Wire, WireFaultPlan};
 
 /// Transport-fault knobs for the simulated cluster.
 #[derive(Debug, Clone)]
@@ -59,8 +84,17 @@ impl FaultKnobs {
 /// One load-generation scenario.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
-    /// Simulated telemetry producers (= arbiter nodes).
+    /// Simulated telemetry producers (= arbiter nodes, machine-wide).
     pub clients: usize,
+    /// Arbiter shards the producers are spread across (contiguous
+    /// near-equal spans; 1 = the single-service legacy path).
+    pub shards: usize,
+    /// Producers multiplexed per wire (1 = one connection per producer,
+    /// the legacy shape; >1 sends one batched frame per group per tick).
+    pub batch: usize,
+    /// Ticks between machine-budget re-splits across shards (ignored
+    /// when `shards` is 1).
+    pub outer_period: u64,
     /// Lockstep ticks to run.
     pub ticks: u64,
     /// Master seed: telemetry content, fault schedules, backoff jitter.
@@ -75,11 +109,14 @@ pub struct LoadgenConfig {
     pub service: ServiceConfig,
     /// Transport faults (`None` = clean wires).
     pub faults: Option<FaultKnobs>,
-    /// Kill the daemon at the start of this tick and restore it from
-    /// the snapshot.
+    /// Kill a daemon at the start of this tick and restore it from the
+    /// snapshot.
     pub crash_at: Option<u64>,
+    /// Which shard `crash_at` kills: `Some(k)` = shard `k` only (the
+    /// others keep serving); `None` = every shard at once.
+    pub crash_shard: Option<usize>,
     /// Snapshot location (required for `crash_at`; `None` disables
-    /// snapshotting).
+    /// snapshotting). With `shards > 1` each shard appends `.s<i>`.
     pub snapshot_path: Option<PathBuf>,
     /// Send telemetry every N ticks (heartbeats in between).
     pub report_every: u64,
@@ -89,12 +126,19 @@ pub struct LoadgenConfig {
     /// crashed cohort reconnects in lockstep — required by the bitwise
     /// recovery comparison, unrealistic for throughput runs.
     pub lockstep_backoff: bool,
+    /// Record every `(seq, grant-bits)` per node in the report's
+    /// `grant_log`. The bitwise tests need it; throughput benches turn
+    /// it off so they measure message handling, not test bookkeeping.
+    pub record_grants: bool,
 }
 
 impl Default for LoadgenConfig {
     fn default() -> Self {
         Self {
             clients: 64,
+            shards: 1,
+            batch: 1,
+            outer_period: 4,
             ticks: 60,
             seed: 1,
             budget_per_client_w: 100.0,
@@ -103,11 +147,68 @@ impl Default for LoadgenConfig {
             service: ServiceConfig::default(),
             faults: None,
             crash_at: None,
+            crash_shard: None,
             snapshot_path: None,
             report_every: 1,
             backoff_cap: 8,
             lockstep_backoff: false,
+            record_grants: true,
         }
+    }
+}
+
+impl LoadgenConfig {
+    /// Check the scale knobs, with the constraint in the error message.
+    /// The `repro` CLI maps a failure here to exit code 2.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.clients == 0 {
+            return Err(ConfigError::new(
+                "LoadgenConfig.clients",
+                "need at least one client",
+            ));
+        }
+        if self.shards == 0 {
+            return Err(ConfigError::new(
+                "LoadgenConfig.shards",
+                "need at least one shard",
+            ));
+        }
+        if self.shards > self.clients {
+            return Err(ConfigError::new(
+                "LoadgenConfig.shards",
+                format!(
+                    "cannot spread {} clients over {} shards",
+                    self.clients, self.shards
+                ),
+            ));
+        }
+        if self.batch == 0 {
+            return Err(ConfigError::new(
+                "LoadgenConfig.batch",
+                "batch must be at least 1",
+            ));
+        }
+        if self.outer_period == 0 {
+            return Err(ConfigError::new(
+                "LoadgenConfig.outer_period",
+                "outer period must be positive",
+            ));
+        }
+        if self.report_every == 0 {
+            return Err(ConfigError::new(
+                "LoadgenConfig.report_every",
+                "report cadence must be positive",
+            ));
+        }
+        if let Some(k) = self.crash_shard {
+            if k >= self.shards {
+                return Err(ConfigError::new(
+                    "LoadgenConfig.crash_shard",
+                    format!("shard {k} does not exist (shards = {})", self.shards),
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -116,15 +217,24 @@ impl Default for LoadgenConfig {
 pub struct LoadgenReport {
     /// Clients simulated.
     pub clients: usize,
+    /// Shards the clients were spread across.
+    pub shards: usize,
     /// Ticks executed.
     pub ticks: u64,
     /// Total budget, W.
     pub budget_w: f64,
-    /// Σ grants ≤ budget held at every observed tick.
+    /// Σ grants ≤ budget held at every observed tick, machine-wide.
     pub invariant_ok: bool,
     /// Largest Σ grants observed, W.
     pub max_sum_grants_w: f64,
-    /// Service counters (summed across a crash).
+    /// FNV-1a over the per-tick machine-wide Σ-grants bits: one u64
+    /// carrying the whole Σ trace, printable in a CSV cell so the soak
+    /// harness can diff two runs bit-for-bit without shipping logs.
+    pub sum_fingerprint: u64,
+    /// Telemetry messages actually handed to a wire (batch members
+    /// counted individually).
+    pub telemetry_sent: u64,
+    /// Service counters (summed across shards and crashes).
     pub service: ServiceStats,
     /// Σ successful client (re)connections beyond each client's first.
     pub reconnects: u64,
@@ -132,13 +242,14 @@ pub struct LoadgenReport {
     pub held_reports: u64,
     /// Σ Busy sheds observed client-side.
     pub busy_seen: u64,
-    /// Ticks from the crash until every client held a fresh post-crash
-    /// grant (`None`: no crash, or recovery incomplete at run end).
+    /// Ticks from the crash until every crashed-span client held a
+    /// fresh post-crash grant (`None`: no crash, or recovery incomplete
+    /// at run end).
     pub recovery_ticks: Option<u64>,
     /// Times a disconnected client's held grant changed (must be 0).
     pub hold_violations: u64,
-    /// Per-node grant log: seq → granted watts bits. The bitwise
-    /// fingerprint recovery runs are compared on.
+    /// Per-node grant log (global node order): seq → granted watts
+    /// bits. The bitwise fingerprint recovery runs are compared on.
     pub grant_log: Vec<BTreeMap<u64, u64>>,
 }
 
@@ -164,10 +275,20 @@ fn unit(h: u64) -> f64 {
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
+fn fnv1a_fold(h: u64, bits: u64) -> u64 {
+    let mut h = h;
+    for b in bits.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// Synthetic telemetry, a pure function of `(seed, node, seq)` — keyed
 /// by the client's own sequence, *not* wall time, so a client that
 /// paused through an outage resumes producing exactly the reports the
-/// uncrashed reference produced under the same seqs.
+/// uncrashed reference produced under the same seqs. `node` is always
+/// the *global* id, so re-sharding never changes the workload.
 pub fn synth_telemetry(seed: u64, node: u32, seq: u64) -> NodeTelemetry {
     let h = mix(seed, ((node as u64) << 32) ^ seq);
     let compute_s = 0.5 + 2.0 * unit(h);
@@ -180,128 +301,437 @@ pub fn synth_telemetry(seed: u64, node: u32, seq: u64) -> NodeTelemetry {
     }
 }
 
-/// Server ends waiting to be "accepted" by the driver.
+/// Server ends waiting to be "accepted" by the driver. The key is the
+/// connection's conn-id: the (shard-local) node for single clients, the
+/// group's first local node for multiplexed ones.
 type Registry = Arc<Mutex<Vec<(u32, PipeWire)>>>;
 
-fn make_service(cfg: &LoadgenConfig) -> ArbiterService {
-    let arbiter: Box<dyn BudgetArbiter> = Box::new(PowerArbiter::new(
-        ArbiterConfig {
-            budget_w: cfg.budget_per_client_w * cfg.clients as f64,
-            min_cap_w: cfg.min_cap_w,
-            max_cap_w: cfg.max_cap_w,
-            policy: Policy::ProgressFeedback { gain: 1.0 },
-        },
-        cfg.clients,
-    ));
+fn machine_config(cfg: &LoadgenConfig) -> ArbiterConfig {
+    ArbiterConfig {
+        budget_w: cfg.budget_per_client_w * cfg.clients as f64,
+        min_cap_w: cfg.min_cap_w,
+        max_cap_w: cfg.max_cap_w,
+        policy: Policy::ProgressFeedback { gain: 1.0 },
+    }
+}
+
+/// The snapshot file for shard `i`: the configured path untouched for a
+/// single shard (the legacy layout), `.s<i>`-suffixed otherwise.
+fn shard_snapshot_path(cfg: &LoadgenConfig, i: usize) -> Option<PathBuf> {
+    let base = cfg.snapshot_path.as_ref()?;
+    if cfg.shards == 1 {
+        Some(base.clone())
+    } else {
+        Some(PathBuf::from(format!("{}.s{i}", base.display())))
+    }
+}
+
+fn make_shard_service(
+    cfg: &LoadgenConfig,
+    i: usize,
+    shard_cfg: ArbiterConfig,
+    k: usize,
+) -> ArbiterService {
+    // Tracing is observational (it never feeds back into grants); off,
+    // so 100k-node runs don't pay for per-round history they never read.
+    let arbiter: Box<dyn BudgetArbiter> =
+        Box::new(PowerArbiter::new(shard_cfg, k).with_tracing(false));
     let svc = ArbiterService::new(arbiter, cfg.service.clone());
-    match &cfg.snapshot_path {
-        Some(p) => svc.with_snapshot_path(p.clone()),
+    match shard_snapshot_path(cfg, i) {
+        Some(p) => svc.with_snapshot_path(p),
         None => svc,
     }
 }
 
-fn make_client(cfg: &LoadgenConfig, node: u32, registry: &Registry) -> GrantClient {
+/// Build the seeded fault plan for a connection whose identity (for
+/// fault purposes) is the *global* node id `global` — so moving a
+/// producer between shards never re-rolls its faults.
+fn fault_plan(cfg: &LoadgenConfig, global: u64, attempt: u64) -> WireFaultPlan {
+    match &cfg.faults {
+        None => WireFaultPlan::clean(0),
+        Some(k) => {
+            let mut plan = WireFaultPlan {
+                seed: mix(cfg.seed, (global << 24) ^ attempt),
+                drop_prob: k.drop_prob,
+                dup_prob: k.dup_prob,
+                delay_prob: k.delay_prob,
+                max_delay_polls: k.max_delay_polls,
+                partitions: Vec::new(),
+            };
+            if let Some((start, end, stride)) = k.partition {
+                if stride > 0 && (global as usize).is_multiple_of(stride) {
+                    plan = plan.partition(simnode::faults::FaultWindow::new(start, end));
+                }
+            }
+            plan
+        }
+    }
+}
+
+fn make_client(cfg: &LoadgenConfig, local: u32, global: usize, registry: &Registry) -> GrantClient {
     let registry = registry.clone();
-    let knobs = cfg.faults.clone();
-    let seed = cfg.seed;
+    let plan_cfg = cfg.clone();
     let mut attempt = 0u64;
     let connector = Box::new(move || {
         attempt += 1;
         let (client_end, server_end) = PipeWire::pair();
-        registry.lock().unwrap().push((node, server_end));
-        let plan = match &knobs {
-            None => WireFaultPlan::clean(0),
-            Some(k) => {
-                let mut plan = WireFaultPlan {
-                    seed: mix(seed, ((node as u64) << 24) ^ attempt),
-                    drop_prob: k.drop_prob,
-                    dup_prob: k.dup_prob,
-                    delay_prob: k.delay_prob,
-                    max_delay_polls: k.max_delay_polls,
-                    partitions: Vec::new(),
-                };
-                if let Some((start, end, stride)) = k.partition {
-                    if stride > 0 && (node as usize).is_multiple_of(stride) {
-                        plan = plan.partition(simnode::faults::FaultWindow::new(start, end));
-                    }
-                }
-                plan
-            }
-        };
+        registry.lock().unwrap().push((local, server_end));
+        let plan = fault_plan(&plan_cfg, global as u64, attempt);
         Some(Box::new(FaultyWire::new(client_end, plan)) as Box<dyn Wire>)
     });
     let jitter_seed = if cfg.lockstep_backoff {
         cfg.seed
     } else {
-        mix(cfg.seed, 0x00C1_1E47 ^ node as u64)
+        mix(cfg.seed, 0x00C1_1E47 ^ global as u64)
     };
-    GrantClient::new(node, connector, cfg.backoff_cap, jitter_seed)
+    GrantClient::new(local, connector, cfg.backoff_cap, jitter_seed)
+}
+
+/// A multiplexing producer group: `count` simulated nodes over one
+/// wire, one batched frame each way per tick. Mirrors [`GrantClient`]'s
+/// timing exactly — Hello (batched) on connect, one settle poll, then
+/// telemetry — so the server sees the same per-node message schedule
+/// whether producers arrive multiplexed or not.
+struct MuxClient {
+    local_start: u32,
+    global_start: usize,
+    count: u32,
+    link: Option<Box<dyn Wire>>,
+    connector: Box<dyn FnMut() -> Option<Box<dyn Wire>>>,
+    backoff: Backoff,
+    retry_in: u32,
+    polls: u64,
+    muted_until: u64,
+    seq: u64,
+    /// Reused member buffer for outgoing batch frames.
+    scratch: Vec<Msg>,
+    stats: ClientStats,
+}
+
+impl MuxClient {
+    fn new(
+        cfg: &LoadgenConfig,
+        local_start: u32,
+        global_start: usize,
+        count: u32,
+        registry: &Registry,
+    ) -> Self {
+        let registry = registry.clone();
+        let plan_cfg = cfg.clone();
+        let mut attempt = 0u64;
+        let connector = Box::new(move || {
+            attempt += 1;
+            let (client_end, server_end) = PipeWire::pair();
+            registry.lock().unwrap().push((local_start, server_end));
+            // The group's faults are keyed by its first global node:
+            // chaos drops or duplicates whole batches at once.
+            let plan = fault_plan(&plan_cfg, global_start as u64, attempt);
+            Some(Box::new(FaultyWire::new(client_end, plan)) as Box<dyn Wire>)
+        });
+        let jitter_seed = if cfg.lockstep_backoff {
+            cfg.seed
+        } else {
+            mix(cfg.seed, 0x00C1_1E47 ^ global_start as u64)
+        };
+        let mut c = Self {
+            local_start,
+            global_start,
+            count,
+            link: None,
+            connector,
+            backoff: Backoff::new(cfg.backoff_cap, jitter_seed),
+            retry_in: 0,
+            polls: 0,
+            muted_until: 0,
+            seq: 0,
+            scratch: Vec::with_capacity(count as usize),
+            stats: ClientStats::default(),
+        };
+        c.try_connect();
+        c
+    }
+
+    fn try_connect(&mut self) {
+        match (self.connector)() {
+            Some(mut wire) => {
+                let hello = Msg::Batch(
+                    (self.local_start..self.local_start + self.count)
+                        .map(|node| Msg::Hello { node })
+                        .collect(),
+                );
+                if wire.send(&hello).is_ok() {
+                    self.link = Some(wire);
+                    self.backoff.reset();
+                    self.stats.connects += 1;
+                    self.muted_until = self.polls + 1;
+                } else {
+                    self.note_down();
+                }
+            }
+            None => self.note_down(),
+        }
+    }
+
+    fn note_down(&mut self) {
+        self.stats.disconnects += u64::from(self.link.is_some());
+        self.link = None;
+        self.retry_in = self.backoff.record_failure();
+    }
+
+    fn advance(&mut self) {
+        self.polls += 1;
+        if self.link.is_none() {
+            if self.retry_in == 0 {
+                self.try_connect();
+            } else {
+                self.retry_in -= 1;
+            }
+            return;
+        }
+        while let Some(wire) = &mut self.link {
+            let polled = wire.poll();
+            match polled {
+                Ok(Some(Msg::Batch(msgs))) => {
+                    for m in msgs {
+                        self.absorb(m);
+                    }
+                }
+                Ok(Some(msg)) => self.absorb(msg),
+                Ok(None) => break,
+                Err(_) => {
+                    self.note_down();
+                    break;
+                }
+            }
+        }
+    }
+
+    fn absorb(&mut self, msg: Msg) {
+        match msg {
+            // Grants are logged server-side; the group holds no
+            // per-node cap state of its own.
+            Msg::Grant { .. } => {}
+            Msg::Busy { retry_after } => {
+                self.stats.busy += 1;
+                // Coarse: one member's shed mutes the whole wire — the
+                // daemon is telling this connection to slow down.
+                self.muted_until = self.polls + retry_after as u64;
+            }
+            Msg::Nack { .. } => self.stats.nacked += 1,
+            _ => {}
+        }
+    }
+
+    /// Send one batched telemetry frame (all members, same seq), or
+    /// hold it when muted/down. Returns members actually sent.
+    fn send_reports(&mut self, seed: u64) -> u64 {
+        if self.polls < self.muted_until || self.link.is_none() {
+            self.stats.held += self.count as u64;
+            return 0;
+        }
+        let seq = self.seq + 1;
+        let mut members = std::mem::take(&mut self.scratch);
+        members.clear();
+        members.extend((0..self.count).map(|j| Msg::Telemetry {
+            node: self.local_start + j,
+            seq,
+            report: synth_telemetry(seed, (self.global_start + j as usize) as u32, seq),
+        }));
+        let batch = Msg::Batch(members);
+        let sent = self.link.as_mut().expect("checked above").send(&batch);
+        if let Msg::Batch(v) = batch {
+            self.scratch = v;
+        }
+        match sent {
+            Ok(()) => {
+                self.seq = seq;
+                self.count as u64
+            }
+            Err(_) => {
+                self.note_down();
+                self.stats.held += self.count as u64;
+                0
+            }
+        }
+    }
+
+    fn heartbeats(&mut self) {
+        if let Some(wire) = self.link.as_mut() {
+            let beat = Msg::Batch(
+                (self.local_start..self.local_start + self.count)
+                    .map(|node| Msg::Heartbeat { node })
+                    .collect(),
+            );
+            if wire.send(&beat).is_err() {
+                self.note_down();
+            }
+        }
+    }
+}
+
+/// Send one connection's consecutive grants as a single frame (one
+/// singleton, or one batch), draining `run` for reuse.
+fn flush_grants(conns: &mut BTreeMap<u32, PipeWire>, key: u32, run: &mut Vec<Msg>) {
+    if let Some(wire) = conns.get_mut(&key) {
+        if run.len() == 1 {
+            wire.send(&run[0]).ok();
+        } else {
+            // `send` borrows the frame, so the member Vec survives the
+            // call and its allocation is handed back to `run` for the
+            // next flush instead of growing from empty every time.
+            let frame = Msg::Batch(std::mem::take(run));
+            wire.send(&frame).ok();
+            if let Msg::Batch(v) = frame {
+                *run = v;
+            }
+        }
+    }
+    run.clear();
+}
+
+/// The conn-id a grant for shard-local `node` routes to.
+fn conn_key(node: u32, batch: usize) -> u32 {
+    if batch <= 1 {
+        node
+    } else {
+        (node / batch as u32) * batch as u32
+    }
 }
 
 /// Run the scenario to completion.
 ///
 /// # Panics
-/// Panics when `crash_at` is set without a `snapshot_path`, or when the
-/// post-crash snapshot cannot be restored — both are harness bugs, not
+/// Panics when the configuration fails [`LoadgenConfig::validate`],
+/// when `crash_at` is set without a `snapshot_path`, or when the
+/// post-crash snapshot cannot be restored — all harness bugs, not
 /// operating conditions.
 pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
+    cfg.validate().unwrap_or_else(|e| panic!("{e}"));
     assert!(
         cfg.crash_at.is_none() || cfg.snapshot_path.is_some(),
         "a crash scenario needs a snapshot path to recover from"
     );
     // A stale snapshot from a previous run must not leak into this one.
-    if let Some(p) = &cfg.snapshot_path {
-        std::fs::remove_file(p).ok();
+    for i in 0..cfg.shards {
+        if let Some(p) = shard_snapshot_path(cfg, i) {
+            std::fs::remove_file(p).ok();
+        }
     }
 
-    let registry: Registry = Arc::new(Mutex::new(Vec::new()));
-    let mut service = make_service(cfg);
-    let mut clients: Vec<GrantClient> = (0..cfg.clients as u32)
-        .map(|i| make_client(cfg, i, &registry))
+    let machine = machine_config(cfg);
+    let mut make =
+        |i: usize, shard_cfg: ArbiterConfig, k: usize| make_shard_service(cfg, i, shard_cfg, k);
+    let mut sharded = ShardedService::new(
+        &machine,
+        cfg.clients,
+        cfg.shards,
+        cfg.outer_period,
+        &mut make,
+    );
+    let spans = sharded.spans().to_vec();
+
+    let registries: Vec<Registry> = (0..cfg.shards)
+        .map(|_| Arc::new(Mutex::new(Vec::new())))
         .collect();
+    // Per-shard conn table: conn-id → server wire of its latest Hello
+    // (BTreeMap: deterministic iteration order, unlike HashMap).
+    let mut conns: Vec<BTreeMap<u32, PipeWire>> = vec![BTreeMap::new(); cfg.shards];
 
-    let budget_w = cfg.budget_per_client_w * cfg.clients as f64;
-    // node → server wire of its latest Hello (BTreeMap: deterministic
-    // iteration order, unlike HashMap).
-    let mut conns: BTreeMap<u32, PipeWire> = BTreeMap::new();
+    // Producers: one GrantClient per node (batch = 1, the bitwise
+    // legacy shape) or one MuxClient per group of `batch` nodes.
+    let mut singles: Vec<(usize, GrantClient)> = Vec::new(); // (shard, client)
+    let mut muxes: Vec<MuxClient> = Vec::new();
+    if cfg.batch <= 1 {
+        for (shard, span) in spans.iter().enumerate() {
+            for local in 0..span.len() {
+                singles.push((
+                    shard,
+                    make_client(cfg, local as u32, span.start + local, &registries[shard]),
+                ));
+            }
+        }
+    } else {
+        for (shard, span) in spans.iter().enumerate() {
+            let mut local = 0usize;
+            while local < span.len() {
+                let count = cfg.batch.min(span.len() - local);
+                muxes.push(MuxClient::new(
+                    cfg,
+                    local as u32,
+                    span.start + local,
+                    count as u32,
+                    &registries[shard],
+                ));
+                local += count;
+            }
+        }
+    }
+
+    let budget_w = machine.budget_w;
     let mut grant_log: Vec<BTreeMap<u64, u64>> = vec![BTreeMap::new(); cfg.clients];
-
     let mut invariant_ok = true;
     let mut max_sum = 0.0f64;
+    let mut sum_fingerprint: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut telemetry_sent = 0u64;
     let mut pre_crash_stats = ServiceStats::default();
     let mut hold_violations = 0u64;
     let mut recovery_ticks = None;
     let mut awaiting_recovery: Vec<bool> = Vec::new();
-    let mut last_seen_grant: Vec<Option<f64>> = vec![None; cfg.clients];
+    // Grant-run staging, kept across ticks so batch frames reuse one
+    // allocation instead of re-growing from empty every tick.
+    let mut grant_run: Vec<Msg> = Vec::new();
 
     for t in 1..=cfg.ticks {
-        // kill -9 at the tick boundary: wires die, state on the floor,
-        // a fresh service adopts the write-ahead snapshot.
+        // kill -9 at the tick boundary: the victim shard's wires die,
+        // its state lands on the floor, a fresh service adopts the
+        // write-ahead snapshot. Other shards keep serving.
         if cfg.crash_at == Some(t) {
-            for (_, wire) in conns.iter() {
-                wire.hang_up();
+            let victims: Vec<usize> = match cfg.crash_shard {
+                Some(k) => vec![k],
+                None => (0..cfg.shards).collect(),
+            };
+            if awaiting_recovery.is_empty() {
+                awaiting_recovery = vec![false; cfg.clients];
             }
-            for (_, wire) in registry.lock().unwrap().drain(..) {
-                wire.hang_up();
+            for &k in &victims {
+                for (_, wire) in conns[k].iter() {
+                    wire.hang_up();
+                }
+                for (_, wire) in registries[k].lock().unwrap().drain(..) {
+                    wire.hang_up();
+                }
+                conns[k].clear();
+                pre_crash_stats = add_stats(pre_crash_stats, sharded.shard(k).stats());
+                let sub_budget = sharded.sub_budgets()[k];
+                let fresh = make_shard_service(
+                    cfg,
+                    k,
+                    ArbiterConfig {
+                        budget_w: sub_budget,
+                        ..machine
+                    },
+                    spans[k].len(),
+                );
+                assert!(
+                    sharded.replace_shard(k, fresh),
+                    "the write-ahead snapshot must be adoptable after a crash"
+                );
+                for g in spans[k].clone() {
+                    awaiting_recovery[g] = true;
+                }
             }
-            conns.clear();
-            pre_crash_stats = service.stats();
-            service = make_service(cfg);
-            assert!(
-                service.restore(),
-                "the write-ahead snapshot must be adoptable after a crash"
-            );
-            awaiting_recovery = vec![true; cfg.clients];
         }
 
         // Accept pending connections (latest Hello wins the route).
-        for (node, wire) in registry.lock().unwrap().drain(..) {
-            conns.insert(node, wire);
+        for (shard, registry) in registries.iter().enumerate() {
+            for (conn_id, wire) in registry.lock().unwrap().drain(..) {
+                conns[shard].insert(conn_id, wire);
+            }
         }
 
         // Clients: drain inbound, run reconnect state machines, then
         // produce this tick's traffic.
-        for (i, c) in clients.iter_mut().enumerate() {
+        for (global, (_, c)) in singles.iter_mut().enumerate() {
             let was_connected = c.connected();
             let held_before = c.last_grant();
             c.advance();
@@ -309,54 +739,86 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
                 hold_violations += 1;
             }
             if t.is_multiple_of(cfg.report_every) {
-                let rep = synth_telemetry(cfg.seed, i as u32, c.next_seq());
-                c.send_report(&rep);
+                let rep = synth_telemetry(cfg.seed, global as u32, c.next_seq());
+                if c.send_report(&rep).is_some() {
+                    telemetry_sent += 1;
+                }
             } else {
                 c.heartbeat();
             }
         }
+        for m in muxes.iter_mut() {
+            m.advance();
+            if t.is_multiple_of(cfg.report_every) {
+                telemetry_sent += m.send_reports(cfg.seed);
+            } else {
+                m.heartbeats();
+            }
+        }
 
         // Server: ingest everything that arrived, reply in place.
-        let mut immediate: Vec<(u32, Vec<Msg>)> = Vec::new();
-        for (&node, wire) in conns.iter_mut() {
-            while let Ok(Some(msg)) = wire.poll() {
-                let replies = service.ingest(msg);
-                if !replies.is_empty() {
-                    immediate.push((node, replies));
+        for (shard, shard_conns) in conns.iter_mut().enumerate() {
+            let mut immediate: Vec<(u32, Vec<Msg>)> = Vec::new();
+            for (&conn_id, wire) in shard_conns.iter_mut() {
+                while let Ok(Some(msg)) = wire.poll() {
+                    let replies = sharded.ingest(shard, msg);
+                    if !replies.is_empty() {
+                        immediate.push((conn_id, replies));
+                    }
                 }
             }
-        }
-        for (node, replies) in immediate {
-            if let Some(wire) = conns.get_mut(&node) {
-                for r in &replies {
-                    wire.send(r).ok();
+            for (conn_id, replies) in immediate {
+                if let Some(wire) = shard_conns.get_mut(&conn_id) {
+                    for r in &replies {
+                        wire.send(r).ok();
+                    }
                 }
             }
         }
 
-        // The arbitration tick, then grant routing + logging.
-        let replies = service.tick();
-        for msg in &replies {
-            let Msg::Grant {
-                node, seq, watts, ..
-            } = msg
-            else {
-                continue;
-            };
-            if *seq > 0 {
-                grant_log[*node as usize].insert(*seq, watts.to_bits());
-                if let Some(flag) = awaiting_recovery.get_mut(*node as usize) {
-                    *flag = false;
+        // The arbitration tick, then grant routing + logging. Grants
+        // arrive in node order, so grants sharing a connection are
+        // consecutive: coalesce each run into one batched frame (with
+        // batch = 1 every run has length one — singleton frames, the
+        // legacy shape).
+        let all_replies = sharded.tick();
+        for (shard, replies) in all_replies.into_iter().enumerate() {
+            let mut run = std::mem::take(&mut grant_run);
+            let mut run_key = 0u32;
+            for msg in replies {
+                let Msg::Grant {
+                    node, seq, watts, ..
+                } = msg
+                else {
+                    continue;
+                };
+                let global = spans[shard].start + node as usize;
+                if seq > 0 {
+                    if cfg.record_grants {
+                        grant_log[global].insert(seq, watts.to_bits());
+                    }
+                    if let Some(flag) = awaiting_recovery.get_mut(global) {
+                        *flag = false;
+                    }
                 }
+                let key = conn_key(node, cfg.batch);
+                if key != run_key && !run.is_empty() {
+                    flush_grants(&mut conns[shard], run_key, &mut run);
+                }
+                run_key = key;
+                run.push(msg);
             }
-            if let Some(wire) = conns.get_mut(node) {
-                wire.send(msg).ok();
+            if !run.is_empty() {
+                flush_grants(&mut conns[shard], run_key, &mut run);
             }
+            grant_run = run;
         }
 
-        // The headline invariant, observed from outside every tick.
-        let sum: f64 = service.grants().iter().sum();
+        // The headline invariant, observed from outside every tick, and
+        // the Σ trace folded into one diffable fingerprint.
+        let sum: f64 = sharded.sum_grants();
         max_sum = max_sum.max(sum);
+        sum_fingerprint = fnv1a_fold(sum_fingerprint, sum.to_bits());
         if sum > budget_w + 1e-6 {
             invariant_ok = false;
         }
@@ -368,38 +830,301 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
         {
             recovery_ticks = Some(t - cfg.crash_at.unwrap());
         }
-
-        for (i, c) in clients.iter().enumerate() {
-            last_seen_grant[i] = c.last_grant();
-        }
     }
-    let _ = last_seen_grant;
 
-    let mut stats = service.stats();
-    stats.shed += pre_crash_stats.shed;
-    stats.rate_limited += pre_crash_stats.rate_limited;
-    stats.nacked += pre_crash_stats.nacked;
-    stats.duplicates += pre_crash_stats.duplicates;
-    stats.leases_expired += pre_crash_stats.leases_expired;
-    stats.rounds += pre_crash_stats.rounds;
-    stats.snapshots += pre_crash_stats.snapshots;
+    let stats = add_stats(pre_crash_stats, sharded.stats());
+    let single_stats = singles
+        .iter()
+        .map(|(_, c)| c.stats())
+        .fold(ClientStats::default(), add_client_stats);
+    let client_stats = muxes
+        .iter()
+        .map(|m| m.stats)
+        .fold(single_stats, add_client_stats);
 
     LoadgenReport {
         clients: cfg.clients,
+        shards: cfg.shards,
         ticks: cfg.ticks,
         budget_w,
-        invariant_ok,
+        invariant_ok: invariant_ok && sharded.max_sum_grants_w() <= budget_w + 1e-6,
         max_sum_grants_w: max_sum,
+        sum_fingerprint,
+        telemetry_sent,
         service: stats,
-        reconnects: clients
-            .iter()
-            .map(|c| c.stats().connects.saturating_sub(1))
-            .sum(),
-        held_reports: clients.iter().map(|c| c.stats().held).sum(),
-        busy_seen: clients.iter().map(|c| c.stats().busy).sum(),
+        reconnects: client_stats
+            .connects
+            .saturating_sub(singles.len() as u64 + muxes.len() as u64),
+        held_reports: client_stats.held,
+        busy_seen: client_stats.busy,
         recovery_ticks,
         hold_violations,
         grant_log,
+    }
+}
+
+fn add_stats(a: ServiceStats, b: ServiceStats) -> ServiceStats {
+    ServiceStats {
+        shed: a.shed + b.shed,
+        rate_limited: a.rate_limited + b.rate_limited,
+        nacked: a.nacked + b.nacked,
+        duplicates: a.duplicates + b.duplicates,
+        leases_expired: a.leases_expired + b.leases_expired,
+        rounds: a.rounds + b.rounds,
+        snapshots: a.snapshots + b.snapshots,
+    }
+}
+
+fn add_client_stats(a: ClientStats, b: ClientStats) -> ClientStats {
+    ClientStats {
+        connects: a.connects + b.connects,
+        disconnects: a.disconnects + b.disconnects,
+        held: a.held + b.held,
+        busy: a.busy + b.busy,
+        nacked: a.nacked + b.nacked,
+    }
+}
+
+/// A wall-clock scenario for [`run_concurrent_loadgen`]: thread-pooled
+/// TCP producer groups against live [`ShardedDaemon`] sockets.
+#[derive(Debug, Clone)]
+pub struct ConcurrentConfig {
+    /// Daemon shards (each on its own listener).
+    pub shards: usize,
+    /// Simulated producers, machine-wide.
+    pub producers: usize,
+    /// Producers multiplexed per TCP connection.
+    pub batch: usize,
+    /// Worker threads driving the connections.
+    pub threads: usize,
+    /// Telemetry rounds each group sends.
+    pub rounds: u64,
+    /// Jitter seed (micro-sleep schedule per worker).
+    pub seed: u64,
+    /// Budget per producer, W.
+    pub budget_per_client_w: f64,
+    /// Per-node grant floor, W.
+    pub min_cap_w: f64,
+    /// Per-node grant ceiling, W.
+    pub max_cap_w: f64,
+    /// Daemon arbitration period.
+    pub tick_period: Duration,
+    /// Outer re-split period, daemon ticks.
+    pub outer_period: u64,
+}
+
+impl Default for ConcurrentConfig {
+    fn default() -> Self {
+        Self {
+            shards: 2,
+            producers: 64,
+            batch: 8,
+            threads: 4,
+            rounds: 20,
+            seed: 1,
+            budget_per_client_w: 100.0,
+            min_cap_w: 40.0,
+            max_cap_w: 130.0,
+            tick_period: Duration::from_millis(2),
+            outer_period: 4,
+        }
+    }
+}
+
+/// What the concurrent run measured. No bitwise claims here — lockstep
+/// mode is the reference path; this one exists to put real threads,
+/// real sockets, and real contention on the daemon.
+#[derive(Debug, Clone)]
+pub struct ConcurrentReport {
+    /// Telemetry messages sent (batch members counted individually).
+    pub telemetry_sent: u64,
+    /// Grant messages received across all workers.
+    pub grants_seen: u64,
+    /// Wall-clock duration of the send/receive phase.
+    pub elapsed: Duration,
+    /// `telemetry_sent / elapsed`.
+    pub msgs_per_sec: f64,
+    /// Σ grants ≤ budget held at the coordinator's every epoch and at
+    /// the final observation.
+    pub invariant_ok: bool,
+    /// Largest Σ grants the coordinator observed, W.
+    pub max_sum_grants_w: f64,
+    /// Machine budget, W.
+    pub budget_w: f64,
+}
+
+/// Drive genuinely concurrent TCP producers — `threads` workers, each
+/// owning whole multiplexed connections, with a seeded per-worker
+/// jitter schedule — against a live [`ShardedDaemon`].
+///
+/// # Panics
+/// Panics on zero shards/producers/batch/threads, or when a listener
+/// cannot bind.
+pub fn run_concurrent_loadgen(cfg: &ConcurrentConfig) -> ConcurrentReport {
+    assert!(
+        cfg.shards > 0 && cfg.producers >= cfg.shards,
+        "bad shard count"
+    );
+    assert!(
+        cfg.batch > 0 && cfg.threads > 0 && cfg.rounds > 0,
+        "bad scale knobs"
+    );
+
+    let machine = ArbiterConfig {
+        budget_w: cfg.budget_per_client_w * cfg.producers as f64,
+        min_cap_w: cfg.min_cap_w,
+        max_cap_w: cfg.max_cap_w,
+        policy: Policy::ProgressFeedback { gain: 1.0 },
+    };
+    // Generous service limits: this run measures transport throughput,
+    // not shedding behaviour (which has its own lockstep scenarios).
+    let service = ServiceConfig {
+        queue_depth: (cfg.producers * 4).max(4096),
+        rate_capacity: 1e9,
+        rate_refill: 1e9,
+        lease_ticks: 1 << 20,
+        snapshot_every: 0,
+        ..ServiceConfig::default()
+    };
+    let mut make = |_i: usize, shard_cfg: ArbiterConfig, k: usize| {
+        let arbiter: Box<dyn BudgetArbiter> =
+            Box::new(PowerArbiter::new(shard_cfg, k).with_tracing(false));
+        ArbiterService::new(arbiter, service.clone())
+    };
+    let daemon = ShardedDaemon::spawn(
+        &machine,
+        cfg.producers,
+        cfg.shards,
+        cfg.outer_period,
+        crate::daemon::DaemonConfig {
+            tick_period: cfg.tick_period,
+            ..crate::daemon::DaemonConfig::default()
+        },
+        &mut make,
+    )
+    .expect("sharded daemon must spawn");
+
+    // Groups: (shard, local_start, global_start, count), dealt
+    // round-robin to the workers.
+    let spans = shard_spans(cfg.producers, cfg.shards);
+    let mut groups: Vec<(usize, u32, usize, u32)> = Vec::new();
+    for (shard, span) in spans.iter().enumerate() {
+        let mut local = 0usize;
+        while local < span.len() {
+            let count = cfg.batch.min(span.len() - local);
+            groups.push((shard, local as u32, span.start + local, count as u32));
+            local += count;
+        }
+    }
+
+    let telemetry_sent = Arc::new(AtomicU64::new(0));
+    let grants_seen = Arc::new(AtomicU64::new(0));
+    let connect_ok = Arc::new(AtomicBool::new(true));
+    let addrs = daemon.addrs().to_vec();
+    let started = Instant::now();
+    let mut workers = Vec::new();
+    for w in 0..cfg.threads {
+        let my_groups: Vec<(usize, u32, usize, u32)> = groups
+            .iter()
+            .copied()
+            .skip(w)
+            .step_by(cfg.threads)
+            .collect();
+        let addrs = addrs.clone();
+        let telemetry_sent = telemetry_sent.clone();
+        let grants_seen = grants_seen.clone();
+        let connect_ok = connect_ok.clone();
+        let rounds = cfg.rounds;
+        let mut jitter = mix(cfg.seed, 0x7778_0000 ^ w as u64);
+        workers.push(std::thread::spawn(move || {
+            // (wire, first local node, group size) per owned connection.
+            let mut wires: Vec<(TcpWire, u32, u32)> = Vec::new();
+            for &(shard, local_start, _global, count) in &my_groups {
+                let Ok(stream) =
+                    std::net::TcpStream::connect_timeout(&addrs[shard], Duration::from_secs(2))
+                else {
+                    connect_ok.store(false, Ordering::SeqCst);
+                    continue;
+                };
+                let Ok(mut wire) = TcpWire::new(stream) else {
+                    connect_ok.store(false, Ordering::SeqCst);
+                    continue;
+                };
+                let hello = Msg::Batch(
+                    (local_start..local_start + count)
+                        .map(|node| Msg::Hello { node })
+                        .collect(),
+                );
+                if wire.send(&hello).is_err() {
+                    connect_ok.store(false, Ordering::SeqCst);
+                    continue;
+                }
+                wires.push((wire, local_start, count));
+            }
+            for seq in 1..=rounds {
+                for (wire, local_start, count) in wires.iter_mut() {
+                    let batch = Msg::Batch(
+                        (0..*count)
+                            .map(|j| Msg::Telemetry {
+                                node: *local_start + j,
+                                seq,
+                                report: synth_telemetry(7, *local_start + j, seq),
+                            })
+                            .collect(),
+                    );
+                    if wire.send(&batch).is_ok() {
+                        telemetry_sent.fetch_add(*count as u64, Ordering::Relaxed);
+                    }
+                    while let Ok(Some(msg)) = wire.poll() {
+                        grants_seen.fetch_add(count_grants(&msg), Ordering::Relaxed);
+                    }
+                }
+                // Seeded jitter: workers drift apart instead of hammering
+                // the daemons in lockstep.
+                jitter = mix(jitter, seq);
+                std::thread::sleep(Duration::from_micros(100 + jitter % 400));
+            }
+            // Drain the tail so late grants still count.
+            let deadline = Instant::now() + Duration::from_millis(50);
+            while Instant::now() < deadline {
+                for (wire, _, _) in wires.iter_mut() {
+                    while let Ok(Some(msg)) = wire.poll() {
+                        grants_seen.fetch_add(count_grants(&msg), Ordering::Relaxed);
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }));
+    }
+    for wkr in workers {
+        wkr.join().ok();
+    }
+    let elapsed = started.elapsed();
+
+    let final_sum = daemon.sum_grants();
+    let max_sum = daemon.max_sum_grants_w().max(final_sum);
+    let invariant_ok = daemon.invariant_ok()
+        && final_sum <= machine.budget_w + 1e-6
+        && connect_ok.load(Ordering::SeqCst);
+    let sent = telemetry_sent.load(Ordering::Relaxed);
+    let report = ConcurrentReport {
+        telemetry_sent: sent,
+        grants_seen: grants_seen.load(Ordering::Relaxed),
+        elapsed,
+        msgs_per_sec: sent as f64 / elapsed.as_secs_f64().max(1e-9),
+        invariant_ok,
+        max_sum_grants_w: max_sum,
+        budget_w: machine.budget_w,
+    };
+    daemon.kill();
+    report
+}
+
+fn count_grants(msg: &Msg) -> u64 {
+    match msg {
+        Msg::Grant { .. } => 1,
+        Msg::Batch(ms) => ms.iter().filter(|m| matches!(m, Msg::Grant { .. })).count() as u64,
+        _ => 0,
     }
 }
 
@@ -427,6 +1152,7 @@ mod tests {
         assert!(r.min_granted_seq() >= 15, "steady traffic grants steadily");
         assert_eq!(r.reconnects, 0);
         assert_eq!(r.hold_violations, 0);
+        assert!(r.telemetry_sent > 0);
     }
 
     #[test]
@@ -439,6 +1165,7 @@ mod tests {
         let b = run_loadgen(&cfg);
         assert_eq!(a.grant_log, b.grant_log);
         assert_eq!(a.service, b.service);
+        assert_eq!(a.sum_fingerprint, b.sum_fingerprint);
         let c = run_loadgen(&LoadgenConfig { seed: 2, ..cfg });
         assert_ne!(a.grant_log, c.grant_log, "seeds must matter");
     }
@@ -455,5 +1182,89 @@ mod tests {
         // leases; expiry must have reclaimed watts, not leaked them.
         assert!(r.service.leases_expired > 0, "{:?}", r.service);
         assert!(r.max_sum_grants_w <= r.budget_w + 1e-6);
+    }
+
+    #[test]
+    fn invalid_scale_knobs_are_config_errors() {
+        for bad in [
+            LoadgenConfig {
+                clients: 0,
+                ..LoadgenConfig::default()
+            },
+            LoadgenConfig {
+                shards: 0,
+                ..LoadgenConfig::default()
+            },
+            LoadgenConfig {
+                shards: 65,
+                ..LoadgenConfig::default()
+            },
+            LoadgenConfig {
+                batch: 0,
+                ..LoadgenConfig::default()
+            },
+            LoadgenConfig {
+                outer_period: 0,
+                ..LoadgenConfig::default()
+            },
+            LoadgenConfig {
+                crash_shard: Some(1),
+                ..LoadgenConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must be rejected");
+        }
+        assert!(LoadgenConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn batched_producers_grant_bitwise_like_singletons() {
+        // Same seed, same workload; the only difference is 8 producers
+        // per wire sending one batched frame per tick. The server-side
+        // grant log must be bit-identical.
+        let base = quick(24, 20);
+        let singles = run_loadgen(&base);
+        let batched = run_loadgen(&LoadgenConfig { batch: 8, ..base });
+        assert!(batched.invariant_ok);
+        assert_eq!(
+            singles.grant_log, batched.grant_log,
+            "batching must not change a single grant bit"
+        );
+        assert_eq!(singles.sum_fingerprint, batched.sum_fingerprint);
+        assert_eq!(singles.telemetry_sent, batched.telemetry_sent);
+    }
+
+    #[test]
+    fn sharded_run_conserves_budget_and_reproduces() {
+        let cfg = LoadgenConfig {
+            shards: 4,
+            batch: 4,
+            outer_period: 4,
+            ..quick(32, 30)
+        };
+        let a = run_loadgen(&cfg);
+        assert!(a.invariant_ok);
+        assert!(a.max_sum_grants_w <= a.budget_w + 1e-6);
+        assert_eq!(a.shards, 4);
+        assert!(a.min_granted_seq() >= 25, "all shards grant steadily");
+        let b = run_loadgen(&cfg);
+        assert_eq!(a.sum_fingerprint, b.sum_fingerprint);
+        assert_eq!(a.grant_log, b.grant_log);
+    }
+
+    #[test]
+    fn concurrent_tcp_loadgen_smoke() {
+        let r = run_concurrent_loadgen(&ConcurrentConfig {
+            shards: 2,
+            producers: 32,
+            batch: 8,
+            threads: 2,
+            rounds: 10,
+            ..ConcurrentConfig::default()
+        });
+        assert!(r.invariant_ok, "Σ ≤ budget over live sockets: {r:?}");
+        assert_eq!(r.telemetry_sent, 32 * 10);
+        assert!(r.grants_seen > 0, "grants must flow back: {r:?}");
+        assert!(r.msgs_per_sec > 0.0);
     }
 }

@@ -16,10 +16,18 @@
 
 use cluster::NodeTelemetry;
 
-/// Cap on a single frame's payload, bytes. The largest legitimate
-/// message is `Telemetry` at 53 bytes; anything claiming more is a
-/// corrupt or hostile length prefix and is rejected before allocation.
+/// Cap on a single *singleton* frame's payload, bytes. The largest
+/// legitimate message is `Telemetry` at 53 bytes; anything claiming more
+/// is a corrupt or hostile length prefix and is rejected before
+/// allocation. [`Msg::Batch`] frames get their own cap,
+/// [`MAX_BATCH_FRAME`].
 pub const MAX_FRAME: usize = 256;
+
+/// Cap on a [`Msg::Batch`] frame's payload, bytes. Batches exist so one
+/// syscall can carry thousands of telemetry reports or grants (57 bytes
+/// per inner telemetry frame → ~18k reports fit); a prefix claiming more
+/// than this is hostile regardless of tag.
+pub const MAX_BATCH_FRAME: usize = 1 << 20;
 
 /// Decoding failure: the frame is structurally broken. The connection
 /// that produced it is dropped, not the daemon.
@@ -102,6 +110,14 @@ pub enum Msg {
         /// Which seq was rejected.
         seq: u64,
     },
+    /// Either direction: many messages in one frame, so one syscall
+    /// carries a whole tick's worth of telemetry or grants. The payload
+    /// is a count followed by the inner messages' complete *singleton*
+    /// frames, verbatim — so a batch is bit-identical to the
+    /// concatenation of its members' individual encodings (after the
+    /// 5-byte batch header), and decoding distributes over the members.
+    /// Batches do not nest: an inner `Batch` is a [`ProtoError::BadTag`].
+    Batch(Vec<Msg>),
 }
 
 const TAG_HELLO: u8 = 1;
@@ -110,6 +126,7 @@ const TAG_TELEMETRY: u8 = 3;
 const TAG_GRANT: u8 = 4;
 const TAG_BUSY: u8 = 5;
 const TAG_NACK: u8 = 6;
+const TAG_BATCH: u8 = 7;
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -138,25 +155,99 @@ fn get_f64(b: &[u8]) -> f64 {
 impl Msg {
     /// Serialize into a complete frame (length prefix included).
     pub fn encode(&self) -> Vec<u8> {
-        let mut p = Vec::with_capacity(64);
+        // Size the allocation to the message: a batch would otherwise
+        // realloc-and-copy its way up from nothing, member by member.
+        let cap = match self {
+            Msg::Batch(msgs) => 16 + 64 * msgs.len(),
+            _ => 64,
+        };
+        let mut frame = Vec::with_capacity(cap);
+        self.encode_into(&mut frame);
+        frame
+    }
+
+    /// Append this message's complete frame (length prefix included) to
+    /// `frame`, reusing the caller's allocation — the hot path when a
+    /// tick's worth of grants is batched into one buffer.
+    ///
+    /// # Panics
+    /// Panics on a nested [`Msg::Batch`] (batches do not nest) and when
+    /// the encoded payload would exceed its frame cap — both are
+    /// construction bugs on *our* side of the wire, not input errors.
+    pub fn encode_into(&self, frame: &mut Vec<u8>) {
+        // Fixed-size fast paths for the two frame types that dominate
+        // every wire (telemetry up, grants down): build the whole frame
+        // in a stack buffer and append it in one go, instead of one
+        // capacity-checked extend per field. Byte layout is identical
+        // to the generic path below (covered by the round-trip tests).
+        match self {
+            Msg::Telemetry { node, seq, report } => {
+                let mut b = [0u8; 57];
+                b[..4].copy_from_slice(&53u32.to_le_bytes());
+                b[4] = TAG_TELEMETRY;
+                b[5..9].copy_from_slice(&node.to_le_bytes());
+                b[9..17].copy_from_slice(&seq.to_le_bytes());
+                b[17..25].copy_from_slice(&report.compute_s.to_bits().to_le_bytes());
+                b[25..33].copy_from_slice(&report.comm_s.to_bits().to_le_bytes());
+                b[33..41].copy_from_slice(&report.slack_s.to_bits().to_le_bytes());
+                b[41..49].copy_from_slice(&report.rate.to_bits().to_le_bytes());
+                b[49..57].copy_from_slice(&report.power_w.to_bits().to_le_bytes());
+                frame.extend_from_slice(&b);
+                return;
+            }
+            Msg::Grant {
+                node,
+                seq,
+                tick,
+                watts,
+            } => {
+                let mut b = [0u8; 33];
+                b[..4].copy_from_slice(&29u32.to_le_bytes());
+                b[4] = TAG_GRANT;
+                b[5..9].copy_from_slice(&node.to_le_bytes());
+                b[9..17].copy_from_slice(&seq.to_le_bytes());
+                b[17..25].copy_from_slice(&tick.to_le_bytes());
+                b[25..33].copy_from_slice(&watts.to_bits().to_le_bytes());
+                frame.extend_from_slice(&b);
+                return;
+            }
+            _ => {}
+        }
+        let start = frame.len();
+        frame.extend_from_slice(&[0u8; 4]); // length prefix backpatched below
+        self.encode_payload(frame);
+        let len = frame.len() - start - 4;
+        let cap = if matches!(self, Msg::Batch(_)) {
+            MAX_BATCH_FRAME
+        } else {
+            MAX_FRAME
+        };
+        assert!(
+            len <= cap,
+            "encoded {len}-byte payload exceeds the {cap}-byte cap"
+        );
+        frame[start..start + 4].copy_from_slice(&(len as u32).to_le_bytes());
+    }
+
+    fn encode_payload(&self, p: &mut Vec<u8>) {
         match self {
             Msg::Hello { node } => {
                 p.push(TAG_HELLO);
-                put_u32(&mut p, *node);
+                put_u32(p, *node);
             }
             Msg::Heartbeat { node } => {
                 p.push(TAG_HEARTBEAT);
-                put_u32(&mut p, *node);
+                put_u32(p, *node);
             }
             Msg::Telemetry { node, seq, report } => {
                 p.push(TAG_TELEMETRY);
-                put_u32(&mut p, *node);
-                put_u64(&mut p, *seq);
-                put_f64(&mut p, report.compute_s);
-                put_f64(&mut p, report.comm_s);
-                put_f64(&mut p, report.slack_s);
-                put_f64(&mut p, report.rate);
-                put_f64(&mut p, report.power_w);
+                put_u32(p, *node);
+                put_u64(p, *seq);
+                put_f64(p, report.compute_s);
+                put_f64(p, report.comm_s);
+                put_f64(p, report.slack_s);
+                put_f64(p, report.rate);
+                put_f64(p, report.power_w);
             }
             Msg::Grant {
                 node,
@@ -165,24 +256,28 @@ impl Msg {
                 watts,
             } => {
                 p.push(TAG_GRANT);
-                put_u32(&mut p, *node);
-                put_u64(&mut p, *seq);
-                put_u64(&mut p, *tick);
-                put_f64(&mut p, *watts);
+                put_u32(p, *node);
+                put_u64(p, *seq);
+                put_u64(p, *tick);
+                put_f64(p, *watts);
             }
             Msg::Busy { retry_after } => {
                 p.push(TAG_BUSY);
-                put_u32(&mut p, *retry_after);
+                put_u32(p, *retry_after);
             }
             Msg::Nack { seq } => {
                 p.push(TAG_NACK);
-                put_u64(&mut p, *seq);
+                put_u64(p, *seq);
+            }
+            Msg::Batch(msgs) => {
+                p.push(TAG_BATCH);
+                put_u32(p, msgs.len() as u32);
+                for m in msgs {
+                    assert!(!matches!(m, Msg::Batch(_)), "batches do not nest");
+                    m.encode_into(p);
+                }
             }
         }
-        let mut frame = Vec::with_capacity(4 + p.len());
-        put_u32(&mut frame, p.len() as u32);
-        frame.extend_from_slice(&p);
-        frame
     }
 
     /// Parse one frame payload (the bytes after the length prefix).
@@ -246,6 +341,53 @@ impl Msg {
                 need(8)?;
                 Ok(Msg::Nack { seq: get_u64(body) })
             }
+            TAG_BATCH => {
+                if body.len() < 4 {
+                    return Err(ProtoError::BadLength {
+                        tag,
+                        got: body.len(),
+                    });
+                }
+                let count = get_u32(body) as usize;
+                // Allocation is bounded by what the body can actually
+                // hold (5 bytes is the smallest inner frame), not by the
+                // attacker-controlled count field.
+                let mut inner = Vec::with_capacity(count.min(body.len() / 5));
+                let mut at = 4usize;
+                for _ in 0..count {
+                    if body.len() - at < 4 {
+                        return Err(ProtoError::BadLength {
+                            tag,
+                            got: body.len(),
+                        });
+                    }
+                    let len = get_u32(&body[at..]) as usize;
+                    if len > MAX_FRAME {
+                        return Err(ProtoError::Oversized(len));
+                    }
+                    if body.len() - at - 4 < len {
+                        return Err(ProtoError::BadLength {
+                            tag,
+                            got: body.len(),
+                        });
+                    }
+                    let m = Msg::decode(&body[at + 4..at + 4 + len])?;
+                    if matches!(m, Msg::Batch(_)) {
+                        // Nesting would let one frame amplify into
+                        // unbounded recursion; flat batches only.
+                        return Err(ProtoError::BadTag(TAG_BATCH));
+                    }
+                    inner.push(m);
+                    at += 4 + len;
+                }
+                if at != body.len() {
+                    return Err(ProtoError::BadLength {
+                        tag,
+                        got: body.len(),
+                    });
+                }
+                Ok(Msg::Batch(inner))
+            }
             other => Err(ProtoError::BadTag(other)),
         }
     }
@@ -259,8 +401,19 @@ pub fn drain_frames(buf: &mut Vec<u8>) -> Result<Vec<Msg>, ProtoError> {
     let mut at = 0usize;
     while buf.len() - at >= 4 {
         let len = get_u32(&buf[at..]) as usize;
-        if len > MAX_FRAME {
+        if len > MAX_BATCH_FRAME {
             return Err(ProtoError::Oversized(len));
+        }
+        if len > MAX_FRAME {
+            // Only a batch may run past the singleton cap, and judging
+            // that needs the tag byte; with exactly 4 bytes buffered we
+            // wait for it rather than guess.
+            if buf.len() - at == 4 {
+                break;
+            }
+            if buf[at + 4] != TAG_BATCH {
+                return Err(ProtoError::Oversized(len));
+            }
         }
         if buf.len() - at - 4 < len {
             break;
@@ -342,6 +495,119 @@ mod tests {
         let msgs = drain_frames(&mut buf).unwrap();
         assert_eq!(msgs, vec![Msg::Heartbeat { node: 2 }]);
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn batch_payload_is_bitwise_the_concatenation_of_singleton_frames() {
+        let msgs = vec![
+            Msg::Hello { node: 7 },
+            Msg::Telemetry {
+                node: 3,
+                seq: 41,
+                report: sample_report(),
+            },
+            Msg::Grant {
+                node: 3,
+                seq: 41,
+                tick: 9,
+                watts: f64::from_bits(0x3FF7_3ABC_DEF0_1234),
+            },
+        ];
+        let batch = Msg::Batch(msgs.clone()).encode();
+        let mut singles = Vec::new();
+        for m in &msgs {
+            singles.extend_from_slice(&m.encode());
+        }
+        // Frame = len prefix, tag, count, then the singleton frames verbatim.
+        assert_eq!(&batch[9..], &singles[..]);
+        assert_eq!(batch[4], TAG_BATCH);
+        assert_eq!(get_u32(&batch[5..]), msgs.len() as u32);
+        assert_eq!(Msg::decode(&batch[4..]).unwrap(), Msg::Batch(msgs));
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let frame = Msg::Batch(Vec::new()).encode();
+        assert_eq!(Msg::decode(&frame[4..]).unwrap(), Msg::Batch(Vec::new()));
+    }
+
+    #[test]
+    fn truncated_and_padded_batches_are_rejected() {
+        let frame = Msg::Batch(vec![Msg::Hello { node: 1 }, Msg::Nack { seq: 2 }]).encode();
+        let payload = &frame[4..];
+        // Any strict prefix that still has the batch header is BadLength.
+        for cut in 5..payload.len() {
+            assert!(
+                matches!(
+                    Msg::decode(&payload[..cut]),
+                    Err(ProtoError::BadLength { tag: TAG_BATCH, .. })
+                ),
+                "cut at {cut} must be rejected"
+            );
+        }
+        // Trailing bytes beyond the counted members are BadLength too.
+        let mut padded = payload.to_vec();
+        padded.push(0);
+        assert!(matches!(
+            Msg::decode(&padded),
+            Err(ProtoError::BadLength { tag: TAG_BATCH, .. })
+        ));
+    }
+
+    #[test]
+    fn batches_do_not_nest() {
+        // Hand-craft a batch whose single member is itself a batch.
+        let inner = Msg::Batch(vec![Msg::Hello { node: 1 }]).encode();
+        let mut payload = vec![TAG_BATCH];
+        put_u32(&mut payload, 1);
+        payload.extend_from_slice(&inner);
+        assert_eq!(Msg::decode(&payload), Err(ProtoError::BadTag(TAG_BATCH)));
+    }
+
+    #[test]
+    fn oversized_inner_frame_inside_a_batch_is_rejected() {
+        let mut payload = vec![TAG_BATCH];
+        put_u32(&mut payload, 1);
+        put_u32(&mut payload, (MAX_FRAME + 1) as u32); // hostile inner prefix
+        payload.extend_from_slice(&vec![0u8; MAX_FRAME + 1]);
+        assert!(matches!(
+            Msg::decode(&payload),
+            Err(ProtoError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn drain_accepts_large_batches_and_waits_for_the_tag_byte() {
+        // A batch bigger than MAX_FRAME must pass the scanner...
+        let big = Msg::Batch(
+            (0..40)
+                .map(|i| Msg::Telemetry {
+                    node: i,
+                    seq: u64::from(i),
+                    report: sample_report(),
+                })
+                .collect(),
+        );
+        let frame = big.encode();
+        assert!(frame.len() > MAX_FRAME);
+        // ...even when it arrives one byte at a time (in particular when
+        // only the 4-byte length prefix is in, before the tag settles
+        // whether the large length is legitimate).
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        for &b in &frame {
+            buf.push(b);
+            got.extend(drain_frames(&mut buf).unwrap());
+        }
+        assert_eq!(got, vec![big]);
+        // A non-batch tag claiming a batch-sized frame stays hostile.
+        let mut bad = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        bad.push(TAG_GRANT);
+        bad.extend_from_slice(&[0u8; 32]);
+        assert!(matches!(
+            drain_frames(&mut bad),
+            Err(ProtoError::Oversized(_))
+        ));
     }
 
     #[test]

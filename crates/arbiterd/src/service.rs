@@ -21,10 +21,9 @@
 //! Σ grants ≤ budget stays a *hard assert* inside the arbiter: that
 //! invariant breaking is a daemon bug, not an operating condition.
 
-use std::collections::VecDeque;
 use std::path::PathBuf;
 
-use cluster::{BudgetArbiter, NodeTelemetry};
+use cluster::{BudgetArbiter, NodeTelemetry, RackWindow};
 
 use crate::proto::Msg;
 use crate::snapshot::Snapshot;
@@ -85,8 +84,11 @@ pub struct ServiceStats {
 pub struct ArbiterService {
     arbiter: Box<dyn BudgetArbiter>,
     cfg: ServiceConfig,
-    /// Bounded ingress: (node, seq, report).
-    queue: VecDeque<(u32, u64, NodeTelemetry)>,
+    /// Accepted-but-unprocessed telemetry this round. Reports fold
+    /// straight into `fresh` at ingest (newest seq wins, so arrival
+    /// order is irrelevant); this counter only enforces the bounded-
+    /// ingress contract — arrivals past `queue_depth` shed with Busy.
+    queued: usize,
     /// Per-client token buckets.
     buckets: Vec<f64>,
     /// Per-client lease expiry tick (`None` = not leased).
@@ -95,6 +97,14 @@ pub struct ArbiterService {
     last_seq: Vec<u64>,
     /// Freshest report per client in the current round.
     fresh: Vec<Option<(u64, NodeTelemetry)>>,
+    /// Accumulated telemetry sums since the last [`ArbiterService::
+    /// take_window`]: the upward half of a sharded deployment, where a
+    /// coordinator drains each shard's window on the outer period
+    /// exactly as [`cluster::RackArbiter`] drains its racks'.
+    window: RackWindow,
+    /// Reused per-tick staging for the redistribute call; kept across
+    /// ticks so a full round does not reallocate `node_count` options.
+    reports_scratch: Vec<Option<NodeTelemetry>>,
     tick: u64,
     snapshot_path: Option<PathBuf>,
     stats: ServiceStats,
@@ -112,7 +122,9 @@ impl ArbiterService {
             last_seq: vec![0; n],
             fresh: vec![None; n],
             cfg,
-            queue: VecDeque::new(),
+            queued: 0,
+            window: RackWindow::default(),
+            reports_scratch: Vec::with_capacity(n),
             tick: 0,
             snapshot_path: None,
             stats: ServiceStats::default(),
@@ -146,12 +158,43 @@ impl ArbiterService {
         }
         self.tick = snap.tick;
         self.leases = snap.leases;
+        // Adopt the mid-epoch aggregation window (bit-exact), so a
+        // restarted shard's upward sums match an uncrashed run's.
+        self.window = match snap.window {
+            Some((sums, count)) => RackWindow::from_parts(sums, count),
+            None => RackWindow::default(),
+        };
         true
     }
 
     /// Handle one inbound message, returning the immediate replies to
-    /// send back on the same connection.
+    /// send back on the same connection. A [`Msg::Batch`] distributes
+    /// over its members, and multiple replies fold back into one batch —
+    /// so batching is transparent to the service semantics (same state
+    /// transitions, same reply contents) and costs one frame each way.
     pub fn ingest(&mut self, msg: Msg) -> Vec<Msg> {
+        match msg {
+            Msg::Batch(msgs) => {
+                let mut replies = Vec::new();
+                for m in msgs {
+                    // Nested batches never decode off the wire; one built
+                    // in process is a harness bug and is skipped.
+                    if matches!(m, Msg::Batch(_)) {
+                        continue;
+                    }
+                    replies.extend(self.ingest_one(m));
+                }
+                if replies.len() > 1 {
+                    vec![Msg::Batch(replies)]
+                } else {
+                    replies
+                }
+            }
+            other => self.ingest_one(other),
+        }
+    }
+
+    fn ingest_one(&mut self, msg: Msg) -> Vec<Msg> {
         match msg {
             Msg::Hello { node } => {
                 let Some(id) = self.known(node) else {
@@ -175,8 +218,8 @@ impl ArbiterService {
             }
             Msg::Telemetry { node, seq, report } => self.ingest_telemetry(node, seq, report),
             // Server-only messages arriving here mean a confused client;
-            // ignore rather than die.
-            Msg::Grant { .. } | Msg::Busy { .. } | Msg::Nack { .. } => Vec::new(),
+            // ignore rather than die. Batches were unpacked by `ingest`.
+            Msg::Grant { .. } | Msg::Busy { .. } | Msg::Nack { .. } | Msg::Batch(_) => Vec::new(),
         }
     }
 
@@ -195,7 +238,7 @@ impl ArbiterService {
                 retry_after: self.cfg.retry_after,
             }];
         }
-        if self.queue.len() >= self.cfg.queue_depth {
+        if self.queued >= self.cfg.queue_depth {
             self.stats.shed += 1;
             return vec![Msg::Busy {
                 retry_after: self.cfg.retry_after,
@@ -208,14 +251,35 @@ impl ArbiterService {
         self.buckets[id] -= 1.0;
         self.last_seq[id] = seq;
         self.renew_lease(id);
-        self.queue.push_back((node, seq, report));
+        self.queued += 1;
+        // Fold into the round immediately — same newest-seq-wins
+        // predicate the old deferred queue drain applied, minus a
+        // round-trip through a staging deque per message.
+        if self.fresh[id].as_ref().is_none_or(|(s, _)| *s < seq) {
+            self.fresh[id] = Some((seq, report));
+        }
         Vec::new()
     }
 
     /// One arbitration tick: refill buckets, expire leases (reclaiming
     /// their watts), fold queued telemetry into the round, redistribute,
     /// snapshot (write-ahead), and emit the round's grants.
+    ///
+    /// Equivalent to [`ArbiterService::begin_tick`] +
+    /// [`ArbiterService::finish_tick`]; the split exists so a sharding
+    /// coordinator can drain windows and re-fit shard budgets *between*
+    /// the two halves (telemetry up, sub-budget down, then redistribute
+    /// under the new budget — the [`cluster::RackArbiter`] ordering).
     pub fn tick(&mut self) -> Vec<Msg> {
+        self.begin_tick();
+        self.finish_tick()
+    }
+
+    /// First half of a tick: advance the clock, refill buckets, expire
+    /// leases, and fold queued telemetry into the round (and into the
+    /// outer aggregation window). Must be followed by
+    /// [`ArbiterService::finish_tick`].
+    pub fn begin_tick(&mut self) {
         self.tick += 1;
         for b in &mut self.buckets {
             *b = (*b + self.cfg.rate_refill).min(self.cfg.rate_capacity);
@@ -228,37 +292,47 @@ impl ArbiterService {
             if let Some(expiry) = self.leases[id] {
                 if expiry <= self.tick {
                     self.leases[id] = None;
-                    self.fresh[id] = None;
                     self.arbiter.reclaim(id);
                     self.stats.leases_expired += 1;
                 }
             }
         }
 
-        // Fold the ingress queue into the round (newest seq wins).
-        while let Some((node, seq, report)) = self.queue.pop_front() {
-            let id = node as usize;
-            if self.fresh[id].as_ref().is_none_or(|(s, _)| *s < seq) {
-                self.fresh[id] = Some((seq, report));
-            }
-        }
+        // Telemetry already folded into `fresh` at ingest (newest seq
+        // wins); a report accepted this round outlives its lease expiry
+        // above, exactly as a queued report used to. Reset the bounded-
+        // ingress counter for the next round.
+        self.queued = 0;
 
+        // Aggregate the round's accepted reports upward, in node order —
+        // the same fold order RackArbiter uses over a rack span, which
+        // keeps a sharded run's window sums bit-identical to the
+        // in-process tree's.
+        for (_, report) in self.fresh.iter().flatten() {
+            self.window.add(report);
+        }
+    }
+
+    /// Second half of a tick: redistribute (when the round saw
+    /// telemetry), snapshot write-ahead, and emit the round's grants.
+    pub fn finish_tick(&mut self) -> Vec<Msg> {
         // Redistribute only when the round saw telemetry: an idle tick
         // must not perturb grants (and bitwise-matches the in-process
         // arbiter, which is only called when reports exist).
         if self.fresh.iter().any(Option::is_some) {
-            let reports: Vec<Option<NodeTelemetry>> = self
-                .fresh
-                .iter()
-                .map(|f| f.as_ref().map(|(_, r)| *r))
-                .collect();
-            // Ingest already validated every queued report, so an error
-            // here is unreachable in practice; treat it as a dropped
-            // round rather than a reason to die.
-            match self.arbiter.redistribute(&reports) {
+            let mut reports = std::mem::take(&mut self.reports_scratch);
+            reports.clear();
+            reports.extend(self.fresh.iter().map(|f| f.as_ref().map(|(_, r)| *r)));
+            // Ingest already validated every queued report, so the
+            // trusted path skips the redundant per-field scan (grants
+            // are bit-identical either way); an error here is
+            // unreachable in practice; treat it as a dropped round
+            // rather than a reason to die.
+            match self.arbiter.redistribute_trusted(&reports) {
                 Ok(_) => self.stats.rounds += 1,
                 Err(_) => self.stats.nacked += 1,
             }
+            self.reports_scratch = reports;
         }
 
         // Write-ahead: persist the post-round state before any grant
@@ -268,19 +342,17 @@ impl ArbiterService {
         }
 
         let grants = self.arbiter.grants();
-        let replies: Vec<Msg> = self
-            .fresh
-            .iter()
-            .enumerate()
-            .filter_map(|(id, f)| {
-                f.as_ref().map(|(seq, _)| Msg::Grant {
-                    node: id as u32,
-                    seq: *seq,
-                    tick: self.tick,
-                    watts: grants[id],
-                })
+        // Sized up front: filter_map gives collect no usable size hint,
+        // and on a full round this reallocates its way to node_count.
+        let mut replies: Vec<Msg> = Vec::with_capacity(self.fresh.len());
+        replies.extend(self.fresh.iter().enumerate().filter_map(|(id, f)| {
+            f.as_ref().map(|(seq, _)| Msg::Grant {
+                node: id as u32,
+                seq: *seq,
+                tick: self.tick,
+                watts: grants[id],
             })
-            .collect();
+        }));
         for f in &mut self.fresh {
             *f = None;
         }
@@ -296,6 +368,7 @@ impl ArbiterService {
             budget_w: self.arbiter.budget(),
             grants_w: self.arbiter.grants().to_vec(),
             leases: self.leases.clone(),
+            window: Some((self.window.sums(), self.window.count())),
         };
         // A failed write is survivable (the previous snapshot stays);
         // recovery fidelity degrades, the service does not.
@@ -331,6 +404,27 @@ impl ArbiterService {
     /// Whether `node` currently holds a live lease.
     pub fn leased(&self, node: usize) -> bool {
         self.leases.get(node).is_some_and(Option::is_some)
+    }
+
+    /// Drain the outer aggregation window into one shard-level report:
+    /// `None` when no telemetry was accepted since the last drain (the
+    /// whole shard is silent and the coordinator freezes its
+    /// sub-budget, mirroring the silent-rack rule).
+    pub fn take_window(&mut self) -> Option<NodeTelemetry> {
+        self.window.take()
+    }
+
+    /// Re-budget the wrapped arbiter (the downward half of a sharded
+    /// deployment). Bit-stable: a same-bits budget is a no-op, so a
+    /// coordinator re-asserting an unchanged sub-budget never perturbs
+    /// grants.
+    pub fn set_budget(&mut self, budget_w: f64) {
+        self.arbiter.set_budget(budget_w);
+    }
+
+    /// Σ of the current grants, W.
+    pub fn sum_grants(&self) -> f64 {
+        self.arbiter.grants().iter().sum()
     }
 
     /// Service counters.
@@ -544,6 +638,73 @@ mod tests {
             assert!(revived.leased(node), "leases restore with the state");
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batched_ingest_is_transparent() {
+        // The same four reports, as singletons vs one batch: identical
+        // state transitions, bit-identical grants, and the batched
+        // replies are the singleton replies folded into one frame.
+        let mut single = ArbiterService::new(arbiter(4), ServiceConfig::default());
+        let mut batched = ArbiterService::new(arbiter(4), ServiceConfig::default());
+        let times = [0.5, 1.0, 1.5, 2.5];
+        let msgs: Vec<Msg> = times
+            .iter()
+            .enumerate()
+            .map(|(i, t)| telemetry(i as u32, 1, *t))
+            .collect();
+        for m in &msgs {
+            assert!(single.ingest(m.clone()).is_empty());
+        }
+        assert!(batched.ingest(Msg::Batch(msgs)).is_empty());
+        let a = single.tick();
+        let b = batched.tick();
+        assert_eq!(a, b, "tick replies must match");
+        for (ga, gb) in single.grants().iter().zip(batched.grants()) {
+            assert_eq!(ga.to_bits(), gb.to_bits());
+        }
+        assert_eq!(single.stats(), batched.stats());
+
+        // Replies fold into one batch when there are several (here: two
+        // Hellos each answered with a grant).
+        let replies = batched.ingest(Msg::Batch(vec![
+            Msg::Hello { node: 0 },
+            Msg::Hello { node: 1 },
+        ]));
+        assert_eq!(replies.len(), 1);
+        let Msg::Batch(inner) = &replies[0] else {
+            panic!("expected a batched reply, got {replies:?}");
+        };
+        assert_eq!(inner.len(), 2);
+        assert!(inner.iter().all(|m| matches!(m, Msg::Grant { .. })));
+    }
+
+    #[test]
+    fn window_accumulates_and_drains_like_a_rack() {
+        // The service's window must equal folding the same accepted
+        // reports into a bare RackWindow in node order.
+        let mut svc = ArbiterService::new(arbiter(3), ServiceConfig::default());
+        let mut shadow = cluster::RackWindow::default();
+        for round in 1..=2u64 {
+            let times = [0.5, 1.0, 2.0];
+            for (i, t) in times.iter().enumerate() {
+                svc.ingest(telemetry(i as u32, round, *t));
+                shadow.add(&NodeTelemetry::compute_only(*t, 1.0 / t, 90.0));
+            }
+            svc.tick();
+        }
+        let got = svc.take_window().expect("window has reports");
+        let want = shadow.take().expect("shadow has reports");
+        for (a, b) in [
+            (got.compute_s, want.compute_s),
+            (got.comm_s, want.comm_s),
+            (got.slack_s, want.slack_s),
+            (got.rate, want.rate),
+            (got.power_w, want.power_w),
+        ] {
+            assert_eq!(a.to_bits(), b.to_bits(), "window sums must be bitwise");
+        }
+        assert!(svc.take_window().is_none(), "drain empties the window");
     }
 
     #[test]

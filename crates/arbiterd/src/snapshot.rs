@@ -29,6 +29,14 @@ pub struct Snapshot {
     pub grants_w: Vec<f64>,
     /// Per-node lease expiry tick (`None` = no live lease).
     pub leases: Vec<Option<u64>>,
+    /// Partially-accumulated outer-window telemetry: the raw field sums
+    /// `[compute_s, comm_s, slack_s, rate, power_w]` and the report
+    /// count. A sharded deployment drains this window to the coordinator
+    /// on the outer period; persisting it mid-window keeps a restarted
+    /// shard's upward aggregation bit-identical to an uncrashed one.
+    /// `None` in pre-window snapshot files (read back as an empty
+    /// window).
+    pub window: Option<([f64; 5], u64)>,
 }
 
 const MAGIC: &str = "arbiterd-snapshot v1";
@@ -63,6 +71,13 @@ impl Snapshot {
             }
         }
         body.push('\n');
+        if let Some((sums, count)) = &self.window {
+            body.push_str("window");
+            for s in sums {
+                body.push_str(&format!(" {:016x}", s.to_bits()));
+            }
+            body.push_str(&format!(" {count}\n"));
+        }
         let sum = fnv1a(body.as_bytes());
         body.push_str(&format!("checksum {sum:016x}\n"));
         body.into_bytes()
@@ -105,11 +120,29 @@ impl Snapshot {
         if leases.len() != grants_w.len() {
             return None;
         }
+        // The window line is optional: snapshots written before sharding
+        // landed simply lack it, and restore as an empty window.
+        let window = match lines.next() {
+            None => None,
+            Some(line) => {
+                let mut toks = line.strip_prefix("window")?.split_whitespace();
+                let mut sums = [0.0f64; 5];
+                for s in &mut sums {
+                    *s = f64::from_bits(u64::from_str_radix(toks.next()?, 16).ok()?);
+                }
+                let count = toks.next()?.parse().ok()?;
+                if toks.next().is_some() {
+                    return None;
+                }
+                Some((sums, count))
+            }
+        };
         Some(Snapshot {
             tick,
             budget_w,
             grants_w,
             leases,
+            window,
         })
     }
 
@@ -144,6 +177,10 @@ mod tests {
             // round-trip sneaking in.
             grants_w: vec![f64::from_bits(0x4056_8A3D_70A3_D70A), 95.125, 40.0],
             leases: vec![Some(50), None, Some(61)],
+            window: Some((
+                [1.5, 0.25, f64::from_bits(0x3FD5_5555_5555_5555), 2.0, 190.5],
+                6,
+            )),
         }
     }
 
@@ -189,5 +226,19 @@ mod tests {
     #[test]
     fn missing_file_is_no_snapshot() {
         assert_eq!(Snapshot::load(Path::new("/nonexistent/nope.snap")), None);
+    }
+
+    #[test]
+    fn pre_window_snapshots_still_parse() {
+        // A file written before the window line existed is exactly what
+        // `window: None` serializes to; it must restore as an empty
+        // window, not be rejected.
+        let old = Snapshot {
+            window: None,
+            ..sample()
+        };
+        let back = Snapshot::from_bytes(&old.to_bytes()).unwrap();
+        assert_eq!(back.window, None);
+        assert_eq!(back, old);
     }
 }

@@ -109,7 +109,19 @@ impl Wire for PipeWire {
     }
 }
 
-/// A framed wire over a non-blocking [`TcpStream`].
+/// A framed wire over a [`TcpStream`], in one of two modes:
+///
+/// - **non-blocking** ([`TcpWire::new`]): `poll` drains whatever the
+///   kernel has and returns immediately — the client side, where one
+///   thread advances many connections;
+/// - **blocking with timeouts** ([`TcpWire::new_blocking`]): `poll`
+///   parks the thread in `read(2)` until bytes arrive or the read
+///   timeout lapses — the daemon's reader threads, where an idle
+///   connection must cost zero CPU instead of a 1 ms poll loop.
+///
+/// `SO_RCVTIMEO`/`SO_SNDTIMEO` live on the socket (shared across
+/// `try_clone`d halves), so a connection split into a read half and a
+/// write half keeps one consistent mode.
 #[derive(Debug)]
 pub struct TcpWire {
     stream: TcpStream,
@@ -117,6 +129,9 @@ pub struct TcpWire {
     inbuf: Vec<u8>,
     /// Decoded messages waiting for `poll`.
     pending: VecDeque<Msg>,
+    /// Blocking mode: reads park until the timeout, a blocked write is a
+    /// dead peer (instead of a spin).
+    blocking: bool,
 }
 
 impl TcpWire {
@@ -128,22 +143,66 @@ impl TcpWire {
             stream,
             inbuf: Vec::new(),
             pending: VecDeque::new(),
+            blocking: false,
+        })
+    }
+
+    /// Wrap a connected stream in blocking mode: `poll` parks in the
+    /// kernel up to `read_timeout` (returning `Ok(None)` on a quiet
+    /// interval), and a write stalled past `write_timeout` is treated as
+    /// a dead peer rather than a reason to block the daemon. Both
+    /// timeouts apply to the underlying socket, so they are shared with
+    /// any `try_clone`d half of the same connection.
+    pub fn new_blocking(
+        stream: TcpStream,
+        read_timeout: std::time::Duration,
+        write_timeout: std::time::Duration,
+    ) -> std::io::Result<Self> {
+        stream.set_nonblocking(false)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_write_timeout(Some(write_timeout))?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            stream,
+            inbuf: Vec::new(),
+            pending: VecDeque::new(),
+            blocking: true,
+        })
+    }
+
+    /// A second [`TcpWire`] over the same connection (shared file
+    /// description, shared mode and timeouts), so one thread can own the
+    /// read side while another owns the write side without contending on
+    /// a lock.
+    pub fn split(&self) -> std::io::Result<Self> {
+        Ok(Self {
+            stream: self.stream.try_clone()?,
+            inbuf: Vec::new(),
+            pending: VecDeque::new(),
+            blocking: self.blocking,
         })
     }
 }
 
 impl Wire for TcpWire {
     fn send(&mut self, msg: &Msg) -> Result<(), WireError> {
-        // Frames are tiny (≤ 60 bytes) so a full socket buffer clears in
-        // microseconds; spin on WouldBlock rather than growing an
-        // unbounded outbound queue — bounded buffering is the point.
         let frame = msg.encode();
         let mut at = 0;
         while at < frame.len() {
             match self.stream.write(&frame[at..]) {
                 Ok(0) => return Err(WireError::Disconnected),
                 Ok(n) => at += n,
-                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    if self.blocking {
+                        // The write timeout lapsed with the peer's socket
+                        // buffer still full: a consumer that stalled for
+                        // that long is dead to the daemon — dropping the
+                        // connection beats blocking the tick loop.
+                        return Err(WireError::Disconnected);
+                    }
+                    // Non-blocking frames are tiny (≤ 60 bytes) so a full
+                    // socket buffer clears in microseconds; spin rather
+                    // than growing an unbounded outbound queue.
                     std::thread::yield_now();
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -158,13 +217,28 @@ impl Wire for TcpWire {
             return Ok(Some(m));
         }
         let mut chunk = [0u8; 4096];
-        loop {
+        if self.blocking {
+            // One read, parked in the kernel up to the read timeout. A
+            // quiet interval is Ok(None) — the caller re-checks its stop
+            // flag and parks again — so idle connections cost no CPU.
             match self.stream.read(&mut chunk) {
                 Ok(0) => return Err(WireError::Disconnected),
                 Ok(n) => self.inbuf.extend_from_slice(&chunk[..n]),
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock
+                        || e.kind() == ErrorKind::TimedOut
+                        || e.kind() == ErrorKind::Interrupted => {}
                 Err(_) => return Err(WireError::Disconnected),
+            }
+        } else {
+            loop {
+                match self.stream.read(&mut chunk) {
+                    Ok(0) => return Err(WireError::Disconnected),
+                    Ok(n) => self.inbuf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => return Err(WireError::Disconnected),
+                }
             }
         }
         let msgs = drain_frames(&mut self.inbuf).map_err(|e| WireError::Corrupt(e.to_string()))?;

@@ -185,6 +185,127 @@ fn hostile_wires_plus_crash_keep_every_invariant() {
     assert!(run.service.rounds > 50, "{:?}", run.service);
 }
 
+/// Batched framing under fire: multiplexed producers send one
+/// [`Msg::Batch`] per group per tick through hostile wires, so the
+/// fault plan drops and duplicates *whole batches* at once — and a
+/// mid-run crash lands on top. Every invariant must still hold, and
+/// duplicate batches must be absorbed by per-member seq dedup.
+#[test]
+fn hostile_wires_drop_whole_batches_and_nothing_breaks() {
+    let path = scratch("batch-hostile");
+    let run = run_loadgen(&LoadgenConfig {
+        clients: 24,
+        batch: 6,
+        ticks: 80,
+        seed: 13,
+        faults: Some(FaultKnobs {
+            drop_prob: 0.08,
+            dup_prob: 0.05,
+            delay_prob: 0.10,
+            max_delay_polls: 3,
+            partition: Some((10, 40, 2)),
+        }),
+        crash_at: Some(45),
+        snapshot_path: Some(path.clone()),
+        ..LoadgenConfig::default()
+    });
+    std::fs::remove_file(&path).ok();
+
+    assert!(run.invariant_ok, "Σ ≤ budget under batch faults + crash");
+    assert!(run.max_sum_grants_w <= run.budget_w + 1e-6);
+    assert!(
+        run.service.duplicates > 0,
+        "duplicated batches must be deduped member-by-member: {:?}",
+        run.service
+    );
+    assert!(
+        run.service.leases_expired > 0,
+        "partitioned groups lose whole leases at once: {:?}",
+        run.service
+    );
+    assert!(
+        run.recovery_ticks.is_some(),
+        "the batched cluster must still fully recover"
+    );
+    assert!(run.min_granted_seq() > 0, "everyone got granted eventually");
+}
+
+/// Sharded recovery: kill exactly one of two daemons mid-run while its
+/// peer keeps serving, restore it from its own snapshot. Before the
+/// crash the run is bit-identical to a never-crashed sharded reference.
+/// After it, grants may legitimately diverge — the crashed span's seqs
+/// pause, so the next outer re-split sees different telemetry windows —
+/// but the crashed run must stay fully deterministic, conserve the
+/// machine budget at every tick, and recover completely.
+#[test]
+fn single_shard_crash_recovers_while_peers_keep_serving() {
+    let crash_at = 15u64;
+    let base = LoadgenConfig {
+        clients: 12,
+        shards: 2,
+        outer_period: 4,
+        ticks: 40,
+        seed: 7,
+        service: ServiceConfig {
+            lease_ticks: 64,
+            snapshot_every: 1,
+            ..ServiceConfig::default()
+        },
+        backoff_cap: 4,
+        lockstep_backoff: true,
+        ..LoadgenConfig::default()
+    };
+    let ref_path = scratch("shard-ref");
+    let reference = run_loadgen(&LoadgenConfig {
+        snapshot_path: Some(ref_path.clone()),
+        ..base.clone()
+    });
+    let crash_cfg = LoadgenConfig {
+        crash_at: Some(crash_at),
+        crash_shard: Some(1),
+        snapshot_path: Some(scratch("shard-crash")),
+        ..base
+    };
+    let crashed = run_loadgen(&crash_cfg);
+    let replay = run_loadgen(&crash_cfg);
+    for p in [&ref_path, crash_cfg.snapshot_path.as_ref().unwrap()] {
+        for i in 0..2 {
+            std::fs::remove_file(format!("{}.s{i}", p.display())).ok();
+        }
+    }
+
+    assert!(
+        crashed.invariant_ok,
+        "machine-wide Σ ≤ budget through the crash"
+    );
+    assert_eq!(crashed.hold_violations, 0);
+    assert_eq!(
+        crashed.reconnects, 6,
+        "only the crashed shard's six clients redial"
+    );
+    assert!(crashed.recovery_ticks.is_some(), "shard 1 must recover");
+    assert!(
+        crashed.min_granted_seq() > 25,
+        "post-recovery rounds must flow on both shards: min granted seq {}",
+        crashed.min_granted_seq()
+    );
+    // Pre-crash prefix: bit-identical to the uncrashed reference on
+    // every node of every shard.
+    for (node, log) in crashed.grant_log.iter().enumerate() {
+        for (seq, bits) in log.range(..crash_at) {
+            assert_eq!(
+                reference.grant_log[node].get(seq),
+                Some(bits),
+                "node {node} seq {seq}: pre-crash grants must match the reference"
+            );
+        }
+    }
+    // And the whole chaotic run — outage, redials, restore — replays
+    // bit-for-bit from the same seed.
+    assert_eq!(crashed.grant_log, replay.grant_log);
+    assert_eq!(crashed.sum_fingerprint, replay.sum_fingerprint);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 
@@ -202,6 +323,16 @@ proptest! {
             budget_w: f64::from_bits(budget_bits),
             grants_w: cells.iter().map(|(b, _, _)| f64::from_bits(*b)).collect(),
             leases: cells.iter().map(|(_, live, at)| live.then_some(*at)).collect(),
+            window: Some((
+                [
+                    f64::from_bits(budget_bits.rotate_left(7)),
+                    f64::from_bits(budget_bits.rotate_left(13)),
+                    f64::NAN,
+                    f64::NEG_INFINITY,
+                    5e-324,
+                ],
+                tick.wrapping_mul(3),
+            )),
         };
         let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
         prop_assert_eq!(back.tick, snap.tick);
@@ -211,6 +342,12 @@ proptest! {
             prop_assert_eq!(a.to_bits(), b.to_bits());
         }
         prop_assert_eq!(back.leases, snap.leases);
+        let (back_w, back_n) = back.window.expect("window must survive");
+        let (snap_w, snap_n) = snap.window.unwrap();
+        for (a, b) in back_w.iter().zip(&snap_w) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(back_n, snap_n);
     }
 
     /// Any truncation of a valid snapshot is rejected, never trusted —
@@ -226,6 +363,7 @@ proptest! {
             budget_w: 100.0 * n as f64,
             grants_w: grants,
             leases: vec![None; n],
+            window: Some(([1.0, 2.0, 3.0, 4.0, 5.0], 9)),
         };
         let bytes = snap.to_bytes();
         let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;

@@ -328,6 +328,21 @@ pub trait BudgetArbiter: Send {
     fn redistribute(&mut self, reports: &[Option<NodeTelemetry>])
         -> Result<&[f64], TelemetryError>;
 
+    /// [`BudgetArbiter::redistribute`] for callers that have *already*
+    /// validated every report — the arbiter daemon NACKs malformed
+    /// telemetry at ingress, so re-validating 100k reports per round
+    /// inside the redistribution is pure overhead. Validation has no
+    /// effect on the arithmetic, so the grants are bit-identical to the
+    /// checked path. The default forwards to the checked path;
+    /// implementations override it to skip the per-field scan (arity
+    /// must still be rejected — it indexes the grant vectors).
+    fn redistribute_trusted(
+        &mut self,
+        reports: &[Option<NodeTelemetry>],
+    ) -> Result<&[f64], TelemetryError> {
+        self.redistribute(reports)
+    }
+
     /// Leaf caps currently in force, W.
     fn grants(&self) -> &[f64];
 
@@ -535,6 +550,14 @@ impl PowerArbiter {
         reports: &[Option<NodeTelemetry>],
     ) -> Result<&[f64], TelemetryError> {
         validate_reports(self.grants.len(), reports)?;
+        Ok(self.rebalance_validated(reports))
+    }
+
+    /// The round itself, after input validation: rebalance, trace, and
+    /// re-check the conservation invariants. Shared by the checked and
+    /// trusted redistribution paths — validation never touches the
+    /// arithmetic, so both produce bit-identical grants.
+    fn rebalance_validated(&mut self, reports: &[Option<NodeTelemetry>]) -> &[f64] {
         policy::rebalance(
             self.alloc,
             self.cfg.budget_w,
@@ -551,7 +574,7 @@ impl PowerArbiter {
         }
         self.round += 1;
         self.assert_invariants();
-        Ok(&self.grants)
+        &self.grants
     }
 
     /// Re-target the arbiter at `budget_w`, re-fitting the grants in
@@ -610,6 +633,21 @@ impl BudgetArbiter for PowerArbiter {
         reports: &[Option<NodeTelemetry>],
     ) -> Result<&[f64], TelemetryError> {
         PowerArbiter::redistribute(self, reports)
+    }
+
+    fn redistribute_trusted(
+        &mut self,
+        reports: &[Option<NodeTelemetry>],
+    ) -> Result<&[f64], TelemetryError> {
+        // Caller vouches for field validity (the daemon validated at
+        // ingress); arity still gates, it indexes the grant vectors.
+        if reports.len() != self.grants.len() {
+            return Err(TelemetryError::Arity {
+                expected: self.grants.len(),
+                got: reports.len(),
+            });
+        }
+        Ok(self.rebalance_validated(reports))
     }
 
     fn grants(&self) -> &[f64] {

@@ -171,18 +171,27 @@ impl HierarchyConfig {
 /// One rack's telemetry accumulator over an outer epoch window: sums of
 /// every [`NodeTelemetry`] field across the rack's members and the
 /// barriers since the last rack-level re-split.
-#[derive(Debug, Clone, Copy, Default)]
-struct RackAcc {
+///
+/// Public because the window is also the unit of upward aggregation in
+/// a *sharded* deployment: each `arbiterd` shard accumulates its
+/// members' reports into one `RackWindow`, drains it on the outer
+/// period, and ships the sums to the coordinator — bit-identically to
+/// how [`RackArbiter`] aggregates in process.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RackWindow {
     compute_s: f64,
     comm_s: f64,
     slack_s: f64,
     rate: f64,
     power_w: f64,
-    count: usize,
+    count: u64,
 }
 
-impl RackAcc {
-    fn add(&mut self, t: &NodeTelemetry) {
+impl RackWindow {
+    /// Fold one member report into the window. Addition order matters
+    /// bitwise; callers that need cross-process reproducibility must
+    /// fold in a deterministic (member-rank) order.
+    pub fn add(&mut self, t: &NodeTelemetry) {
         self.compute_s += t.compute_s;
         self.comm_s += t.comm_s;
         self.slack_s += t.slack_s;
@@ -194,7 +203,7 @@ impl RackAcc {
     /// Drain the window into a rack-level report: `None` when not a
     /// single member reported (the whole rack is silent and keeps its
     /// sub-budget, mirroring the node-level dropout rule).
-    fn take(&mut self) -> Option<NodeTelemetry> {
+    pub fn take(&mut self) -> Option<NodeTelemetry> {
         let drained = std::mem::take(self);
         (drained.count > 0).then_some(NodeTelemetry {
             compute_s: drained.compute_s,
@@ -204,6 +213,181 @@ impl RackAcc {
             power_w: drained.power_w,
         })
     }
+
+    /// The raw field sums `[compute_s, comm_s, slack_s, rate, power_w]`,
+    /// for bit-exact persistence (snapshots store the window so a
+    /// restarted shard resumes mid-epoch without losing aggregation).
+    pub fn sums(&self) -> [f64; 5] {
+        [
+            self.compute_s,
+            self.comm_s,
+            self.slack_s,
+            self.rate,
+            self.power_w,
+        ]
+    }
+
+    /// Reports folded into the window so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Rebuild a window from persisted sums (the inverse of
+    /// [`RackWindow::sums`] / [`RackWindow::count`]).
+    pub fn from_parts(sums: [f64; 5], count: u64) -> Self {
+        Self {
+            compute_s: sums[0],
+            comm_s: sums[1],
+            slack_s: sums[2],
+            rate: sums[3],
+            power_w: sums[4],
+            count,
+        }
+    }
+}
+
+/// The rack-level half of the tree, factored out of [`RackArbiter`] so a
+/// *distributed* deployment can reuse it verbatim: a coordinator splitting
+/// a machine budget across N `arbiterd` shards runs the exact code path —
+/// same incremental waterfill, same silent-child freeze, same bit
+/// patterns — as the in-process rack tree. One child here is one rack (or
+/// one shard); leaves are somebody else's problem.
+///
+/// Holds the solver state that must survive across epochs for the
+/// incremental path to stay bit-stable: current sub-budgets, each child's
+/// last desired allocation, and the cached fill sums.
+#[derive(Debug, Clone)]
+pub struct OuterSolver {
+    alloc: Allocator,
+    min: Vec<f64>,
+    max: Vec<f64>,
+    /// Current per-child sub-budgets, W (Σ ≤ pool at every solve).
+    sub_budgets: Vec<f64>,
+    /// Incremental waterfill: caches each child's clamped desired
+    /// sub-budget and the fill sums, re-solving from deltas.
+    fill: IncrementalFill,
+    /// Each child's last desired sub-budget (bitwise), so a child whose
+    /// desire did not move is never re-clamped or re-summed. NaN until
+    /// the first epoch marks every child dirty.
+    last_desired: Vec<f64>,
+    /// Fallback engine scratch for windows with silent children (the
+    /// frozen semantics need the general reporting-subset path).
+    scratch: RebalanceScratch,
+    /// Reused per-epoch buffers (no per-epoch allocation).
+    tel: Vec<NodeTelemetry>,
+    fill_tmp: Vec<f64>,
+    fill_desired: Vec<f64>,
+}
+
+impl OuterSolver {
+    /// Build the solver from initial per-child shares: the shares are
+    /// waterfilled into `pool_w` under the `[min, max]` clamps, exactly
+    /// as [`RackArbiter::new`] seeds its rack sub-budgets.
+    ///
+    /// # Panics
+    /// Panics when the vectors disagree in length or are empty.
+    pub fn new(policy: Policy, min: Vec<f64>, max: Vec<f64>, shares: &[f64], pool_w: f64) -> Self {
+        assert!(
+            !min.is_empty() && min.len() == max.len() && min.len() == shares.len(),
+            "OuterSolver needs matching, non-empty clamp/share vectors"
+        );
+        let sub_budgets = policy::waterfill(shares, pool_w, &min, &max);
+        let n = min.len();
+        Self {
+            alloc: policy.allocator(),
+            fill: IncrementalFill::new(&min, &max),
+            last_desired: vec![f64::NAN; n],
+            scratch: RebalanceScratch::default(),
+            tel: Vec::with_capacity(n),
+            fill_tmp: Vec::new(),
+            fill_desired: Vec::new(),
+            sub_budgets,
+            min,
+            max,
+        }
+    }
+
+    /// Children under division.
+    pub fn len(&self) -> usize {
+        self.sub_budgets.len()
+    }
+
+    /// True when the solver has no children (unreachable via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.sub_budgets.is_empty()
+    }
+
+    /// Current per-child sub-budgets, W.
+    pub fn sub_budgets(&self) -> &[f64] {
+        &self.sub_budgets
+    }
+
+    /// Per-child lower clamps, W.
+    pub fn min(&self) -> &[f64] {
+        &self.min
+    }
+
+    /// Per-child upper clamps, W.
+    pub fn max(&self) -> &[f64] {
+        &self.max
+    }
+
+    /// One outer-epoch solve: re-split `pool_w` across the children from
+    /// their drained window reports (`None` = silent child, sub-budget
+    /// frozen). When every child reported, the incremental fill re-solves
+    /// from desire deltas — a child whose desired sub-budget did not move
+    /// bitwise reuses its cached clamped desire and costs nothing beyond
+    /// the comparison; any silent child falls back to the general engine,
+    /// which owns the frozen-pool semantics.
+    pub fn resolve(&mut self, pool_w: f64, reports: &[Option<NodeTelemetry>]) -> &[f64] {
+        assert_eq!(
+            reports.len(),
+            self.sub_budgets.len(),
+            "one window report per child"
+        );
+        if reports.iter().all(Option::is_some) {
+            self.tel.clear();
+            self.tel
+                .extend(reports.iter().map(|r| r.expect("all report")));
+            if self.alloc.desired_into(
+                &self.sub_budgets,
+                &self.tel,
+                pool_w,
+                None,
+                &mut self.fill_tmp,
+                &mut self.fill_desired,
+            ) {
+                for (r, &d) in self.fill_desired.iter().enumerate() {
+                    if d.to_bits() != self.last_desired[r].to_bits() {
+                        self.fill.update(r, d);
+                        self.last_desired[r] = d;
+                    }
+                }
+                self.sub_budgets.copy_from_slice(self.fill.solve(pool_w));
+            }
+        } else {
+            policy::rebalance(
+                self.alloc,
+                pool_w,
+                &mut self.sub_budgets,
+                &self.min,
+                &self.max,
+                reports,
+                None,
+                &mut self.scratch,
+            );
+        }
+        &self.sub_budgets
+    }
+
+    /// Re-fit the current sub-budgets into a new pool (the
+    /// [`BudgetArbiter::set_budget`] cascade at this level): waterfill
+    /// the existing split into `pool_w` under the clamps.
+    pub fn refit(&mut self, pool_w: f64) -> &[f64] {
+        let refit = policy::waterfill(&self.sub_budgets, pool_w, &self.min, &self.max);
+        self.sub_budgets.copy_from_slice(&refit);
+        &self.sub_budgets
+    }
 }
 
 /// The two-level arbiter tree: rack-level division of the machine budget
@@ -212,37 +396,22 @@ impl RackAcc {
 pub struct RackArbiter {
     cfg: ArbiterConfig,
     h: HierarchyConfig,
-    rack_alloc: Allocator,
-    rack_min: Vec<f64>,
-    rack_max: Vec<f64>,
-    /// Current rack sub-budgets, W (Σ ≤ machine budget).
-    sub_budgets: Vec<f64>,
+    /// The rack-level division engine (shared with the sharded-daemon
+    /// coordinator, which is why it is a separate type).
+    outer: OuterSolver,
     /// One flat arbiter per rack, budgeted at its sub-budget.
     children: Vec<PowerArbiter>,
     /// Leaf index span of each rack (ranks are packed in rack order).
     spans: Vec<Range<usize>>,
     /// Telemetry aggregating upward over the current outer window.
-    acc: Vec<RackAcc>,
+    acc: Vec<RackWindow>,
     round: usize,
     /// Concatenated leaf grants across the racks, W.
     leaf_grants: Vec<f64>,
     leaf_trace: GrantTrace,
     rack_trace: GrantTrace,
-    /// Incremental rack-level waterfill: caches each rack's clamped
-    /// desired sub-budget and the fill sums, re-solving from deltas.
-    rack_fill: IncrementalFill,
-    /// Each rack's last desired sub-budget (bitwise), so a rack whose
-    /// desire did not move is never re-clamped or re-summed. NaN until
-    /// the first outer epoch marks every rack dirty.
-    last_desired: Vec<f64>,
-    /// Fallback engine scratch for windows with silent racks (the frozen
-    /// semantics need the general reporting-subset path).
-    rack_scratch: RebalanceScratch,
-    /// Reused outer-epoch buffers (no per-epoch allocation).
+    /// Reused outer-epoch report buffer (no per-epoch allocation).
     rack_reports: Vec<Option<NodeTelemetry>>,
-    rack_tel: Vec<NodeTelemetry>,
-    fill_tmp: Vec<f64>,
-    fill_desired: Vec<f64>,
     /// Which racks were re-split at the current barrier (reused).
     stepped: Vec<bool>,
     /// Inner-epoch child re-splits skipped because the rack subtree was
@@ -272,7 +441,13 @@ impl RackArbiter {
             .iter()
             .map(|&k| cfg.budget_w * (k as f64 / n as f64))
             .collect();
-        let sub_budgets = policy::waterfill(&shares, cfg.budget_w, &rack_min, &rack_max);
+        let outer = OuterSolver::new(
+            hierarchy.rack_policy,
+            rack_min,
+            rack_max,
+            &shares,
+            cfg.budget_w,
+        );
 
         let mut spans = Vec::with_capacity(hierarchy.racks.len());
         let mut start = 0;
@@ -286,7 +461,7 @@ impl RackArbiter {
         let children: Vec<PowerArbiter> = hierarchy
             .racks
             .iter()
-            .zip(&sub_budgets)
+            .zip(outer.sub_budgets())
             .map(|(&k, &b)| {
                 PowerArbiter::new(ArbiterConfig { budget_w: b, ..cfg }, k).with_tracing(false)
             })
@@ -297,22 +472,13 @@ impl RackArbiter {
         }
         let n_racks = hierarchy.racks.len();
         let arb = Self {
-            rack_alloc: hierarchy.rack_policy.allocator(),
-            rack_fill: IncrementalFill::new(&rack_min, &rack_max),
-            last_desired: vec![f64::NAN; n_racks],
-            rack_scratch: RebalanceScratch::default(),
             rack_reports: Vec::with_capacity(n_racks),
-            rack_tel: Vec::with_capacity(n_racks),
-            fill_tmp: Vec::new(),
-            fill_desired: Vec::new(),
             stepped: vec![false; n_racks],
             skipped_rack_steps: 0,
-            rack_min,
-            rack_max,
-            sub_budgets,
+            outer,
             children,
             spans,
-            acc: vec![RackAcc::default(); n_racks],
+            acc: vec![RackWindow::default(); n_racks],
             round: 0,
             leaf_grants,
             leaf_trace: GrantTrace::new(cfg.policy.name()),
@@ -336,7 +502,7 @@ impl RackArbiter {
 
     /// Current rack sub-budgets, W.
     pub fn sub_budgets(&self) -> &[f64] {
-        &self.sub_budgets
+        self.outer.sub_budgets()
     }
 
     /// The rack-level conservation trace (one tick per outer epoch).
@@ -375,54 +541,18 @@ impl RackArbiter {
         if outer {
             self.rack_reports.clear();
             self.rack_reports
-                .extend(self.acc.iter_mut().map(RackAcc::take));
-            if self.rack_reports.iter().all(Option::is_some) {
-                // Every rack reported: the incremental fill re-solves
-                // from desire deltas — a rack whose desired sub-budget
-                // did not move bitwise reuses its cached clamped desire
-                // and costs nothing beyond the comparison.
-                self.rack_tel.clear();
-                self.rack_tel
-                    .extend(self.rack_reports.iter().map(|r| r.expect("all report")));
-                let pool = self.cfg.budget_w;
-                if self.rack_alloc.desired_into(
-                    &self.sub_budgets,
-                    &self.rack_tel,
-                    pool,
-                    None,
-                    &mut self.fill_tmp,
-                    &mut self.fill_desired,
-                ) {
-                    for (r, &d) in self.fill_desired.iter().enumerate() {
-                        if d.to_bits() != self.last_desired[r].to_bits() {
-                            self.rack_fill.update(r, d);
-                            self.last_desired[r] = d;
-                        }
-                    }
-                    self.sub_budgets.copy_from_slice(self.rack_fill.solve(pool));
-                }
-            } else {
-                // A silent rack freezes its sub-budget: the general
-                // engine owns those semantics (frozen-pool exclusion,
-                // feasibility clipping), so fall back to the exact path.
-                policy::rebalance(
-                    self.rack_alloc,
-                    self.cfg.budget_w,
-                    &mut self.sub_budgets,
-                    &self.rack_min,
-                    &self.rack_max,
-                    &self.rack_reports,
-                    None,
-                    &mut self.rack_scratch,
-                );
-            }
+                .extend(self.acc.iter_mut().map(RackWindow::take));
+            // The solver owns both epoch paths: every-rack-reported goes
+            // incremental (desire-delta waterfill), any silent rack falls
+            // back to the general engine's frozen semantics.
+            self.outer.resolve(self.cfg.budget_w, &self.rack_reports);
             self.rack_trace.record(
                 barrier,
-                &self.sub_budgets,
+                self.outer.sub_budgets(),
                 &self.rack_reports,
                 self.cfg.budget_w,
             );
-            for (child, &b) in self.children.iter_mut().zip(&self.sub_budgets) {
+            for (child, &b) in self.children.iter_mut().zip(self.outer.sub_budgets()) {
                 child.set_budget(b);
             }
             self.assert_rack_invariants();
@@ -472,19 +602,20 @@ impl RackArbiter {
     /// sub-budget inside its clamp, and every child budgeted at exactly
     /// its sub-budget (the node level asserts its own invariants).
     fn assert_rack_invariants(&self) {
-        let total: f64 = self.sub_budgets.iter().sum();
+        let subs = self.outer.sub_budgets();
+        let total: f64 = subs.iter().sum();
         assert!(
             total <= self.cfg.budget_w + EPS_W,
             "rack sub-budgets {} W exceed the {} W machine budget",
             total,
             self.cfg.budget_w
         );
-        for (r, &b) in self.sub_budgets.iter().enumerate() {
+        for (r, &b) in subs.iter().enumerate() {
             assert!(
-                (self.rack_min[r] - EPS_W..=self.rack_max[r] + EPS_W).contains(&b),
+                (self.outer.min()[r] - EPS_W..=self.outer.max()[r] + EPS_W).contains(&b),
                 "rack {r} sub-budget {b} W outside [{}, {}] W",
-                self.rack_min[r],
-                self.rack_max[r]
+                self.outer.min()[r],
+                self.outer.max()[r]
             );
             assert!(
                 (self.children[r].config().budget_w - b).abs() <= EPS_W,
@@ -524,7 +655,7 @@ impl BudgetArbiter for RackArbiter {
         if budget_w.to_bits() == self.cfg.budget_w.to_bits() {
             return;
         }
-        let floor: f64 = self.rack_min.iter().sum();
+        let floor: f64 = self.outer.min().iter().sum();
         assert!(
             budget_w >= floor - EPS_W,
             "budget {} W cannot fund the {} W sum of rack floors",
@@ -532,9 +663,8 @@ impl BudgetArbiter for RackArbiter {
             floor
         );
         self.cfg.budget_w = budget_w;
-        let refit = policy::waterfill(&self.sub_budgets, budget_w, &self.rack_min, &self.rack_max);
-        self.sub_budgets.copy_from_slice(&refit);
-        for (child, &b) in self.children.iter_mut().zip(&self.sub_budgets) {
+        self.outer.refit(budget_w);
+        for (child, &b) in self.children.iter_mut().zip(self.outer.sub_budgets()) {
             child.set_budget(b);
         }
         for (child, span) in self.children.iter().zip(&self.spans) {
@@ -756,7 +886,11 @@ mod tests {
         let (rack_min, rack_max) = h.resolved_clamps(&c);
         let mut shadow = tree.sub_budgets().to_vec();
         let mut scratch = RebalanceScratch::default();
-        let mut accs = [RackAcc::default(), RackAcc::default(), RackAcc::default()];
+        let mut accs = [
+            RackWindow::default(),
+            RackWindow::default(),
+            RackWindow::default(),
+        ];
         for round in 1..=8usize {
             let reports: Vec<Option<NodeTelemetry>> = (0..6)
                 .map(|i| report(0.4 + 0.3 * ((i + round) % 5) as f64, 88.0 + i as f64))
@@ -769,7 +903,7 @@ mod tests {
             tree.redistribute(&reports).unwrap();
             if round.is_multiple_of(h.outer_period) {
                 let rack_reports: Vec<Option<NodeTelemetry>> =
-                    accs.iter_mut().map(RackAcc::take).collect();
+                    accs.iter_mut().map(RackWindow::take).collect();
                 policy::rebalance(
                     h.rack_policy.allocator(),
                     c.budget_w,

@@ -59,7 +59,7 @@ pub use arbiter::{
 pub use comm::{exchange, CommConfig, CommPattern, ExchangeOutcome, Flow, NodePhase};
 pub use error::{ClusterError, ConfigError, TelemetryError};
 pub use grant::{GrantCell, GrantSchedule, GrantSource};
-pub use hierarchy::{HierarchyConfig, RackArbiter};
+pub use hierarchy::{HierarchyConfig, OuterSolver, RackArbiter, RackWindow};
 pub use member::{ClusterNode, DEFAULT_DAEMON_PERIOD};
 pub use partition::MachinePartition;
 pub use policy::{progress_weight, registry_progress_weights, Allocator};

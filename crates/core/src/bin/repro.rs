@@ -3,6 +3,7 @@
 //! ```text
 //! repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|cluster|sched|loadgen]
 //!       [--quick] [--out DIR] [--budget W] [--seed N] [--nodes N]
+//!       [--shards N] [--clients M]
 //!
 //! `sched` schedules a seeded multi-tenant batch queue under a machine
 //! power envelope and compares the eco-mode-aware admission policies;
@@ -10,9 +11,12 @@
 //!
 //! `loadgen` (not part of `all`) stress-drives the `arbiterd` daemon
 //! with thousands of simulated telemetry producers across clean,
-//! overload, hostile-wire, and crash/recovery scenarios; `--seed N`
-//! reseeds the whole run (telemetry, fault schedules, backoff jitter),
-//! which is how the CI soak sweeps fresh chaos every iteration.
+//! overload, hostile-wire, crash/recovery, and sharded scenarios;
+//! `--seed N` reseeds the whole run (telemetry, fault schedules,
+//! backoff jitter), which is how the CI soak sweeps fresh chaos every
+//! iteration. `--shards N` sets the sharded scenario's daemon count and
+//! `--clients M` rescales the cohort; a zero for either is rejected as
+//! a configuration error (exit 2), not a panic.
 //! ```
 //!
 //! `--budget W` overrides the machine-level power budget of the cluster
@@ -44,6 +48,8 @@ struct Opts {
     budget_w: Option<f64>,
     seed: Option<u64>,
     nodes: Option<usize>,
+    shards: Option<usize>,
+    clients: Option<usize>,
 }
 
 fn parse_args() -> Opts {
@@ -53,6 +59,8 @@ fn parse_args() -> Opts {
     let mut budget_w = None;
     let mut seed = None;
     let mut nodes = None;
+    let mut shards = None;
+    let mut clients = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -85,9 +93,25 @@ fn parse_args() -> Opts {
                     std::process::exit(2);
                 }));
             }
+            // Zero is parsed, not rejected: `loadgen` maps it to a
+            // ConfigError naming the field (still exit code 2).
+            "--shards" => {
+                let n = args.next().and_then(|v| v.parse::<usize>().ok());
+                shards = Some(n.unwrap_or_else(|| {
+                    eprintln!("--shards requires a shard count");
+                    std::process::exit(2);
+                }));
+            }
+            "--clients" => {
+                let n = args.next().and_then(|v| v.parse::<usize>().ok());
+                clients = Some(n.unwrap_or_else(|| {
+                    eprintln!("--clients requires a producer count");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|cluster|sched|loadgen]... [--quick] [--out DIR] [--budget W] [--seed N] [--nodes N]"
+                    "usage: repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|cluster|sched|loadgen]... [--quick] [--out DIR] [--budget W] [--seed N] [--nodes N] [--shards N] [--clients M]"
                 );
                 std::process::exit(0);
             }
@@ -104,6 +128,8 @@ fn parse_args() -> Opts {
         budget_w,
         seed,
         nodes,
+        shards,
+        clients,
     }
 }
 
@@ -346,7 +372,17 @@ fn main() {
         if let Some(s) = opts.seed {
             cfg.seed = s;
         }
-        emit(&loadgen::run(&cfg).table(), &opts.out, "loadgen");
+        if let Some(n) = opts.shards {
+            cfg.shards = n;
+        }
+        if let Some(m) = opts.clients {
+            cfg.clients = m;
+        }
+        let r = loadgen::run(&cfg).unwrap_or_else(|e| {
+            eprintln!("repro loadgen: {e}");
+            std::process::exit(2);
+        });
+        emit(&r.table(), &opts.out, "loadgen");
     }
     if wants("ablations") {
         let cfg = if opts.quick {

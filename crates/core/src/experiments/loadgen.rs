@@ -1,7 +1,7 @@
 //! Daemon load generation: `repro loadgen`.
 //!
 //! Not a paper artefact — an operational stress harness for the
-//! `arbiterd` daemon added alongside the cluster layer. Four scenarios
+//! `arbiterd` daemon added alongside the cluster layer. Five scenarios
 //! run the same simulated telemetry cohort through increasingly hostile
 //! conditions and report what the service's robustness machinery did:
 //!
@@ -11,6 +11,7 @@
 //! | overload  | lossless                      | shallow queue + tight rate limit |
 //! | hostile   | drops/dups/delays + partition | defaults               |
 //! | crash     | hostile                       | defaults, `kill -9` mid-run + snapshot restore |
+//! | sharded   | hostile, batched frames       | N shards under the outer coordinator, one shard `kill -9`'d mid-run |
 //!
 //! Every scenario must end with Σ grants ≤ budget and zero
 //! hold-last-grant violations — the table's `invariant` column is a
@@ -18,6 +19,7 @@
 
 use arbiterd::loadgen::{run_loadgen, FaultKnobs, LoadgenConfig, LoadgenReport};
 use arbiterd::ServiceConfig;
+use cluster::ConfigError;
 
 use crate::report::TextTable;
 
@@ -26,6 +28,9 @@ use crate::report::TextTable;
 pub struct Config {
     /// Simulated telemetry producers per scenario.
     pub clients: usize,
+    /// Arbiter shards in the `sharded` scenario (the other scenarios
+    /// always run the single-service legacy path).
+    pub shards: usize,
     /// Lockstep ticks per scenario.
     pub ticks: u64,
     /// Master seed (telemetry, fault schedules, backoff jitter).
@@ -36,6 +41,7 @@ impl Default for Config {
     fn default() -> Self {
         Self {
             clients: 2000,
+            shards: 4,
             ticks: 120,
             seed: 12,
         }
@@ -47,6 +53,7 @@ impl Config {
     pub fn quick() -> Self {
         Self {
             clients: 64,
+            shards: 4,
             ticks: 40,
             seed: 12,
         }
@@ -60,6 +67,22 @@ pub struct Cell {
     pub scenario: &'static str,
     /// The generator's full report.
     pub report: LoadgenReport,
+}
+
+impl Config {
+    /// Check the scale knobs, delegating the cross-field constraints
+    /// (`shards ≤ clients`, …) to [`LoadgenConfig::validate`]. The
+    /// `repro` CLI maps a failure here to exit code 2.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        LoadgenConfig {
+            clients: self.clients,
+            shards: self.shards,
+            ticks: self.ticks,
+            seed: self.seed,
+            ..LoadgenConfig::default()
+        }
+        .validate()
+    }
 }
 
 /// All scenarios' outcomes.
@@ -87,8 +110,9 @@ fn hostile_faults(cfg: &Config) -> FaultKnobs {
     }
 }
 
-/// Run the four scenarios.
-pub fn run(cfg: &Config) -> Loadgen {
+/// Run the five scenarios.
+pub fn run(cfg: &Config) -> Result<Loadgen, ConfigError> {
+    cfg.validate()?;
     let mut cells = Vec::new();
 
     cells.push(Cell {
@@ -144,7 +168,41 @@ pub fn run(cfg: &Config) -> Loadgen {
     });
     std::fs::remove_file(&snap).ok();
 
-    Loadgen { cells }
+    // The horizontal topology: the cohort spread over `cfg.shards`
+    // arbiter shards under the outer budget coordinator, telemetry
+    // multiplexed 8 producers per wire, hostile faults dropping and
+    // duplicating whole batches, and one shard kill -9'd mid-run while
+    // its peers keep serving. Σ ≤ machine budget still holds machine-
+    // wide at every tick.
+    let shard_snap = std::env::temp_dir().join(format!(
+        "arbiterd-loadgen-sharded-{}-{}.snap",
+        std::process::id(),
+        cfg.seed
+    ));
+    cells.push(Cell {
+        scenario: "sharded",
+        report: run_loadgen(&LoadgenConfig {
+            shards: cfg.shards,
+            batch: 8.min(cfg.clients / cfg.shards.max(1)).max(1),
+            faults: Some(hostile_faults(cfg)),
+            crash_at: Some((cfg.ticks / 2).max(1)),
+            crash_shard: Some(cfg.shards - 1),
+            snapshot_path: Some(shard_snap.clone()),
+            ..base(cfg)
+        }),
+    });
+    for i in 0..cfg.shards {
+        let p = if cfg.shards == 1 {
+            shard_snap.clone()
+        } else {
+            let mut s = shard_snap.clone().into_os_string();
+            s.push(format!(".s{i}"));
+            s.into()
+        };
+        std::fs::remove_file(p).ok();
+    }
+
+    Ok(Loadgen { cells })
 }
 
 impl Loadgen {
@@ -155,6 +213,7 @@ impl Loadgen {
             &[
                 "scenario",
                 "clients",
+                "shards",
                 "ticks",
                 "rounds",
                 "shed",
@@ -165,6 +224,10 @@ impl Loadgen {
                 "recovery_ticks",
                 "max_sum_w",
                 "budget_w",
+                // FNV-1a over every tick's machine-wide Σ grants (raw
+                // f64 bits): two runs agree here iff their whole Σ
+                // traces agree, which is what the CI shard-soak diffs.
+                "sum_fp",
                 "invariant",
             ],
         );
@@ -173,6 +236,7 @@ impl Loadgen {
             t.row(vec![
                 c.scenario.to_string(),
                 r.clients.to_string(),
+                r.shards.to_string(),
                 r.ticks.to_string(),
                 r.service.rounds.to_string(),
                 r.service.shed.to_string(),
@@ -185,6 +249,7 @@ impl Loadgen {
                     .unwrap_or_else(|| "-".to_string()),
                 format!("{:.1}", r.max_sum_grants_w),
                 format!("{:.1}", r.budget_w),
+                format!("{:016x}", r.sum_fingerprint),
                 if r.invariant_ok && r.hold_violations == 0 {
                     "ok".to_string()
                 } else {
@@ -202,8 +267,8 @@ mod tests {
 
     #[test]
     fn all_scenarios_hold_the_invariant_at_quick_scale() {
-        let r = run(&Config::quick());
-        assert_eq!(r.cells.len(), 4);
+        let r = run(&Config::quick()).expect("quick config is valid");
+        assert_eq!(r.cells.len(), 5);
         for c in &r.cells {
             assert!(c.report.invariant_ok, "{} broke Σ ≤ budget", c.scenario);
             assert_eq!(
@@ -228,13 +293,38 @@ mod tests {
             "the crash scenario must recover"
         );
         assert!(by_name("crash").reconnects >= 64);
+        let sharded = by_name("sharded");
+        assert_eq!(sharded.shards, Config::quick().shards);
+        assert!(
+            sharded.recovery_ticks.is_some(),
+            "the killed shard must recover"
+        );
+        assert!(
+            sharded.min_granted_seq() > 0,
+            "every producer must get granted across shards"
+        );
     }
 
     #[test]
     fn table_rows_match_scenarios() {
-        let r = run(&Config::quick());
+        let r = run(&Config::quick()).expect("quick config is valid");
         let t = r.table();
-        assert_eq!(t.len(), 4);
+        assert_eq!(t.len(), 5);
         assert!(t.to_csv().contains("recovery_ticks"));
+        assert!(t.to_csv().contains("sharded"));
+    }
+
+    #[test]
+    fn zero_scale_knobs_are_config_errors() {
+        let bad = Config {
+            clients: 0,
+            ..Config::quick()
+        };
+        assert!(run(&bad).is_err(), "clients = 0 must not panic");
+        let bad = Config {
+            shards: 0,
+            ..Config::quick()
+        };
+        assert!(run(&bad).is_err(), "shards = 0 must not panic");
     }
 }

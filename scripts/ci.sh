@@ -7,12 +7,17 @@
 #   --no-test      skip the test suite and bench smoke run (lints+build)
 #   --soak         run ~60 s (SOAK_SECONDS overrides) of seeded chaos
 #                  load generation against the arbiter daemon: every run
-#                  drives clean/overload/hostile/crash scenarios —
-#                  lossy+partitioned wires and one kill-9/snapshot
+#                  drives clean/overload/hostile/crash/sharded scenarios
+#                  — lossy+partitioned wires and one kill-9/snapshot
 #                  restore each — under a fresh seed. Fails on any
 #                  panic, deadlock (via timeout), or Σ-grants>budget /
 #                  hold-last-grant breach (the table's invariant
-#                  column).
+#                  column). Also runs the shard-soak step: one seeded
+#                  4-shard chaos run (one daemon kill-9'd and restored
+#                  mid-run) executed twice and diffed bit for bit — the
+#                  sum_fp column carries the whole machine-wide Σ-grants
+#                  trace, so the diff catches any nondeterminism in the
+#                  sharded path.
 #   --bench-check  additionally compare fresh cluster-bench minima
 #                  against the committed BENCH_cluster.json baseline and
 #                  fail on regressions beyond BENCH_TOLERANCE (default
@@ -90,8 +95,32 @@ fi
 
 if [[ "$soak" -eq 1 ]]; then
     budget="${SOAK_SECONDS:-60}"
-    echo "== soak (${budget} s of seeded chaos loadgen)"
     cargo build -q --release -p powerprog-core
+
+    echo "== shard-soak (seeded 4-shard crash run, replayed and diffed bit for bit)"
+    shard_a="$(mktemp -d)"
+    shard_b="$(mktemp -d)"
+    for dir in "$shard_a" "$shard_b"; do
+        timeout 120 target/release/repro loadgen --quick --shards 4 --seed 7 --out "$dir" >/dev/null || {
+            echo "ci.sh: shard-soak run panicked, hung, or failed" >&2
+            exit 1
+        }
+    done
+    if grep -q "VIOLATED" "$shard_a/loadgen.csv"; then
+        echo "ci.sh: shard-soak breached an invariant" >&2
+        cat "$shard_a/loadgen.csv" >&2
+        exit 1
+    fi
+    # The CSV's sum_fp column fingerprints every tick's machine-wide
+    # Σ grants, so this diff is a bit-for-bit replay check of the whole
+    # sharded crash/recovery run, not just its summary counters.
+    diff -r "$shard_a" "$shard_b" || {
+        echo "ci.sh: sharded loadgen is not deterministic under a fixed seed" >&2
+        exit 1
+    }
+    rm -rf "$shard_a" "$shard_b"
+
+    echo "== soak (${budget} s of seeded chaos loadgen)"
     deadline=$((SECONDS + budget))
     seed=1
     while ((SECONDS < deadline)); do
