@@ -2,7 +2,11 @@
 //! the bulk-synchronous proxy application.
 //!
 //! Each member owns a full per-node stack — [`simnode::node::Node`] with
-//! optional fault plan, a hardened [`ResilientDaemon`] applying the
+//! optional fault plan and a per-member MSR backend tier (the
+//! [`NodeSpec::backend`](crate::sim::NodeSpec::backend) selection rides
+//! in on the member's [`NodeConfig`], so a cluster can mix closed-form
+//! and emulated-bus register files), a hardened [`ResilientDaemon`]
+//! applying the
 //! arbiter's grant through the [`GrantSchedule`] channel, and an
 //! [`MsrPowerSensor`] playing the role of the job manager's telemetry
 //! collector (user-space MSR reads, so the PR-1 fault layer can take it

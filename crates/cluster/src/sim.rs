@@ -32,6 +32,7 @@ use rayon::prelude::*;
 use progress::imbalance::{self, ImbalanceReport};
 use simnode::config::NodeConfig;
 use simnode::faults::FaultPlan;
+use simnode::hw::BackendKind;
 use simnode::time::{from_secs, secs, Nanos};
 use std::sync::Arc;
 
@@ -93,6 +94,9 @@ pub struct NodeSpec {
     /// `Arc`-shared so cloning a spec (or a whole sweep of them) never
     /// deep-copies the plan.
     pub faults: Option<Arc<FaultPlan>>,
+    /// MSR backend tier behind this member's register file
+    /// ([`BackendKind::Sim`] by default — bit-identical to the seed).
+    pub backend: BackendKind,
 }
 
 impl NodeSpec {
@@ -102,12 +106,19 @@ impl NodeSpec {
             preset,
             weight,
             faults: None,
+            backend: BackendKind::default(),
         }
     }
 
     /// Attach a fault plan.
     pub fn with_faults(mut self, plan: impl Into<Arc<FaultPlan>>) -> Self {
         self.faults = Some(plan.into());
+        self
+    }
+
+    /// Select the MSR backend tier for this member.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -166,6 +177,12 @@ impl ClusterConfig {
             h.validate(&self.arbiter, self.nodes.len())?;
         }
         for spec in &self.nodes {
+            ensure(spec.backend.is_available(), "NodeSpec.backend", || {
+                format!(
+                    "backend {:?} requires this binary to be built with --features rapl",
+                    spec.backend
+                )
+            })?;
             spec.preset.config().validate();
         }
         Ok(())
@@ -330,6 +347,7 @@ fn setup(cfg: &ClusterConfig) -> (Box<dyn BudgetArbiter>, Vec<ClusterNode>) {
         .map(|(id, spec)| {
             let node_cfg = NodeConfig {
                 faults: spec.faults.clone(),
+                backend: spec.backend,
                 ..spec.preset.config()
             };
             let mut m = ClusterNode::new(id, node_cfg, spec.weight, cfg.shape, cfg.daemon_period)

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|cluster|sched|loadgen]
+//! repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|backends|cluster|sched|loadgen]
 //!       [--quick] [--out DIR] [--budget W] [--seed N] [--nodes N]
 //!       [--shards N] [--clients M]
 //!
@@ -36,8 +36,8 @@ use std::fs;
 use std::path::PathBuf;
 
 use powerprog_core::experiments::{
-    ablations, candle_ext, cluster, faults, fig1, fig2, fig3, fig4, fig5, hierarchy, loadgen,
-    sched, table1, table6, tables2to5,
+    ablations, backends, candle_ext, cluster, faults, fig1, fig2, fig3, fig4, fig5, hierarchy,
+    loadgen, sched, table1, table6, tables2to5,
 };
 use powerprog_core::report::TextTable;
 
@@ -111,7 +111,7 @@ fn parse_args() -> Opts {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|cluster|sched|loadgen]... [--quick] [--out DIR] [--budget W] [--seed N] [--nodes N] [--shards N] [--clients M]"
+                    "usage: repro [all|table1|tables2to5|table6|fig1|fig2|fig3|fig4|fig5|candle|ablations|faults|backends|cluster|sched|loadgen]... [--quick] [--out DIR] [--budget W] [--seed N] [--nodes N] [--shards N] [--clients M]"
                 );
                 std::process::exit(0);
             }
@@ -283,6 +283,14 @@ fn main() {
                 "MISMATCH"
             }
         );
+    }
+    if wants("backends") {
+        let cfg = if opts.quick {
+            backends::Config::quick()
+        } else {
+            backends::Config::default()
+        };
+        emit(&backends::run(&cfg).table(), &opts.out, "backends");
     }
     if wants("cluster") {
         let mut cfg = if opts.quick {

@@ -1,0 +1,237 @@
+//! **Backends** — progress/energy fidelity across MSR backend tiers.
+//!
+//! The same capped LAMMPS run is executed against each in-tree register
+//! file behind the [`MsrBackend`](simnode::hw::MsrBackend) boundary:
+//!
+//! - `sim` — the seed's closed-form register file, the bit-exact
+//!   reference everything else is measured against;
+//! - `emulated-0` — the bus/register-file execution engine with zero
+//!   latch delay: exercises the whole emulated code path (decode masks,
+//!   latch queue, bus accounting) while remaining *bit-identical* to
+//!   `sim`, because every value our encoders produce fits the
+//!   architected-bit masks;
+//! - `emulated-2ms` — the same engine with a realistic ~2 ms RAPL latch
+//!   delay and a per-access bus cost, the fidelity tier the cap-latency
+//!   discussion in the paper motivates.
+//!
+//! The cap schedule is the paper's step-after-lead-in shape, so the one
+//! behavioural difference the latched tier introduces — the cap landing
+//! a couple of daemon ticks late — is visible right at the step. The
+//! table reports per-tier progress, power and energy, Δ% against `sim`,
+//! and the emulated tiers' bus-occupancy accounting.
+
+use proxyapps::catalog::AppId;
+use simnode::hw::BackendKind;
+use simnode::time::{Nanos, SEC};
+
+use crate::report::{f, TextTable};
+use crate::runner::{run_app, RunArtifacts, RunConfig, ScheduleSpec};
+use crate::sweep::par_map;
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Run length per tier.
+    pub duration: Nanos,
+    /// Cap applied after the lead-in, W.
+    pub cap_w: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            duration: 30 * SEC,
+            cap_w: 80.0,
+            seed: 1,
+        }
+    }
+}
+
+impl Config {
+    /// Reduced-scale config for tests.
+    pub fn quick() -> Self {
+        Self {
+            duration: 10 * SEC,
+            ..Self::default()
+        }
+    }
+
+    /// Uncapped lead-in before the cap arrives.
+    fn lead_in(&self) -> Nanos {
+        self.duration / 5
+    }
+}
+
+/// The tiers the experiment compares, in table order.
+pub fn tiers() -> Vec<(&'static str, BackendKind)> {
+    vec![
+        ("sim", BackendKind::Sim),
+        (
+            "emulated-0",
+            BackendKind::Emulated {
+                write_latency: 0,
+                access_cost: 0,
+            },
+        ),
+        ("emulated-2ms", BackendKind::emulated()),
+    ]
+}
+
+/// One tier's measurements.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Tier name.
+    pub tier: &'static str,
+    /// Steady-state progress rate.
+    pub steady_rate: f64,
+    /// Mean package power over the run, W.
+    pub mean_power_w: f64,
+    /// Mean package power over the settled second half, W.
+    pub settled_power_w: f64,
+    /// Total package energy, J.
+    pub energy_j: f64,
+    /// User-space MSR reads issued (bus tiers only).
+    pub msr_reads: u64,
+    /// User-space MSR writes issued (bus tiers only).
+    pub msr_writes: u64,
+    /// Writes that went through the latch queue.
+    pub latched_writes: u64,
+    /// Total bus occupancy, µs.
+    pub bus_us: f64,
+}
+
+fn cell(tier: &'static str, kind: BackendKind, cfg: &Config) -> Cell {
+    let rc = RunConfig::new(AppId::Lammps, cfg.duration)
+        .with_schedule(ScheduleSpec::StepAfter {
+            lead_in: cfg.lead_in(),
+            cap_w: cfg.cap_w,
+        })
+        .with_seed(cfg.seed)
+        .with_backend(kind);
+    let a: RunArtifacts = run_app(&rc);
+    let bus = a.bus_stats.unwrap_or_default();
+    Cell {
+        tier,
+        steady_rate: a.steady_rate(),
+        mean_power_w: a.mean_power(),
+        settled_power_w: a.settled_power(),
+        energy_j: a.total_energy_j,
+        msr_reads: bus.reads,
+        msr_writes: bus.writes,
+        latched_writes: bus.latched,
+        bus_us: bus.bus_ns as f64 / 1e3,
+    }
+}
+
+/// The full tier comparison.
+#[derive(Debug, Clone)]
+pub struct Backends {
+    /// One cell per tier, `sim` first.
+    pub cells: Vec<Cell>,
+}
+
+/// Run the experiment.
+pub fn run(cfg: &Config) -> Backends {
+    let cfg2 = cfg.clone();
+    let cells = par_map(tiers(), move |(tier, kind)| cell(tier, kind, &cfg2));
+    Backends { cells }
+}
+
+impl Backends {
+    /// Find a tier's cell.
+    pub fn cell(&self, tier: &str) -> Option<&Cell> {
+        self.cells.iter().find(|c| c.tier == tier)
+    }
+
+    /// Summary table (Δ% columns are against the `sim` tier).
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Backends: progress/energy across MSR backend tiers (same cap schedule)",
+            &[
+                "Tier",
+                "rate",
+                "Δrate (%)",
+                "mean (W)",
+                "settled (W)",
+                "energy (J)",
+                "Δenergy (%)",
+                "rd",
+                "wr",
+                "latched",
+                "bus (us)",
+            ],
+        );
+        let base = &self.cells[0];
+        for c in &self.cells {
+            let d_rate = 100.0 * (c.steady_rate / base.steady_rate - 1.0);
+            let d_energy = 100.0 * (c.energy_j / base.energy_j - 1.0);
+            t.row(vec![
+                c.tier.to_string(),
+                f(c.steady_rate, 0),
+                f(d_rate, 3),
+                f(c.mean_power_w, 1),
+                f(c.settled_power_w, 1),
+                f(c.energy_j, 1),
+                f(d_energy, 3),
+                c.msr_reads.to_string(),
+                c.msr_writes.to_string(),
+                c.latched_writes.to_string(),
+                f(c.bus_us, 1),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_emulated_tier_is_bit_identical_to_sim() {
+        let r = run(&Config::quick());
+        assert_eq!(r.cells.len(), 3);
+        let sim = r.cell("sim").unwrap();
+        let emu0 = r.cell("emulated-0").unwrap();
+        assert_eq!(
+            sim.energy_j.to_bits(),
+            emu0.energy_j.to_bits(),
+            "zero-latency emulation must not perturb energy: {} vs {}",
+            sim.energy_j,
+            emu0.energy_j
+        );
+        assert_eq!(
+            sim.steady_rate.to_bits(),
+            emu0.steady_rate.to_bits(),
+            "zero-latency emulation must not perturb progress"
+        );
+        // The emulated tier actually went through the bus engine.
+        assert!(emu0.msr_writes > 0, "bus accounting must engage");
+        assert_eq!(sim.msr_writes, 0, "sim tier has no bus model");
+    }
+
+    #[test]
+    fn latched_tier_stays_close_and_actually_latches() {
+        let r = run(&Config::quick());
+        let sim = r.cell("sim").unwrap();
+        let latched = r.cell("emulated-2ms").unwrap();
+        assert!(
+            latched.latched_writes > 0,
+            "2 ms tier must route writes through the latch queue"
+        );
+        let d_rate = (latched.steady_rate / sim.steady_rate - 1.0).abs();
+        let d_energy = (latched.energy_j / sim.energy_j - 1.0).abs();
+        assert!(
+            d_rate < 0.02,
+            "ms-scale latch must not move progress materially: Δ {:.3}%",
+            d_rate * 100.0
+        );
+        assert!(
+            d_energy < 0.02,
+            "ms-scale latch must not move energy materially: Δ {:.3}%",
+            d_energy * 100.0
+        );
+    }
+}

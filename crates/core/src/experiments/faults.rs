@@ -24,7 +24,7 @@
 
 use proxyapps::catalog::AppId;
 use simnode::faults::{FaultPlan, FaultWindow};
-use simnode::msr::{MSR_PKG_ENERGY_STATUS, MSR_PKG_POWER_LIMIT};
+use simnode::hw::{MSR_PKG_ENERGY_STATUS, MSR_PKG_POWER_LIMIT};
 use simnode::time::{Nanos, SEC};
 
 use nrm::resilience::ResilienceConfig;

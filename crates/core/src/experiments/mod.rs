@@ -6,6 +6,7 @@
 //! `repro` binary and EXPERIMENTS.md.
 
 pub mod ablations;
+pub mod backends;
 pub mod candle_ext;
 pub mod cluster;
 pub mod faults;

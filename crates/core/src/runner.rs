@@ -18,7 +18,7 @@ use simnode::agent::SimAgent;
 use simnode::config::NodeConfig;
 use simnode::counters::Counters;
 use simnode::faults::FaultPlan;
-use simnode::msr::{encode_perf_ctl, IA32_PERF_CTL};
+use simnode::hw::{encode_perf_ctl, BackendKind, BusStats, IA32_PERF_CTL};
 use simnode::node::Node;
 use simnode::time::{Nanos, SEC};
 
@@ -157,6 +157,9 @@ pub struct RunConfig {
     /// Run the hardened control loop ([`ResilientDaemon`]) instead of the
     /// naive [`NrmDaemon`].
     pub resilience: Option<ResilienceConfig>,
+    /// Which MSR backend tier the node runs on ([`BackendKind::Sim`] by
+    /// default — bit-identical to the seed).
+    pub backend: BackendKind,
 }
 
 impl RunConfig {
@@ -176,6 +179,7 @@ impl RunConfig {
             lossy_capacity: None,
             faults: None,
             resilience: None,
+            backend: BackendKind::default(),
         }
     }
 
@@ -212,6 +216,12 @@ impl RunConfig {
     /// Replace the naive daemon with the hardened control loop.
     pub fn with_resilience(mut self, cfg: ResilienceConfig) -> Self {
         self.resilience = Some(cfg);
+        self
+    }
+
+    /// Select the MSR backend tier the node runs on.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -293,6 +303,9 @@ pub struct RunArtifacts {
     pub dropped_events: u64,
     /// Injected-fault counters at end of run.
     pub fault_summary: FaultSummary,
+    /// Bus-occupancy accounting, when the backend models a bus
+    /// (`None` on the closed-form [`BackendKind::Sim`] tier).
+    pub bus_stats: Option<BusStats>,
 }
 
 impl RunArtifacts {
@@ -413,6 +426,7 @@ pub fn run_app(cfg: &RunConfig) -> RunArtifacts {
     if cfg.faults.is_some() {
         node_cfg.faults = cfg.faults.clone();
     }
+    node_cfg.backend = cfg.backend;
     let mut node = Node::new(node_cfg);
     if let Some(mhz) = cfg.fixed_mhz {
         node.msr_mut()
@@ -482,6 +496,7 @@ pub fn run_app(cfg: &RunConfig) -> RunArtifacts {
                 writes_delayed: fs.writes_delayed(),
             })
             .unwrap_or_default();
+        let bus_stats = node.msr().bus_stats();
         let mut progress = Vec::with_capacity(monitors.len());
         let mut channel_stats = Vec::with_capacity(monitors.len());
         for mut m in monitors {
@@ -503,6 +518,7 @@ pub fn run_app(cfg: &RunConfig) -> RunArtifacts {
             total_energy_j: node.total_energy(),
             dropped_events: bus.dropped(),
             fault_summary,
+            bus_stats,
             record,
         }
     }

@@ -16,8 +16,9 @@
 
 use serde::{Deserialize, Serialize};
 use simnode::ddcm::DutyCycle;
-use simnode::msr::{
+use simnode::hw::{
     decode_perf_ctl, encode_perf_ctl, MsrError, IA32_CLOCK_MODULATION, IA32_PERF_CTL,
+    MSR_PKG_POWER_LIMIT,
 };
 use simnode::node::Node;
 use simnode::time::SEC;
@@ -61,10 +62,24 @@ impl Actuator {
     /// the software loops, clearing a leftover RAPL cap is best-effort: a
     /// stale cap coexisting with the DVFS/DDCM knob only makes the node
     /// *more* constrained, never less, so it is not worth failing over.
+    ///
+    /// Backends advertise what they implement via
+    /// [`Capabilities`](simnode::hw::Capabilities); a knob the backend
+    /// lacks fails fast with [`MsrError::Unsupported`] naming the
+    /// register, before any write is attempted.
     pub fn apply(&mut self, node: &mut Node, target: Option<f64>) -> Result<(), MsrError> {
+        let caps = node.msr().capabilities();
         match self.kind {
-            ActuatorKind::Rapl => node.set_package_cap(target),
+            ActuatorKind::Rapl => {
+                if !caps.power_limit {
+                    return Err(MsrError::Unsupported(MSR_PKG_POWER_LIMIT));
+                }
+                node.set_package_cap(target)
+            }
             ActuatorKind::DirectDvfs => {
+                if !caps.perf_ctl {
+                    return Err(MsrError::Unsupported(IA32_PERF_CTL));
+                }
                 let _ = node.set_package_cap(None);
                 let Some(t) = target else {
                     return node.msr_mut().write(IA32_PERF_CTL, 0);
@@ -85,6 +100,9 @@ impl Actuator {
                     .write(IA32_PERF_CTL, encode_perf_ctl(ladder.mhz(next)))
             }
             ActuatorKind::Ddcm => {
+                if !caps.clock_modulation {
+                    return Err(MsrError::Unsupported(IA32_CLOCK_MODULATION));
+                }
                 let _ = node.set_package_cap(None);
                 let Some(t) = target else {
                     return node

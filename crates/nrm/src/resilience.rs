@@ -25,7 +25,7 @@
 //!   jumping counters degrade the estimate instead of poisoning it.
 
 use simnode::agent::SimAgent;
-use simnode::msr::{
+use simnode::hw::{
     PowerLimit, RaplUnits, MSR_PKG_ENERGY_STATUS, MSR_PKG_POWER_LIMIT, MSR_RAPL_POWER_UNIT,
 };
 use simnode::node::Node;
@@ -405,7 +405,7 @@ mod tests {
     use crate::scheme::ConstantCap;
     use simnode::config::NodeConfig;
     use simnode::faults::{FaultPlan, FaultWindow};
-    use simnode::msr::{IA32_CLOCK_MODULATION, IA32_PERF_CTL};
+    use simnode::hw::{IA32_CLOCK_MODULATION, IA32_PERF_CTL};
     use simnode::node::{CoreWork, Node, WorkPacket};
 
     fn busy_node(faults: Option<FaultPlan>) -> Node {

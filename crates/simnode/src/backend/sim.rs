@@ -1,0 +1,176 @@
+//! The closed-form simulated register file — the seed `MsrDevice`
+//! behaviour, ported verbatim behind [`MsrBackend`].
+//!
+//! Every access path here is bit-identical to the pre-trait device: the
+//! conformance suite pins it against a frozen copy of the old
+//! implementation, and `scripts/ci.sh` diffs seeded `repro cluster
+//! --quick` CSVs against golden pre-refactor output.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::backend::{default_permission, Capabilities, MsrBackend};
+use crate::faults::{FaultLayer, FaultPlan, FaultStats};
+use crate::msr::{
+    MsrError, Permission, RaplUnits, IA32_APERF, IA32_CLOCK_MODULATION, IA32_MPERF, IA32_PERF_CTL,
+    MSR_PKG_ENERGY_STATUS, MSR_PKG_POWER_LIMIT, MSR_RAPL_POWER_UNIT,
+};
+use crate::time::Nanos;
+
+/// The simulated MSR register file (allow-list + registers + optional
+/// fault layer).
+#[derive(Debug, Clone)]
+pub struct SimBackend {
+    regs: HashMap<u32, u64>,
+    allowlist: HashMap<u32, Permission>,
+    /// Simulated time of the device, advanced by `advance_to`; only
+    /// consulted by the fault layer.
+    now: Nanos,
+    /// Optional fault-injection layer ([`crate::faults`]). `None` (the
+    /// default) leaves every access path untouched.
+    faults: Option<FaultLayer>,
+}
+
+impl SimBackend {
+    /// A register file with the default RAPL/DVFS allow-list and
+    /// power-on values.
+    pub fn new() -> Self {
+        let mut allowlist = HashMap::new();
+        let mut regs = HashMap::new();
+        for addr in [
+            MSR_RAPL_POWER_UNIT,
+            MSR_PKG_POWER_LIMIT,
+            MSR_PKG_ENERGY_STATUS,
+            IA32_PERF_CTL,
+            IA32_CLOCK_MODULATION,
+            IA32_MPERF,
+            IA32_APERF,
+        ] {
+            allowlist.insert(addr, default_permission(addr).expect("default set"));
+            regs.insert(addr, 0);
+        }
+        regs.insert(MSR_RAPL_POWER_UNIT, RaplUnits::SKYLAKE_RAW);
+        Self {
+            regs,
+            allowlist,
+            now: 0,
+            faults: None,
+        }
+    }
+
+    /// Builder back end: the default file with allow-list overrides,
+    /// register pokes, and an optional fault plan applied before the
+    /// device is handed out.
+    pub(crate) fn assemble(
+        allow: &[(u32, Permission)],
+        regs: &[(u32, u64)],
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
+        let mut s = Self::new();
+        for &(addr, perm) in allow {
+            s.allowlist.insert(addr, perm);
+            s.regs.entry(addr).or_insert(0);
+        }
+        for &(addr, value) in regs {
+            s.regs.insert(addr, value);
+        }
+        s.faults = faults.map(FaultLayer::new);
+        s
+    }
+
+    /// Allow-list + fault-layer front half of a user write. `Ok(true)`
+    /// means the caller should store the value; `Ok(false)` means the
+    /// fault layer swallowed it (a deferred cap latch that will fire via
+    /// [`MsrBackend::advance_to`]). Shared with [`super::EmulatedBackend`],
+    /// whose bus engine stores through its own latch queue.
+    pub(crate) fn user_write_gate(&mut self, addr: u32, value: u64) -> Result<bool, MsrError> {
+        match self.allowlist.get(&addr) {
+            None => Err(MsrError::Unknown(addr)),
+            Some(p) if !p.write => Err(MsrError::NotAllowed(addr)),
+            Some(_) => {
+                if let Some(fl) = &mut self.faults {
+                    if fl.write_fails(self.now, addr) {
+                        return Err(MsrError::Io(addr));
+                    }
+                    if addr == MSR_PKG_POWER_LIMIT && fl.defer_cap_write(self.now, value) {
+                        // Reported as success: the sneaky failure mode that
+                        // only read-back verification catches.
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+}
+
+impl Default for SimBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MsrBackend for SimBackend {
+    fn read(&self, addr: u32) -> Result<u64, MsrError> {
+        match self.allowlist.get(&addr) {
+            None => Err(MsrError::Unknown(addr)),
+            Some(p) if !p.read => Err(MsrError::NotAllowed(addr)),
+            Some(_) => {
+                if let Some(fl) = &self.faults {
+                    if fl.read_fails(self.now, addr) {
+                        return Err(MsrError::Io(addr));
+                    }
+                    if addr == MSR_PKG_ENERGY_STATUS {
+                        if let Some(frozen) = fl.stuck_energy(self.now) {
+                            return Ok(frozen);
+                        }
+                    }
+                }
+                Ok(*self.regs.get(&addr).unwrap_or(&0))
+            }
+        }
+    }
+
+    fn write(&mut self, addr: u32, value: u64) -> Result<(), MsrError> {
+        if self.user_write_gate(addr, value)? {
+            self.regs.insert(addr, value);
+        }
+        Ok(())
+    }
+
+    fn advance_to(&mut self, now: Nanos) {
+        self.now = now;
+        if let Some(fl) = &mut self.faults {
+            let energy = *self.regs.get(&MSR_PKG_ENERGY_STATUS).unwrap_or(&0);
+            let (jump_to, latched) = fl.advance_to(now, energy);
+            if let Some(v) = jump_to {
+                self.regs.insert(MSR_PKG_ENERGY_STATUS, v & 0xFFFF_FFFF);
+            }
+            if let Some(raw) = latched {
+                self.regs.insert(MSR_PKG_POWER_LIMIT, raw);
+            }
+        }
+    }
+
+    fn next_event_hint(&self, now: Nanos) -> Option<Nanos> {
+        self.faults
+            .as_ref()
+            .and_then(|fl| fl.next_boundary_after(now))
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::full_sim()
+    }
+
+    fn hw_read(&self, addr: u32) -> u64 {
+        *self.regs.get(&addr).unwrap_or(&0)
+    }
+
+    fn hw_write(&mut self, addr: u32, value: u64) {
+        self.regs.insert(addr, value);
+    }
+
+    fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
+    }
+}

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use crate::backend::BackendKind;
 use crate::bandwidth::UncoreConfig;
 use crate::faults::FaultPlan;
 use crate::freq::FrequencyLadder;
@@ -91,6 +92,11 @@ pub struct NodeConfig {
     /// [`StepMode`]. [`Node::step`](crate::node::Node::step) always
     /// advances exactly one quantum regardless of this setting.
     pub step_mode: StepMode,
+    /// Which register-file backend sits behind the node's MSR boundary
+    /// (see [`crate::backend`]). [`BackendKind::Sim`] (the default) is
+    /// the seed's closed-form register file, bit-identical to the
+    /// pre-trait device.
+    pub backend: BackendKind,
 }
 
 impl NodeConfig {
@@ -126,6 +132,11 @@ impl NodeConfig {
         if let Some(f) = &self.faults {
             f.validate();
         }
+        assert!(
+            self.backend.is_available(),
+            "backend {:?} is not compiled into this build (rebuild with --features rapl)",
+            self.backend
+        );
     }
 }
 
@@ -146,6 +157,7 @@ impl Default for NodeConfig {
             thermal: None,
             faults: None,
             step_mode: StepMode::default(),
+            backend: BackendKind::default(),
         }
     }
 }

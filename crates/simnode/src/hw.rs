@@ -1,0 +1,30 @@
+//! One-stop prelude for the hardware boundary.
+//!
+//! Downstream crates (the NRM daemons, the experiment runner, tests)
+//! used to reach into `simnode::msr` for register constants and into
+//! scattered modules for device types. This module re-exports the whole
+//! surface flat, so a consumer writes
+//!
+//! ```
+//! use simnode::hw::{BackendKind, MsrDevice, MSR_PKG_POWER_LIMIT};
+//!
+//! let d = MsrDevice::builder()
+//!     .backend(BackendKind::Sim)
+//!     .build()
+//!     .unwrap();
+//! assert!(d.read(MSR_PKG_POWER_LIMIT).is_ok());
+//! ```
+//!
+//! and never needs to know which module a name lives in.
+
+pub use crate::backend::{
+    default_permission, BackendKind, BusStats, Capabilities, EmulatedBackend, MsrBackend,
+    MsrDeviceBuilder, SimBackend,
+};
+#[cfg(feature = "rapl")]
+pub use crate::backend::{discover_packages, LinuxRaplBackend, PackageInfo};
+pub use crate::msr::{
+    decode_perf_ctl, encode_perf_ctl, MsrDevice, MsrError, Permission, PowerLimit, RaplUnits,
+    IA32_APERF, IA32_CLOCK_MODULATION, IA32_MPERF, IA32_PERF_CTL, MSR_ANY, MSR_PKG_ENERGY_STATUS,
+    MSR_PKG_POWER_LIMIT, MSR_RAPL_POWER_UNIT,
+};

@@ -32,6 +32,7 @@
 //! [`StepMode`]).
 
 pub mod agent;
+pub mod backend;
 pub mod bandwidth;
 pub mod config;
 pub mod counters;
@@ -39,6 +40,7 @@ pub mod ddcm;
 pub mod energy;
 pub mod faults;
 pub mod freq;
+pub mod hw;
 pub mod msr;
 pub mod node;
 pub mod power;
@@ -48,6 +50,7 @@ pub mod thermal;
 pub mod time;
 
 pub use agent::SimAgent;
+pub use backend::{BackendKind, Capabilities, MsrBackend, MsrDeviceBuilder};
 pub use config::{NodeConfig, StepMode};
 pub use counters::{CounterSnapshot, Counters};
 pub use ddcm::DutyCycle;

@@ -3,18 +3,21 @@
 //! The paper's power-policy daemon talks to hardware exclusively through
 //! `libmsr` on top of the `msr-safe` kernel module, which exposes a
 //! whitelisted subset of MSRs to non-root users. This module reproduces
-//! that interface: a register file, an allow-list with independent
-//! read/write permission, and faithful RAPL register encodings —
-//! `MSR_RAPL_POWER_UNIT`, `MSR_PKG_POWER_LIMIT` (with the real
-//! `(1 + F/4)·2^Y` time-window format) and the 32-bit wrapping
-//! `MSR_PKG_ENERGY_STATUS` counter.
+//! that interface: [`MsrDevice`] is the user-facing door — an allow-list
+//! with independent read/write permission and faithful RAPL register
+//! encodings (`MSR_RAPL_POWER_UNIT`, `MSR_PKG_POWER_LIMIT` with the real
+//! `(1 + F/4)·2^Y` time-window format, and the 32-bit wrapping
+//! `MSR_PKG_ENERGY_STATUS` counter).
+//!
+//! The register file behind the door is pluggable: the device owns a
+//! `Box<dyn `[`MsrBackend`]`>` (see [`crate::backend`]) — the closed-form
+//! simulated file, the emulated bus engine, or (with `--features rapl`)
+//! real Linux RAPL. Devices are constructed through [`MsrDevice::builder`].
 
-use std::collections::HashMap;
-
-use serde::{Deserialize, Serialize};
-
-use crate::faults::{FaultLayer, FaultPlan, FaultStats};
+use crate::backend::{BusStats, Capabilities, MsrBackend, MsrDeviceBuilder};
+use crate::faults::FaultStats;
 use crate::time::Nanos;
+use serde::{Deserialize, Serialize};
 
 /// `MSR_RAPL_POWER_UNIT`: unit definitions for the RAPL registers.
 pub const MSR_RAPL_POWER_UNIT: u32 = 0x606;
@@ -32,18 +35,34 @@ pub const IA32_MPERF: u32 = 0xE7;
 /// frequency ratio, which is how tools measure frequency under RAPL.
 pub const IA32_APERF: u32 = 0xE8;
 
+/// Pseudo-address used by [`MsrError::Unsupported`] when the *whole
+/// backend* — not one register — is unavailable (feature compiled out,
+/// package or `/dev/cpu/N/msr` missing, fault plan on real hardware).
+pub const MSR_ANY: u32 = u32::MAX;
+
 /// Errors surfaced by the MSR device, mirroring what `msr-safe` returns to
 /// user space.
+///
+/// Marked `#[non_exhaustive]`: backends may grow new failure modes
+/// (as [`MsrError::Unsupported`] did when real-hardware probing arrived),
+/// and downstream matches must keep a wildcard arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum MsrError {
     /// The register exists but the allow-list denies this access.
     NotAllowed(u32),
     /// The register is not implemented by this model.
     Unknown(u32),
     /// The access failed at the driver level (EIO), as injected by the
-    /// fault layer ([`crate::faults`]). Transient or persistent depending
-    /// on the fault plan.
+    /// fault layer ([`crate::faults`]) or returned by a real MSR device.
+    /// Transient or persistent depending on the fault plan.
     Io(u32),
+    /// The backend cannot serve this register at all: the capability was
+    /// probed absent on real hardware, or ([`MSR_ANY`]) the backend
+    /// itself is unavailable in this build or on this machine. The
+    /// resilient daemon treats it like any other actuation failure and
+    /// falls back.
+    Unsupported(u32),
 }
 
 impl std::fmt::Display for MsrError {
@@ -52,6 +71,13 @@ impl std::fmt::Display for MsrError {
             MsrError::NotAllowed(a) => write!(f, "MSR {a:#x}: access denied by allow-list"),
             MsrError::Unknown(a) => write!(f, "MSR {a:#x}: not implemented"),
             MsrError::Io(a) => write!(f, "MSR {a:#x}: I/O error"),
+            MsrError::Unsupported(a) if *a == MSR_ANY => {
+                write!(
+                    f,
+                    "MSR backend: unavailable in this build or on this machine"
+                )
+            }
+            MsrError::Unsupported(a) => write!(f, "MSR {a:#x}: unsupported by this backend"),
         }
     }
 }
@@ -80,141 +106,82 @@ impl Permission {
     };
 }
 
-/// The MSR register file.
-#[derive(Debug, Clone)]
+/// The MSR device: the only door between control software and the
+/// hardware (simulated or real) behind it.
+///
+/// This is a thin facade over an [`MsrBackend`]; every call delegates.
+/// Construct one with [`MsrDevice::builder`] (or [`MsrDevice::default`]
+/// for the plain simulated device the seed used).
+#[derive(Debug)]
 pub struct MsrDevice {
-    regs: HashMap<u32, u64>,
-    allowlist: HashMap<u32, Permission>,
-    /// Simulated time of the device, advanced by [`MsrDevice::advance_to`];
-    /// only consulted by the fault layer.
-    now: Nanos,
-    /// Optional fault-injection layer ([`crate::faults`]). `None` (the
-    /// default) leaves every access path untouched.
-    faults: Option<FaultLayer>,
+    backend: Box<dyn MsrBackend>,
 }
 
 impl MsrDevice {
-    /// A device with the default RAPL/DVFS allow-list and power-on values.
-    pub fn new() -> Self {
-        let mut allowlist = HashMap::new();
-        allowlist.insert(MSR_RAPL_POWER_UNIT, Permission::RO);
-        allowlist.insert(MSR_PKG_POWER_LIMIT, Permission::RW);
-        allowlist.insert(MSR_PKG_ENERGY_STATUS, Permission::RO);
-        allowlist.insert(IA32_PERF_CTL, Permission::RW);
-        allowlist.insert(IA32_CLOCK_MODULATION, Permission::RW);
-        allowlist.insert(IA32_MPERF, Permission::RO);
-        allowlist.insert(IA32_APERF, Permission::RO);
-
-        let mut regs = HashMap::new();
-        regs.insert(MSR_RAPL_POWER_UNIT, RaplUnits::SKYLAKE_RAW);
-        regs.insert(MSR_PKG_POWER_LIMIT, 0);
-        regs.insert(MSR_PKG_ENERGY_STATUS, 0);
-        regs.insert(IA32_PERF_CTL, 0);
-        regs.insert(IA32_CLOCK_MODULATION, 0);
-        regs.insert(IA32_MPERF, 0);
-        regs.insert(IA32_APERF, 0);
-        Self {
-            regs,
-            allowlist,
-            now: 0,
-            faults: None,
-        }
+    /// Start building a device: backend kind, allow-list entries,
+    /// initial register values, fault plan.
+    pub fn builder() -> MsrDeviceBuilder {
+        MsrDeviceBuilder::new()
     }
 
-    /// Install a fault-injection plan (a bare [`FaultPlan`] or a shared
-    /// `Arc<FaultPlan>`). Subsequent user-space accesses are filtered
-    /// through it; hardware-side (`hw_*`) accesses never are.
-    pub fn install_faults(&mut self, plan: impl Into<std::sync::Arc<FaultPlan>>) {
-        self.faults = Some(FaultLayer::new(plan));
+    /// Wrap an already-constructed backend (the escape hatch for custom
+    /// [`MsrBackend`] implementations outside this crate).
+    pub fn from_backend(backend: Box<dyn MsrBackend>) -> Self {
+        Self { backend }
     }
 
-    /// Earliest instant strictly after `now` at which the installed fault
-    /// layer could change state (window opening/closing, deferred cap
-    /// latching). `None` when no plan is installed or nothing is pending —
-    /// an event horizon for the macro-step fast path.
-    pub fn next_fault_boundary(&self, now: Nanos) -> Option<Nanos> {
-        self.faults
-            .as_ref()
-            .and_then(|fl| fl.next_boundary_after(now))
+    /// What the backend can do; see [`Capabilities`].
+    pub fn capabilities(&self) -> Capabilities {
+        self.backend.capabilities()
+    }
+
+    /// Earliest instant strictly after `now` at which the backend could
+    /// change state on its own (fault window opening/closing, deferred or
+    /// latched cap writes applying) — an event horizon for the node's
+    /// macro-step fast path. `None` when nothing is pending.
+    pub fn next_event_hint(&self, now: Nanos) -> Option<Nanos> {
+        self.backend.next_event_hint(now)
     }
 
     /// Injection counters, when a fault plan is installed.
     pub fn fault_stats(&self) -> Option<&FaultStats> {
-        self.faults.as_ref().map(|f| f.stats())
+        self.backend.fault_stats()
+    }
+
+    /// Bus-occupancy accounting, when the backend models access cost
+    /// (the emulated tier does).
+    pub fn bus_stats(&self) -> Option<BusStats> {
+        self.backend.bus_stats()
     }
 
     /// Advance the device clock to `now`. The simulated node calls this
-    /// once per quantum; the fault layer uses it to fire onset effects
-    /// (stuck-counter capture, forced wraps) and to latch deferred cap
-    /// writes whose delay has elapsed.
+    /// once per quantum; simulated backends use it to fire fault onsets
+    /// and apply deferred/latched writes whose delay has elapsed.
     pub fn advance_to(&mut self, now: Nanos) {
-        self.now = now;
-        if let Some(fl) = &mut self.faults {
-            let energy = *self.regs.get(&MSR_PKG_ENERGY_STATUS).unwrap_or(&0);
-            let (jump_to, latched) = fl.advance_to(now, energy);
-            if let Some(v) = jump_to {
-                self.regs.insert(MSR_PKG_ENERGY_STATUS, v & 0xFFFF_FFFF);
-            }
-            if let Some(raw) = latched {
-                self.regs.insert(MSR_PKG_POWER_LIMIT, raw);
-            }
-        }
+        self.backend.advance_to(now);
     }
 
     /// User-space read through the allow-list (and the fault layer, when
     /// one is installed).
     pub fn read(&self, addr: u32) -> Result<u64, MsrError> {
-        match self.allowlist.get(&addr) {
-            None => Err(MsrError::Unknown(addr)),
-            Some(p) if !p.read => Err(MsrError::NotAllowed(addr)),
-            Some(_) => {
-                if let Some(fl) = &self.faults {
-                    if fl.read_fails(self.now, addr) {
-                        return Err(MsrError::Io(addr));
-                    }
-                    if addr == MSR_PKG_ENERGY_STATUS {
-                        if let Some(frozen) = fl.stuck_energy(self.now) {
-                            return Ok(frozen);
-                        }
-                    }
-                }
-                Ok(*self.regs.get(&addr).unwrap_or(&0))
-            }
-        }
+        self.backend.read(addr)
     }
 
     /// User-space write through the allow-list (and the fault layer, when
     /// one is installed).
     pub fn write(&mut self, addr: u32, value: u64) -> Result<(), MsrError> {
-        match self.allowlist.get(&addr) {
-            None => Err(MsrError::Unknown(addr)),
-            Some(p) if !p.write => Err(MsrError::NotAllowed(addr)),
-            Some(_) => {
-                if let Some(fl) = &mut self.faults {
-                    if fl.write_fails(self.now, addr) {
-                        return Err(MsrError::Io(addr));
-                    }
-                    if addr == MSR_PKG_POWER_LIMIT && fl.defer_cap_write(self.now, value) {
-                        // Reported as success: the sneaky failure mode that
-                        // only read-back verification catches.
-                        return Ok(());
-                    }
-                }
-                self.regs.insert(addr, value);
-                Ok(())
-            }
-        }
+        self.backend.write(addr, value)
     }
 
     /// Privileged (hardware-side) read, bypassing the allow-list. Used by
     /// the simulated silicon itself.
     pub fn hw_read(&self, addr: u32) -> u64 {
-        *self.regs.get(&addr).unwrap_or(&0)
+        self.backend.hw_read(addr)
     }
 
     /// Privileged (hardware-side) write, bypassing the allow-list.
     pub fn hw_write(&mut self, addr: u32, value: u64) {
-        self.regs.insert(addr, value);
+        self.backend.hw_write(addr, value);
     }
 
     /// Accumulate `joules` into the wrapping 32-bit energy-status counter.
@@ -245,8 +212,12 @@ impl MsrDevice {
 }
 
 impl Default for MsrDevice {
+    /// The plain simulated device: default allow-list, power-on values,
+    /// no faults — the seed's `MsrDevice::new()`.
     fn default() -> Self {
-        Self::new()
+        MsrDeviceBuilder::new()
+            .build()
+            .expect("the simulated backend is infallible")
     }
 }
 
@@ -369,7 +340,7 @@ mod tests {
 
     #[test]
     fn allowlist_blocks_energy_writes() {
-        let mut d = MsrDevice::new();
+        let mut d = MsrDevice::default();
         assert_eq!(
             d.write(MSR_PKG_ENERGY_STATUS, 1),
             Err(MsrError::NotAllowed(MSR_PKG_ENERGY_STATUS))
@@ -411,7 +382,7 @@ mod tests {
 
     #[test]
     fn energy_counter_wraps_at_32_bits() {
-        let mut d = MsrDevice::new();
+        let mut d = MsrDevice::default();
         let u = d.units();
         // Push the counter near the wrap point, then over it.
         d.hw_write(MSR_PKG_ENERGY_STATUS, 0xFFFF_FFFE);
@@ -427,7 +398,7 @@ mod tests {
 
     #[test]
     fn fault_free_device_never_takes_fault_paths() {
-        let mut d = MsrDevice::new();
+        let mut d = MsrDevice::default();
         d.advance_to(5 * MS);
         assert_eq!(d.fault_stats().map(|s| s.reads_failed()), None);
         assert!(d.read(MSR_PKG_ENERGY_STATUS).is_ok());
@@ -437,12 +408,14 @@ mod tests {
     #[test]
     fn injected_read_error_surfaces_as_io() {
         use crate::faults::{FaultPlan, FaultWindow};
-        let mut d = MsrDevice::new();
-        d.install_faults(FaultPlan::new(1).read_error(
-            MSR_PKG_ENERGY_STATUS,
-            1.0,
-            FaultWindow::new(MS, 2 * MS),
-        ));
+        let mut d = MsrDevice::builder()
+            .faults(FaultPlan::new(1).read_error(
+                MSR_PKG_ENERGY_STATUS,
+                1.0,
+                FaultWindow::new(MS, 2 * MS),
+            ))
+            .build()
+            .unwrap();
         assert!(d.read(MSR_PKG_ENERGY_STATUS).is_ok(), "before window");
         d.advance_to(MS);
         assert_eq!(
@@ -458,9 +431,11 @@ mod tests {
     #[test]
     fn stuck_counter_freezes_reads_but_not_hardware() {
         use crate::faults::{FaultPlan, FaultWindow};
-        let mut d = MsrDevice::new();
+        let mut d = MsrDevice::builder()
+            .faults(FaultPlan::new(1).stuck_energy(FaultWindow::new(MS, 10 * MS)))
+            .build()
+            .unwrap();
         let u = d.units();
-        d.install_faults(FaultPlan::new(1).stuck_energy(FaultWindow::new(MS, 10 * MS)));
         d.hw_write(MSR_PKG_ENERGY_STATUS, 1000);
         d.advance_to(MS);
         d.hw_add_energy(u.energy_j * 500.0);
@@ -473,8 +448,10 @@ mod tests {
     #[test]
     fn delayed_cap_write_reports_success_but_latches_late() {
         use crate::faults::{FaultPlan, FaultWindow};
-        let mut d = MsrDevice::new();
-        d.install_faults(FaultPlan::new(1).delayed_cap_latch(5 * MS, FaultWindow::ALWAYS));
+        let mut d = MsrDevice::builder()
+            .faults(FaultPlan::new(1).delayed_cap_latch(5 * MS, FaultWindow::ALWAYS))
+            .build()
+            .unwrap();
         d.advance_to(MS);
         assert!(d.write(MSR_PKG_POWER_LIMIT, 0xCAFE).is_ok());
         assert_eq!(d.hw_read(MSR_PKG_POWER_LIMIT), 0, "not latched yet");
@@ -492,5 +469,26 @@ mod tests {
         };
         let d = PowerLimit::decode(pl.encode(u), u);
         assert!((d.watts.unwrap() - 80.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_display_names_the_register_and_mode() {
+        assert_eq!(
+            MsrError::NotAllowed(MSR_PKG_ENERGY_STATUS).to_string(),
+            "MSR 0x611: access denied by allow-list"
+        );
+        assert_eq!(
+            MsrError::Unknown(0xDEAD).to_string(),
+            "MSR 0xdead: not implemented"
+        );
+        assert_eq!(MsrError::Io(0x610).to_string(), "MSR 0x610: I/O error");
+        assert_eq!(
+            MsrError::Unsupported(IA32_CLOCK_MODULATION).to_string(),
+            "MSR 0x19a: unsupported by this backend"
+        );
+        assert_eq!(
+            MsrError::Unsupported(MSR_ANY).to_string(),
+            "MSR backend: unavailable in this build or on this machine"
+        );
     }
 }

@@ -232,11 +232,12 @@ impl Node {
         let cores = vec![CoreWork::Idle; cfg.cores];
         let thermal = cfg.thermal.clone().map(ThermalState::new);
         let retain = cfg.rapl_window.max(crate::time::SEC);
-        let mut msr = MsrDevice::new();
-        if let Some(plan) = &cfg.faults {
-            // Arc clone: the plan itself is shared, not deep-copied.
-            msr.install_faults(plan.clone());
-        }
+        // Arc clone: the plan itself is shared, not deep-copied.
+        let msr = MsrDevice::builder()
+            .backend(cfg.backend)
+            .maybe_faults(cfg.faults.clone())
+            .build()
+            .unwrap_or_else(|e| panic!("cannot initialise MSR backend {:?}: {e}", cfg.backend));
         let tables = PStateTables::new(&cfg.ladder, &cfg.core_power);
         Self {
             energy: EnergyMeter::new(retain * 2),
@@ -422,7 +423,7 @@ impl Node {
     /// changing what any [`Node::step_until`] call will observe.
     pub fn next_event_hint(&self, deadline: Nanos) -> Nanos {
         let mut t = deadline.min(self.next_rapl);
-        if let Some(b) = self.msr.next_fault_boundary(self.now) {
+        if let Some(b) = self.msr.next_event_hint(self.now) {
             t = t.min(b);
         }
         for work in &self.cores {
@@ -448,7 +449,7 @@ impl Node {
         let quanta_to = |b: Nanos| b.saturating_sub(now).div_ceil(dt);
 
         let mut k = quanta_to(deadline).min(quanta_to(self.next_rapl));
-        if let Some(b) = self.msr.next_fault_boundary(now) {
+        if let Some(b) = self.msr.next_event_hint(now) {
             k = k.min(quanta_to(b));
         }
         if k < 2 {

@@ -245,7 +245,7 @@ mod tests {
     use crate::time::MS;
 
     fn capped_msr(watts: f64) -> MsrDevice {
-        let mut msr = MsrDevice::new();
+        let mut msr = MsrDevice::default();
         let units = msr.units();
         let raw = PowerLimit {
             watts: Some(watts),
@@ -281,7 +281,7 @@ mod tests {
     fn uncapped_runs_flat_out() {
         let cfg = NodeConfig::default();
         let tables = PStateTables::new(&cfg.ladder, &cfg.core_power);
-        let msr = MsrDevice::new();
+        let msr = MsrDevice::default();
         let mut r = RaplController::new();
         let a = r.control(&cfg, &msr, &tables, &compute_bound(24), 150.0);
         assert_eq!(a.pstate, cfg.ladder.max_pstate());

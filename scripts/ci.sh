@@ -65,6 +65,11 @@ cargo fmt --all --check
 echo "== cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy --features rapl -D warnings"
+# The Linux RAPL backend is feature-gated (it needs a privileged host to
+# *construct*, but must always *compile*); lint it in the same gate.
+cargo clippy -p simnode --features rapl --all-targets -- -D warnings
+
 echo "== cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
@@ -77,6 +82,10 @@ cargo build --workspace --release
 if [[ "$run_tests" -eq 1 ]]; then
     echo "== cargo test"
     cargo test --workspace --release -q
+    echo "== cargo test -p simnode --features rapl"
+    # The rapl feature's probe path degrades to MsrError::Unsupported on
+    # machines without /dev/cpu/*/msr, so this runs anywhere.
+    cargo test -p simnode --release --features rapl -q
     echo "== cluster bench (test mode)"
     cargo bench -q -p powerprog-bench --bench cluster -- --test
     echo "== repro sched determinism (same seed, bit-identical CSVs)"
@@ -91,6 +100,19 @@ if [[ "$run_tests" -eq 1 ]]; then
         exit 1
     }
     rm -rf "$sched_a" "$sched_b"
+    echo "== repro cluster golden diff (backend refactor bit-identity)"
+    # tests/golden/cluster_quick holds the CSVs the seeded quick cluster
+    # run produced *before* the MsrBackend boundary existed. The default
+    # SimBackend must keep reproducing them bit for bit: any drift means
+    # the trait refactor (or a later backend change) perturbed the
+    # closed-form register file.
+    golden_out="$(mktemp -d)"
+    target/release/repro cluster --quick --out "$golden_out" >/dev/null
+    diff -r tests/golden/cluster_quick "$golden_out" || {
+        echo "ci.sh: repro cluster --quick drifted from the pre-refactor golden CSVs" >&2
+        exit 1
+    }
+    rm -rf "$golden_out"
 fi
 
 if [[ "$soak" -eq 1 ]]; then

@@ -13,7 +13,7 @@
 
 use powerprog::prelude::*;
 use powerprog::proxyapps::programs::HangAfter;
-use powerprog::simnode::msr::{MSR_PKG_ENERGY_STATUS, MSR_PKG_POWER_LIMIT};
+use powerprog::simnode::hw::{MSR_PKG_ENERGY_STATUS, MSR_PKG_POWER_LIMIT};
 
 const BUDGET_W: f64 = 80.0;
 
